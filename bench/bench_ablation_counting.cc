@@ -1,0 +1,59 @@
+// Ablation A1 (ours): horizontal (scan + candidate trie) vs vertical
+// (TID-set intersection) support counting across workload densities.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace flipper {
+namespace bench {
+namespace {
+
+void Main() {
+  Banner("bench_ablation_counting",
+         "ablation — horizontal scan vs vertical TID-set counting "
+         "(DESIGN.md A1)");
+  const uint32_t n = DefaultN();
+
+  TablePrinter table({"W", "horizontal (s)", "vertical (s)", "flips"});
+  CsvWriter csv({"w", "counter", "seconds", "patterns"});
+  for (int width : {5, 8, 10}) {
+    SyntheticWorkload workload =
+        MakeQuestWorkload(n, static_cast<double>(width));
+    MiningConfig config = DefaultSyntheticConfig();
+
+    std::vector<std::string> row = {std::to_string(width)};
+    uint64_t flips = 0;
+    for (CounterKind counter :
+         {CounterKind::kHorizontal, CounterKind::kVertical}) {
+      config.counter = counter;
+      auto result =
+          FlipperMiner::Run(workload.db, workload.taxonomy, config);
+      if (!result.ok()) {
+        row.push_back("error");
+        continue;
+      }
+      row.push_back(FormatDouble(result->stats.total_seconds, 3));
+      flips = result->patterns.size();
+      csv.AddRow({std::to_string(width), CounterKindToString(counter),
+                  FormatDouble(result->stats.total_seconds, 4),
+                  std::to_string(result->patterns.size())});
+    }
+    row.push_back(std::to_string(flips));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nBoth engines return identical patterns (tested); the\n"
+            << "crossover depends on candidate volume per cell vs\n"
+            << "database size.\n";
+  WriteCsv(csv, "ablation_counting.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flipper
+
+int main() {
+  flipper::bench::Main();
+  return 0;
+}

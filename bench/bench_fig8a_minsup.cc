@@ -1,0 +1,82 @@
+// Regenerates Figure 8(a): running time of the four variants (BASIC,
+// FLIPPING, FLIPPING+TPG, FLIPPING+TPG+SIBP) across the ten
+// minimum-support profiles of Table 3 on the default Quest synthetic
+// workload. The expected shape: all variants cheap at thr1; BASIC
+// blows up as theta_4 drops (thr2, thr6, thr10 being the cliffs) while
+// the pruned variants degrade gracefully — up to ~30x apart.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace flipper {
+namespace bench {
+namespace {
+
+struct Profile {
+  const char* name;
+  double t1, t2, t3, t4;
+};
+
+// Table 3, verbatim.
+constexpr Profile kProfiles[] = {
+    {"thr1", 0.05, 0.05, 0.05, 0.05},
+    {"thr2", 0.05, 0.001, 0.0005, 0.0001},
+    {"thr3", 0.01, 0.001, 0.0005, 0.0001},
+    {"thr4", 0.01, 0.0005, 0.0005, 0.0001},
+    {"thr5", 0.01, 0.0005, 0.0001, 0.0001},
+    {"thr6", 0.01, 0.0005, 0.0001, 0.00005},
+    {"thr7", 0.001, 0.0005, 0.0001, 0.00005},
+    {"thr8", 0.001, 0.0001, 0.0001, 0.00005},
+    {"thr9", 0.001, 0.0001, 0.00006, 0.00005},
+    {"thr10", 0.001, 0.0001, 0.00006, 0.00003},
+};
+
+void Main() {
+  Banner("bench_fig8a_minsup",
+         "Figure 8(a) — runtime vs minimum-support profile (Table 3)");
+  const uint32_t n = DefaultN();
+  std::cout << "workload: Quest N=" << FormatCount(n)
+            << " W=5 |I|=1250 H=4 (paper: N=100,000)\n\n";
+  SyntheticWorkload workload = MakeQuestWorkload(n, 5.0);
+
+  TablePrinter table({"profile", "BASIC", "FLIPPING", "FLIPPING+TPG",
+                      "FLIPPING+TPG+SIBP", "flips"});
+  CsvWriter csv({"profile", "variant", "seconds", "status",
+                 "candidates", "patterns"});
+  for (const Profile& profile : kProfiles) {
+    MiningConfig config = DefaultSyntheticConfig();
+    config.min_support = {profile.t1, profile.t2, profile.t3,
+                          profile.t4};
+    std::vector<std::string> row = {profile.name};
+    uint64_t flips = 0;
+    for (Variant variant : kAllVariants) {
+      const RunOutcome out =
+          RunVariant(variant, workload.db, workload.taxonomy, config);
+      row.push_back(OutcomeCell(out));
+      if (out.ok) flips = out.num_patterns;
+      csv.AddRow({profile.name, VariantName(variant),
+                  FormatDouble(out.seconds, 4),
+                  out.ok ? "ok" : (out.exhausted ? "exhausted" : "error"),
+                  std::to_string(out.candidates),
+                  std::to_string(out.num_patterns)});
+    }
+    row.push_back(std::to_string(flips));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nShape check (paper): near-flat at thr1; BASIC jumps at\n"
+      << "thr2/thr6/thr10 when theta_4 drops; the full pruning stack\n"
+      << "stays up to ~30x faster at the lowest-support profiles.\n";
+  WriteCsv(csv, "fig8a_minsup.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flipper
+
+int main() {
+  flipper::bench::Main();
+  return 0;
+}

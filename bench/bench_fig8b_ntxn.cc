@@ -1,0 +1,56 @@
+// Regenerates Figure 8(b): running time of the four variants as the
+// number of transactions grows (paper: 100K..1M; scaled here).
+// Expected shape: linear growth in N for every variant, with the
+// pruned variants 15-20x below BASIC.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace flipper {
+namespace bench {
+namespace {
+
+void Main() {
+  Banner("bench_fig8b_ntxn",
+         "Figure 8(b) — runtime vs number of transactions");
+  const double scale = BenchScale() * 0.2;
+  std::cout << "paper sweeps 100K..1M; this run sweeps the same 1x..10x"
+            << " ratio from N=" << FormatCount(
+                   static_cast<int64_t>(100'000 * scale)) << "\n\n";
+
+  TablePrinter table({"N", "BASIC", "FLIPPING", "FLIPPING+TPG",
+                      "FLIPPING+TPG+SIBP"});
+  CsvWriter csv({"n", "variant", "seconds", "status", "candidates",
+                 "patterns"});
+  for (double factor : {1.0, 2.5, 5.0, 7.5, 10.0}) {
+    const auto n = static_cast<uint32_t>(100'000 * scale * factor);
+    SyntheticWorkload workload = MakeQuestWorkload(n, 5.0);
+    MiningConfig config = DefaultSyntheticConfig();
+    std::vector<std::string> row = {FormatCount(n)};
+    for (Variant variant : kAllVariants) {
+      const RunOutcome out =
+          RunVariant(variant, workload.db, workload.taxonomy, config);
+      row.push_back(OutcomeCell(out));
+      csv.AddRow({std::to_string(n), VariantName(variant),
+                  FormatDouble(out.seconds, 4),
+                  out.ok ? "ok" : (out.exhausted ? "exhausted" : "error"),
+                  std::to_string(out.candidates),
+                  std::to_string(out.num_patterns)});
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check (paper): every series is linear in N;\n"
+            << "full Flipper runs 15-20x faster than BASIC.\n";
+  WriteCsv(csv, "fig8b_ntxn.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flipper
+
+int main() {
+  flipper::bench::Main();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Regenerates Figure 9(a) runtime and 9(b) candidate-memory for the
+// three real-dataset stand-ins (GROCERIES / CENSUS / MEDLINE), naive
+// flipping-based pruning vs. the full Flipper stack. The BASIC Apriori
+// baseline is excluded exactly as in the paper ("runs longer than 10
+// hours even for the smallest dataset").
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "datagen/census_sim.h"
+#include "datagen/groceries_sim.h"
+#include "datagen/medline_sim.h"
+
+namespace flipper {
+namespace bench {
+namespace {
+
+void RunDataset(const SimulatedDataset& data, TablePrinter* time_table,
+                TablePrinter* mem_table, CsvWriter* csv) {
+  MiningConfig config = data.paper_config;
+  const RunOutcome naive = RunVariant(Variant::kFlipping, data.db,
+                                      data.taxonomy, config);
+  const RunOutcome full =
+      RunVariant(Variant::kFull, data.db, data.taxonomy, config);
+  time_table->AddRow({data.name, OutcomeCell(naive), OutcomeCell(full)});
+  mem_table->AddRow({data.name, FormatBytes(naive.peak_bytes),
+                     FormatBytes(full.peak_bytes)});
+  for (const auto& [variant, out] :
+       {std::pair{"naive_flipping", &naive}, {"full_flipper", &full}}) {
+    csv->AddRow({data.name, variant, FormatDouble(out->seconds, 4),
+                 std::to_string(out->peak_bytes),
+                 std::to_string(out->candidates),
+                 std::to_string(out->num_patterns)});
+  }
+}
+
+void Main() {
+  Banner("bench_fig9_real",
+         "Figure 9(a,b) — real datasets: naive flipping vs full Flipper");
+  const double scale = BenchScale();
+  std::cout << "datasets (simulated substitutes, see DESIGN.md §4):\n"
+            << "  GROCERIES " << FormatCount(
+                   static_cast<int64_t>(9'800 * scale))
+            << " txns, CENSUS " << FormatCount(
+                   static_cast<int64_t>(32'000 * scale))
+            << " records, MEDLINE " << FormatCount(
+                   static_cast<int64_t>(64'000 * scale))
+            << " citations (paper: 640,000 at scale 10)\n\n";
+
+  TablePrinter time_table({"dataset", "naive flipping (s)",
+                           "full Flipper (s)"});
+  TablePrinter mem_table({"dataset", "naive flipping (peak)",
+                          "full Flipper (peak)"});
+  CsvWriter csv({"dataset", "variant", "seconds", "peak_bytes",
+                 "candidates", "patterns"});
+
+  GroceriesParams groceries;
+  groceries.num_transactions =
+      static_cast<uint32_t>(9'800 * scale);
+  auto g = GenerateGroceries(groceries);
+  FLIPPER_CHECK(g.ok()) << g.status();
+  RunDataset(*g, &time_table, &mem_table, &csv);
+
+  CensusParams census;
+  census.num_records = static_cast<uint32_t>(32'000 * scale);
+  auto c = GenerateCensus(census);
+  FLIPPER_CHECK(c.ok()) << c.status();
+  RunDataset(*c, &time_table, &mem_table, &csv);
+
+  MedlineParams medline;
+  medline.num_citations = static_cast<uint32_t>(64'000 * scale);
+  auto m = GenerateMedline(medline);
+  FLIPPER_CHECK(m.ok()) << m.status();
+  RunDataset(*m, &time_table, &mem_table, &csv);
+
+  std::cout << "--- Figure 9(a): running time ---\n";
+  time_table.Print(std::cout);
+  std::cout << "\n--- Figure 9(b): candidate-store memory ---\n";
+  mem_table.Print(std::cout);
+  std::cout
+      << "\nShape check (paper): the full stack wins on both time and\n"
+      << "memory on every dataset; MEDLINE (largest) shows the widest\n"
+      << "gap. The paper's full version never exceeded 2 GB while\n"
+      << "naive variants needed several GB.\n";
+  WriteCsv(csv, "fig9_real.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flipper
+
+int main() {
+  flipper::bench::Main();
+  return 0;
+}

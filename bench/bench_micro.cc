@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark): correlation measure evaluation,
+// TID-set intersections, candidate-trie counting, itemset operations.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/candidate_trie.h"
+#include "data/itemset.h"
+#include "data/tidset.h"
+#include "data/transaction_db.h"
+#include "measures/measure.h"
+
+namespace flipper {
+namespace {
+
+void BM_CorrelationKulc(benchmark::State& state) {
+  const auto k = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> sups(k);
+  Rng rng(1);
+  for (auto& s : sups) s = static_cast<uint32_t>(rng.Uniform(100, 10000));
+  const uint32_t sup = 90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Correlation(MeasureKind::kKulczynski, sup, sups));
+  }
+}
+BENCHMARK(BM_CorrelationKulc)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CorrelationCosine(benchmark::State& state) {
+  const auto k = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> sups(k);
+  Rng rng(1);
+  for (auto& s : sups) s = static_cast<uint32_t>(rng.Uniform(100, 10000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Correlation(MeasureKind::kCosine, 90, sups));
+  }
+}
+BENCHMARK(BM_CorrelationCosine)->Arg(2)->Arg(8);
+
+TidSet MakeRandomTidSet(Rng* rng, uint32_t universe, double density,
+                        bool dense) {
+  std::vector<TxnId> tids;
+  for (TxnId t = 0; t < universe; ++t) {
+    if (rng->Bernoulli(density)) tids.push_back(t);
+  }
+  return dense ? TidSet::BuildDense(tids, universe)
+               : TidSet::BuildSparse(tids, universe);
+}
+
+void BM_TidSetIntersectDense(benchmark::State& state) {
+  Rng rng(7);
+  const auto universe = static_cast<uint32_t>(state.range(0));
+  TidSet a = MakeRandomTidSet(&rng, universe, 0.2, true);
+  TidSet b = MakeRandomTidSet(&rng, universe, 0.2, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TidSet::IntersectCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * universe);
+}
+BENCHMARK(BM_TidSetIntersectDense)->Arg(100'000)->Arg(1'000'000);
+
+void BM_TidSetIntersectSparse(benchmark::State& state) {
+  Rng rng(7);
+  const auto universe = static_cast<uint32_t>(state.range(0));
+  TidSet a = MakeRandomTidSet(&rng, universe, 0.01, false);
+  TidSet b = MakeRandomTidSet(&rng, universe, 0.01, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TidSet::IntersectCount(a, b));
+  }
+}
+BENCHMARK(BM_TidSetIntersectSparse)->Arg(100'000)->Arg(1'000'000);
+
+void BM_TrieCounting(benchmark::State& state) {
+  Rng rng(11);
+  const auto num_candidates = static_cast<size_t>(state.range(0));
+  const ItemId alphabet = 1000;
+  TransactionDb db;
+  std::vector<ItemId> txn;
+  for (int t = 0; t < 5000; ++t) {
+    txn.clear();
+    for (int i = 0; i < 8; ++i) {
+      txn.push_back(static_cast<ItemId>(rng.Below(alphabet)));
+    }
+    db.Add(txn);
+  }
+  std::vector<Itemset> candidates;
+  std::unordered_set<Itemset, ItemsetHash> seen;
+  while (candidates.size() < num_candidates) {
+    Itemset s;
+    while (s.size() < 3) {
+      s.Insert(static_cast<ItemId>(rng.Below(alphabet)));
+    }
+    if (seen.insert(s).second) candidates.push_back(s);
+  }
+  for (auto _ : state) {
+    CandidateTrie trie(candidates);
+    for (TxnId t = 0; t < db.size(); ++t) {
+      trie.CountTransaction(db.Get(t));
+    }
+    benchmark::DoNotOptimize(trie.CountOf(0));
+  }
+  state.SetItemsProcessed(state.iterations() * db.size());
+}
+BENCHMARK(BM_TrieCounting)->Arg(1000)->Arg(10'000);
+
+void BM_ItemsetInsertHash(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    Itemset s;
+    for (int i = 0; i < 8; ++i) {
+      s.Insert(static_cast<ItemId>(rng.Below(100000)));
+    }
+    benchmark::DoNotOptimize(s.Hash());
+  }
+}
+BENCHMARK(BM_ItemsetInsertHash);
+
+void BM_PrefixJoin(benchmark::State& state) {
+  Itemset a{1, 2, 3, 4, 5, 6, 7};
+  Itemset b{1, 2, 3, 4, 5, 6, 9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Itemset::PrefixJoin(a, b));
+  }
+}
+BENCHMARK(BM_PrefixJoin);
+
+}  // namespace
+}  // namespace flipper
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Regenerates Table 4: the number of positive, negative and flipping
+// patterns for the three (simulated) real datasets under the paper's
+// per-dataset thresholds. Pos/Neg are counted by the BASIC per-level
+// Apriori (all frequent labeled itemsets); Flips by the full Flipper.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "datagen/census_sim.h"
+#include "datagen/groceries_sim.h"
+#include "datagen/medline_sim.h"
+
+namespace flipper {
+namespace bench {
+namespace {
+
+void RunDataset(const SimulatedDataset& data, TablePrinter* table,
+                CsvWriter* csv) {
+  const MiningConfig& config = data.paper_config;
+  std::string thresholds = "(" + FormatDouble(config.gamma, 2) + ", " +
+                           FormatDouble(config.epsilon, 2);
+  for (double theta : config.min_support) {
+    thresholds += ", " + FormatDouble(theta, 4);
+  }
+  thresholds += ")";
+
+  const RunOutcome basic =
+      RunVariant(Variant::kBasic, data.db, data.taxonomy, config);
+  const RunOutcome full =
+      RunVariant(Variant::kFull, data.db, data.taxonomy, config);
+  table->AddRow({data.name, thresholds,
+                 basic.ok ? FormatCount(static_cast<int64_t>(
+                                basic.num_positive))
+                          : OutcomeCell(basic),
+                 basic.ok ? FormatCount(static_cast<int64_t>(
+                                basic.num_negative))
+                          : OutcomeCell(basic),
+                 std::to_string(full.num_patterns)});
+  csv->AddRow({data.name, FormatDouble(config.gamma, 2),
+               FormatDouble(config.epsilon, 2),
+               std::to_string(basic.num_positive),
+               std::to_string(basic.num_negative),
+               std::to_string(full.num_patterns)});
+}
+
+void Main() {
+  Banner("bench_table4_counts",
+         "Table 4 — flipping patterns vs all positive/negative patterns");
+  const double scale = BenchScale();
+
+  TablePrinter table({"dataset", "(gamma,eps,theta_h)", "Pos", "Neg",
+                      "Flips"});
+  CsvWriter csv({"dataset", "gamma", "epsilon", "positive", "negative",
+                 "flips"});
+
+  GroceriesParams groceries;
+  groceries.num_transactions = static_cast<uint32_t>(9'800 * scale);
+  auto g = GenerateGroceries(groceries);
+  FLIPPER_CHECK(g.ok()) << g.status();
+  RunDataset(*g, &table, &csv);
+
+  CensusParams census;
+  census.num_records = static_cast<uint32_t>(32'000 * scale);
+  auto c = GenerateCensus(census);
+  FLIPPER_CHECK(c.ok()) << c.status();
+  RunDataset(*c, &table, &csv);
+
+  MedlineParams medline;
+  medline.num_citations = static_cast<uint32_t>(64'000 * scale);
+  auto m = GenerateMedline(medline);
+  FLIPPER_CHECK(m.ok()) << m.status();
+  RunDataset(*m, &table, &csv);
+
+  table.Print(std::cout);
+  std::cout
+      << "\nShape check (paper): flipping patterns are orders of\n"
+      << "magnitude rarer than the positive/negative pools they hide\n"
+      << "in (paper: G 174 flips vs 8.0e4 negatives; M 430 flips vs\n"
+      << "1.6e6 negatives); MEDLINE has by far the most negatives.\n";
+  WriteCsv(csv, "table4_counts.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flipper
+
+int main() {
+  flipper::bench::Main();
+  return 0;
+}

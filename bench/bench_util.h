@@ -1,0 +1,187 @@
+// Shared helpers for the bench harness. Every bench binary regenerates
+// one of the paper's tables/figures: it prints the same rows/series the
+// paper reports and drops a CSV next to the binary (./bench_results/).
+//
+// Sizes are scaled for a laptop-class container by default; export
+// FLIPPER_BENCH_SCALE to grow workloads toward the paper's sizes (the
+// *shape* of every series is preserved at any scale).
+
+#ifndef FLIPPER_BENCH_BENCH_UTIL_H_
+#define FLIPPER_BENCH_BENCH_UTIL_H_
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/config.h"
+#include "core/flipper_miner.h"
+#include "core/mining_result.h"
+#include "core/naive_miner.h"
+#include "data/transaction_db.h"
+#include "datagen/quest_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+namespace bench {
+
+/// One mining execution's headline numbers.
+struct RunOutcome {
+  bool ok = false;
+  bool exhausted = false;  // hit the candidate guard (paper: BASIC OOM)
+  double seconds = 0.0;
+  int64_t peak_bytes = 0;
+  uint64_t candidates = 0;
+  uint64_t num_patterns = 0;
+  uint64_t num_positive = 0;
+  uint64_t num_negative = 0;
+  std::string error;
+};
+
+/// Variants of the paper's Figure-8 series.
+enum class Variant { kBasic, kFlipping, kFlippingTpg, kFull };
+
+inline const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kBasic:
+      return "BASIC";
+    case Variant::kFlipping:
+      return "FLIPPING";
+    case Variant::kFlippingTpg:
+      return "FLIPPING+TPG";
+    case Variant::kFull:
+      return "FLIPPING+TPG+SIBP";
+  }
+  return "?";
+}
+
+inline constexpr Variant kAllVariants[] = {
+    Variant::kBasic, Variant::kFlipping, Variant::kFlippingTpg,
+    Variant::kFull};
+
+/// Runs one variant. BASIC is the NaiveMiner (per-level Apriori +
+/// post-processing); the others are FlipperMiner pruning stacks.
+inline RunOutcome RunVariant(Variant variant, const TransactionDb& db,
+                             const Taxonomy& taxonomy,
+                             MiningConfig config) {
+  RunOutcome out;
+  Result<MiningResult> result = [&]() -> Result<MiningResult> {
+    switch (variant) {
+      case Variant::kBasic:
+        return NaiveMiner::Run(db, taxonomy, config);
+      case Variant::kFlipping:
+        config.pruning = PruningOptions::FlippingOnly();
+        return FlipperMiner::Run(db, taxonomy, config);
+      case Variant::kFlippingTpg:
+        config.pruning = PruningOptions::FlippingTpg();
+        return FlipperMiner::Run(db, taxonomy, config);
+      case Variant::kFull:
+        config.pruning = PruningOptions::Full();
+        return FlipperMiner::Run(db, taxonomy, config);
+    }
+    return Status::Internal("unknown variant");
+  }();
+  if (!result.ok()) {
+    out.exhausted =
+        result.status().code() == StatusCode::kResourceExhausted;
+    out.error = result.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.seconds = result->stats.total_seconds;
+  out.peak_bytes = result->stats.peak_candidate_bytes;
+  out.candidates = result->stats.total_counted;
+  out.num_patterns = result->patterns.size();
+  out.num_positive = result->stats.num_positive;
+  out.num_negative = result->stats.num_negative;
+  return out;
+}
+
+/// "12.345" seconds, "exhausted" when the candidate guard fired, or
+/// "error" otherwise.
+inline std::string OutcomeCell(const RunOutcome& out) {
+  if (out.ok) return FormatDouble(out.seconds, 3);
+  return out.exhausted ? "exhausted" : "error";
+}
+
+/// The paper's default synthetic workload (§5.1): N = 100K, W = 5,
+/// |I| ~ 1000 leaves, H = 4, 10 level-1 categories, fanout 5 — scaled
+/// by FLIPPER_BENCH_SCALE.
+struct SyntheticWorkload {
+  ItemDictionary dict;
+  Taxonomy taxonomy;
+  TransactionDb db;
+};
+
+inline SyntheticWorkload MakeQuestWorkload(uint32_t num_txns,
+                                           double avg_width,
+                                           uint64_t seed = 42) {
+  SyntheticWorkload out;
+  TaxonomyGenParams tax_params;
+  tax_params.num_roots = 10;
+  tax_params.fanout = 5;
+  tax_params.depth = 4;
+  auto tax = GenerateBalancedTaxonomy(tax_params, &out.dict);
+  FLIPPER_CHECK(tax.ok()) << tax.status();
+  out.taxonomy = std::move(tax).value();
+
+  QuestParams quest;
+  quest.num_transactions = num_txns;
+  quest.avg_width = avg_width;
+  quest.num_patterns = 500;
+  quest.seed = seed;
+  auto db = GenerateQuest(quest, out.taxonomy);
+  FLIPPER_CHECK(db.ok()) << db.status();
+  out.db = std::move(db).value();
+  return out;
+}
+
+/// Paper defaults, pre-scaled.
+inline uint32_t DefaultN() {
+  return static_cast<uint32_t>(100'000 * BenchScale() * 0.2);
+}
+
+/// The paper's default threshold set for Figure 8 (§5.1).
+inline MiningConfig DefaultSyntheticConfig() {
+  MiningConfig config;
+  config.gamma = 0.3;
+  config.epsilon = 0.1;
+  config.min_support = {0.01, 0.001, 0.0005, 0.0001};
+  config.measure = MeasureKind::kKulczynski;
+  return config;
+}
+
+/// Writes the CSV under ./bench_results/, creating the directory.
+inline void WriteCsv(const CsvWriter& csv, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const std::string path = "bench_results/" + name;
+  Status s = csv.WriteFile(path);
+  if (s.ok()) {
+    std::cout << "\n[csv] " << path << "\n";
+  } else {
+    std::cout << "\n[csv] skipped: " << s.ToString() << "\n";
+  }
+}
+
+/// Standard bench banner.
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================\n";
+  std::cout << title << "\n";
+  std::cout << "reproduces: " << paper_ref << "\n";
+  std::cout << "scale: " << FormatDouble(BenchScale(), 2)
+            << " (set FLIPPER_BENCH_SCALE to change)\n";
+  std::cout << "==============================================\n\n";
+}
+
+}  // namespace bench
+}  // namespace flipper
+
+#endif  // FLIPPER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,98 @@
+// File-based workflow: write a basket file and a taxonomy file, load
+// them back through the I/O layer, and mine — the path a downstream
+// user takes with their own data.
+//
+// Basket format: one transaction per line, whitespace-separated item
+// names. Taxonomy format: "root <name>" and "edge <parent> <child>"
+// lines. '#' starts a comment in both.
+//
+//   ./build/examples/custom_dataset [work_dir]
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/flipper_miner.h"
+#include "data/db_io.h"
+#include "taxonomy/taxonomy_io.h"
+
+using namespace flipper;
+
+namespace {
+
+constexpr const char* kTaxonomyText = R"(# store taxonomy
+root beverages
+root snacks
+edge beverages coffee
+edge beverages tea
+edge coffee espresso
+edge coffee filter_coffee
+edge tea green_tea
+edge tea black_tea
+edge snacks sweet
+edge snacks savory
+edge sweet cookies
+edge sweet chocolate
+edge savory crisps
+edge savory crackers
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/flipper_example";
+  const std::string tax_path = dir + "/store.taxonomy";
+  const std::string basket_path = dir + "/store.basket";
+  if (std::system(("mkdir -p " + dir).c_str()) != 0) {
+    std::cerr << "cannot create " << dir << "\n";
+    return 1;
+  }
+
+  // --- 1. Write the input files (a user would bring their own). ---
+  {
+    std::ofstream tax(tax_path, std::ios::trunc);
+    tax << kTaxonomyText;
+    std::ofstream basket(basket_path, std::ios::trunc);
+    basket << "# espresso and cookies sell together although coffee\n"
+           << "# and sweet snacks do not; beverages and snacks pair.\n";
+    for (int i = 0; i < 12; ++i) basket << "espresso cookies\n";
+    for (int i = 0; i < 60; ++i) basket << "filter_coffee crackers\n";
+    for (int i = 0; i < 60; ++i) basket << "green_tea chocolate\n";
+    for (int i = 0; i < 80; ++i) basket << "filter_coffee\n";
+    for (int i = 0; i < 80; ++i) basket << "chocolate\n";
+    for (int i = 0; i < 30; ++i) basket << "black_tea crisps\n";
+  }
+
+  // --- 2. Load through the public I/O API. ---
+  ItemDictionary dict;
+  auto taxonomy = ReadTaxonomyFile(tax_path, &dict);
+  if (!taxonomy.ok()) {
+    std::cerr << "taxonomy load failed: " << taxonomy.status() << "\n";
+    return 1;
+  }
+  auto db = ReadBasketFile(basket_path, &dict);
+  if (!db.ok()) {
+    std::cerr << "basket load failed: " << db.status() << "\n";
+    return 1;
+  }
+  std::cout << "loaded " << db->size() << " transactions, taxonomy height "
+            << taxonomy->height() << " from " << dir << "\n\n";
+
+  // --- 3. Mine. ---
+  MiningConfig config;
+  config.gamma = 0.30;
+  config.epsilon = 0.15;
+  config.min_support = {0.02, 0.01, 0.005};
+  auto result = FlipperMiner::Run(*db, *taxonomy, config);
+  if (!result.ok()) {
+    std::cerr << "mining failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << result->patterns.size() << " flipping patterns:\n\n";
+  for (const FlippingPattern& p : result->patterns) {
+    std::cout << dict.Render(p.leaf_itemset) << "\n"
+              << p.ToString(&dict) << "\n";
+  }
+  return 0;
+}

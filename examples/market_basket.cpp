@@ -1,0 +1,69 @@
+// Market-basket scenario: mine a month of (simulated) grocery
+// point-of-sale data for actionable flipping correlations — the §5.2
+// GROCERIES reality check. Demonstrates dataset simulation, mining
+// with the paper's Table-4 thresholds and interpreting the output
+// (store-layout suggestions, miscategorized products).
+//
+//   ./build/examples/market_basket [num_transactions]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/flipper_miner.h"
+#include "core/topk.h"
+#include "datagen/groceries_sim.h"
+
+using namespace flipper;
+
+int main(int argc, char** argv) {
+  GroceriesParams params;
+  if (argc > 1) {
+    params.num_transactions =
+        static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+  auto data = GenerateGroceries(params);
+  if (!data.ok()) {
+    std::cerr << "generation failed: " << data.status() << "\n";
+    return 1;
+  }
+  std::cout << "GROCERIES: " << data->db.size()
+            << " transactions, taxonomy height "
+            << data->taxonomy.height() << ", avg basket width "
+            << data->db.avg_width() << "\n";
+  std::cout << "thresholds: gamma=" << data->paper_config.gamma
+            << " epsilon=" << data->paper_config.epsilon << "\n\n";
+
+  auto result =
+      FlipperMiner::Run(data->db, data->taxonomy, data->paper_config);
+  if (!result.ok()) {
+    std::cerr << "mining failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  std::cout << result->patterns.size()
+            << " flipping patterns; the widest flips:\n\n";
+  for (const FlippingPattern& p :
+       TopKMostFlipping(result->patterns, 5)) {
+    std::cout << data->dict.Render(p.leaf_itemset) << "\n"
+              << p.ToString(&data->dict);
+    // Actionability commentary in the spirit of the paper's §5.2.
+    const Label leaf = p.chain.back().label;
+    const Label mid = p.chain[p.chain.size() - 2].label;
+    if (leaf == Label::kPositive && mid == Label::kNegative) {
+      std::cout << "  -> these products sell together although their "
+                   "categories do not:\n"
+                   "     consider placing them closer, or check for a "
+                   "miscategorized product.\n";
+    } else if (leaf == Label::kNegative && mid == Label::kPositive) {
+      std::cout << "  -> the categories pair up but these two products "
+                   "avoid each other:\n"
+                   "     substitution effect or an assortment gap worth "
+                   "investigating.\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "mining time: " << result->stats.total_seconds << " s, "
+            << "peak candidate memory: "
+            << result->stats.peak_candidate_bytes << " bytes\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "common/arg_parser.h"
+
+#include "common/string_util.h"
+
+namespace flipper {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::AddFlag(const std::string& name,
+                              const std::string& help,
+                              const std::string& value_hint) {
+  specs_[name] = {help, value_hint, /*is_switch=*/false};
+  return *this;
+}
+
+ArgParser& ArgParser::AddSwitch(const std::string& name,
+                                const std::string& help) {
+  specs_[name] = {help, "", /*is_switch=*/true};
+  return *this;
+}
+
+ArgParser& ArgParser::AddPositional(const std::string& name,
+                                    const std::string& help) {
+  positional_names_.push_back(name);
+  positional_help_[name] = help;
+  return *this;
+}
+
+Status ArgParser::Parse(int argc, const char* const* argv) {
+  size_t next_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (StartsWith(arg, "--")) {
+      std::string name = arg.substr(2);
+      std::string value;
+      bool has_value = false;
+      const size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_value = true;
+      }
+      auto it = specs_.find(name);
+      if (it == specs_.end()) {
+        return Status::InvalidArgument("unknown flag --" + name);
+      }
+      if (it->second.is_switch) {
+        if (has_value) {
+          return Status::InvalidArgument("switch --" + name +
+                                         " takes no value");
+        }
+        values_[name] = "true";
+        continue;
+      }
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name +
+                                         " needs a value");
+        }
+        value = argv[++i];
+      }
+      values_[name] = value;
+    } else {
+      if (next_positional >= positional_names_.size()) {
+        return Status::InvalidArgument("unexpected argument '" + arg +
+                                       "'");
+      }
+      positionals_[positional_names_[next_positional++]] = arg;
+    }
+  }
+  if (next_positional < positional_names_.size()) {
+    return Status::InvalidArgument(
+        "missing required argument <" +
+        positional_names_[next_positional] + ">");
+  }
+  return Status::OK();
+}
+
+std::string ArgParser::HelpText() const {
+  std::string out = program_;
+  for (const std::string& p : positional_names_) out += " <" + p + ">";
+  out += " [flags]\n\n" + description_ + "\n\n";
+  if (!positional_names_.empty()) {
+    out += "arguments:\n";
+    for (const std::string& p : positional_names_) {
+      out += "  <" + p + ">  " + positional_help_.at(p) + "\n";
+    }
+    out += "\n";
+  }
+  out += "flags:\n";
+  for (const auto& [name, spec] : specs_) {
+    out += "  --" + name;
+    if (!spec.is_switch) out += "=" + spec.value_hint;
+    out += "\n      " + spec.help + "\n";
+  }
+  out += "  --help\n      show this message\n";
+  return out;
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int64_t> ArgParser::GetInt(const std::string& name,
+                                  int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseInt(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("flag --" + name +
+                                   ": " + parsed.status().message());
+  }
+  return *parsed;
+}
+
+Result<double> ArgParser::GetDouble(const std::string& name,
+                                    double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("flag --" + name +
+                                   ": " + parsed.status().message());
+  }
+  return *parsed;
+}
+
+bool ArgParser::GetSwitch(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+const std::string& ArgParser::GetPositional(
+    const std::string& name) const {
+  return positionals_.at(name);
+}
+
+}  // namespace flipper

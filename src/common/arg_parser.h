@@ -1,0 +1,66 @@
+// Small command-line flag parser for the tools: --name=value and
+// --name value forms, typed accessors with defaults, positional
+// arguments, generated --help text.
+
+#ifndef FLIPPER_COMMON_ARG_PARSER_H_
+#define FLIPPER_COMMON_ARG_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flipper {
+
+class ArgParser {
+ public:
+  /// `program` and `description` feed the --help text.
+  ArgParser(std::string program, std::string description);
+
+  /// Declares a flag. Call before Parse(). `value_hint` renders in the
+  /// help text (e.g. "PATH", "FLOAT").
+  ArgParser& AddFlag(const std::string& name, const std::string& help,
+                     const std::string& value_hint = "VALUE");
+  /// Declares a boolean switch (no value; presence = true).
+  ArgParser& AddSwitch(const std::string& name, const std::string& help);
+  /// Declares a required positional argument.
+  ArgParser& AddPositional(const std::string& name,
+                           const std::string& help);
+
+  /// Parses argv. Fails on unknown flags, missing values, or missing
+  /// positionals. On "--help" returns OK with help_requested() set.
+  Status Parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  std::string HelpText() const;
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name,
+                           double fallback) const;
+  bool GetSwitch(const std::string& name) const;
+  const std::string& GetPositional(const std::string& name) const;
+
+ private:
+  struct FlagSpec {
+    std::string help;
+    std::string value_hint;
+    bool is_switch = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, FlagSpec> specs_;          // by flag name
+  std::vector<std::string> positional_names_;
+  std::map<std::string, std::string> positional_help_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_ARG_PARSER_H_

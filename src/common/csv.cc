@@ -1,0 +1,52 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+namespace flipper {
+namespace {
+
+std::string EscapeField(const std::string& f) {
+  bool needs_quotes = f.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += EscapeField(row[i]);
+    }
+    out.push_back('\n');
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  f << ToString();
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace flipper

@@ -1,0 +1,36 @@
+// CSV emission for bench outputs so figure series can be re-plotted.
+
+#ifndef FLIPPER_COMMON_CSV_H_
+#define FLIPPER_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flipper {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes fields
+/// containing separators/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Serializes all rows.
+  std::string ToString() const;
+
+  /// Writes to a file, overwriting it.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_CSV_H_

@@ -1,0 +1,34 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace flipper {
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  auto parsed = ParseInt(v);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  auto parsed = ParseDouble(v);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+double BenchScale() {
+  double s = GetEnvDouble("FLIPPER_BENCH_SCALE", 1.0);
+  return std::clamp(s, 0.05, 100.0);
+}
+
+}  // namespace flipper

@@ -1,0 +1,24 @@
+// Environment-variable helpers for the bench harness (e.g.
+// FLIPPER_BENCH_SCALE scales workload sizes toward the paper's).
+
+#ifndef FLIPPER_COMMON_ENV_H_
+#define FLIPPER_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flipper {
+
+/// Returns the environment value or `fallback` when unset/invalid.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+double GetEnvDouble(const char* name, double fallback);
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+/// Bench scale factor (FLIPPER_BENCH_SCALE, default 1.0, clamped to
+/// [0.05, 100]). 1.0 = container-friendly sizes; larger approaches the
+/// paper's sizes.
+double BenchScale();
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_ENV_H_

@@ -1,0 +1,82 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace flipper {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<std::ostream*> g_log_sink{nullptr};
+std::mutex g_log_mutex;
+
+std::ostream& Sink() {
+  std::ostream* s = g_log_sink.load(std::memory_order_acquire);
+  return s != nullptr ? *s : std::cerr;
+}
+
+}  // namespace
+
+const char* LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel SetLogLevel(LogLevel level) {
+  return static_cast<LogLevel>(
+      g_log_level.exchange(static_cast<int>(level)));
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(std::ostream* sink) {
+  g_log_sink.store(sink, std::memory_order_release);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LogLevelToString(level_) << " " << base << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  Sink() << stream_.str() << "\n";
+}
+
+CheckFailure::CheckFailure(const char* cond, const char* file, int line) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << cond
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    Sink() << stream_.str() << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace flipper

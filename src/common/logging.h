@@ -1,0 +1,81 @@
+// Minimal leveled logger. Defaults to stderr; both the sink and the
+// threshold are process-global and overridable (tests silence it).
+
+#ifndef FLIPPER_COMMON_LOGGING_H_
+#define FLIPPER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flipper {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* LogLevelToString(LogLevel level);
+
+/// Sets the minimum level that is emitted. Returns the previous level.
+LogLevel SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Redirects log output. Pass nullptr to restore stderr.
+void SetLogSink(std::ostream* sink);
+
+namespace internal {
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define FLIPPER_LOG(level)                                              \
+  if (::flipper::LogLevel::k##level < ::flipper::GetLogLevel()) {       \
+  } else                                                                \
+    ::flipper::internal::LogMessage(::flipper::LogLevel::k##level,      \
+                                    __FILE__, __LINE__)
+
+/// Invariant check that is active in all build types.
+#define FLIPPER_CHECK(cond)                                              \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::flipper::internal::CheckFailure(#cond, __FILE__, __LINE__).stream()
+
+namespace internal {
+
+/// Aborts the process after streaming the failure context.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_LOGGING_H_

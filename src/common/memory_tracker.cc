@@ -1,0 +1,23 @@
+#include "common/memory_tracker.h"
+
+#include <cstdio>
+
+namespace flipper {
+
+MemoryTracker& GlobalCandidateMemory() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+int64_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total_pages = 0;
+  long rss_pages = 0;
+  int n = std::fscanf(f, "%ld %ld", &total_pages, &rss_pages);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<int64_t>(rss_pages) * 4096;
+}
+
+}  // namespace flipper

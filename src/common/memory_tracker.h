@@ -1,0 +1,78 @@
+// Byte accounting for candidate storage. The mining engine reports how
+// much memory its candidate tables hold so that the paper's Figure 9(b)
+// (memory consumption of naive flipping vs. full Flipper) can be
+// regenerated deterministically, independent of allocator behaviour.
+
+#ifndef FLIPPER_COMMON_MEMORY_TRACKER_H_
+#define FLIPPER_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace flipper {
+
+/// Thread-safe live/peak byte counter.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  void Add(int64_t bytes) {
+    int64_t live = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Racy max update is fine: peaks only ever grow.
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peak_.compare_exchange_weak(peak, live,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  void Sub(int64_t bytes) {
+    live_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t live_bytes() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    live_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> live_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// Process-wide tracker used by the mining engines.
+MemoryTracker& GlobalCandidateMemory();
+
+/// RAII registration of a block of tracked bytes.
+class ScopedTrackedBytes {
+ public:
+  ScopedTrackedBytes(MemoryTracker* tracker, int64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    tracker_->Add(bytes_);
+  }
+  ~ScopedTrackedBytes() { tracker_->Sub(bytes_); }
+
+  ScopedTrackedBytes(const ScopedTrackedBytes&) = delete;
+  ScopedTrackedBytes& operator=(const ScopedTrackedBytes&) = delete;
+
+ private:
+  MemoryTracker* tracker_;
+  int64_t bytes_;
+};
+
+/// Current resident-set size of the process in bytes (Linux /proc),
+/// or 0 when unavailable. Used for coarse sanity output only; the
+/// Figure-9(b) numbers come from MemoryTracker.
+int64_t CurrentRssBytes();
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flipper {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.Next();
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling on the top of the range to remove modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint32_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplicative method.
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    uint32_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= NextDouble();
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction.
+  double v = mean + std::sqrt(mean) * Gaussian() + 0.5;
+  if (v < 0.0) return 0;
+  return static_cast<uint32_t>(v);
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::Gaussian() {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+ZipfDistribution::ZipfDistribution(uint32_t n, double exponent)
+    : n_(n), exponent_(exponent), cdf_(n) {
+  assert(n >= 1);
+  double total = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (uint32_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_[n - 1] = 1.0;  // guard against FP drift
+}
+
+uint32_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint32_t rank) const {
+  assert(rank < n_);
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - lo;
+}
+
+}  // namespace flipper

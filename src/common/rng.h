@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests. All generators are seeded explicitly; the library
+// never consults global entropy, so every experiment is reproducible.
+
+#ifndef FLIPPER_COMMON_RNG_H_
+#define FLIPPER_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace flipper {
+
+/// SplitMix64: used for seeding and as a cheap standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit generator (Blackman/Vigna).
+/// Satisfies UniformRandomBitGenerator, so it plugs into <random> too.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling
+  /// (Lemire-style) to avoid modulo bias.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (Knuth for small
+  /// means, normal approximation above 30).
+  uint32_t Poisson(double mean);
+
+  /// Exponential with the given rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf(s) sampler over {0, ..., n-1} using the inverse-CDF table.
+/// Rank 0 is the most probable element.
+class ZipfDistribution {
+ public:
+  /// n >= 1; exponent s >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(uint32_t n, double exponent);
+
+  uint32_t Sample(Rng* rng) const;
+
+  uint32_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+  /// Probability mass of a given rank.
+  double Pmf(uint32_t rank) const;
+
+ private:
+  uint32_t n_;
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_RNG_H_

@@ -1,0 +1,157 @@
+// Status / Result<T>: exception-free error propagation for libflipper.
+//
+// Library code never throws; fallible operations return Status (or
+// Result<T> when they also produce a value). The style follows
+// absl::Status / arrow::Result conventions scaled down to what this
+// project needs.
+
+#ifndef FLIPPER_COMMON_STATUS_H_
+#define FLIPPER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace flipper {
+
+/// Canonical error space for the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kCorruptedData = 7,
+  kResourceExhausted = 8,
+  kInternal = 9,
+};
+
+/// Human-readable name of a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier. A default-constructed Status is OK and
+/// carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status CorruptedData(std::string msg) {
+    return Status(StatusCode::kCorruptedData, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Result<T> is either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Asserts in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define FLIPPER_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::flipper::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define FLIPPER_CONCAT_IMPL_(a, b) a##b
+#define FLIPPER_CONCAT_(a, b) FLIPPER_CONCAT_IMPL_(a, b)
+
+/// Evaluates a Result<T> expression; on error returns its Status,
+/// otherwise moves the value into `lhs` (a declaration or assignable).
+#define FLIPPER_ASSIGN_OR_RETURN(lhs, expr)                              \
+  FLIPPER_ASSIGN_OR_RETURN_IMPL_(FLIPPER_CONCAT_(_res_, __LINE__), lhs,  \
+                                 expr)
+#define FLIPPER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_STATUS_H_

@@ -1,0 +1,47 @@
+// Small string helpers used by I/O, table printing and the bench
+// harness.
+
+#ifndef FLIPPER_COMMON_STRING_UTIL_H_
+#define FLIPPER_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flipper {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any run of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict parsers: the whole trimmed token must be consumed.
+Result<int64_t> ParseInt(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// Formats a double with fixed precision (printf "%.*f").
+std::string FormatDouble(double v, int precision);
+
+/// Human-readable byte count ("1.5 MiB").
+std::string FormatBytes(int64_t bytes);
+
+/// Thousands-separated integer ("1,234,567").
+std::string FormatCount(int64_t n);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_STRING_UTIL_H_

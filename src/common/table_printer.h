@@ -1,0 +1,36 @@
+// Fixed-width text tables for the bench harness: each bench prints the
+// same rows/series the paper's tables and figures report.
+
+#ifndef FLIPPER_COMMON_TABLE_PRINTER_H_
+#define FLIPPER_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flipper {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row. Rows shorter than the header are right-padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders to `os` with a rule under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,118 @@
+#include "core/candidate_trie.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace flipper {
+
+CandidateTrie::CandidateTrie(std::span<const Itemset> candidates) {
+  counts_.assign(candidates.size(), 0);
+  if (candidates.empty()) return;
+  k_ = candidates[0].size();
+  assert(k_ >= 1);
+
+  // Sort candidate indices lexicographically so that each trie layer
+  // can be laid out with contiguous child ranges.
+  std::vector<uint32_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return candidates[a] < candidates[b];
+  });
+
+  layers_.resize(static_cast<size_t>(k_));
+
+  // Layer-by-layer construction. Each pending range is a slice of the
+  // sorted candidate list that shares a (depth)-prefix; grouping it by
+  // the item at `depth` yields the sibling nodes of one parent.
+  struct Range {
+    uint32_t lo;
+    uint32_t hi;  // exclusive
+  };
+  std::vector<Range> cur = {{0, static_cast<uint32_t>(order.size())}};
+  std::vector<Range> nxt;
+  std::vector<uint32_t> parent_of_range = {0};  // unused at depth 0
+  std::vector<uint32_t> next_parent_of_range;
+
+  for (int depth = 0; depth < k_; ++depth) {
+    auto& layer = layers_[static_cast<size_t>(depth)];
+    nxt.clear();
+    next_parent_of_range.clear();
+    for (size_t ri = 0; ri < cur.size(); ++ri) {
+      const Range r = cur[ri];
+      const auto first_child = static_cast<uint32_t>(layer.size());
+      uint32_t i = r.lo;
+      while (i < r.hi) {
+        const ItemId item = candidates[order[i]][depth];
+        uint32_t j = i;
+        while (j < r.hi && candidates[order[j]][depth] == item) ++j;
+        Node node;
+        node.item = item;
+        if (depth == k_ - 1) {
+          assert(j - i == 1 && "duplicate candidate itemsets");
+          node.leaf_index = order[i];
+        } else {
+          nxt.push_back({i, j});
+          next_parent_of_range.push_back(
+              static_cast<uint32_t>(layer.size()));
+        }
+        layer.push_back(node);
+        i = j;
+      }
+      if (depth > 0) {
+        Node& parent =
+            layers_[static_cast<size_t>(depth - 1)][parent_of_range[ri]];
+        parent.child_begin = first_child;
+        parent.child_end = static_cast<uint32_t>(layer.size());
+      }
+    }
+    cur = nxt;
+    parent_of_range = next_parent_of_range;
+  }
+}
+
+void CandidateTrie::CountTransaction(std::span<const ItemId> txn) {
+  if (counts_.empty() || static_cast<int>(txn.size()) < k_) return;
+  Count(txn, 0, 0, 0, static_cast<uint32_t>(layers_[0].size()));
+}
+
+void CandidateTrie::Count(std::span<const ItemId> txn, size_t txn_pos,
+                          int depth, uint32_t node_begin,
+                          uint32_t node_end) {
+  const auto& layer = layers_[static_cast<size_t>(depth)];
+  // Merge-walk: both the sibling nodes and the transaction are sorted
+  // by item id. Stop when fewer transaction items remain than levels
+  // still needed to reach a leaf.
+  uint32_t ni = node_begin;
+  size_t ti = txn_pos;
+  const size_t needed = static_cast<size_t>(k_ - depth);
+  while (ni < node_end && txn.size() - ti >= needed) {
+    const ItemId node_item = layer[ni].item;
+    const ItemId txn_item = txn[ti];
+    if (node_item < txn_item) {
+      ++ni;
+    } else if (node_item > txn_item) {
+      ++ti;
+    } else {
+      if (depth == k_ - 1) {
+        ++counts_[layer[ni].leaf_index];
+      } else {
+        Count(txn, ti + 1, depth + 1, layer[ni].child_begin,
+              layer[ni].child_end);
+      }
+      ++ni;
+      ++ti;
+    }
+  }
+}
+
+int64_t CandidateTrie::MemoryBytes() const {
+  int64_t total =
+      static_cast<int64_t>(counts_.capacity() * sizeof(uint32_t));
+  for (const auto& layer : layers_) {
+    total += static_cast<int64_t>(layer.capacity() * sizeof(Node));
+  }
+  return total;
+}
+
+}  // namespace flipper

@@ -1,0 +1,61 @@
+// CandidateTrie: the Apriori "hash-tree" role. Stores all candidate
+// k-itemsets of one cell as a prefix trie over sorted item ids, so that
+// a transaction can increment exactly the candidates it contains
+// without enumerating all of its k-subsets blindly.
+
+#ifndef FLIPPER_CORE_CANDIDATE_TRIE_H_
+#define FLIPPER_CORE_CANDIDATE_TRIE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/itemset.h"
+#include "data/types.h"
+
+namespace flipper {
+
+class CandidateTrie {
+ public:
+  /// Builds the trie over candidates (all of equal size k >= 1).
+  /// The candidate order defines the counter indexing.
+  explicit CandidateTrie(std::span<const Itemset> candidates);
+
+  int k() const { return k_; }
+  size_t num_candidates() const { return counts_.size(); }
+
+  /// Feeds one (sorted, deduped) transaction through the trie,
+  /// incrementing every contained candidate.
+  void CountTransaction(std::span<const ItemId> txn);
+
+  /// Counter of candidate `i` (input order).
+  uint32_t CountOf(size_t i) const { return counts_[i]; }
+
+  std::span<const uint32_t> counts() const { return counts_; }
+
+  /// Approximate heap bytes (nodes + counters).
+  int64_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    ItemId item;
+    // Children are stored contiguously: [child_begin, child_end) in
+    // nodes_ of the next depth layer; for depth k-1 nodes, leaf_index
+    // points into counts_.
+    uint32_t child_begin = 0;
+    uint32_t child_end = 0;
+    uint32_t leaf_index = 0;
+  };
+
+  void Count(std::span<const ItemId> txn, size_t txn_pos, int depth,
+             uint32_t node_begin, uint32_t node_end);
+
+  int k_ = 0;
+  // nodes per depth layer; layer d holds the d-th items of candidates.
+  std::vector<std::vector<Node>> layers_;
+  std::vector<uint32_t> counts_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_CANDIDATE_TRIE_H_

@@ -1,0 +1,79 @@
+#include "core/cell.h"
+
+#include <algorithm>
+
+namespace flipper {
+
+Cell& Cell::operator=(Cell&& other) noexcept {
+  if (this != &other) {
+    Release();
+    h_ = other.h_;
+    k_ = other.k_;
+    tracker_ = other.tracker_;
+    records_ = std::move(other.records_);
+    other.records_.clear();
+    other.tracker_ = nullptr;
+  }
+  return *this;
+}
+
+void Cell::Put(const Itemset& itemset, const ItemsetRecord& record) {
+  auto [it, inserted] = records_.insert_or_assign(itemset, record);
+  (void)it;
+  if (inserted && tracker_ != nullptr) tracker_->Add(kBytesPerRecord);
+}
+
+const ItemsetRecord* Cell::Find(const Itemset& itemset) const {
+  auto it = records_.find(itemset);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void Cell::ForEach(const std::function<void(const Itemset&,
+                                            const ItemsetRecord&)>& fn)
+    const {
+  for (const auto& [itemset, record] : records_) fn(itemset, record);
+}
+
+std::vector<Itemset> Cell::Select(
+    const std::function<bool(const ItemsetRecord&)>& pred) const {
+  std::vector<Itemset> out;
+  for (const auto& [itemset, record] : records_) {
+    if (pred(record)) out.push_back(itemset);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t Cell::Retain(
+    const std::function<bool(const ItemsetRecord&)>& pred) {
+  size_t dropped = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (pred(it->second)) {
+      ++it;
+    } else {
+      it = records_.erase(it);
+      ++dropped;
+    }
+  }
+  if (tracker_ != nullptr && dropped > 0) {
+    tracker_->Sub(static_cast<int64_t>(dropped) * kBytesPerRecord);
+  }
+  return dropped;
+}
+
+bool Cell::AllNonPositive() const {
+  for (const auto& [itemset, record] : records_) {
+    (void)itemset;
+    if (record.label == Label::kPositive) return false;
+  }
+  return true;
+}
+
+void Cell::Release() {
+  if (tracker_ != nullptr && !records_.empty()) {
+    tracker_->Sub(static_cast<int64_t>(records_.size()) * kBytesPerRecord);
+  }
+  records_.clear();
+}
+
+}  // namespace flipper

@@ -1,0 +1,92 @@
+// Cell: the contents of one slot Q(h,k) of the paper's two-dimensional
+// search-space table M (Figure 6) — the counted (h,k)-itemsets with
+// their supports, correlation values, labels and chain-alive flags.
+//
+// Cells register their footprint with a MemoryTracker so that the
+// Figure-9(b) memory comparison can be reproduced deterministically.
+
+#ifndef FLIPPER_CORE_CELL_H_
+#define FLIPPER_CORE_CELL_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "core/label.h"
+#include "data/itemset.h"
+
+namespace flipper {
+
+/// Everything the algorithm knows about one counted (h,k)-itemset.
+struct ItemsetRecord {
+  uint32_t support = 0;
+  double corr = 0.0;
+  Label label = Label::kNone;
+  bool frequent = false;
+  /// The flipping chain from level 1 down to this record's level is
+  /// unbroken: every level frequent + labeled, labels alternating.
+  bool chain_alive = false;
+};
+
+class Cell {
+ public:
+  /// `tracker` may be null (no accounting). h/k are informational.
+  Cell(int h, int k, MemoryTracker* tracker)
+      : h_(h), k_(k), tracker_(tracker) {}
+  ~Cell() { Release(); }
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+  Cell(Cell&& other) noexcept { *this = std::move(other); }
+  Cell& operator=(Cell&& other) noexcept;
+
+  int h() const { return h_; }
+  int k() const { return k_; }
+
+  /// Inserts or overwrites a record.
+  void Put(const Itemset& itemset, const ItemsetRecord& record);
+
+  /// nullptr when absent.
+  const ItemsetRecord* Find(const Itemset& itemset) const;
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Iterates over (itemset, record) pairs in unspecified order.
+  void ForEach(const std::function<void(const Itemset&,
+                                        const ItemsetRecord&)>& fn) const;
+
+  /// Sorted list of itemsets satisfying a predicate (deterministic
+  /// order for candidate generation and output).
+  std::vector<Itemset> Select(
+      const std::function<bool(const ItemsetRecord&)>& pred) const;
+
+  /// Removes records that fail the predicate; returns how many were
+  /// dropped. Used to evict chain-dead itemsets once a row completes.
+  size_t Retain(const std::function<bool(const ItemsetRecord&)>& pred);
+
+  /// True when every record is non-positive — one half of the TPG
+  /// premise (Theorem 3). An empty cell is vacuously all-non-positive.
+  bool AllNonPositive() const;
+
+  /// Tracked bytes per stored record (itemset + record + hash node
+  /// overhead estimate).
+  static constexpr int64_t kBytesPerRecord =
+      static_cast<int64_t>(sizeof(Itemset) + sizeof(ItemsetRecord) + 32);
+
+  /// Drops all records and releases the tracked bytes.
+  void Release();
+
+ private:
+  int h_ = 0;
+  int k_ = 0;
+  MemoryTracker* tracker_ = nullptr;
+  std::unordered_map<Itemset, ItemsetRecord, ItemsetHash> records_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_CELL_H_

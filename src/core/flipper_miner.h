@@ -1,0 +1,55 @@
+// FlipperMiner: the paper's Flipper algorithm (§4, Algorithm 1).
+//
+// The search space is the two-dimensional table M of (h,k)-cells
+// (Figure 6). Processing order follows the paper exactly:
+//
+//   1. the two ceiling rows are computed in zigzag order
+//      Q(1,2) -> Q(2,2) -> Q(1,3) -> Q(2,3) -> ... so that the TPG
+//      termination test (Theorem 3) always sees two vertically
+//      consecutive cells (Figure 7(b));
+//   2. rows 3..H are computed one row at a time, left to right.
+//
+// Candidate generation: row 1 bootstraps with the Apriori prefix join
+// (its cells are complete); every deeper row grows vertically — each
+// surviving (frequent + labeled + chain-alive) parent itemset expands
+// into the combinations of its items' children — plus known-infrequent
+// subset filtering within the row. Pruning layers (all individually
+// switchable through MiningConfig::pruning):
+//
+//   support  — infrequent itemsets are neither extended nor kept;
+//   flipping — rows >= 2 grow only from chain-alive parents, and
+//              chain-dead itemsets are evicted once a row completes;
+//   TPG      — if every itemset of two vertically consecutive cells is
+//              non-positive, all columns >= k die globally (Theorem 3);
+//   SIBP     — per level, items whose every counted k-itemset stays
+//              below gamma (walking the support-ascending item list)
+//              and whose parent item qualified one level up are banned
+//              from wider itemsets (Theorem 2 + Corollary 2).
+//
+// Memory: only two rows are resident at any time; pattern chains are
+// carried forward separately. A MemoryTracker records the candidate
+// store's peak footprint (Figure 9(b)).
+
+#ifndef FLIPPER_CORE_FLIPPER_MINER_H_
+#define FLIPPER_CORE_FLIPPER_MINER_H_
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/mining_result.h"
+#include "data/transaction_db.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+
+class FlipperMiner {
+ public:
+  /// Mines all flipping patterns of `db` under `taxonomy` with the
+  /// configured thresholds, measure and pruning stack.
+  static Result<MiningResult> Run(const TransactionDb& db,
+                                  const Taxonomy& taxonomy,
+                                  const MiningConfig& config);
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_FLIPPER_MINER_H_

@@ -1,0 +1,49 @@
+// Correlation labels (Definition 1) and the flip predicate
+// (Definition 2).
+
+#ifndef FLIPPER_CORE_LABEL_H_
+#define FLIPPER_CORE_LABEL_H_
+
+namespace flipper {
+
+/// Label of a frequent itemset under thresholds (gamma, epsilon):
+/// positive when Corr >= gamma, negative when Corr <= epsilon,
+/// otherwise none (non-correlated, "not interesting"). Infrequent
+/// itemsets always carry kNone: Definition 1 only labels frequent
+/// itemsets.
+enum class Label : signed char {
+  kNegative = -1,
+  kNone = 0,
+  kPositive = 1,
+};
+
+inline Label LabelOf(double corr, double gamma, double epsilon,
+                     bool frequent) {
+  if (!frequent) return Label::kNone;
+  if (corr >= gamma) return Label::kPositive;
+  if (corr <= epsilon) return Label::kNegative;
+  return Label::kNone;
+}
+
+/// Two consecutive levels flip iff one is positive and the other
+/// negative.
+inline bool Flips(Label parent, Label child) {
+  return (parent == Label::kPositive && child == Label::kNegative) ||
+         (parent == Label::kNegative && child == Label::kPositive);
+}
+
+inline const char* LabelToString(Label label) {
+  switch (label) {
+    case Label::kPositive:
+      return "POS";
+    case Label::kNegative:
+      return "NEG";
+    case Label::kNone:
+      return "---";
+  }
+  return "?";
+}
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_LABEL_H_

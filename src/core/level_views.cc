@@ -1,0 +1,68 @@
+#include "core/level_views.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace flipper {
+
+Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
+                                     const Taxonomy& taxonomy) {
+  // Every transaction item must be a taxonomy node with a defined
+  // generalization at every level (leaves, or shallow leaves acting as
+  // their own copies).
+  for (TxnId t = 0; t < leaf_db.size(); ++t) {
+    for (ItemId it : leaf_db.Get(t)) {
+      if (!taxonomy.IsNode(it)) {
+        return Status::InvalidArgument(
+            "transaction " + std::to_string(t) + " contains item " +
+            std::to_string(it) + " that is not a taxonomy node");
+      }
+      if (!taxonomy.IsLeaf(it)) {
+        return Status::InvalidArgument(
+            "transaction " + std::to_string(t) + " contains item " +
+            std::to_string(it) +
+            " that is an internal taxonomy node; transactions must "
+            "contain leaves only");
+      }
+    }
+  }
+
+  LevelViews views;
+  views.num_txns_ = leaf_db.size();
+  const int height = taxonomy.height();
+  views.levels_.resize(static_cast<size_t>(height));
+  for (int h = 1; h <= height; ++h) {
+    LevelData& data = views.levels_[static_cast<size_t>(h - 1)];
+    data.level = h;
+    const std::vector<ItemId> lut =
+        taxonomy.LevelMap(h, leaf_db.alphabet_size());
+    data.db = leaf_db.Generalize(lut);
+    const std::vector<uint32_t> freq = data.db.ItemFrequencies();
+    data.item_support.assign(
+        std::max<size_t>(freq.size(), taxonomy.id_space()), 0);
+    std::copy(freq.begin(), freq.end(), data.item_support.begin());
+    data.width_hist.assign(data.db.max_width() + 1, 0);
+    for (TxnId t = 0; t < data.db.size(); ++t) {
+      ++data.width_hist[data.db.Get(t).size()];
+    }
+  }
+  return views;
+}
+
+const VerticalIndex& LevelViews::EnsureVertical(int h) {
+  LevelData& data = levels_[static_cast<size_t>(h - 1)];
+  if (data.vertical == nullptr) {
+    data.vertical = std::make_unique<VerticalIndex>(data.db);
+  }
+  return *data.vertical;
+}
+
+uint32_t LevelViews::MaxUniversalWidth() const {
+  uint32_t bound = std::numeric_limits<uint32_t>::max();
+  for (const LevelData& data : levels_) {
+    bound = std::min(bound, data.db.max_width());
+  }
+  return levels_.empty() ? 0 : bound;
+}
+
+}  // namespace flipper

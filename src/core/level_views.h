@@ -1,0 +1,68 @@
+// LevelViews: per-abstraction-level generalized databases plus the
+// derived structures the counting engines need (single-item supports,
+// optional vertical indexes). Level h's view is the input database with
+// every item replaced by its level-h generalization (paper Figure 4).
+
+#ifndef FLIPPER_CORE_LEVEL_VIEWS_H_
+#define FLIPPER_CORE_LEVEL_VIEWS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "data/vertical_index.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+
+/// One abstraction level's materialized state.
+struct LevelData {
+  int level = 0;
+  TransactionDb db;
+  /// sup(item) indexed by ItemId over the shared id space.
+  std::vector<uint32_t> item_support;
+  /// width_hist[w] = number of transactions of generalized width w.
+  std::vector<uint32_t> width_hist;
+  /// Built on demand (vertical counting only).
+  std::unique_ptr<VerticalIndex> vertical;
+};
+
+class LevelViews {
+ public:
+  /// Creates an empty view (no levels); assign from Build().
+  LevelViews() = default;
+
+  /// Materializes levels 1..taxonomy.height(). Fails if a transaction
+  /// contains an item that is not a taxonomy node (every transaction
+  /// item must map to a node at every level).
+  static Result<LevelViews> Build(const TransactionDb& leaf_db,
+                                  const Taxonomy& taxonomy);
+
+  int height() const { return static_cast<int>(levels_.size()); }
+  uint32_t num_transactions() const { return num_txns_; }
+
+  const LevelData& Level(int h) const { return levels_[h - 1]; }
+
+  /// Support of a single node at its level's view.
+  uint32_t ItemSupport(int h, ItemId item) const {
+    const auto& sup = levels_[h - 1].item_support;
+    return item < sup.size() ? sup[item] : 0;
+  }
+
+  /// Ensures Level(h).vertical is built.
+  const VerticalIndex& EnsureVertical(int h);
+
+  /// min over levels of the maximum generalized transaction width:
+  /// no (h,k)-itemset with k beyond this bound can be frequent at
+  /// every level, so it caps the number of search-space columns.
+  uint32_t MaxUniversalWidth() const;
+
+ private:
+  uint32_t num_txns_ = 0;
+  std::vector<LevelData> levels_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_LEVEL_VIEWS_H_

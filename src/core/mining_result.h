@@ -1,0 +1,21 @@
+// Common result type of the mining engines.
+
+#ifndef FLIPPER_CORE_MINING_RESULT_H_
+#define FLIPPER_CORE_MINING_RESULT_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/stats.h"
+
+namespace flipper {
+
+struct MiningResult {
+  /// All flipping patterns, in canonical order (SortPatterns).
+  std::vector<FlippingPattern> patterns;
+  MiningStats stats;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_MINING_RESULT_H_

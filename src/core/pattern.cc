@@ -1,0 +1,74 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace flipper {
+
+double FlippingPattern::FlipGap() const {
+  if (chain.size() < 2) return 0.0;
+  double gap = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    gap = std::min(gap, std::fabs(chain[i].corr - chain[i + 1].corr));
+  }
+  return gap;
+}
+
+bool FlippingPattern::IsValidFlip() const {
+  if (chain.empty()) return false;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].label == Label::kNone) return false;
+    if (i > 0 && !Flips(chain[i - 1].label, chain[i].label)) return false;
+  }
+  return true;
+}
+
+std::string FlippingPattern::ToString(const ItemDictionary* dict) const {
+  std::string out;
+  for (const LevelStat& stat : chain) {
+    out += "  L" + std::to_string(stat.level) + " ";
+    out += dict != nullptr ? dict->Render(stat.itemset)
+                           : stat.itemset.ToString();
+    out += "  sup=" + std::to_string(stat.support);
+    out += "  corr=" + FormatDouble(stat.corr, 4);
+    out += "  ";
+    out += LabelToString(stat.label);
+    out += "\n";
+  }
+  return out;
+}
+
+void SortPatterns(std::vector<FlippingPattern>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const FlippingPattern& a, const FlippingPattern& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a.leaf_itemset < b.leaf_itemset;
+            });
+}
+
+bool SamePatterns(const std::vector<FlippingPattern>& a,
+                  const std::vector<FlippingPattern>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<FlippingPattern> sa = a;
+  std::vector<FlippingPattern> sb = b;
+  SortPatterns(&sa);
+  SortPatterns(&sb);
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].leaf_itemset != sb[i].leaf_itemset) return false;
+    if (sa[i].chain.size() != sb[i].chain.size()) return false;
+    for (size_t h = 0; h < sa[i].chain.size(); ++h) {
+      const LevelStat& x = sa[i].chain[h];
+      const LevelStat& y = sb[i].chain[h];
+      if (x.itemset != y.itemset || x.label != y.label ||
+          x.support != y.support) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace flipper

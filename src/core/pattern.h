@@ -1,0 +1,60 @@
+// FlippingPattern: the mining output — a leaf itemset together with
+// its full generalization chain (one entry per abstraction level, each
+// frequent and labeled, labels alternating).
+
+#ifndef FLIPPER_CORE_PATTERN_H_
+#define FLIPPER_CORE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/label.h"
+#include "data/item_dictionary.h"
+#include "data/itemset.h"
+
+namespace flipper {
+
+/// One abstraction level of a pattern's chain.
+struct LevelStat {
+  int level = 0;
+  Itemset itemset;
+  uint32_t support = 0;
+  double corr = 0.0;
+  Label label = Label::kNone;
+};
+
+struct FlippingPattern {
+  /// The most specific itemset (level H).
+  Itemset leaf_itemset;
+  /// chain[0] is level 1, chain.back() is level H.
+  std::vector<LevelStat> chain;
+
+  int size() const { return leaf_itemset.size(); }
+
+  /// The flip amplitude: the smallest |corr(h) - corr(h+1)| over
+  /// consecutive levels. A pattern whose every flip is wide scores
+  /// high; this is the ranking key suggested by the paper's §7
+  /// future-work ("patterns with the largest gap between correlation
+  /// values at different hierarchy levels").
+  double FlipGap() const;
+
+  /// Checks the Definition-2 invariants (labels alternate, every level
+  /// labeled); used by tests and debug assertions.
+  bool IsValidFlip() const;
+
+  /// Multi-line rendering; resolves names through `dict` when non-null,
+  /// otherwise prints ids.
+  std::string ToString(const ItemDictionary* dict = nullptr) const;
+};
+
+/// Canonical output order: by itemset size, then leaf itemset.
+void SortPatterns(std::vector<FlippingPattern>* patterns);
+
+/// True when both lists contain exactly the same (leaf itemset, chain
+/// labels) patterns — the differential-test comparison.
+bool SamePatterns(const std::vector<FlippingPattern>& a,
+                  const std::vector<FlippingPattern>& b);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_PATTERN_H_

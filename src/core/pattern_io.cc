@@ -1,0 +1,133 @@
+#include "core/pattern_io.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace flipper {
+namespace {
+
+std::string RenderItem(ItemId item, const ItemDictionary* dict) {
+  if (dict != nullptr && item < dict->size()) return dict->Name(item);
+  return std::to_string(item);
+}
+
+std::string RenderItemset(const Itemset& itemset,
+                          const ItemDictionary* dict, char sep) {
+  std::string out;
+  for (int i = 0; i < itemset.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += RenderItem(itemset[i], dict);
+  }
+  return out;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonItemArray(const Itemset& itemset,
+                          const ItemDictionary* dict) {
+  std::string out = "[";
+  for (int i = 0; i < itemset.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(RenderItem(itemset[i], dict)) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+Status WritePatternsCsv(const std::vector<FlippingPattern>& patterns,
+                        const ItemDictionary* dict, std::ostream& out) {
+  CsvWriter csv({"pattern_id", "level", "itemset", "support", "corr",
+                 "label", "flip_gap"});
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const FlippingPattern& pattern = patterns[p];
+    for (const LevelStat& stat : pattern.chain) {
+      csv.AddRow({std::to_string(p), std::to_string(stat.level),
+                  RenderItemset(stat.itemset, dict, '|'),
+                  std::to_string(stat.support),
+                  FormatDouble(stat.corr, 6), LabelToString(stat.label),
+                  FormatDouble(pattern.FlipGap(), 6)});
+    }
+  }
+  out << csv.ToString();
+  if (!out) return Status::IoError("stream error while writing CSV");
+  return Status::OK();
+}
+
+Status WritePatternsCsvFile(const std::vector<FlippingPattern>& patterns,
+                            const ItemDictionary* dict,
+                            const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  return WritePatternsCsv(patterns, dict, f);
+}
+
+Status WritePatternsJson(const std::vector<FlippingPattern>& patterns,
+                         const ItemDictionary* dict, std::ostream& out) {
+  out << "[\n";
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const FlippingPattern& pattern = patterns[p];
+    out << "  {\"leaf\": " << JsonItemArray(pattern.leaf_itemset, dict)
+        << ", \"flip_gap\": " << FormatDouble(pattern.FlipGap(), 6)
+        << ", \"chain\": [";
+    for (size_t i = 0; i < pattern.chain.size(); ++i) {
+      const LevelStat& stat = pattern.chain[i];
+      if (i > 0) out << ", ";
+      out << "{\"level\": " << stat.level
+          << ", \"itemset\": " << JsonItemArray(stat.itemset, dict)
+          << ", \"support\": " << stat.support
+          << ", \"corr\": " << FormatDouble(stat.corr, 6)
+          << ", \"label\": \"" << LabelToString(stat.label) << "\"}";
+    }
+    out << "]}" << (p + 1 < patterns.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  if (!out) return Status::IoError("stream error while writing JSON");
+  return Status::OK();
+}
+
+Status WritePatternsJsonFile(
+    const std::vector<FlippingPattern>& patterns,
+    const ItemDictionary* dict, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  return WritePatternsJson(patterns, dict, f);
+}
+
+}  // namespace flipper

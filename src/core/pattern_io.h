@@ -1,0 +1,40 @@
+// Machine-readable export of mined patterns: CSV (one row per pattern
+// level) and JSON (one object per pattern). Names resolve through the
+// dictionary when provided, ids otherwise.
+
+#ifndef FLIPPER_CORE_PATTERN_IO_H_
+#define FLIPPER_CORE_PATTERN_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pattern.h"
+#include "data/item_dictionary.h"
+
+namespace flipper {
+
+/// CSV with header
+/// pattern_id,level,itemset,support,corr,label,flip_gap —
+/// one row per (pattern, level).
+Status WritePatternsCsv(const std::vector<FlippingPattern>& patterns,
+                        const ItemDictionary* dict, std::ostream& out);
+
+Status WritePatternsCsvFile(const std::vector<FlippingPattern>& patterns,
+                            const ItemDictionary* dict,
+                            const std::string& path);
+
+/// JSON array; each pattern is
+/// {"leaf": [...], "flip_gap": g, "chain": [{"level": h,
+///  "itemset": [...], "support": s, "corr": c, "label": "POS"}...]}.
+Status WritePatternsJson(const std::vector<FlippingPattern>& patterns,
+                         const ItemDictionary* dict, std::ostream& out);
+
+Status WritePatternsJsonFile(
+    const std::vector<FlippingPattern>& patterns,
+    const ItemDictionary* dict, const std::string& path);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_PATTERN_IO_H_

@@ -1,0 +1,76 @@
+#include "core/support_counting.h"
+
+#include <array>
+
+#include "core/candidate_trie.h"
+
+namespace flipper {
+namespace {
+
+class HorizontalCounter final : public SupportCounter {
+ public:
+  Status Count(LevelViews* views, int h,
+               std::span<const Itemset> candidates,
+               std::vector<uint32_t>* supports) override {
+    supports->assign(candidates.size(), 0);
+    if (candidates.empty()) return Status::OK();
+
+    // The trie requires uniform arity; group mixed batches by size.
+    // The mining engines always send one arity, so the common path
+    // builds a single trie.
+    std::array<std::vector<uint32_t>, kMaxItemsetSize + 1> by_size;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      by_size[static_cast<size_t>(candidates[i].size())].push_back(
+          static_cast<uint32_t>(i));
+    }
+    const TransactionDb& db = views->Level(h).db;
+    for (const auto& group : by_size) {
+      if (group.empty()) continue;
+      std::vector<Itemset> batch;
+      batch.reserve(group.size());
+      for (uint32_t idx : group) batch.push_back(candidates[idx]);
+      CandidateTrie trie(batch);
+      for (TxnId t = 0; t < db.size(); ++t) {
+        trie.CountTransaction(db.Get(t));
+      }
+      ++num_db_scans_;
+      for (size_t j = 0; j < group.size(); ++j) {
+        (*supports)[group[j]] = trie.CountOf(j);
+      }
+    }
+    return Status::OK();
+  }
+
+  const char* name() const override { return "horizontal"; }
+};
+
+class VerticalCounter final : public SupportCounter {
+ public:
+  Status Count(LevelViews* views, int h,
+               std::span<const Itemset> candidates,
+               std::vector<uint32_t>* supports) override {
+    supports->assign(candidates.size(), 0);
+    if (candidates.empty()) return Status::OK();
+    const VerticalIndex& index = views->EnsureVertical(h);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      (*supports)[i] = index.Support(candidates[i]);
+    }
+    return Status::OK();
+  }
+
+  const char* name() const override { return "vertical"; }
+};
+
+}  // namespace
+
+std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kHorizontal:
+      return std::make_unique<HorizontalCounter>();
+    case CounterKind::kVertical:
+      return std::make_unique<VerticalCounter>();
+  }
+  return nullptr;
+}
+
+}  // namespace flipper

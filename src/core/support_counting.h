@@ -1,0 +1,48 @@
+// Support-counting engines. Both compute sup(A) for a batch of
+// candidate itemsets against one abstraction level's view:
+//
+//   HorizontalCounter — one sequential scan of the generalized
+//     database per batch, probing a candidate prefix trie (the paper's
+//     disk-scan counting model, §5);
+//   VerticalCounter   — k-way TID-set intersections over the level's
+//     vertical index (an ablation alternative, bench A1).
+
+#ifndef FLIPPER_CORE_SUPPORT_COUNTING_H_
+#define FLIPPER_CORE_SUPPORT_COUNTING_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/level_views.h"
+#include "data/itemset.h"
+
+namespace flipper {
+
+class SupportCounter {
+ public:
+  virtual ~SupportCounter() = default;
+
+  /// Fills `supports` (resized to candidates.size()) with sup of each
+  /// candidate in level `h`'s view.
+  virtual Status Count(LevelViews* views, int h,
+                       std::span<const Itemset> candidates,
+                       std::vector<uint32_t>* supports) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Number of full database scans performed so far (horizontal
+  /// counting only; vertical reports 0).
+  uint64_t num_db_scans() const { return num_db_scans_; }
+
+ protected:
+  uint64_t num_db_scans_ = 0;
+};
+
+std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_SUPPORT_COUNTING_H_

@@ -1,0 +1,18 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+namespace flipper {
+
+std::vector<FlippingPattern> TopKMostFlipping(
+    std::vector<FlippingPattern> patterns, size_t k) {
+  SortPatterns(&patterns);  // canonical tie-break order
+  std::stable_sort(patterns.begin(), patterns.end(),
+                   [](const FlippingPattern& a, const FlippingPattern& b) {
+                     return a.FlipGap() > b.FlipGap();
+                   });
+  if (patterns.size() > k) patterns.resize(k);
+  return patterns;
+}
+
+}  // namespace flipper

@@ -1,0 +1,34 @@
+// Top-K "most flipping" patterns — the paper's §7 future-work
+// extension: when a data expert cannot pick gamma/epsilon, rank the
+// discovered patterns by the gap between correlation values at
+// different hierarchy levels and keep the K widest.
+
+#ifndef FLIPPER_CORE_TOPK_H_
+#define FLIPPER_CORE_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace flipper {
+
+/// The K patterns with the largest FlipGap (the smallest gap across a
+/// pattern's consecutive levels — so every flip of a returned pattern
+/// is at least that wide). Ties break on the canonical pattern order.
+/// Returns fewer than K when fewer patterns exist.
+std::vector<FlippingPattern> TopKMostFlipping(
+    std::vector<FlippingPattern> patterns, size_t k);
+
+/// Convenience: mines with deliberately loose thresholds and keeps the
+/// top K. `gamma_floor`/`epsilon_ceiling` define the loosest labels
+/// that still count as positive/negative.
+struct TopKQuery {
+  size_t k = 10;
+  double gamma_floor = 0.2;
+  double epsilon_ceiling = 0.15;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_TOPK_H_

@@ -1,0 +1,63 @@
+#include "data/db_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace flipper {
+
+Result<TransactionDb> ReadBasketStream(std::istream& in,
+                                       ItemDictionary* dict) {
+  TransactionDb db;
+  std::string line;
+  std::vector<ItemId> items;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    items.clear();
+    for (const std::string& token : SplitWhitespace(trimmed)) {
+      items.push_back(dict->Intern(token));
+    }
+    db.Add(items);
+  }
+  if (in.bad()) return Status::IoError("stream error while reading baskets");
+  return db;
+}
+
+Result<TransactionDb> ReadBasketFile(const std::string& path,
+                                     ItemDictionary* dict) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open basket file: " + path);
+  return ReadBasketStream(f, dict);
+}
+
+Status WriteBasketStream(const TransactionDb& db,
+                         const ItemDictionary& dict, std::ostream& out) {
+  for (TxnId t = 0; t < db.size(); ++t) {
+    bool first = true;
+    for (ItemId it : db.Get(t)) {
+      if (it >= dict.size()) {
+        return Status::InvalidArgument(
+            "item id " + std::to_string(it) + " missing from dictionary");
+      }
+      if (!first) out << ' ';
+      out << dict.Name(it);
+      first = false;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("stream error while writing baskets");
+  return Status::OK();
+}
+
+Status WriteBasketFile(const TransactionDb& db, const ItemDictionary& dict,
+                       const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  return WriteBasketStream(db, dict, f);
+}
+
+}  // namespace flipper

@@ -1,0 +1,38 @@
+// Text I/O for transaction databases.
+//
+// Basket format: one transaction per line, item names separated by
+// whitespace. Lines starting with '#' and blank lines are skipped.
+// Names are interned into the caller's ItemDictionary so that the
+// taxonomy (loaded separately) shares the id space.
+
+#ifndef FLIPPER_DATA_DB_IO_H_
+#define FLIPPER_DATA_DB_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "data/item_dictionary.h"
+#include "data/transaction_db.h"
+
+namespace flipper {
+
+/// Parses basket-format text from a stream.
+Result<TransactionDb> ReadBasketStream(std::istream& in,
+                                       ItemDictionary* dict);
+
+/// Loads a basket file from disk.
+Result<TransactionDb> ReadBasketFile(const std::string& path,
+                                     ItemDictionary* dict);
+
+/// Serializes a database in basket format (names resolved through
+/// `dict`).
+Status WriteBasketStream(const TransactionDb& db,
+                         const ItemDictionary& dict, std::ostream& out);
+
+Status WriteBasketFile(const TransactionDb& db, const ItemDictionary& dict,
+                       const std::string& path);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATA_DB_IO_H_

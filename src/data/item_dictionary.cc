@@ -1,0 +1,44 @@
+#include "data/item_dictionary.h"
+
+#include "common/logging.h"
+
+namespace flipper {
+
+ItemId ItemDictionary::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  ItemId id = static_cast<ItemId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<ItemId> ItemDictionary::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown item name: '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+bool ItemDictionary::Contains(std::string_view name) const {
+  return index_.count(std::string(name)) > 0;
+}
+
+const std::string& ItemDictionary::Name(ItemId id) const {
+  FLIPPER_CHECK(id < names_.size()) << "invalid ItemId " << id;
+  return names_[id];
+}
+
+std::string ItemDictionary::Render(const Itemset& itemset) const {
+  std::string out = "{";
+  for (int i = 0; i < itemset.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Name(itemset[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace flipper

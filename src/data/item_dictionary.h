@@ -1,0 +1,46 @@
+// Bidirectional mapping between item names and dense ItemIds. Leaf
+// items and taxonomy nodes share this dictionary so that a single id
+// space covers every abstraction level.
+
+#ifndef FLIPPER_DATA_ITEM_DICTIONARY_H_
+#define FLIPPER_DATA_ITEM_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/types.h"
+
+namespace flipper {
+
+class ItemDictionary {
+ public:
+  ItemDictionary() = default;
+
+  /// Returns the id for `name`, creating it if necessary.
+  ItemId Intern(std::string_view name);
+
+  /// Id lookup without insertion.
+  Result<ItemId> Find(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+
+  /// Name of an id. Requires a valid id.
+  const std::string& Name(ItemId id) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+  /// "{milk, bread}" — names joined in id-sorted itemset order.
+  std::string Render(const Itemset& itemset) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ItemId> index_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATA_ITEM_DICTIONARY_H_

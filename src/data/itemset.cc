@@ -1,0 +1,84 @@
+#include "data/itemset.h"
+
+#include <algorithm>
+
+namespace flipper {
+
+void Itemset::Insert(ItemId item) {
+  assert(item != kInvalidItem);
+  const ItemId* e = end();
+  const ItemId* pos = std::lower_bound(begin(), e, item);
+  if (pos != e && *pos == item) return;  // already present
+  assert(size_ < kMaxItemsetSize && "Itemset capacity exceeded");
+  const auto idx = static_cast<size_t>(pos - begin());
+  for (size_t i = static_cast<size_t>(size_); i > idx; --i) {
+    items_[i] = items_[i - 1];
+  }
+  items_[idx] = item;
+  ++size_;
+}
+
+bool Itemset::Contains(ItemId item) const {
+  return std::binary_search(begin(), end(), item);
+}
+
+bool Itemset::ContainsAll(const Itemset& other) const {
+  if (other.size_ > size_) return false;
+  return std::includes(begin(), end(), other.begin(), other.end());
+}
+
+Itemset Itemset::WithoutIndex(int index) const {
+  assert(index >= 0 && index < size_);
+  Itemset out;
+  for (int i = 0; i < size_; ++i) {
+    if (i == index) continue;
+    out.items_[static_cast<size_t>(out.size_++)] =
+        items_[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+std::optional<Itemset> Itemset::PrefixJoin(const Itemset& a,
+                                           const Itemset& b) {
+  if (a.size_ != b.size_ || a.size_ == 0) return std::nullopt;
+  const int k = a.size_;
+  for (int i = 0; i + 1 < k; ++i) {
+    if (a[i] != b[i]) return std::nullopt;
+  }
+  if (a.back() >= b.back()) return std::nullopt;
+  assert(k < kMaxItemsetSize);
+  Itemset out = a;
+  out.items_[static_cast<size_t>(k)] = b.back();
+  out.size_ = k + 1;
+  return out;
+}
+
+bool Itemset::operator<(const Itemset& other) const {
+  return std::lexicographical_compare(begin(), end(), other.begin(),
+                                      other.end());
+}
+
+uint64_t Itemset::Hash() const {
+  // FNV-1a over the item words, finished with a splitmix-style mixer.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (ItemId it : *this) {
+    h ^= it;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= static_cast<uint64_t>(size_) << 56;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+std::string Itemset::ToString() const {
+  std::string out = "{";
+  for (int i = 0; i < size_; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string((*this)[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace flipper

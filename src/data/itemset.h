@@ -1,0 +1,129 @@
+// Itemset: a sorted set of up to kMaxItemsetSize distinct ItemIds with
+// inline storage. This is the unit the mining engine hashes, joins and
+// counts, so it is deliberately allocation-free and trivially copyable.
+
+#ifndef FLIPPER_DATA_ITEMSET_H_
+#define FLIPPER_DATA_ITEMSET_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+
+#include "data/types.h"
+
+namespace flipper {
+
+/// Fixed-capacity sorted itemset. Invariant: items are strictly
+/// increasing (sorted, duplicate-free).
+class Itemset {
+ public:
+  Itemset() : size_(0) { items_.fill(kInvalidItem); }
+
+  /// Builds from an unsorted list; duplicates are collapsed.
+  /// Asserts the (post-dedup) size fits.
+  Itemset(std::initializer_list<ItemId> items) : Itemset() {
+    for (ItemId it : items) Insert(it);
+  }
+
+  static Itemset Single(ItemId a) {
+    Itemset s;
+    s.items_[0] = a;
+    s.size_ = 1;
+    return s;
+  }
+
+  static Itemset Pair(ItemId a, ItemId b) {
+    assert(a != b);
+    Itemset s;
+    s.items_[0] = a < b ? a : b;
+    s.items_[1] = a < b ? b : a;
+    s.size_ = 2;
+    return s;
+  }
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  ItemId operator[](int i) const {
+    assert(i >= 0 && i < size_);
+    return items_[static_cast<size_t>(i)];
+  }
+
+  const ItemId* begin() const { return items_.data(); }
+  const ItemId* end() const { return items_.data() + size_; }
+
+  ItemId front() const { return (*this)[0]; }
+  ItemId back() const { return (*this)[size_ - 1]; }
+
+  /// Inserts keeping the sort order. No-op if present. Asserts capacity.
+  void Insert(ItemId item);
+
+  /// Binary search.
+  bool Contains(ItemId item) const;
+
+  /// True if every item of `other` is contained in *this.
+  bool ContainsAll(const Itemset& other) const;
+
+  /// The (size-1)-subset obtained by dropping position `index`.
+  Itemset WithoutIndex(int index) const;
+
+  /// The superset obtained by inserting one item (must be absent).
+  Itemset WithItem(ItemId item) const {
+    assert(!Contains(item));
+    Itemset s = *this;
+    s.Insert(item);
+    return s;
+  }
+
+  /// Apriori prefix join: defined when both inputs have equal size k,
+  /// share their first k-1 items, and a.back() < b.back(); the result
+  /// is the (k+1)-itemset a ∪ b. Returns nullopt otherwise.
+  static std::optional<Itemset> PrefixJoin(const Itemset& a,
+                                           const Itemset& b);
+
+  /// Applies a per-item mapping (e.g. ancestor-at-level-h). The result
+  /// collapses duplicates, so it may be smaller than the input.
+  template <typename Fn>
+  Itemset Map(Fn&& fn) const {
+    Itemset out;
+    for (ItemId it : *this) out.Insert(fn(it));
+    return out;
+  }
+
+  bool operator==(const Itemset& other) const {
+    return size_ == other.size_ &&
+           std::memcmp(items_.data(), other.items_.data(),
+                       sizeof(ItemId) * static_cast<size_t>(size_)) == 0;
+  }
+  bool operator!=(const Itemset& other) const { return !(*this == other); }
+
+  /// Lexicographic order (for deterministic output).
+  bool operator<(const Itemset& other) const;
+
+  /// 64-bit hash of the contents.
+  uint64_t Hash() const;
+
+  /// "{3, 17, 42}".
+  std::string ToString() const;
+
+ private:
+  std::array<ItemId, kMaxItemsetSize> items_;
+  int32_t size_;
+};
+
+static_assert(sizeof(Itemset) <= 72, "Itemset should stay compact");
+
+struct ItemsetHash {
+  size_t operator()(const Itemset& s) const {
+    return static_cast<size_t>(s.Hash());
+  }
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATA_ITEMSET_H_

@@ -1,0 +1,161 @@
+#include "data/tidset.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace flipper {
+
+TidSet TidSet::Build(std::span<const TxnId> sorted_tids,
+                     uint32_t universe) {
+  const double density =
+      universe == 0 ? 0.0
+                    : static_cast<double>(sorted_tids.size()) / universe;
+  return density >= kDenseThreshold ? BuildDense(sorted_tids, universe)
+                                    : BuildSparse(sorted_tids, universe);
+}
+
+TidSet TidSet::BuildDense(std::span<const TxnId> sorted_tids,
+                          uint32_t universe) {
+  TidSet s;
+  s.mode_ = Mode::kDense;
+  s.universe_ = universe;
+  s.cardinality_ = static_cast<uint32_t>(sorted_tids.size());
+  s.words_.assign((universe + 63) / 64, 0);
+  for (TxnId t : sorted_tids) {
+    assert(t < universe);
+    s.words_[t >> 6] |= uint64_t{1} << (t & 63);
+  }
+  return s;
+}
+
+TidSet TidSet::BuildSparse(std::span<const TxnId> sorted_tids,
+                           uint32_t universe) {
+  TidSet s;
+  s.mode_ = Mode::kSparse;
+  s.universe_ = universe;
+  s.cardinality_ = static_cast<uint32_t>(sorted_tids.size());
+  s.tids_.assign(sorted_tids.begin(), sorted_tids.end());
+  assert(std::is_sorted(s.tids_.begin(), s.tids_.end()));
+  return s;
+}
+
+bool TidSet::Contains(TxnId t) const {
+  if (t >= universe_) return false;
+  if (mode_ == Mode::kDense) {
+    return (words_[t >> 6] >> (t & 63)) & 1;
+  }
+  return std::binary_search(tids_.begin(), tids_.end(), t);
+}
+
+std::vector<TxnId> TidSet::ToVector() const {
+  if (mode_ == Mode::kSparse) return tids_;
+  std::vector<TxnId> out;
+  out.reserve(cardinality_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(static_cast<TxnId>(w * 64 + static_cast<size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+uint32_t TidSet::IntersectDenseDense(const TidSet& a, const TidSet& b) {
+  const size_t n = std::min(a.words_.size(), b.words_.size());
+  uint32_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint32_t>(std::popcount(a.words_[i] & b.words_[i]));
+  }
+  return count;
+}
+
+uint32_t TidSet::IntersectSparseDense(const TidSet& sparse,
+                                      const TidSet& dense) {
+  uint32_t count = 0;
+  for (TxnId t : sparse.tids_) {
+    count += static_cast<uint32_t>((dense.words_[t >> 6] >> (t & 63)) & 1);
+  }
+  return count;
+}
+
+uint32_t TidSet::IntersectSparseSparse(const TidSet& a, const TidSet& b) {
+  // Galloping merge: binary-search the larger list when the size ratio
+  // is extreme, otherwise a linear merge.
+  const std::vector<TxnId>& s = a.tids_.size() <= b.tids_.size()
+                                    ? a.tids_
+                                    : b.tids_;
+  const std::vector<TxnId>& l = a.tids_.size() <= b.tids_.size()
+                                    ? b.tids_
+                                    : a.tids_;
+  uint32_t count = 0;
+  if (l.size() > 16 * s.size()) {
+    auto lo = l.begin();
+    for (TxnId t : s) {
+      lo = std::lower_bound(lo, l.end(), t);
+      if (lo == l.end()) break;
+      if (*lo == t) {
+        ++count;
+        ++lo;
+      }
+    }
+    return count;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < s.size() && j < l.size()) {
+    if (s[i] < l[j]) {
+      ++i;
+    } else if (s[i] > l[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint32_t TidSet::IntersectCount(const TidSet& a, const TidSet& b) {
+  assert(a.universe_ == b.universe_);
+  if (a.mode_ == Mode::kDense && b.mode_ == Mode::kDense) {
+    return IntersectDenseDense(a, b);
+  }
+  if (a.mode_ == Mode::kSparse && b.mode_ == Mode::kSparse) {
+    return IntersectSparseSparse(a, b);
+  }
+  return a.mode_ == Mode::kSparse ? IntersectSparseDense(a, b)
+                                  : IntersectSparseDense(b, a);
+}
+
+uint32_t TidSet::IntersectCountMany(
+    std::span<const TidSet* const> sets) {
+  assert(!sets.empty());
+  if (sets.size() == 1) return sets[0]->cardinality();
+  if (sets.size() == 2) return IntersectCount(*sets[0], *sets[1]);
+
+  // Sort by ascending cardinality; intersect the two smallest first and
+  // keep refining the explicit tid list.
+  std::vector<const TidSet*> order(sets.begin(), sets.end());
+  std::sort(order.begin(), order.end(),
+            [](const TidSet* x, const TidSet* y) {
+              return x->cardinality() < y->cardinality();
+            });
+  std::vector<TxnId> current = order[0]->ToVector();
+  std::vector<TxnId> next;
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (current.empty()) return 0;
+    next.clear();
+    const TidSet& s = *order[i];
+    for (TxnId t : current) {
+      if (s.Contains(t)) next.push_back(t);
+    }
+    current.swap(next);
+  }
+  return static_cast<uint32_t>(current.size());
+}
+
+}  // namespace flipper

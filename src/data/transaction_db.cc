@@ -1,0 +1,58 @@
+#include "data/transaction_db.h"
+
+#include <algorithm>
+
+namespace flipper {
+
+void TransactionDb::Add(std::span<const ItemId> items) {
+  const size_t start = items_.size();
+  items_.insert(items_.end(), items.begin(), items.end());
+  auto begin = items_.begin() + static_cast<ptrdiff_t>(start);
+  std::sort(begin, items_.end());
+  items_.erase(std::unique(begin, items_.end()), items_.end());
+  offsets_.push_back(items_.size());
+  const auto width = static_cast<uint32_t>(items_.size() - start);
+  max_width_ = std::max(max_width_, width);
+  if (width > 0) {
+    alphabet_size_ = std::max(alphabet_size_, items_.back() + 1);
+  }
+}
+
+bool TransactionDb::Contains(TxnId t, const Itemset& itemset) const {
+  std::span<const ItemId> txn = Get(t);
+  return std::includes(txn.begin(), txn.end(), itemset.begin(),
+                       itemset.end());
+}
+
+uint32_t TransactionDb::CountSupport(const Itemset& itemset) const {
+  uint32_t count = 0;
+  for (TxnId t = 0; t < size(); ++t) {
+    if (Contains(t, itemset)) ++count;
+  }
+  return count;
+}
+
+std::vector<uint32_t> TransactionDb::ItemFrequencies() const {
+  std::vector<uint32_t> freq(alphabet_size_, 0);
+  for (ItemId it : items_) ++freq[it];
+  return freq;
+}
+
+TransactionDb TransactionDb::Generalize(
+    std::span<const ItemId> ancestor_of) const {
+  TransactionDb out;
+  out.Reserve(size(), total_items());
+  std::vector<ItemId> buffer;
+  for (TxnId t = 0; t < size(); ++t) {
+    buffer.clear();
+    for (ItemId it : Get(t)) {
+      const ItemId anc = it < ancestor_of.size() ? ancestor_of[it]
+                                                 : kInvalidItem;
+      if (anc != kInvalidItem) buffer.push_back(anc);
+    }
+    out.Add(buffer);
+  }
+  return out;
+}
+
+}  // namespace flipper

@@ -1,0 +1,92 @@
+// TransactionDb: an immutable-after-build, CSR-style store of
+// transactions. Items within a transaction are sorted and
+// duplicate-free; the flattened layout keeps scans cache-friendly,
+// which matters because the paper's counting model is "sequential scans
+// of the input data" (§5).
+
+#ifndef FLIPPER_DATA_TRANSACTION_DB_H_
+#define FLIPPER_DATA_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/types.h"
+
+namespace flipper {
+
+class TransactionDb {
+ public:
+  TransactionDb() { offsets_.push_back(0); }
+
+  /// Appends a transaction; the items are copied, sorted and deduped.
+  /// Empty transactions are allowed (they are null transactions for
+  /// every itemset).
+  void Add(std::span<const ItemId> items);
+  void Add(std::initializer_list<ItemId> items) {
+    Add(std::span<const ItemId>(items.begin(), items.size()));
+  }
+
+  uint32_t size() const {
+    return static_cast<uint32_t>(offsets_.size() - 1);
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Sorted, duplicate-free view of transaction `t`.
+  std::span<const ItemId> Get(TxnId t) const {
+    const size_t b = offsets_[t];
+    const size_t e = offsets_[t + 1];
+    return {items_.data() + b, e - b};
+  }
+
+  /// True if transaction `t` contains every item of `itemset`
+  /// (merge-style subset test over the sorted layouts).
+  bool Contains(TxnId t, const Itemset& itemset) const;
+
+  /// Number of transactions containing `itemset` (full scan).
+  /// This is the reference counting path; the mining engines use the
+  /// SupportCounter implementations instead.
+  uint32_t CountSupport(const Itemset& itemset) const;
+
+  /// Largest ItemId present plus one (0 for an empty database).
+  ItemId alphabet_size() const { return alphabet_size_; }
+
+  uint32_t max_width() const { return max_width_; }
+  double avg_width() const {
+    return empty() ? 0.0
+                   : static_cast<double>(items_.size()) / size();
+  }
+  uint64_t total_items() const { return items_.size(); }
+
+  /// Per-item occurrence counts (size alphabet_size()).
+  std::vector<uint32_t> ItemFrequencies() const;
+
+  /// Rewrites every item through `ancestor_of` (size >= alphabet_size())
+  /// and returns the generalized database; duplicates collapse, so
+  /// generalized transactions can be narrower. Items mapped to
+  /// kInvalidItem are dropped.
+  TransactionDb Generalize(std::span<const ItemId> ancestor_of) const;
+
+  /// Approximate heap footprint in bytes.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(items_.capacity() * sizeof(ItemId) +
+                                offsets_.capacity() * sizeof(uint64_t));
+  }
+
+  void Reserve(uint32_t num_txns, uint64_t num_items) {
+    offsets_.reserve(num_txns + 1);
+    items_.reserve(num_items);
+  }
+
+ private:
+  std::vector<ItemId> items_;      // flattened transactions
+  std::vector<uint64_t> offsets_;  // size() + 1 boundaries
+  ItemId alphabet_size_ = 0;
+  uint32_t max_width_ = 0;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATA_TRANSACTION_DB_H_

@@ -1,0 +1,28 @@
+// Fundamental identifier types shared across libflipper.
+
+#ifndef FLIPPER_DATA_TYPES_H_
+#define FLIPPER_DATA_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace flipper {
+
+/// Identifier of an item. Leaf items and internal taxonomy nodes share
+/// one id space (an internal node "is itself an item, but at a higher
+/// abstraction level" — paper §2.2).
+using ItemId = uint32_t;
+
+/// Identifier (index) of a transaction.
+using TxnId = uint32_t;
+
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+
+/// Hard cap on itemset arity. K is bounded by the number of level-1
+/// taxonomy nodes or the maximum transaction width, whichever is
+/// smaller; 16 comfortably covers every workload in the paper.
+inline constexpr int kMaxItemsetSize = 16;
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATA_TYPES_H_

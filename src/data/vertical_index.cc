@@ -1,0 +1,42 @@
+#include "data/vertical_index.h"
+
+#include <array>
+
+namespace flipper {
+
+VerticalIndex::VerticalIndex(const TransactionDb& db)
+    : universe_(db.size()) {
+  const ItemId alphabet = db.alphabet_size();
+  std::vector<std::vector<TxnId>> tids(alphabet);
+  // Reserve using the frequency histogram to avoid re-allocation.
+  std::vector<uint32_t> freq = db.ItemFrequencies();
+  for (ItemId i = 0; i < alphabet; ++i) tids[i].reserve(freq[i]);
+  for (TxnId t = 0; t < db.size(); ++t) {
+    for (ItemId it : db.Get(t)) tids[it].push_back(t);
+  }
+  sets_.reserve(alphabet);
+  for (ItemId i = 0; i < alphabet; ++i) {
+    sets_.push_back(TidSet::Build(tids[i], universe_));
+  }
+}
+
+uint32_t VerticalIndex::Support(const Itemset& itemset) const {
+  if (itemset.empty()) return universe_;
+  std::array<const TidSet*, kMaxItemsetSize> ptrs;
+  for (int i = 0; i < itemset.size(); ++i) {
+    const ItemId it = itemset[i];
+    if (it >= sets_.size()) return 0;
+    ptrs[static_cast<size_t>(i)] = &sets_[it];
+  }
+  return TidSet::IntersectCountMany(
+      std::span<const TidSet* const>(ptrs.data(),
+                                     static_cast<size_t>(itemset.size())));
+}
+
+int64_t VerticalIndex::MemoryBytes() const {
+  int64_t total = 0;
+  for (const TidSet& s : sets_) total += s.MemoryBytes();
+  return total;
+}
+
+}  // namespace flipper

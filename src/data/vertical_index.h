@@ -1,0 +1,47 @@
+// VerticalIndex: per-item TID-sets for a (possibly generalized)
+// transaction database. The vertical support-counting engine answers
+// sup(A) as |∩_{a∈A} tidset(a)|.
+
+#ifndef FLIPPER_DATA_VERTICAL_INDEX_H_
+#define FLIPPER_DATA_VERTICAL_INDEX_H_
+
+#include <vector>
+
+#include "data/itemset.h"
+#include "data/tidset.h"
+#include "data/transaction_db.h"
+#include "data/types.h"
+
+namespace flipper {
+
+class VerticalIndex {
+ public:
+  VerticalIndex() = default;
+
+  /// Builds TID-sets for every item in `db`'s alphabet.
+  explicit VerticalIndex(const TransactionDb& db);
+
+  uint32_t universe() const { return universe_; }
+  ItemId alphabet_size() const {
+    return static_cast<ItemId>(sets_.size());
+  }
+
+  const TidSet& Get(ItemId item) const { return sets_[item]; }
+
+  uint32_t Support(ItemId item) const {
+    return item < sets_.size() ? sets_[item].cardinality() : 0;
+  }
+
+  /// Support of an itemset by k-way TID-set intersection.
+  uint32_t Support(const Itemset& itemset) const;
+
+  int64_t MemoryBytes() const;
+
+ private:
+  uint32_t universe_ = 0;
+  std::vector<TidSet> sets_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATA_VERTICAL_INDEX_H_

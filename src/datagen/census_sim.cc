@@ -1,0 +1,133 @@
+#include "datagen/census_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "taxonomy/taxonomy_builder.h"
+
+namespace flipper {
+namespace {
+
+constexpr std::array<const char*, 12> kOccupations = {
+    "executive",   "craft_repair", "sales",      "tech_support",
+    "clerical",    "farming",      "transport",  "protective",
+    "service",     "machine_op",   "professional", "armed_forces"};
+
+constexpr std::array<const char*, 4> kEducations = {
+    "hs_grad", "some_college", "bachelor", "masters"};
+constexpr std::array<double, 4> kEducationWeights = {0.45, 0.25, 0.20,
+                                                     0.10};
+
+constexpr std::array<const char*, 7> kAgeGroups = {
+    "17-25", "26-35", "36-45", "46-55", "56-60", "60-65", "66+"};
+constexpr std::array<double, 7> kAgeWeights = {0.14, 0.22, 0.22, 0.18,
+                                               0.08, 0.08, 0.08};
+
+size_t SampleIndex(Rng* rng, std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = rng->NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace
+
+Result<SimulatedDataset> GenerateCensus(const CensusParams& params) {
+  if (params.num_records < 100) {
+    return Status::InvalidArgument(
+        "CensusSim needs at least 100 records");
+  }
+  SimulatedDataset out;
+  out.name = "CENSUS";
+  ItemDictionary& dict = out.dict;
+  TaxonomyBuilder builder;
+
+  // Occupation hierarchy: occ:X -> occ:X|edu:Y.
+  std::array<ItemId, kOccupations.size()> occ_nodes{};
+  std::array<std::array<ItemId, kEducations.size()>, kOccupations.size()>
+      occ_edu_leaves{};
+  for (size_t o = 0; o < kOccupations.size(); ++o) {
+    occ_nodes[o] = dict.Intern(std::string("occ:") + kOccupations[o]);
+    builder.AddRoot(occ_nodes[o]);
+    for (size_t e = 0; e < kEducations.size(); ++e) {
+      occ_edu_leaves[o][e] =
+          dict.Intern(std::string("occ:") + kOccupations[o] +
+                      "|edu:" + kEducations[e]);
+      FLIPPER_RETURN_IF_ERROR(
+          builder.AddEdge(occ_nodes[o], occ_edu_leaves[o][e]));
+    }
+  }
+  // Age hierarchy: age:Z -> age:Z|occ:X.
+  std::array<ItemId, kAgeGroups.size()> age_nodes{};
+  std::array<std::array<ItemId, kOccupations.size()>, kAgeGroups.size()>
+      age_occ_leaves{};
+  for (size_t a = 0; a < kAgeGroups.size(); ++a) {
+    age_nodes[a] = dict.Intern(std::string("age:") + kAgeGroups[a]);
+    builder.AddRoot(age_nodes[a]);
+    for (size_t o = 0; o < kOccupations.size(); ++o) {
+      age_occ_leaves[a][o] =
+          dict.Intern(std::string("age:") + kAgeGroups[a] +
+                      "|occ:" + kOccupations[o]);
+      FLIPPER_RETURN_IF_ERROR(
+          builder.AddEdge(age_nodes[a], age_occ_leaves[a][o]));
+    }
+  }
+  // Income: shallow level-1 leaves (self-copies at level 2).
+  const ItemId income_high = dict.Intern("income:>=50K");
+  const ItemId income_low = dict.Intern("income:<50K");
+  builder.AddRoot(income_high);
+  builder.AddRoot(income_low);
+  FLIPPER_ASSIGN_OR_RETURN(out.taxonomy, builder.Build());
+
+  const size_t kCraft = 1;      // craft_repair
+  const size_t kExecutive = 0;  // executive
+  const size_t kBachelor = 2;   // bachelor
+  const size_t kAge60 = 5;      // 60-65
+
+  Rng rng(params.seed);
+  out.db.Reserve(params.num_records, params.num_records * 3ull);
+  std::vector<ItemId> txn;
+  for (uint32_t r = 0; r < params.num_records; ++r) {
+    const size_t o = rng.Below(kOccupations.size());
+    const size_t e = SampleIndex(&rng, kEducationWeights);
+    const size_t a = SampleIndex(&rng, kAgeWeights);
+
+    // Income model. Baseline 25% high earners; planted conditionals
+    // create the two Figure-11 flips.
+    double p_high = 0.25;
+    if (o == kCraft) p_high = e == kBachelor ? 0.75 : 0.02;
+    if (a == kAge60) {
+      p_high = o == kExecutive ? 0.70 : std::min(p_high, 0.04);
+    }
+    const ItemId income = rng.Bernoulli(p_high) ? income_high : income_low;
+
+    txn = {occ_edu_leaves[o][e], age_occ_leaves[a][o], income};
+    out.db.Add(txn);
+  }
+
+  // Table 4 row C thresholds.
+  out.paper_config.gamma = 0.25;
+  out.paper_config.epsilon = 0.15;
+  out.paper_config.min_support = {0.002, 0.001};
+  out.paper_config.measure = MeasureKind::kKulczynski;
+
+  out.planted.push_back(
+      {{"occ:craft_repair|edu:bachelor", "income:>=50K"},
+       "NEG",
+       "craft-repair flips to positive with a bachelor degree"});
+  out.planted.push_back(
+      {{"age:60-65|occ:executive", "income:>=50K"},
+       "NEG",
+       "age 60-65 flips to positive for executives"});
+  return out;
+}
+
+}  // namespace flipper

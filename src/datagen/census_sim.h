@@ -1,0 +1,37 @@
+// CensusSim: a synthetic stand-in for the CENSUS (UCI Adult) dataset
+// used in the paper's §5.2 (32,000 records, income discretized at
+// $50K/yr, manually built 2-level sub-population hierarchies).
+//
+// Items are population-segment indicators. Two hierarchies generalize
+// them: occupation -> occupation|education and age -> age|occupation;
+// the two income items are shallow level-1 leaves that represent
+// themselves at level 2 (Figure-3[B] self-copies). Each record becomes
+// the 3-item transaction {occ|edu, age|occ, income}.
+//
+// Planted structure (Figure 11):
+//  * Pattern A — craft_repair workers correlate negatively with
+//    income>=50K, but craft_repair AND bachelor-degree holders
+//    correlate positively (NEG -> POS flip);
+//  * Pattern B — the 60-65 age group correlates negatively with
+//    income>=50K unless the occupation is executive (NEG -> POS flip).
+
+#ifndef FLIPPER_DATAGEN_CENSUS_SIM_H_
+#define FLIPPER_DATAGEN_CENSUS_SIM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datagen/sim_dataset.h"
+
+namespace flipper {
+
+struct CensusParams {
+  uint32_t num_records = 32'000;
+  uint64_t seed = 13;
+};
+
+Result<SimulatedDataset> GenerateCensus(const CensusParams& params);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATAGEN_CENSUS_SIM_H_

@@ -1,0 +1,179 @@
+#include "datagen/groceries_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "taxonomy/taxonomy_builder.h"
+
+namespace flipper {
+namespace {
+
+/// Deterministic block: `count` transactions each containing `items`.
+struct Block {
+  uint32_t count;
+  std::vector<ItemId> items;
+};
+
+}  // namespace
+
+Result<SimulatedDataset> GenerateGroceries(const GroceriesParams& params) {
+  if (params.num_transactions < 100) {
+    return Status::InvalidArgument(
+        "GroceriesSim needs at least 100 transactions");
+  }
+  SimulatedDataset out;
+  out.name = "GROCERIES";
+  ItemDictionary& dict = out.dict;
+  TaxonomyBuilder builder;
+
+  // --- Taxonomy: 10 departments x 4 categories x 3 products. Named
+  // nodes carry the planted pattern families; the rest are fillers.
+  auto add_root = [&](const std::string& name) {
+    const ItemId id = dict.Intern(name);
+    builder.AddRoot(id);
+    return id;
+  };
+  auto add_child = [&](ItemId parent, const std::string& name) {
+    const ItemId id = dict.Intern(name);
+    Status s = builder.AddEdge(parent, id);
+    (void)s;  // names are unique by construction
+    return id;
+  };
+
+  const ItemId drinks = add_root("drinks");
+  const ItemId non_food = add_root("non_food");
+  const ItemId fresh_produce = add_root("fresh_produce");
+  const ItemId meat_fish = add_root("meat_fish");
+  std::vector<ItemId> filler_roots;
+  for (const char* dept : {"dairy", "bakery", "pantry", "snacks",
+                           "frozen", "household"}) {
+    filler_roots.push_back(add_root(dept));
+  }
+
+  // drinks
+  const ItemId beer = add_child(drinks, "beer");
+  const ItemId canned_beer = add_child(beer, "canned_beer");
+  const ItemId bottled_beer = add_child(beer, "bottled_beer");
+  add_child(beer, "craft_beer");
+  const ItemId soda = add_child(drinks, "soda");
+  const ItemId cola = add_child(soda, "cola");
+  add_child(soda, "lemonade");
+  add_child(soda, "tonic");
+  // non_food
+  const ItemId baby = add_child(non_food, "baby");
+  const ItemId diapers = add_child(baby, "diapers");
+  const ItemId baby_wipes = add_child(baby, "baby_wipes");
+  add_child(baby, "baby_lotion");
+  const ItemId cleaning = add_child(non_food, "cleaning");
+  const ItemId detergent = add_child(cleaning, "detergent");
+  add_child(cleaning, "sponges");
+  add_child(cleaning, "bleach");
+  // fresh_produce
+  const ItemId eggs_cat = add_child(fresh_produce, "eggs");
+  const ItemId eggs_large = add_child(eggs_cat, "eggs_large");
+  const ItemId eggs_small = add_child(eggs_cat, "eggs_small");
+  add_child(eggs_cat, "eggs_organic");
+  const ItemId vegetables = add_child(fresh_produce, "vegetables");
+  const ItemId lettuce = add_child(vegetables, "lettuce");
+  add_child(vegetables, "tomatoes");
+  add_child(vegetables, "onions");
+  // meat_fish
+  const ItemId fish_cat = add_child(meat_fish, "fish");
+  const ItemId fresh_fish = add_child(fish_cat, "fresh_fish");
+  const ItemId smoked_fish = add_child(fish_cat, "smoked_fish");
+  add_child(fish_cat, "shellfish");
+  const ItemId beef_cat = add_child(meat_fish, "beef");
+  const ItemId ground_beef = add_child(beef_cat, "ground_beef");
+  add_child(beef_cat, "steak");
+  add_child(beef_cat, "roast");
+
+  // Filler departments: 4 categories x 3 products each; these feed the
+  // background noise pool.
+  std::vector<ItemId> noise_pool;
+  for (size_t d = 0; d < filler_roots.size(); ++d) {
+    for (int c = 0; c < 4; ++c) {
+      const std::string cat_name =
+          dict.Name(filler_roots[d]) + "_cat" + std::to_string(c);
+      const ItemId cat = add_child(filler_roots[d], cat_name);
+      for (int p = 0; p < 3; ++p) {
+        noise_pool.push_back(
+            add_child(cat, cat_name + "_prod" + std::to_string(p)));
+      }
+    }
+  }
+  FLIPPER_ASSIGN_OR_RETURN(out.taxonomy, builder.Build());
+
+  // --- Transaction blocks. Fractions are relative to the reference
+  // size (9,800) so the correlation structure is scale-invariant.
+  const double n = static_cast<double>(params.num_transactions);
+  auto cnt = [&](double fraction) {
+    return std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::llround(fraction * n)));
+  };
+
+  std::vector<Block> blocks;
+  // Family 1 (Figure 10 A flavour): {canned_beer, diapers}
+  //   L3 POS (they sell together), L2 NEG (beer vs baby avoid each
+  //   other), L1 POS (drinks and non_food co-occur broadly).
+  blocks.push_back({cnt(120.0 / 9800), {canned_beer, diapers}});
+  blocks.push_back({cnt(1000.0 / 9800), {cola, detergent}});
+  blocks.push_back({cnt(1200.0 / 9800), {bottled_beer}});
+  blocks.push_back({cnt(1200.0 / 9800), {baby_wipes}});
+
+  // Family 2 (Figure 2(b) flavour): {eggs_large, fresh_fish}
+  //   L3 NEG (the products avoid each other), L2 POS (egg and fish
+  //   categories sell together), L1 NEG (the departments do not).
+  blocks.push_back({cnt(300.0 / 9800), {eggs_small, smoked_fish}});
+  blocks.push_back({cnt(4.0 / 9800), {eggs_large, fresh_fish}});
+  blocks.push_back({cnt(100.0 / 9800), {eggs_large}});
+  blocks.push_back({cnt(100.0 / 9800), {fresh_fish}});
+  blocks.push_back({cnt(2800.0 / 9800), {lettuce}});
+  blocks.push_back({cnt(2800.0 / 9800), {ground_beef}});
+
+  // --- Materialize: blocks + per-transaction noise + filler-only
+  // transactions, shuffled.
+  Rng rng(params.seed);
+  std::vector<std::vector<ItemId>> txns;
+  txns.reserve(params.num_transactions);
+  for (const Block& block : blocks) {
+    for (uint32_t i = 0; i < block.count; ++i) {
+      std::vector<ItemId> txn = block.items;
+      const uint32_t noise = rng.Poisson(1.5);
+      for (uint32_t j = 0; j < noise; ++j) {
+        txn.push_back(noise_pool[rng.Below(noise_pool.size())]);
+      }
+      txns.push_back(std::move(txn));
+    }
+  }
+  while (txns.size() < params.num_transactions) {
+    std::vector<ItemId> txn;
+    const uint32_t width = 2 + rng.Poisson(1.5);
+    for (uint32_t j = 0; j < width; ++j) {
+      txn.push_back(noise_pool[rng.Below(noise_pool.size())]);
+    }
+    txns.push_back(std::move(txn));
+  }
+  txns.resize(params.num_transactions);
+  rng.Shuffle(&txns);
+  out.db.Reserve(params.num_transactions, params.num_transactions * 4);
+  for (const auto& txn : txns) out.db.Add(txn);
+
+  // --- Table 4 row G thresholds.
+  out.paper_config.gamma = 0.15;
+  out.paper_config.epsilon = 0.10;
+  out.paper_config.min_support = {0.001, 0.0005, 0.0002};
+  out.paper_config.measure = MeasureKind::kKulczynski;
+
+  out.planted.push_back({{"canned_beer", "diapers"},
+                         "POS",
+                         "products sell together, categories do not"});
+  out.planted.push_back({{"eggs_large", "fresh_fish"},
+                         "NEG",
+                         "products avoid each other, categories pair"});
+  return out;
+}
+
+}  // namespace flipper

@@ -1,0 +1,37 @@
+// GroceriesSim: a synthetic stand-in for the GROCERIES dataset [5]
+// used in the paper's §5.2 (1 month of point-of-sale data, 9,800
+// transactions, 3-level store taxonomy).
+//
+// The simulator plants the paper's reported pattern families:
+//  * a POS/NEG/POS flip in the spirit of {canned beer, diapers}
+//    (Figure 10 A): the two products sell together while their
+//    categories do not, and the departments co-occur broadly;
+//  * a NEG/POS/NEG flip in the spirit of {eggs, fish} (Figure 2(b)):
+//    the two products avoid each other while their categories are
+//    bought together, and the departments are anti-correlated.
+//
+// Transactions are built from deterministic co-occurrence blocks (so
+// the planted correlations are exactly computable) plus Poisson noise
+// drawn from uninvolved departments.
+
+#ifndef FLIPPER_DATAGEN_GROCERIES_SIM_H_
+#define FLIPPER_DATAGEN_GROCERIES_SIM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datagen/sim_dataset.h"
+
+namespace flipper {
+
+struct GroceriesParams {
+  /// The real dataset's size; scalable for benches.
+  uint32_t num_transactions = 9'800;
+  uint64_t seed = 11;
+};
+
+Result<SimulatedDataset> GenerateGroceries(const GroceriesParams& params);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATAGEN_GROCERIES_SIM_H_

@@ -1,0 +1,187 @@
+#include "datagen/medline_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "taxonomy/taxonomy_builder.h"
+
+namespace flipper {
+namespace {
+
+struct Block {
+  uint32_t count;
+  std::vector<ItemId> items;
+};
+
+}  // namespace
+
+Result<SimulatedDataset> GenerateMedline(const MedlineParams& params) {
+  if (params.num_citations < 1000) {
+    return Status::InvalidArgument(
+        "MedlineSim needs at least 1000 citations");
+  }
+  SimulatedDataset out;
+  out.name = "MEDLINE";
+  ItemDictionary& dict = out.dict;
+  TaxonomyBuilder builder;
+
+  auto add_root = [&](const std::string& name) {
+    const ItemId id = dict.Intern(name);
+    builder.AddRoot(id);
+    return id;
+  };
+  auto add_child = [&](ItemId parent, const std::string& name) {
+    const ItemId id = dict.Intern(name);
+    Status s = builder.AddEdge(parent, id);
+    (void)s;  // names unique by construction
+    return id;
+  };
+
+  // --- Named MeSH-like branches carrying the planted families. ---
+  const ItemId mental = add_root("mental_disorders");
+  const ItemId substance = add_child(mental, "substance_related");
+  const ItemId withdrawal = add_child(substance, "withdrawal_syndrome");
+  const ItemId substance_abuse = add_child(substance, "substance_abuse");
+  const ItemId mood = add_child(mental, "mood_disorders");
+  const ItemId depression = add_child(mood, "depression");
+
+  const ItemId activities = add_root("human_activities");
+  const ItemId temperance_grp = add_child(activities, "temperance_group");
+  const ItemId temperance = add_child(temperance_grp, "temperance");
+  const ItemId abstinence = add_child(temperance_grp, "abstinence");
+  const ItemId leisure = add_child(activities, "leisure");
+  const ItemId exercise = add_child(leisure, "exercise");
+
+  const ItemId phenomena = add_root("psych_phenomena");
+  const ItemId psychophys = add_child(phenomena, "psychophysiology");
+  const ItemId biofeedback = add_child(psychophys, "biofeedback");
+  const ItemId arousal = add_child(psychophys, "arousal");
+  const ItemId cognition_grp = add_child(phenomena, "cognition");
+  const ItemId memory = add_child(cognition_grp, "memory");
+
+  const ItemId disciplines = add_root("behavioral_disciplines");
+  const ItemId psychotherapy = add_child(disciplines, "psychotherapy");
+  const ItemId behavior_therapy =
+      add_child(psychotherapy, "behavior_therapy");
+  const ItemId group_therapy = add_child(psychotherapy, "group_therapy");
+  const ItemId psychoanalysis = add_child(disciplines, "psychoanalysis");
+  const ItemId dream_analysis = add_child(psychoanalysis, "dream_analysis");
+
+  // Pad the named categories to 8 subtopics x 7 leaves so their shape
+  // matches the background categories.
+  std::vector<ItemId> named_roots = {mental, activities, phenomena,
+                                     disciplines};
+  for (ItemId root : named_roots) {
+    for (int s = 0; s < 6; ++s) {
+      const ItemId sub = add_child(
+          root, dict.Name(root) + ".s" + std::to_string(s));
+      for (int l = 0; l < 7; ++l) {
+        add_child(sub, dict.Name(sub) + ".t" + std::to_string(l));
+      }
+    }
+  }
+
+  // --- 11 background categories: 8 subtopics x 7 leaves each. ---
+  std::vector<std::vector<ItemId>> background_leaves;  // per category
+  for (int c = 0; c < 11; ++c) {
+    const std::string cat_name = "mesh:C" + std::to_string(c);
+    const ItemId cat = add_root(cat_name);
+    std::vector<ItemId> leaves;
+    for (int s = 0; s < 8; ++s) {
+      const ItemId sub = add_child(cat, cat_name + ".s" + std::to_string(s));
+      for (int l = 0; l < 7; ++l) {
+        leaves.push_back(
+            add_child(sub, cat_name + ".s" + std::to_string(s) + ".t" +
+                               std::to_string(l)));
+      }
+    }
+    background_leaves.push_back(std::move(leaves));
+  }
+  FLIPPER_ASSIGN_OR_RETURN(out.taxonomy, builder.Build());
+
+  const double n = static_cast<double>(params.num_citations);
+  auto cnt = [&](double fraction) {
+    return std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::llround(fraction * n)));
+  };
+
+  // --- Planted blocks (fractions of the reference 640K). ---
+  std::vector<Block> blocks;
+  // Family A: NEG / POS / NEG for {withdrawal_syndrome, temperance}.
+  blocks.push_back({cnt(0.0030), {substance_abuse, abstinence}});
+  blocks.push_back({cnt(0.0002), {withdrawal, temperance}});
+  blocks.push_back({cnt(0.0020), {withdrawal}});
+  blocks.push_back({cnt(0.0020), {temperance}});
+  blocks.push_back({cnt(0.0300), {depression}});   // mental_disorders mass
+  blocks.push_back({cnt(0.0300), {exercise}});     // human_activities mass
+
+  // Family B: POS / NEG / POS for {biofeedback, behavior_therapy}.
+  blocks.push_back({cnt(0.0020), {biofeedback, behavior_therapy}});
+  blocks.push_back({cnt(0.0010), {biofeedback}});
+  blocks.push_back({cnt(0.0010), {behavior_therapy}});
+  blocks.push_back({cnt(0.0230), {arousal}});       // psychophysiology mass
+  blocks.push_back({cnt(0.0230), {group_therapy}}); // psychotherapy mass
+  blocks.push_back({cnt(0.0410), {memory, dream_analysis}});  // L1 joint
+
+  // --- Materialize blocks, then fill with background citations. ---
+  Rng rng(params.seed);
+  std::vector<std::vector<ItemId>> txns;
+  txns.reserve(params.num_citations);
+  ZipfDistribution cat_zipf(
+      static_cast<uint32_t>(background_leaves.size()), 0.8);
+  ZipfDistribution leaf_zipf(
+      static_cast<uint32_t>(background_leaves[0].size()), 0.9);
+
+  auto background_topics = [&](std::vector<ItemId>* txn) {
+    const uint32_t cat = cat_zipf.Sample(&rng);
+    const auto& leaves = background_leaves[cat];
+    const uint32_t picks = 2 + rng.Poisson(1.2);
+    for (uint32_t i = 0; i < picks; ++i) {
+      txn->push_back(leaves[leaf_zipf.Sample(&rng)]);
+    }
+    // Weak cross-category mixing: the source of the huge negative-pair
+    // population (Table 4 row M).
+    if (rng.Bernoulli(0.30)) {
+      const uint32_t other = cat_zipf.Sample(&rng);
+      txn->push_back(background_leaves[other][leaf_zipf.Sample(&rng)]);
+    }
+  };
+
+  for (const Block& block : blocks) {
+    for (uint32_t i = 0; i < block.count; ++i) {
+      std::vector<ItemId> txn = block.items;
+      if (rng.Bernoulli(0.5)) background_topics(&txn);
+      txns.push_back(std::move(txn));
+    }
+  }
+  while (txns.size() < params.num_citations) {
+    std::vector<ItemId> txn;
+    background_topics(&txn);
+    txns.push_back(std::move(txn));
+  }
+  txns.resize(params.num_citations);
+  rng.Shuffle(&txns);
+  out.db.Reserve(params.num_citations, params.num_citations * 4ull);
+  for (const auto& txn : txns) out.db.Add(txn);
+
+  // Table 4 row M thresholds.
+  out.paper_config.gamma = 0.40;
+  out.paper_config.epsilon = 0.10;
+  out.paper_config.min_support = {0.001, 0.0005, 0.0001};
+  out.paper_config.measure = MeasureKind::kKulczynski;
+
+  out.planted.push_back(
+      {{"withdrawal_syndrome", "temperance"},
+       "NEG",
+       "underrepresented topic pair under co-studied subtopics"});
+  out.planted.push_back(
+      {{"biofeedback", "behavior_therapy"},
+       "POS",
+       "co-studied topics under rarely combined subtopics"});
+  return out;
+}
+
+}  // namespace flipper

@@ -1,0 +1,41 @@
+// MedlineSim: a synthetic stand-in for the MEDLINE-2010 citation set
+// used in the paper's §5.2 (640,000 citations; items are MeSH topics,
+// restricted to the top three hierarchy levels).
+//
+// The topic tree has 15 top categories x 8 subtopics x 7 leaf topics.
+// Background citations pick topics inside one category (plus weak
+// cross-category mixing), which yields the dataset's signature: a very
+// large number of weakly co-occurring — hence negatively labeled —
+// topic pairs (Table 4 row M).
+//
+// Planted structure (Figure 12):
+//  * Pattern A — withdrawal_syndrome x temperance: NEG at the leaves
+//    (an underrepresented research combination), POS one level up
+//    (substance-related disorders are often studied with the
+//    temperance group), NEG at the top (mental disorders vs human
+//    activities) — a NEG/POS/NEG chain;
+//  * Pattern B — biofeedback x behavior_therapy: POS at the leaves,
+//    NEG between psychophysiology and psychotherapy, POS between
+//    psychological phenomena and behavioral disciplines — POS/NEG/POS.
+
+#ifndef FLIPPER_DATAGEN_MEDLINE_SIM_H_
+#define FLIPPER_DATAGEN_MEDLINE_SIM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datagen/sim_dataset.h"
+
+namespace flipper {
+
+struct MedlineParams {
+  /// The paper uses 640,000 citations; scale down for quick runs.
+  uint32_t num_citations = 640'000;
+  uint64_t seed = 17;
+};
+
+Result<SimulatedDataset> GenerateMedline(const MedlineParams& params);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATAGEN_MEDLINE_SIM_H_

@@ -1,0 +1,135 @@
+#include "datagen/quest_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace flipper {
+
+Status QuestParams::Validate() const {
+  if (avg_width < 1.0) {
+    return Status::InvalidArgument("avg_width must be >= 1");
+  }
+  if (num_patterns == 0) {
+    return Status::InvalidArgument("num_patterns must be >= 1");
+  }
+  if (avg_pattern_size < 1.0) {
+    return Status::InvalidArgument("avg_pattern_size must be >= 1");
+  }
+  if (correlation < 0.0 || correlation > 1.0) {
+    return Status::InvalidArgument("correlation must be in [0, 1]");
+  }
+  if (corruption_mean < 0.0 || corruption_mean >= 1.0) {
+    return Status::InvalidArgument("corruption_mean must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+Result<TransactionDb> GenerateQuest(const QuestParams& params,
+                                    const Taxonomy& taxonomy) {
+  FLIPPER_RETURN_IF_ERROR(params.Validate());
+  const std::vector<ItemId>& leaves = taxonomy.Leaves();
+  if (leaves.size() < 2) {
+    return Status::InvalidArgument(
+        "Quest generation needs a taxonomy with at least 2 leaves");
+  }
+  Rng rng(params.seed);
+
+  // --- Potentially-frequent itemset pool. ---
+  struct Pattern {
+    std::vector<ItemId> items;
+    double weight;      // pick probability (normalized below)
+    double corruption;  // per-use item-drop level
+  };
+  std::vector<Pattern> pool(params.num_patterns);
+  double weight_sum = 0.0;
+  for (uint32_t p = 0; p < params.num_patterns; ++p) {
+    Pattern& pat = pool[p];
+    const uint32_t size = std::max<uint32_t>(
+        1, std::min<uint32_t>(rng.Poisson(params.avg_pattern_size),
+                              static_cast<uint32_t>(leaves.size())));
+    // Inherit a prefix of the previous pattern ("correlation"), fill
+    // the rest with random leaves.
+    if (p > 0 && params.correlation > 0.0) {
+      const double frac = std::min(
+          1.0, rng.Exponential(1.0 / std::max(1e-9, params.correlation)));
+      const auto& prev = pool[p - 1].items;
+      const auto take = static_cast<uint32_t>(
+          std::min<double>(std::round(frac * size),
+                           static_cast<double>(prev.size())));
+      pat.items.assign(prev.begin(), prev.begin() + take);
+    }
+    while (pat.items.size() < size) {
+      const ItemId leaf = leaves[rng.Below(leaves.size())];
+      if (std::find(pat.items.begin(), pat.items.end(), leaf) ==
+          pat.items.end()) {
+        pat.items.push_back(leaf);
+      }
+    }
+    pat.weight = rng.Exponential(1.0);
+    weight_sum += pat.weight;
+    pat.corruption =
+        std::clamp(params.corruption_mean + 0.1 * rng.Gaussian(), 0.0,
+                   0.95);
+  }
+  // Cumulative distribution for weighted pattern picks.
+  std::vector<double> cdf(pool.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    acc += pool[i].weight / weight_sum;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+
+  auto pick_pattern = [&]() -> const Pattern& {
+    const double u = rng.NextDouble();
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    return pool[std::min(idx, pool.size() - 1)];
+  };
+
+  // --- Transactions. ---
+  TransactionDb db;
+  db.Reserve(params.num_transactions,
+             static_cast<uint64_t>(params.num_transactions *
+                                   params.avg_width));
+  std::vector<ItemId> txn;
+  std::vector<ItemId> corrupted;
+  for (uint32_t t = 0; t < params.num_transactions; ++t) {
+    const uint32_t width =
+        std::max<uint32_t>(1, rng.Poisson(params.avg_width));
+    txn.clear();
+    // Guard against pathological loops when corruption drops
+    // everything repeatedly.
+    int attempts = 0;
+    while (txn.size() < width && attempts < 64) {
+      ++attempts;
+      const Pattern& pat = pick_pattern();
+      corrupted = pat.items;
+      // Classic Quest corruption: keep dropping a random item while a
+      // coin toss stays below the pattern's corruption level.
+      while (!corrupted.empty() && rng.NextDouble() < pat.corruption) {
+        corrupted.erase(corrupted.begin() +
+                        static_cast<ptrdiff_t>(
+                            rng.Below(corrupted.size())));
+      }
+      if (corrupted.empty()) continue;
+      if (txn.size() + corrupted.size() > width) {
+        // Oversize pattern: half the time it goes in anyway, otherwise
+        // the transaction closes.
+        if (rng.Bernoulli(0.5)) {
+          txn.insert(txn.end(), corrupted.begin(), corrupted.end());
+        }
+        break;
+      }
+      txn.insert(txn.end(), corrupted.begin(), corrupted.end());
+    }
+    if (txn.empty()) {
+      txn.push_back(leaves[rng.Below(leaves.size())]);
+    }
+    db.Add(txn);
+  }
+  return db;
+}
+
+}  // namespace flipper

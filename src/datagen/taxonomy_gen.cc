@@ -1,0 +1,47 @@
+#include "datagen/taxonomy_gen.h"
+
+#include <vector>
+
+#include "taxonomy/taxonomy_builder.h"
+
+namespace flipper {
+
+Result<Taxonomy> GenerateBalancedTaxonomy(const TaxonomyGenParams& params,
+                                          ItemDictionary* dict) {
+  if (params.num_roots == 0 || params.depth == 0) {
+    return Status::InvalidArgument(
+        "taxonomy generator requires num_roots >= 1 and depth >= 1");
+  }
+  if (params.depth > 1 && params.fanout == 0) {
+    return Status::InvalidArgument(
+        "taxonomy generator requires fanout >= 1 when depth > 1");
+  }
+  TaxonomyBuilder builder;
+  struct Pending {
+    ItemId id;
+    std::string name;
+  };
+  std::vector<Pending> frontier;
+  for (uint32_t r = 0; r < params.num_roots; ++r) {
+    const std::string name = params.prefix + std::to_string(r);
+    const ItemId id = dict->Intern(name);
+    builder.AddRoot(id);
+    frontier.push_back({id, name});
+  }
+  for (uint32_t level = 2; level <= params.depth; ++level) {
+    std::vector<Pending> next;
+    next.reserve(frontier.size() * params.fanout);
+    for (const Pending& parent : frontier) {
+      for (uint32_t c = 0; c < params.fanout; ++c) {
+        const std::string name = parent.name + "." + std::to_string(c);
+        const ItemId id = dict->Intern(name);
+        FLIPPER_RETURN_IF_ERROR(builder.AddEdge(parent.id, id));
+        next.push_back({id, name});
+      }
+    }
+    frontier = std::move(next);
+  }
+  return builder.Build();
+}
+
+}  // namespace flipper

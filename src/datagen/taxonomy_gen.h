@@ -1,0 +1,34 @@
+// Random balanced taxonomies for synthetic workloads (paper §5.1:
+// "The number of distinct categories at the first level is 10, the
+// fanout is 5", H = 4).
+
+#ifndef FLIPPER_DATAGEN_TAXONOMY_GEN_H_
+#define FLIPPER_DATAGEN_TAXONOMY_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/item_dictionary.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+
+struct TaxonomyGenParams {
+  /// Number of level-1 nodes.
+  uint32_t num_roots = 10;
+  /// Children per internal node.
+  uint32_t fanout = 5;
+  /// Number of levels H (1 = roots only).
+  uint32_t depth = 4;
+  /// Node-name prefix; names look like "c3", "c3.1", "c3.1.4", ...
+  std::string prefix = "c";
+};
+
+/// Builds a balanced taxonomy, interning node names into `dict`.
+Result<Taxonomy> GenerateBalancedTaxonomy(const TaxonomyGenParams& params,
+                                          ItemDictionary* dict);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_DATAGEN_TAXONOMY_GEN_H_

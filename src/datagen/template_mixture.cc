@@ -1,0 +1,64 @@
+#include "datagen/template_mixture.h"
+
+#include <algorithm>
+
+namespace flipper {
+
+TemplateMixtureGenerator::TemplateMixtureGenerator(
+    std::vector<ItemTemplate> templates, std::vector<ItemId> noise_pool)
+    : templates_(std::move(templates)),
+      noise_pool_(std::move(noise_pool)) {}
+
+Result<TransactionDb> TemplateMixtureGenerator::Generate(
+    const MixtureParams& params) const {
+  if (templates_.empty()) {
+    return Status::InvalidArgument("mixture requires >= 1 template");
+  }
+  double weight_sum = 0.0;
+  for (const ItemTemplate& t : templates_) {
+    if (t.weight <= 0.0) {
+      return Status::InvalidArgument("template weights must be > 0");
+    }
+    weight_sum += t.weight;
+  }
+  std::vector<double> cdf(templates_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < templates_.size(); ++i) {
+    acc += templates_[i].weight / weight_sum;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+
+  Rng rng(params.seed);
+  TransactionDb db;
+  db.Reserve(params.num_transactions,
+             static_cast<uint64_t>(
+                 params.num_transactions *
+                 (params.avg_templates_per_txn * 2.0 +
+                  params.avg_noise_items)));
+  std::vector<ItemId> txn;
+  for (uint32_t t = 0; t < params.num_transactions; ++t) {
+    txn.clear();
+    const uint32_t picks =
+        std::max<uint32_t>(1,
+                           rng.Poisson(params.avg_templates_per_txn));
+    for (uint32_t p = 0; p < picks; ++p) {
+      const double u = rng.NextDouble();
+      const size_t idx = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      const ItemTemplate& tpl =
+          templates_[std::min(idx, templates_.size() - 1)];
+      txn.insert(txn.end(), tpl.items.begin(), tpl.items.end());
+    }
+    if (!noise_pool_.empty()) {
+      const uint32_t noise = rng.Poisson(params.avg_noise_items);
+      for (uint32_t i = 0; i < noise; ++i) {
+        txn.push_back(noise_pool_[rng.Below(noise_pool_.size())]);
+      }
+    }
+    db.Add(txn);  // Add() sorts and dedupes
+  }
+  return db;
+}
+
+}  // namespace flipper

@@ -1,0 +1,30 @@
+// Umbrella header: the public API of libflipper.
+//
+//   #include "flipper.h"
+//
+// pulls in everything a downstream application needs: transaction and
+// taxonomy construction + I/O, the correlation measures, the Flipper
+// and baseline miners, pattern types and exports, and the top-K
+// extension. Generators/simulators live under datagen/ and are
+// included separately by code that needs synthetic data.
+
+#ifndef FLIPPER_FLIPPER_H_
+#define FLIPPER_FLIPPER_H_
+
+#include "common/status.h"           // IWYU pragma: export
+#include "core/config.h"             // IWYU pragma: export
+#include "core/flipper_miner.h"      // IWYU pragma: export
+#include "core/mining_result.h"      // IWYU pragma: export
+#include "core/naive_miner.h"        // IWYU pragma: export
+#include "core/pattern.h"            // IWYU pragma: export
+#include "core/pattern_io.h"         // IWYU pragma: export
+#include "core/topk.h"               // IWYU pragma: export
+#include "data/db_io.h"              // IWYU pragma: export
+#include "data/item_dictionary.h"    // IWYU pragma: export
+#include "data/transaction_db.h"     // IWYU pragma: export
+#include "measures/measure.h"        // IWYU pragma: export
+#include "taxonomy/taxonomy.h"       // IWYU pragma: export
+#include "taxonomy/taxonomy_builder.h"  // IWYU pragma: export
+#include "taxonomy/taxonomy_io.h"    // IWYU pragma: export
+
+#endif  // FLIPPER_FLIPPER_H_

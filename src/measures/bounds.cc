@@ -1,0 +1,71 @@
+#include "measures/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace flipper {
+
+double TheoremOneBound(std::span<const double> subset_corrs) {
+  double bound = 0.0;
+  for (double c : subset_corrs) bound = std::max(bound, c);
+  return bound;
+}
+
+bool CheckTheoremOne(MeasureKind kind, uint32_t sup_itemset,
+                     std::span<const uint32_t> item_sups,
+                     std::span<const uint32_t> subset_sups) {
+  const size_t k = item_sups.size();
+  assert(subset_sups.size() == k);
+  const double corr_a = Correlation(kind, sup_itemset, item_sups);
+
+  // Corr of each (k-1)-subset B_i = A - {a_i}.
+  std::vector<double> subset_corrs;
+  subset_corrs.reserve(k);
+  std::vector<uint32_t> sups;
+  for (size_t i = 0; i < k; ++i) {
+    sups.clear();
+    for (size_t j = 0; j < k; ++j) {
+      if (j != i) sups.push_back(item_sups[j]);
+    }
+    subset_corrs.push_back(Correlation(kind, subset_sups[i], sups));
+  }
+  // Tolerance for the geometric-mean (log-space) path.
+  return corr_a <= TheoremOneBound(subset_corrs) + 1e-9;
+}
+
+bool CheckTheoremTwo(MeasureKind kind, double gamma, uint32_t sup_itemset,
+                     std::span<const uint32_t> item_sups,
+                     std::span<const uint32_t> subset_with_a_sups) {
+  const size_t k = item_sups.size();
+  assert(k >= 2);
+  assert(subset_with_a_sups.size() == k - 1);
+
+  // Premise (2): some item other than a (= index 0) has support >=
+  // sup(a).
+  bool has_bigger = false;
+  for (size_t i = 1; i < k; ++i) {
+    if (item_sups[i] >= item_sups[0]) {
+      has_bigger = true;
+      break;
+    }
+  }
+  if (!has_bigger) return true;  // premise fails; implication vacuous
+
+  // Premise (1): every (k-1)-subset containing a has Corr < gamma.
+  // Subset j drops item (j+1).
+  std::vector<uint32_t> sups;
+  for (size_t j = 0; j + 1 < k; ++j) {
+    sups.clear();
+    for (size_t i = 0; i < k; ++i) {
+      if (i != j + 1) sups.push_back(item_sups[i]);
+    }
+    const double c = Correlation(kind, subset_with_a_sups[j], sups);
+    if (c >= gamma) return true;  // premise fails; implication vacuous
+  }
+
+  // Conclusion: Corr(A) < gamma.
+  return Correlation(kind, sup_itemset, item_sups) < gamma + 1e-9;
+}
+
+}  // namespace flipper

@@ -1,0 +1,48 @@
+// Correlation bounds backing the Flipper pruning stack.
+//
+// Theorem 1 (correlation upper bound): for a k-itemset A with
+// (k-1)-subsets S, Corr(A) <= max_{B in S} Corr(B) for every
+// null-invariant measure.
+//
+// Theorem 2 (single-item bound): if every (k-1)-subset of A containing
+// a shared item a has Corr < gamma, and some other item of A has
+// support >= sup(a), then Corr(A) < gamma.
+//
+// These helpers verify/apply the inequalities; the property tests
+// exercise them on randomized support configurations.
+
+#ifndef FLIPPER_MEASURES_BOUNDS_H_
+#define FLIPPER_MEASURES_BOUNDS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "measures/measure.h"
+
+namespace flipper {
+
+/// max over the given subset correlations — the Theorem-1 bound for the
+/// superset. Returns 0 for an empty list.
+double TheoremOneBound(std::span<const double> subset_corrs);
+
+/// Checks the Theorem-1 inequality for a concrete itemset given
+/// sup(A) = sup_itemset and the item supports. Computes Corr(A) and the
+/// correlations of all (k-1)-subsets directly; used by tests.
+/// subset_sups[i] must be sup(A - {a_i}).
+bool CheckTheoremOne(MeasureKind kind, uint32_t sup_itemset,
+                     std::span<const uint32_t> item_sups,
+                     std::span<const uint32_t> subset_sups);
+
+/// Checks the Theorem-2 premise -> conclusion on concrete numbers:
+/// premise: all (k-1)-subsets containing item index 0 ("a") have
+/// Corr < gamma and some other item has support >= sup(a);
+/// conclusion: Corr(A) < gamma. Returns true when the implication
+/// holds (vacuously true when the premise fails). Used by tests.
+/// subset_with_a_sups[j] = sup of the j-th (k-1)-subset containing a.
+bool CheckTheoremTwo(MeasureKind kind, double gamma, uint32_t sup_itemset,
+                     std::span<const uint32_t> item_sups,
+                     std::span<const uint32_t> subset_with_a_sups);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_MEASURES_BOUNDS_H_

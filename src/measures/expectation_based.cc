@@ -1,0 +1,73 @@
+#include "measures/expectation_based.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace flipper {
+
+double ExpectedSupport(std::span<const uint32_t> item_sups, uint32_t n) {
+  assert(n > 0);
+  double expected = static_cast<double>(n);
+  for (uint32_t s : item_sups) {
+    expected *= static_cast<double>(s) / static_cast<double>(n);
+  }
+  return expected;
+}
+
+double Lift(uint32_t sup_itemset, std::span<const uint32_t> item_sups,
+            uint32_t n) {
+  const double expected = ExpectedSupport(item_sups, n);
+  if (expected == 0.0) return 0.0;
+  return static_cast<double>(sup_itemset) / expected;
+}
+
+double Leverage(uint32_t sup_itemset, std::span<const uint32_t> item_sups,
+                uint32_t n) {
+  return (static_cast<double>(sup_itemset) -
+          ExpectedSupport(item_sups, n)) /
+         static_cast<double>(n);
+}
+
+double ChiSquare2x2(uint32_t sup_ab, uint32_t sup_a, uint32_t sup_b,
+                    uint32_t n) {
+  assert(sup_a <= n && sup_b <= n && sup_ab <= sup_a && sup_ab <= sup_b);
+  // Observed cells: (a,b), (a,!b), (!a,b), (!a,!b).
+  const double o11 = sup_ab;
+  const double o10 = sup_a - sup_ab;
+  const double o01 = sup_b - sup_ab;
+  const double o00 = static_cast<double>(n) - sup_a - sup_b + sup_ab;
+  const double pa = static_cast<double>(sup_a) / n;
+  const double pb = static_cast<double>(sup_b) / n;
+  const double e11 = n * pa * pb;
+  const double e10 = n * pa * (1 - pb);
+  const double e01 = n * (1 - pa) * pb;
+  const double e00 = n * (1 - pa) * (1 - pb);
+  double chi2 = 0.0;
+  if (e11 > 0) chi2 += (o11 - e11) * (o11 - e11) / e11;
+  if (e10 > 0) chi2 += (o10 - e10) * (o10 - e10) / e10;
+  if (e01 > 0) chi2 += (o01 - e01) * (o01 - e01) / e01;
+  if (e00 > 0) chi2 += (o00 - e00) * (o00 - e00) / e00;
+  return chi2;
+}
+
+double PhiCoefficient(uint32_t sup_ab, uint32_t sup_a, uint32_t sup_b,
+                      uint32_t n) {
+  const double pa = static_cast<double>(sup_a) / n;
+  const double pb = static_cast<double>(sup_b) / n;
+  const double pab = static_cast<double>(sup_ab) / n;
+  const double denom =
+      std::sqrt(pa * (1 - pa) * pb * (1 - pb));
+  if (denom == 0.0) return 0.0;
+  return (pab - pa * pb) / denom;
+}
+
+int ExpectationVerdict(uint32_t sup_itemset,
+                       std::span<const uint32_t> item_sups, uint32_t n) {
+  const double expected = ExpectedSupport(item_sups, n);
+  const double sup = static_cast<double>(sup_itemset);
+  if (sup > expected) return 1;
+  if (sup < expected) return -1;
+  return 0;
+}
+
+}  // namespace flipper

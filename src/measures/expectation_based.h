@@ -1,0 +1,44 @@
+// Expectation-based correlation measures (Lift, leverage, chi-square).
+//
+// These are NOT null-invariant: their verdicts depend on the total
+// number of transactions N, which the paper's Table 1 / Example 2 shows
+// makes them unreliable on large sparse databases. They are included
+// solely to regenerate that demonstration (bench_table1_expectation)
+// and for the null-invariance property tests.
+
+#ifndef FLIPPER_MEASURES_EXPECTATION_BASED_H_
+#define FLIPPER_MEASURES_EXPECTATION_BASED_H_
+
+#include <cstdint>
+#include <span>
+
+namespace flipper {
+
+/// E(sup(A)) = N * prod_i (sup(a_i) / N) — the independence expectation.
+double ExpectedSupport(std::span<const uint32_t> item_sups, uint32_t n);
+
+/// Lift(A) = sup(A) / E(sup(A)). > 1 reads "positive", < 1 "negative".
+double Lift(uint32_t sup_itemset, std::span<const uint32_t> item_sups,
+            uint32_t n);
+
+/// Leverage = (sup(A) - E(sup(A))) / N ("deviation from the expected").
+double Leverage(uint32_t sup_itemset, std::span<const uint32_t> item_sups,
+                uint32_t n);
+
+/// Pearson chi-square statistic of the 2x2 contingency table of two
+/// items (1 degree of freedom).
+double ChiSquare2x2(uint32_t sup_ab, uint32_t sup_a, uint32_t sup_b,
+                    uint32_t n);
+
+/// phi coefficient of the 2x2 table (signed correlation in [-1, 1]).
+double PhiCoefficient(uint32_t sup_ab, uint32_t sup_a, uint32_t sup_b,
+                      uint32_t n);
+
+/// Sign of the expectation-based verdict: +1 when sup(A) > E(sup(A)),
+/// -1 when below, 0 on a tie. Table 1 shows this flips with N.
+int ExpectationVerdict(uint32_t sup_itemset,
+                       std::span<const uint32_t> item_sups, uint32_t n);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_MEASURES_EXPECTATION_BASED_H_

@@ -1,0 +1,86 @@
+#include "measures/measure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flipper {
+
+const char* MeasureKindToString(MeasureKind kind) {
+  switch (kind) {
+    case MeasureKind::kAllConfidence:
+      return "all_confidence";
+    case MeasureKind::kCoherence:
+      return "coherence";
+    case MeasureKind::kCosine:
+      return "cosine";
+    case MeasureKind::kKulczynski:
+      return "kulczynski";
+    case MeasureKind::kMaxConfidence:
+      return "max_confidence";
+  }
+  return "?";
+}
+
+Result<MeasureKind> ParseMeasureKind(const std::string& name) {
+  for (MeasureKind kind : kAllMeasures) {
+    if (name == MeasureKindToString(kind)) return kind;
+  }
+  if (name == "kulc") return MeasureKind::kKulczynski;
+  return Status::InvalidArgument("unknown correlation measure: '" + name +
+                                 "'");
+}
+
+double Correlation(MeasureKind kind, uint32_t sup_itemset,
+                   std::span<const uint32_t> item_sups) {
+  assert(!item_sups.empty());
+  if (sup_itemset == 0) return 0.0;
+  const double sup = static_cast<double>(sup_itemset);
+  const size_t k = item_sups.size();
+
+  switch (kind) {
+    case MeasureKind::kAllConfidence: {
+      uint32_t max_sup = 0;
+      for (uint32_t s : item_sups) max_sup = std::max(max_sup, s);
+      return sup / static_cast<double>(max_sup);
+    }
+    case MeasureKind::kMaxConfidence: {
+      uint32_t min_sup = item_sups[0];
+      for (uint32_t s : item_sups) min_sup = std::min(min_sup, s);
+      return sup / static_cast<double>(min_sup);
+    }
+    case MeasureKind::kCoherence: {
+      // Harmonic mean of P_i = k / sum(1/P_i) = k * sup / sum(sup_i).
+      double denom = 0.0;
+      for (uint32_t s : item_sups) denom += static_cast<double>(s);
+      return static_cast<double>(k) * sup / denom;
+    }
+    case MeasureKind::kCosine: {
+      // Geometric mean, computed in log space for numerical stability.
+      double log_sum = 0.0;
+      for (uint32_t s : item_sups) {
+        log_sum += std::log(static_cast<double>(s));
+      }
+      return sup / std::exp(log_sum / static_cast<double>(k));
+    }
+    case MeasureKind::kKulczynski: {
+      double sum = 0.0;
+      for (uint32_t s : item_sups) sum += sup / static_cast<double>(s);
+      return sum / static_cast<double>(k);
+    }
+  }
+  return 0.0;
+}
+
+double Correlation2(MeasureKind kind, uint32_t sup_ab, uint32_t sup_a,
+                    uint32_t sup_b) {
+  const uint32_t sups[2] = {sup_a, sup_b};
+  return Correlation(kind, sup_ab, sups);
+}
+
+bool IsAntiMonotonic(MeasureKind kind) {
+  return kind == MeasureKind::kAllConfidence ||
+         kind == MeasureKind::kCoherence;
+}
+
+}  // namespace flipper

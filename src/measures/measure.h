@@ -1,0 +1,64 @@
+// The five null-(transaction-)invariant correlation measures of the
+// paper's Table 2. Each is a generalized mean of the conditional
+// probabilities P(A | a_i) = sup(A) / sup(a_i):
+//
+//   All-Confidence   minimum
+//   Coherence        harmonic mean   (re-definition of [22], see §2.1)
+//   Cosine           geometric mean
+//   Kulczynski       arithmetic mean
+//   Max-Confidence   maximum
+//
+// which yields the fixed ordering AllConf <= Coherence <= Cosine <=
+// Kulc <= MaxConf for any support configuration. Null-invariance: none
+// of these depends on the total number of transactions N.
+
+#ifndef FLIPPER_MEASURES_MEASURE_H_
+#define FLIPPER_MEASURES_MEASURE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace flipper {
+
+enum class MeasureKind {
+  kAllConfidence = 0,
+  kCoherence = 1,
+  kCosine = 2,
+  kKulczynski = 3,
+  kMaxConfidence = 4,
+};
+
+inline constexpr MeasureKind kAllMeasures[] = {
+    MeasureKind::kAllConfidence, MeasureKind::kCoherence,
+    MeasureKind::kCosine, MeasureKind::kKulczynski,
+    MeasureKind::kMaxConfidence};
+
+const char* MeasureKindToString(MeasureKind kind);
+Result<MeasureKind> ParseMeasureKind(const std::string& name);
+
+/// Corr(A) for the k-itemset A with sup(A) = `sup_itemset` and single
+/// item supports `item_sups` (all k of them, order irrelevant).
+///
+/// Domain: item_sups[i] >= sup_itemset (anti-monotonicity of support)
+/// and k >= 1. If sup_itemset == 0 the result is 0. Items with zero
+/// support make the conditional probabilities undefined; since
+/// sup(A) <= sup(a_i), that can only occur with sup_itemset == 0,
+/// which short-circuits to 0.
+double Correlation(MeasureKind kind, uint32_t sup_itemset,
+                   std::span<const uint32_t> item_sups);
+
+/// Convenience overload for pairs.
+double Correlation2(MeasureKind kind, uint32_t sup_ab, uint32_t sup_a,
+                    uint32_t sup_b);
+
+/// True if the measure is anti-monotonic (adding an item can never
+/// increase the value): All-Confidence and Coherence are; Cosine,
+/// Kulczynski and Max-Confidence are not (paper §2.1, §3).
+bool IsAntiMonotonic(MeasureKind kind);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_MEASURES_MEASURE_H_

@@ -1,0 +1,130 @@
+#include "taxonomy/taxonomy_builder.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace flipper {
+
+TaxonomyBuilder& TaxonomyBuilder::AddRoot(ItemId node) {
+  if (std::find(roots_.begin(), roots_.end(), node) == roots_.end()) {
+    roots_.push_back(node);
+  }
+  return *this;
+}
+
+Status TaxonomyBuilder::AddEdge(ItemId parent, ItemId child) {
+  if (parent == child) {
+    return Status::InvalidArgument("taxonomy self-edge on node " +
+                                   std::to_string(parent));
+  }
+  for (const Edge& e : edges_) {
+    if (e.child == child && e.parent != parent) {
+      return Status::InvalidArgument(
+          "node " + std::to_string(child) + " already has parent " +
+          std::to_string(e.parent) + ", cannot add parent " +
+          std::to_string(parent));
+    }
+  }
+  edges_.push_back({parent, child});
+  return Status::OK();
+}
+
+Result<Taxonomy> TaxonomyBuilder::Build() const {
+  if (roots_.empty()) {
+    return Status::InvalidArgument(
+        "taxonomy has no level-1 nodes (call AddRoot)");
+  }
+  ItemId max_id = 0;
+  for (ItemId r : roots_) max_id = std::max(max_id, r);
+  for (const Edge& e : edges_) {
+    max_id = std::max(max_id, std::max(e.parent, e.child));
+  }
+  const size_t n = static_cast<size_t>(max_id) + 1;
+
+  Taxonomy tax;
+  tax.parent_.assign(n, kInvalidItem);
+  tax.level_.assign(n, 0);
+  tax.root_.assign(n, kInvalidItem);
+  tax.children_.assign(n, {});
+
+  std::vector<char> has_parent(n, 0);
+  std::vector<char> seen(n, 0);
+  for (const Edge& e : edges_) {
+    if (has_parent[e.child]) {
+      // Duplicate edge: allow exact repeats, reject conflicts.
+      if (tax.parent_[e.child] != e.parent) {
+        return Status::InvalidArgument("node " + std::to_string(e.child) +
+                                       " has two distinct parents");
+      }
+      continue;
+    }
+    has_parent[e.child] = 1;
+    tax.parent_[e.child] = e.parent;
+    tax.children_[e.parent].push_back(e.child);
+    seen[e.child] = seen[e.parent] = 1;
+  }
+  for (ItemId r : roots_) {
+    if (has_parent[r]) {
+      return Status::InvalidArgument("root node " + std::to_string(r) +
+                                     " also appears as a child");
+    }
+    seen[r] = 1;
+  }
+
+  // BFS from the roots assigns levels and detects unreachable nodes
+  // (which would indicate a cycle or a dangling edge).
+  std::queue<ItemId> queue;
+  size_t reached = 0;
+  for (ItemId r : roots_) {
+    tax.level_[r] = 1;
+    tax.root_[r] = r;
+    queue.push(r);
+  }
+  int height = 1;
+  while (!queue.empty()) {
+    const ItemId cur = queue.front();
+    queue.pop();
+    ++reached;
+    height = std::max(height, static_cast<int>(tax.level_[cur]));
+    for (ItemId child : tax.children_[cur]) {
+      tax.level_[child] = tax.level_[cur] + 1;
+      tax.root_[child] = tax.root_[cur];
+      queue.push(child);
+    }
+  }
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += seen[i];
+  if (reached != total) {
+    return Status::InvalidArgument(
+        "taxonomy contains a cycle or nodes unreachable from any root (" +
+        std::to_string(total - reached) + " unreachable)");
+  }
+
+  // Leaves must have exactly the height of the deepest leaf, or be
+  // shallow leaves (self-copy semantics). height_ = deepest leaf level.
+  tax.height_ = height;
+
+  // Sort children for deterministic traversal.
+  for (auto& ch : tax.children_) std::sort(ch.begin(), ch.end());
+
+  // Level rosters: real nodes at level h plus shallow-leaf copies.
+  tax.levels_.assign(static_cast<size_t>(height), {});
+  for (size_t id = 0; id < n; ++id) {
+    const int level = tax.level_[id];
+    if (level == 0) continue;
+    const auto iid = static_cast<ItemId>(id);
+    tax.levels_[static_cast<size_t>(level - 1)].push_back(iid);
+    if (tax.children_[id].empty()) {
+      tax.leaves_.push_back(iid);
+      for (int h = level + 1; h <= height; ++h) {
+        tax.levels_[static_cast<size_t>(h - 1)].push_back(iid);
+      }
+    }
+  }
+  for (auto& lv : tax.levels_) std::sort(lv.begin(), lv.end());
+  std::sort(tax.leaves_.begin(), tax.leaves_.end());
+
+  return tax;
+}
+
+}  // namespace flipper

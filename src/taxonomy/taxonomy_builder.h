@@ -1,0 +1,45 @@
+// Incremental construction + validation of taxonomies.
+
+#ifndef FLIPPER_TAXONOMY_TAXONOMY_BUILDER_H_
+#define FLIPPER_TAXONOMY_TAXONOMY_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/types.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+
+/// Collects root declarations and parent->child edges, then Build()
+/// validates (single parent, no cycles, connected to a root) and
+/// assigns levels.
+class TaxonomyBuilder {
+ public:
+  TaxonomyBuilder() = default;
+
+  /// Declares a level-1 node. Idempotent.
+  TaxonomyBuilder& AddRoot(ItemId node);
+
+  /// Declares `child` as a child of `parent`. Fails fast on an obvious
+  /// conflict (child already has a different parent); global validation
+  /// happens in Build().
+  Status AddEdge(ItemId parent, ItemId child);
+
+  /// Validates and produces the taxonomy. Errors: a child with two
+  /// parents, a cycle, a node unreachable from any root, a root that is
+  /// also someone's child, or an empty taxonomy.
+  Result<Taxonomy> Build() const;
+
+ private:
+  struct Edge {
+    ItemId parent;
+    ItemId child;
+  };
+  std::vector<ItemId> roots_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_TAXONOMY_TAXONOMY_BUILDER_H_

@@ -1,0 +1,77 @@
+#include "taxonomy/taxonomy_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+#include "taxonomy/taxonomy_builder.h"
+
+namespace flipper {
+
+Result<Taxonomy> ReadTaxonomyStream(std::istream& in,
+                                    ItemDictionary* dict) {
+  TaxonomyBuilder builder;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> tokens = SplitWhitespace(trimmed);
+    if (tokens[0] == "root" && tokens.size() == 2) {
+      builder.AddRoot(dict->Intern(tokens[1]));
+    } else if (tokens[0] == "edge" && tokens.size() == 3) {
+      FLIPPER_RETURN_IF_ERROR(builder.AddEdge(dict->Intern(tokens[1]),
+                                              dict->Intern(tokens[2])));
+    } else {
+      return Status::CorruptedData(
+          "taxonomy line " + std::to_string(lineno) +
+          ": expected 'root <name>' or 'edge <parent> <child>', got '" +
+          std::string(trimmed) + "'");
+    }
+  }
+  if (in.bad()) {
+    return Status::IoError("stream error while reading taxonomy");
+  }
+  return builder.Build();
+}
+
+Result<Taxonomy> ReadTaxonomyFile(const std::string& path,
+                                  ItemDictionary* dict) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open taxonomy file: " + path);
+  return ReadTaxonomyStream(f, dict);
+}
+
+Status WriteTaxonomyStream(const Taxonomy& tax, const ItemDictionary& dict,
+                           std::ostream& out) {
+  for (ItemId r : tax.Level1()) {
+    if (r >= dict.size()) {
+      return Status::InvalidArgument("node id " + std::to_string(r) +
+                                     " missing from dictionary");
+    }
+    out << "root " << dict.Name(r) << '\n';
+  }
+  for (size_t id = 0; id < tax.id_space(); ++id) {
+    const auto iid = static_cast<ItemId>(id);
+    if (!tax.IsNode(iid)) continue;
+    for (ItemId child : tax.ChildrenOf(iid)) {
+      if (iid >= dict.size() || child >= dict.size()) {
+        return Status::InvalidArgument("node id missing from dictionary");
+      }
+      out << "edge " << dict.Name(iid) << ' ' << dict.Name(child) << '\n';
+    }
+  }
+  if (!out) return Status::IoError("stream error while writing taxonomy");
+  return Status::OK();
+}
+
+Status WriteTaxonomyFile(const Taxonomy& tax, const ItemDictionary& dict,
+                         const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  return WriteTaxonomyStream(tax, dict, f);
+}
+
+}  // namespace flipper

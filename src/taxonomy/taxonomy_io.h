@@ -1,0 +1,34 @@
+// Text format for taxonomies.
+//
+//   # comment / blank lines skipped
+//   root <name>            declares a level-1 node
+//   edge <parent> <child>  declares a parent->child edge
+//
+// Names are interned into the caller's ItemDictionary so taxonomy nodes
+// and transaction items share the id space.
+
+#ifndef FLIPPER_TAXONOMY_TAXONOMY_IO_H_
+#define FLIPPER_TAXONOMY_TAXONOMY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "data/item_dictionary.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+
+Result<Taxonomy> ReadTaxonomyStream(std::istream& in,
+                                    ItemDictionary* dict);
+Result<Taxonomy> ReadTaxonomyFile(const std::string& path,
+                                  ItemDictionary* dict);
+
+Status WriteTaxonomyStream(const Taxonomy& tax, const ItemDictionary& dict,
+                           std::ostream& out);
+Status WriteTaxonomyFile(const Taxonomy& tax, const ItemDictionary& dict,
+                         const std::string& path);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_TAXONOMY_TAXONOMY_IO_H_

@@ -1,0 +1,200 @@
+// Foundation utilities: Status/Result, string helpers, RNG, memory
+// tracker, table printer, CSV, env.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace flipper {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::InvalidArgument("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: boom");
+  std::ostringstream oss;
+  oss << s;
+  EXPECT_EQ(oss.str(), "InvalidArgument: boom");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::OutOfRange("not positive");
+  return v;
+}
+
+Status UseMacros(int v, int* out) {
+  FLIPPER_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(Result, ValueAndError) {
+  auto good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 21);
+  EXPECT_EQ(good.value_or(-1), 21);
+
+  auto bad = ParsePositive(-3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bad.value_or(-1), -1);
+
+  int out = 0;
+  EXPECT_TRUE(UseMacros(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseMacros(-5, &out).ok());
+}
+
+TEST(StringUtil, SplitAndTrim) {
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  ").size(), 3u);
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_TRUE(StartsWith("flipper", "flip"));
+  EXPECT_TRUE(EndsWith("flipper", "per"));
+  EXPECT_FALSE(StartsWith("a", "ab"));
+}
+
+TEST(StringUtil, StrictParsers) {
+  EXPECT_EQ(*ParseInt(" 42 "), 42);
+  EXPECT_EQ(*ParseInt("-7"), -7);
+  EXPECT_FALSE(ParseInt("42x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").ok());
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.5"), 0.5);
+  EXPECT_FALSE(ParseDouble("0.5.1").ok());
+}
+
+TEST(StringUtil, Formatting) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(-42), "-42");
+  EXPECT_EQ(FormatCount(0), "0");
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(c.Below(17), 17u);
+    const int64_t v = c.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = c.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, PoissonMeanApproximatelyCorrect) {
+  Rng rng(5);
+  for (double mean : {0.5, 3.0, 40.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.Poisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(Rng, ZipfIsMonotoneAndNormalized) {
+  ZipfDistribution zipf(100, 1.0);
+  double total = 0.0;
+  double prev = 1.0;
+  for (uint32_t r = 0; r < 100; ++r) {
+    const double p = zipf.Pmf(r);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 100u);
+}
+
+TEST(MemoryTracker, LiveAndPeak) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Add(50);
+  EXPECT_EQ(tracker.live_bytes(), 150);
+  EXPECT_EQ(tracker.peak_bytes(), 150);
+  tracker.Sub(120);
+  EXPECT_EQ(tracker.live_bytes(), 30);
+  EXPECT_EQ(tracker.peak_bytes(), 150);
+  {
+    ScopedTrackedBytes scope(&tracker, 500);
+    EXPECT_EQ(tracker.live_bytes(), 530);
+  }
+  EXPECT_EQ(tracker.live_bytes(), 30);
+  EXPECT_EQ(tracker.peak_bytes(), 530);
+  tracker.Reset();
+  EXPECT_EQ(tracker.peak_bytes(), 0);
+}
+
+TEST(MemoryTracker, RssReadable) {
+  EXPECT_GT(CurrentRssBytes(), 0);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Csv, EscapesFields) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"plain", "with,comma"});
+  csv.AddRow({"with\"quote", "with\nnewline"});
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Env, FallbacksAndParsing) {
+  ::unsetenv("FLIPPER_TEST_ENV");
+  EXPECT_EQ(GetEnvInt("FLIPPER_TEST_ENV", 42), 42);
+  ::setenv("FLIPPER_TEST_ENV", "17", 1);
+  EXPECT_EQ(GetEnvInt("FLIPPER_TEST_ENV", 42), 17);
+  ::setenv("FLIPPER_TEST_ENV", "junk", 1);
+  EXPECT_EQ(GetEnvInt("FLIPPER_TEST_ENV", 42), 42);
+  ::unsetenv("FLIPPER_TEST_ENV");
+}
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer timer;
+  double acc = 0.0;
+  {
+    ScopedTimer scoped(&acc);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GE(acc, 0.0);
+  EXPECT_GE(timer.ElapsedSeconds(), acc);
+  EXPECT_GE(timer.ElapsedMicros(), 0);
+}
+
+}  // namespace
+}  // namespace flipper

@@ -1,0 +1,157 @@
+// Generators: balanced taxonomies, the Quest-style generator, template
+// mixtures — determinism, parameter validation and basic statistics.
+
+#include <gtest/gtest.h>
+
+#include "datagen/quest_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "datagen/template_mixture.h"
+
+namespace flipper {
+namespace {
+
+TEST(TaxonomyGen, BalancedShape) {
+  TaxonomyGenParams params;
+  params.num_roots = 10;
+  params.fanout = 5;
+  params.depth = 4;
+  ItemDictionary dict;
+  auto tax = GenerateBalancedTaxonomy(params, &dict);
+  ASSERT_TRUE(tax.ok()) << tax.status();
+  EXPECT_EQ(tax->height(), 4);
+  EXPECT_EQ(tax->Level1().size(), 10u);
+  EXPECT_EQ(tax->Leaves().size(), 10u * 5 * 5 * 5);
+  EXPECT_TRUE(tax->Validate().ok());
+  // 10 + 50 + 250 + 1250 nodes named.
+  EXPECT_EQ(dict.size(), 1560u);
+}
+
+TEST(TaxonomyGen, ValidatesParams) {
+  ItemDictionary dict;
+  TaxonomyGenParams bad;
+  bad.num_roots = 0;
+  EXPECT_FALSE(GenerateBalancedTaxonomy(bad, &dict).ok());
+  bad = {};
+  bad.depth = 0;
+  EXPECT_FALSE(GenerateBalancedTaxonomy(bad, &dict).ok());
+  bad = {};
+  bad.depth = 3;
+  bad.fanout = 0;
+  EXPECT_FALSE(GenerateBalancedTaxonomy(bad, &dict).ok());
+}
+
+TEST(QuestGen, DeterministicForSameSeed) {
+  ItemDictionary dict;
+  TaxonomyGenParams tax_params;
+  tax_params.num_roots = 5;
+  tax_params.fanout = 3;
+  tax_params.depth = 3;
+  auto tax = GenerateBalancedTaxonomy(tax_params, &dict);
+  ASSERT_TRUE(tax.ok());
+
+  QuestParams params;
+  params.num_transactions = 2000;
+  params.seed = 77;
+  auto db1 = GenerateQuest(params, *tax);
+  auto db2 = GenerateQuest(params, *tax);
+  ASSERT_TRUE(db1.ok());
+  ASSERT_TRUE(db2.ok());
+  ASSERT_EQ(db1->size(), db2->size());
+  for (TxnId t = 0; t < db1->size(); ++t) {
+    auto a = db1->Get(t);
+    auto b = db2->Get(t);
+    ASSERT_EQ(a.size(), b.size()) << t;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  params.seed = 78;
+  auto db3 = GenerateQuest(params, *tax);
+  ASSERT_TRUE(db3.ok());
+  bool any_diff = db3->total_items() != db1->total_items();
+  EXPECT_TRUE(any_diff || db1->size() > 0);
+}
+
+TEST(QuestGen, StatisticsTrackParams) {
+  ItemDictionary dict;
+  TaxonomyGenParams tax_params;
+  tax_params.num_roots = 10;
+  tax_params.fanout = 5;
+  tax_params.depth = 4;
+  auto tax = GenerateBalancedTaxonomy(tax_params, &dict);
+  ASSERT_TRUE(tax.ok());
+
+  QuestParams params;
+  params.num_transactions = 5000;
+  params.avg_width = 5.0;
+  auto db = GenerateQuest(params, *tax);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 5000u);
+  // Average width in the right ballpark (corruption trims downward).
+  EXPECT_GT(db->avg_width(), 2.0);
+  EXPECT_LT(db->avg_width(), 9.0);
+  // Only leaves appear.
+  for (TxnId t = 0; t < 200; ++t) {
+    for (ItemId item : db->Get(t)) {
+      EXPECT_TRUE(tax->IsLeaf(item));
+    }
+  }
+}
+
+TEST(QuestGen, ValidatesParams) {
+  ItemDictionary dict;
+  TaxonomyGenParams tax_params;
+  tax_params.num_roots = 2;
+  tax_params.fanout = 2;
+  tax_params.depth = 2;
+  auto tax = GenerateBalancedTaxonomy(tax_params, &dict);
+  ASSERT_TRUE(tax.ok());
+
+  QuestParams bad;
+  bad.avg_width = 0.0;
+  EXPECT_FALSE(GenerateQuest(bad, *tax).ok());
+  bad = {};
+  bad.num_patterns = 0;
+  EXPECT_FALSE(GenerateQuest(bad, *tax).ok());
+  bad = {};
+  bad.correlation = 1.5;
+  EXPECT_FALSE(GenerateQuest(bad, *tax).ok());
+  bad = {};
+  bad.corruption_mean = 1.0;
+  EXPECT_FALSE(GenerateQuest(bad, *tax).ok());
+}
+
+TEST(TemplateMixture, PlantsCooccurrence) {
+  // Template {1,2} dominates: the pair must co-occur far more often
+  // than with item 3 (noise).
+  TemplateMixtureGenerator gen({{{1, 2}, 1.0}}, {3, 4, 5});
+  MixtureParams params;
+  params.num_transactions = 2000;
+  params.avg_templates_per_txn = 1.0;
+  params.avg_noise_items = 0.5;
+  auto db = gen.Generate(params);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2000u);
+  const uint32_t joint = db->CountSupport(Itemset{1, 2});
+  EXPECT_EQ(joint, 2000u);  // template always present
+}
+
+TEST(TemplateMixture, Validation) {
+  TemplateMixtureGenerator empty({}, {});
+  EXPECT_FALSE(empty.Generate({}).ok());
+  TemplateMixtureGenerator bad_weight({{{1}, 0.0}}, {});
+  EXPECT_FALSE(bad_weight.Generate({}).ok());
+}
+
+TEST(TemplateMixture, Deterministic) {
+  TemplateMixtureGenerator gen({{{1, 2}, 1.0}, {{3}, 2.0}}, {4, 5});
+  MixtureParams params;
+  params.num_transactions = 500;
+  params.seed = 5;
+  auto a = gen.Generate(params);
+  auto b = gen.Generate(params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->total_items(), b->total_items());
+}
+
+}  // namespace
+}  // namespace flipper

@@ -1,0 +1,128 @@
+// Invariance properties of the miner: the flipping-pattern set must
+// not depend on transaction order, and simulator-planted patterns must
+// survive dataset rescaling (the simulators' correlation structure is
+// scale-free by construction).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/flipper_miner.h"
+#include "datagen/census_sim.h"
+#include "datagen/groceries_sim.h"
+#include "test_util.h"
+
+namespace flipper {
+namespace {
+
+TEST(Invariance, TransactionOrderDoesNotMatter) {
+  testutil::Dataset data = testutil::RandomDataset(321);
+  MiningConfig config;
+  config.gamma = 0.5;
+  config.epsilon = 0.25;
+  config.min_support = {0.02, 0.01, 0.01};
+
+  // Rebuild the database with the transactions in reverse order.
+  TransactionDb reversed;
+  for (TxnId t = data.db.size(); t-- > 0;) {
+    auto txn = data.db.Get(t);
+    reversed.Add(std::vector<ItemId>(txn.begin(), txn.end()));
+  }
+
+  auto original = FlipperMiner::Run(data.db, data.taxonomy, config);
+  auto shuffled = FlipperMiner::Run(reversed, data.taxonomy, config);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(shuffled.ok());
+  EXPECT_TRUE(SamePatterns(original->patterns, shuffled->patterns));
+}
+
+TEST(Invariance, DuplicatingTheDatabasePreservesPatternLabels) {
+  // Doubling every transaction doubles all supports and leaves every
+  // relative threshold and every null-invariant correlation unchanged.
+  testutil::Dataset data = testutil::RandomDataset(654);
+  MiningConfig config;
+  config.gamma = 0.5;
+  config.epsilon = 0.25;
+  config.min_support = {0.02, 0.01, 0.01};
+
+  TransactionDb doubled;
+  for (int round = 0; round < 2; ++round) {
+    for (TxnId t = 0; t < data.db.size(); ++t) {
+      auto txn = data.db.Get(t);
+      doubled.Add(std::vector<ItemId>(txn.begin(), txn.end()));
+    }
+  }
+  auto base = FlipperMiner::Run(data.db, data.taxonomy, config);
+  auto twice = FlipperMiner::Run(doubled, data.taxonomy, config);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(twice.ok());
+  ASSERT_EQ(base->patterns.size(), twice->patterns.size());
+  // Same leaf itemsets and labels; supports exactly doubled.
+  for (size_t i = 0; i < base->patterns.size(); ++i) {
+    EXPECT_EQ(base->patterns[i].leaf_itemset,
+              twice->patterns[i].leaf_itemset);
+    for (size_t h = 0; h < base->patterns[i].chain.size(); ++h) {
+      EXPECT_EQ(base->patterns[i].chain[h].label,
+                twice->patterns[i].chain[h].label);
+      EXPECT_EQ(2 * base->patterns[i].chain[h].support,
+                twice->patterns[i].chain[h].support);
+      EXPECT_NEAR(base->patterns[i].chain[h].corr,
+                  twice->patterns[i].chain[h].corr, 1e-12);
+    }
+  }
+}
+
+class SimScaleSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SimScaleSweep, GroceriesPlantedFlipsSurviveRescaling) {
+  GroceriesParams params;
+  params.num_transactions = GetParam();
+  auto data = GenerateGroceries(params);
+  ASSERT_TRUE(data.ok()) << data.status();
+  auto result =
+      FlipperMiner::Run(data->db, data->taxonomy, data->paper_config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const PlantedFlip& plant : data->planted) {
+    Itemset target;
+    for (const std::string& name : plant.leaf_names) {
+      auto id = data->dict.Find(name);
+      ASSERT_TRUE(id.ok()) << name;
+      target.Insert(*id);
+    }
+    bool found = false;
+    for (const FlippingPattern& p : result->patterns) {
+      if (p.leaf_itemset == target) found = true;
+    }
+    EXPECT_TRUE(found) << "N=" << GetParam() << ": " << plant.description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SimScaleSweep,
+                         ::testing::Values(4'900u, 9'800u, 19'600u,
+                                           39'200u));
+
+TEST(Invariance, CensusSeedSweepKeepsPlantedFlips) {
+  for (uint64_t seed : {13ull, 99ull, 12345ull}) {
+    CensusParams params;
+    params.num_records = 16'000;
+    params.seed = seed;
+    auto data = GenerateCensus(params);
+    ASSERT_TRUE(data.ok());
+    auto result =
+        FlipperMiner::Run(data->db, data->taxonomy, data->paper_config);
+    ASSERT_TRUE(result.ok()) << result.status();
+    int recovered = 0;
+    for (const PlantedFlip& plant : data->planted) {
+      Itemset target;
+      for (const std::string& name : plant.leaf_names) {
+        target.Insert(*data->dict.Find(name));
+      }
+      for (const FlippingPattern& p : result->patterns) {
+        if (p.leaf_itemset == target) ++recovered;
+      }
+    }
+    EXPECT_EQ(recovered, 2) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace flipper

@@ -1,0 +1,105 @@
+// Unit tests for the inline Itemset container.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "data/itemset.h"
+
+namespace flipper {
+namespace {
+
+TEST(Itemset, InsertKeepsSortedUnique) {
+  Itemset s;
+  s.Insert(5);
+  s.Insert(2);
+  s.Insert(9);
+  s.Insert(5);  // duplicate
+  ASSERT_EQ(s.size(), 3);
+  EXPECT_EQ(s[0], 2u);
+  EXPECT_EQ(s[1], 5u);
+  EXPECT_EQ(s[2], 9u);
+  EXPECT_EQ(s.ToString(), "{2, 5, 9}");
+}
+
+TEST(Itemset, InitializerListCollapsesDuplicates) {
+  Itemset s{7, 3, 7, 1};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.front(), 1u);
+  EXPECT_EQ(s.back(), 7u);
+}
+
+TEST(Itemset, ContainsAndContainsAll) {
+  Itemset s{1, 3, 5, 7};
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE(s.ContainsAll(Itemset{3, 7}));
+  EXPECT_FALSE(s.ContainsAll(Itemset{3, 4}));
+  EXPECT_TRUE(s.ContainsAll(Itemset{}));
+}
+
+TEST(Itemset, WithoutIndexAndWithItem) {
+  Itemset s{10, 20, 30};
+  EXPECT_EQ(s.WithoutIndex(1), (Itemset{10, 30}));
+  EXPECT_EQ(s.WithItem(25), (Itemset{10, 20, 25, 30}));
+}
+
+TEST(Itemset, PrefixJoin) {
+  auto joined =
+      Itemset::PrefixJoin(Itemset{1, 2, 3}, Itemset{1, 2, 5});
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(*joined, (Itemset{1, 2, 3, 5}));
+
+  // Divergent prefix.
+  EXPECT_FALSE(
+      Itemset::PrefixJoin(Itemset{1, 2, 3}, Itemset{1, 4, 5}).has_value());
+  // Wrong order of last elements.
+  EXPECT_FALSE(
+      Itemset::PrefixJoin(Itemset{1, 2, 5}, Itemset{1, 2, 3}).has_value());
+  // Size mismatch.
+  EXPECT_FALSE(
+      Itemset::PrefixJoin(Itemset{1, 2}, Itemset{1, 2, 3}).has_value());
+}
+
+TEST(Itemset, MapCollapses) {
+  Itemset s{10, 11, 20};
+  // Map 10,11 to the same parent.
+  Itemset mapped = s.Map([](ItemId i) { return i / 10; });
+  EXPECT_EQ(mapped, (Itemset{1, 2}));
+}
+
+TEST(Itemset, OrderingIsLexicographic) {
+  EXPECT_LT((Itemset{1, 2}), (Itemset{1, 3}));
+  EXPECT_LT((Itemset{1, 2}), (Itemset{1, 2, 3}));
+  EXPECT_FALSE(Itemset{2} < (Itemset{1, 9}));
+}
+
+TEST(Itemset, HashDistinguishesAndAgrees) {
+  Rng rng(42);
+  std::unordered_set<Itemset, ItemsetHash> seen;
+  int collisions_with_equal = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Itemset s;
+    const int k = 1 + static_cast<int>(rng.Below(5));
+    for (int j = 0; j < k; ++j) {
+      s.Insert(static_cast<ItemId>(rng.Below(50)));
+    }
+    Itemset copy = s;
+    EXPECT_EQ(ItemsetHash()(s), ItemsetHash()(copy));
+    if (seen.count(s) > 0) ++collisions_with_equal;
+    seen.insert(s);
+  }
+  EXPECT_GT(seen.size(), 100u);
+}
+
+TEST(Itemset, EmptyBehaviour) {
+  Itemset s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.ToString(), "{}");
+  EXPECT_FALSE(s.Contains(0));
+}
+
+}  // namespace
+}  // namespace flipper

@@ -1,0 +1,238 @@
+// Unit + property tests for the correlation measures: closed-form
+// values, the generalized-mean ordering of Table 2, null-invariance
+// (vs. the expectation-based measures' instability of Table 1), and
+// the Theorem-1/Theorem-2 bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "measures/bounds.h"
+#include "measures/expectation_based.h"
+#include "measures/measure.h"
+
+namespace flipper {
+namespace {
+
+TEST(Measures, PairClosedForms) {
+  // sup(AB)=30, sup(A)=60, sup(B)=40: P(AB|A)=0.5, P(AB|B)=0.75.
+  EXPECT_DOUBLE_EQ(
+      Correlation2(MeasureKind::kAllConfidence, 30, 60, 40), 0.5);
+  EXPECT_DOUBLE_EQ(
+      Correlation2(MeasureKind::kMaxConfidence, 30, 60, 40), 0.75);
+  EXPECT_DOUBLE_EQ(Correlation2(MeasureKind::kKulczynski, 30, 60, 40),
+                   (0.5 + 0.75) / 2);
+  EXPECT_NEAR(Correlation2(MeasureKind::kCosine, 30, 60, 40),
+              std::sqrt(0.5 * 0.75), 1e-12);
+  // Coherence (harmonic): 2 / (1/0.5 + 1/0.75) = 2 * 30 / (60 + 40).
+  EXPECT_NEAR(Correlation2(MeasureKind::kCoherence, 30, 60, 40),
+              2.0 * 30 / 100, 1e-12);
+}
+
+TEST(Measures, PerfectAndZeroCorrelation) {
+  for (MeasureKind kind : kAllMeasures) {
+    EXPECT_DOUBLE_EQ(Correlation2(kind, 50, 50, 50), 1.0)
+        << MeasureKindToString(kind);
+    EXPECT_DOUBLE_EQ(Correlation2(kind, 0, 50, 50), 0.0)
+        << MeasureKindToString(kind);
+  }
+}
+
+TEST(Measures, KulcMatchesPaperTable1Examples) {
+  // Table 1: Kulc(A,B) = 0.40 for sup 1000/1000/400; Kulc(C,D) = 0.02
+  // for sup 200/200/4.
+  EXPECT_NEAR(Correlation2(MeasureKind::kKulczynski, 400, 1000, 1000),
+              0.40, 1e-12);
+  EXPECT_NEAR(Correlation2(MeasureKind::kKulczynski, 4, 200, 200), 0.02,
+              1e-12);
+}
+
+TEST(Measures, ParseRoundTrip) {
+  for (MeasureKind kind : kAllMeasures) {
+    auto parsed = ParseMeasureKind(MeasureKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_TRUE(ParseMeasureKind("kulc").ok());
+  EXPECT_FALSE(ParseMeasureKind("lift").ok());
+}
+
+TEST(Measures, AntiMonotonicityFlags) {
+  EXPECT_TRUE(IsAntiMonotonic(MeasureKind::kAllConfidence));
+  EXPECT_TRUE(IsAntiMonotonic(MeasureKind::kCoherence));
+  EXPECT_FALSE(IsAntiMonotonic(MeasureKind::kCosine));
+  EXPECT_FALSE(IsAntiMonotonic(MeasureKind::kKulczynski));
+  EXPECT_FALSE(IsAntiMonotonic(MeasureKind::kMaxConfidence));
+}
+
+// --- Property sweeps over random support configurations. ---
+
+class MeasurePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+struct RandomItemset {
+  uint32_t sup;
+  std::vector<uint32_t> item_sups;
+};
+
+RandomItemset MakeRandomItemset(Rng* rng, int max_k = 5) {
+  RandomItemset out;
+  const int k = 2 + static_cast<int>(rng->Below(
+                        static_cast<uint64_t>(max_k - 1)));
+  uint32_t min_item_sup = 0;
+  for (int i = 0; i < k; ++i) {
+    const auto s = static_cast<uint32_t>(rng->Uniform(1, 1000));
+    out.item_sups.push_back(s);
+    min_item_sup = i == 0 ? s : std::min(min_item_sup, s);
+  }
+  out.sup = static_cast<uint32_t>(rng->Uniform(0, min_item_sup));
+  return out;
+}
+
+// Table 2's mean ordering: min <= harmonic <= geometric <= arithmetic
+// <= max.
+TEST_P(MeasurePropertyTest, GeneralizedMeanOrdering) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const RandomItemset it = MakeRandomItemset(&rng);
+    const double all_conf =
+        Correlation(MeasureKind::kAllConfidence, it.sup, it.item_sups);
+    const double coherence =
+        Correlation(MeasureKind::kCoherence, it.sup, it.item_sups);
+    const double cosine =
+        Correlation(MeasureKind::kCosine, it.sup, it.item_sups);
+    const double kulc =
+        Correlation(MeasureKind::kKulczynski, it.sup, it.item_sups);
+    const double max_conf =
+        Correlation(MeasureKind::kMaxConfidence, it.sup, it.item_sups);
+    EXPECT_LE(all_conf, coherence + 1e-9);
+    EXPECT_LE(coherence, cosine + 1e-9);
+    EXPECT_LE(cosine, kulc + 1e-9);
+    EXPECT_LE(kulc, max_conf + 1e-9);
+    EXPECT_GE(all_conf, 0.0);
+    EXPECT_LE(max_conf, 1.0 + 1e-9);
+  }
+}
+
+// Null-invariance: the five measures never change when the number of
+// transactions N grows (N is not even an argument); the
+// expectation-based verdict DOES change — exactly the Table-1 flaw.
+TEST_P(MeasurePropertyTest, NullInvarianceVsExpectation) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 100; ++trial) {
+    const RandomItemset it = MakeRandomItemset(&rng, 3);
+    if (it.sup == 0) continue;
+    uint32_t n_small = 0;
+    for (uint32_t s : it.item_sups) n_small = std::max(n_small, s);
+    n_small *= 2;
+    const uint32_t n_large = n_small * 1000;
+
+    // Null-invariant: identical under any N (no N parameter at all);
+    // recompute to show determinism.
+    for (MeasureKind kind : kAllMeasures) {
+      EXPECT_DOUBLE_EQ(Correlation(kind, it.sup, it.item_sups),
+                       Correlation(kind, it.sup, it.item_sups));
+    }
+    // Expectation-based: adding null transactions inflates the verdict
+    // toward "positive" (E(sup) shrinks with N).
+    EXPECT_LE(ExpectedSupport(it.item_sups, n_large),
+              ExpectedSupport(it.item_sups, n_small) + 1e-9);
+    EXPECT_GE(Lift(it.sup, it.item_sups, n_large),
+              Lift(it.sup, it.item_sups, n_small) - 1e-9);
+  }
+}
+
+// Theorem 1: Corr(A) <= max over (k-1)-subset correlations, for every
+// null-invariant measure, on random support configurations. Subset
+// supports are sampled >= sup(A) (anti-monotonicity).
+TEST_P(MeasurePropertyTest, TheoremOneUpperBound) {
+  Rng rng(GetParam() ^ 0x777);
+  for (int trial = 0; trial < 300; ++trial) {
+    const RandomItemset it = MakeRandomItemset(&rng);
+    const size_t k = it.item_sups.size();
+    std::vector<uint32_t> subset_sups;
+    for (size_t i = 0; i < k; ++i) {
+      // sup(A - {a_i}) in [sup(A), min sup of remaining items].
+      uint32_t cap = 0;
+      bool first = true;
+      for (size_t j = 0; j < k; ++j) {
+        if (j == i) continue;
+        cap = first ? it.item_sups[j] : std::min(cap, it.item_sups[j]);
+        first = false;
+      }
+      subset_sups.push_back(static_cast<uint32_t>(
+          rng.Uniform(it.sup, std::max(it.sup, cap))));
+    }
+    for (MeasureKind kind : kAllMeasures) {
+      EXPECT_TRUE(
+          CheckTheoremOne(kind, it.sup, it.item_sups, subset_sups))
+          << MeasureKindToString(kind) << " trial " << trial;
+    }
+  }
+}
+
+// Theorem 2 as an implication on random configurations (vacuously true
+// cases included).
+TEST_P(MeasurePropertyTest, TheoremTwoImplication) {
+  Rng rng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 300; ++trial) {
+    const RandomItemset it = MakeRandomItemset(&rng);
+    const size_t k = it.item_sups.size();
+    std::vector<uint32_t> subset_with_a_sups;
+    for (size_t j = 0; j + 1 < k; ++j) {
+      uint32_t cap = it.item_sups[0];
+      for (size_t i = 1; i < k; ++i) {
+        if (i != j + 1) cap = std::min(cap, it.item_sups[i]);
+      }
+      subset_with_a_sups.push_back(static_cast<uint32_t>(
+          rng.Uniform(it.sup, std::max(it.sup, cap))));
+    }
+    const double gamma = 0.1 + rng.NextDouble() * 0.8;
+    for (MeasureKind kind : kAllMeasures) {
+      EXPECT_TRUE(CheckTheoremTwo(kind, gamma, it.sup, it.item_sups,
+                                  subset_with_a_sups))
+          << MeasureKindToString(kind) << " trial " << trial
+          << " gamma " << gamma;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeasurePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Table 1 reproduction (Example 2). ---
+
+TEST(ExpectationBased, Table1Verdicts) {
+  // DB1: N = 20,000; DB2: N = 2,000.
+  const std::vector<uint32_t> ab = {1000, 1000};
+  EXPECT_EQ(ExpectationVerdict(400, ab, 20000), 1);   // positive
+  EXPECT_EQ(ExpectationVerdict(400, ab, 2000), -1);   // negative
+  const std::vector<uint32_t> cd = {200, 200};
+  EXPECT_EQ(ExpectationVerdict(4, cd, 20000), 1);     // positive (!)
+  EXPECT_EQ(ExpectationVerdict(4, cd, 2000), -1);     // negative
+  // Expected supports as printed in Table 1.
+  EXPECT_NEAR(ExpectedSupport(ab, 20000), 50.0, 1e-9);
+  EXPECT_NEAR(ExpectedSupport(ab, 2000), 500.0, 1e-9);
+  EXPECT_NEAR(ExpectedSupport(cd, 20000), 2.0, 1e-9);
+  EXPECT_NEAR(ExpectedSupport(cd, 2000), 20.0, 1e-9);
+}
+
+TEST(ExpectationBased, ChiSquareAndPhi) {
+  // Independent items: chi2 ~ 0, phi ~ 0.
+  EXPECT_NEAR(ChiSquare2x2(25, 50, 50, 100), 0.0, 1e-9);
+  EXPECT_NEAR(PhiCoefficient(25, 50, 50, 100), 0.0, 1e-9);
+  // Perfect positive association.
+  EXPECT_GT(ChiSquare2x2(50, 50, 50, 100), 90.0);
+  EXPECT_NEAR(PhiCoefficient(50, 50, 50, 100), 1.0, 1e-9);
+  // Perfect negative association.
+  EXPECT_NEAR(PhiCoefficient(0, 50, 50, 100), -1.0, 1e-9);
+  // Leverage sign mirrors the verdict.
+  const std::vector<uint32_t> sups = {50, 50};
+  EXPECT_GT(Leverage(50, sups, 100), 0.0);
+  EXPECT_LT(Leverage(10, sups, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace flipper

@@ -1,0 +1,183 @@
+// FlippingPattern invariants, rendering, ranking (top-K extension),
+// config validation and basket I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config.h"
+#include "core/pattern.h"
+#include "core/topk.h"
+#include "data/db_io.h"
+
+namespace flipper {
+namespace {
+
+FlippingPattern MakePattern(std::vector<double> corrs,
+                            Itemset leaf = Itemset{10, 20}) {
+  FlippingPattern p;
+  p.leaf_itemset = leaf;
+  Label label = corrs[0] >= 0.5 ? Label::kPositive : Label::kNegative;
+  for (size_t h = 0; h < corrs.size(); ++h) {
+    LevelStat stat;
+    stat.level = static_cast<int>(h + 1);
+    stat.itemset = leaf;
+    stat.support = 10;
+    stat.corr = corrs[h];
+    stat.label = label;
+    label = label == Label::kPositive ? Label::kNegative
+                                      : Label::kPositive;
+    p.chain.push_back(stat);
+  }
+  return p;
+}
+
+TEST(Pattern, FlipGapIsWeakestConsecutiveGap) {
+  FlippingPattern p = MakePattern({0.9, 0.1, 0.6});
+  // Gaps: |0.9-0.1| = 0.8, |0.1-0.6| = 0.5 -> FlipGap = 0.5.
+  EXPECT_NEAR(p.FlipGap(), 0.5, 1e-12);
+  EXPECT_EQ(MakePattern({0.9}).FlipGap(), 0.0);
+}
+
+TEST(Pattern, IsValidFlip) {
+  EXPECT_TRUE(MakePattern({0.9, 0.1, 0.8}).IsValidFlip());
+  FlippingPattern broken = MakePattern({0.9, 0.1});
+  broken.chain[1].label = Label::kPositive;  // no flip
+  EXPECT_FALSE(broken.IsValidFlip());
+  broken = MakePattern({0.9, 0.1});
+  broken.chain[1].label = Label::kNone;
+  EXPECT_FALSE(broken.IsValidFlip());
+  FlippingPattern empty;
+  EXPECT_FALSE(empty.IsValidFlip());
+}
+
+TEST(Pattern, ToStringRendersLabelsAndNames) {
+  ItemDictionary dict;
+  const ItemId milk = dict.Intern("milk");
+  const ItemId bread = dict.Intern("bread");
+  FlippingPattern p = MakePattern({0.9, 0.1}, Itemset::Pair(milk, bread));
+  for (auto& stat : p.chain) stat.itemset = Itemset::Pair(milk, bread);
+  const std::string with_names = p.ToString(&dict);
+  EXPECT_NE(with_names.find("milk"), std::string::npos);
+  EXPECT_NE(with_names.find("POS"), std::string::npos);
+  EXPECT_NE(with_names.find("NEG"), std::string::npos);
+  const std::string without = p.ToString();
+  EXPECT_NE(without.find("{0, 1}"), std::string::npos);
+}
+
+TEST(Pattern, SamePatternsComparesContents) {
+  std::vector<FlippingPattern> a = {MakePattern({0.9, 0.1}),
+                                    MakePattern({0.8, 0.2}, Itemset{1, 2})};
+  std::vector<FlippingPattern> b = {MakePattern({0.8, 0.2}, Itemset{1, 2}),
+                                    MakePattern({0.9, 0.1})};
+  EXPECT_TRUE(SamePatterns(a, b));  // order-insensitive
+  b[0].chain[0].label = Label::kNegative;
+  b[0].chain[1].label = Label::kPositive;
+  EXPECT_FALSE(SamePatterns(a, b));
+  b.pop_back();
+  EXPECT_FALSE(SamePatterns(a, b));
+}
+
+TEST(TopK, RanksByFlipGap) {
+  std::vector<FlippingPattern> patterns = {
+      MakePattern({0.9, 0.1}, Itemset{1, 2}),    // gap 0.8
+      MakePattern({0.6, 0.4}, Itemset{3, 4}),    // gap 0.2
+      MakePattern({0.99, 0.01}, Itemset{5, 6}),  // gap 0.98
+  };
+  auto top = TopKMostFlipping(patterns, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].leaf_itemset, (Itemset{5, 6}));
+  EXPECT_EQ(top[1].leaf_itemset, (Itemset{1, 2}));
+  // k larger than the pool returns everything.
+  EXPECT_EQ(TopKMostFlipping(patterns, 10).size(), 3u);
+}
+
+TEST(Config, Validation) {
+  MiningConfig config;
+  config.min_support = {0.01, 0.005};
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.gamma = 0.1;
+  config.epsilon = 0.1;  // gamma must exceed epsilon
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = {};
+  config.min_support = {};  // empty thresholds
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = {};
+  config.min_support = {0.001, 0.01};  // increasing thresholds
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = {};
+  config.min_support = {1.5};  // out of range
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = {};
+  config.min_support = {0.1};
+  config.epsilon = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(Config, MinCountSemantics) {
+  MiningConfig config;
+  config.min_support = {0.01, 0.001};
+  EXPECT_EQ(config.MinCount(1, 10000), 100u);
+  EXPECT_EQ(config.MinCount(2, 10000), 10u);
+  // Deeper levels reuse the last threshold.
+  EXPECT_EQ(config.MinCount(5, 10000), 10u);
+  // Never below 1.
+  EXPECT_EQ(config.MinCount(2, 10), 1u);
+  // Ceiling semantics.
+  EXPECT_EQ(config.MinCount(1, 150), 2u);
+}
+
+TEST(Config, PruningNames) {
+  EXPECT_EQ(PruningOptions::Basic().ToString(), "support-only");
+  EXPECT_EQ(PruningOptions::FlippingOnly().ToString(), "flipping");
+  EXPECT_EQ(PruningOptions::FlippingTpg().ToString(), "flipping+tpg");
+  EXPECT_EQ(PruningOptions::Full().ToString(), "flipping+tpg+sibp");
+}
+
+TEST(BasketIo, RoundTrip) {
+  ItemDictionary dict;
+  TransactionDb db;
+  db.Add({dict.Intern("milk"), dict.Intern("bread")});
+  db.Add({dict.Intern("beer")});
+  std::ostringstream oss;
+  ASSERT_TRUE(WriteBasketStream(db, dict, oss).ok());
+
+  ItemDictionary dict2;
+  std::istringstream iss(oss.str());
+  auto reloaded = ReadBasketStream(iss, &dict2);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->size(), 2u);
+  EXPECT_EQ(reloaded->Get(0).size(), 2u);
+  EXPECT_TRUE(dict2.Contains("beer"));
+}
+
+TEST(BasketIo, SkipsCommentsAndBlankLines) {
+  ItemDictionary dict;
+  std::istringstream in("# header\nmilk bread\n\n  \nbeer\n");
+  auto db = ReadBasketStream(in, &dict);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2u);
+}
+
+TEST(BasketIo, MissingFileFails) {
+  ItemDictionary dict;
+  auto result = ReadBasketFile("/nonexistent/db.basket", &dict);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(BasketIo, WriteRejectsUnknownIds) {
+  ItemDictionary dict;
+  TransactionDb db;
+  db.Add({42});  // never interned
+  std::ostringstream oss;
+  EXPECT_FALSE(WriteBasketStream(db, dict, oss).ok());
+}
+
+}  // namespace
+}  // namespace flipper

@@ -1,0 +1,127 @@
+// Real-dataset simulators: shapes match the paper's datasets and the
+// planted flipping structures are recovered by the miner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/flipper_miner.h"
+#include "datagen/census_sim.h"
+#include "datagen/groceries_sim.h"
+#include "datagen/medline_sim.h"
+
+namespace flipper {
+namespace {
+
+/// True when `patterns` contains a pattern whose leaf itemset is
+/// exactly the named items.
+bool ContainsPattern(const SimulatedDataset& data,
+                     const std::vector<FlippingPattern>& patterns,
+                     const std::vector<std::string>& names,
+                     const std::string& level1_label) {
+  Itemset target;
+  for (const std::string& name : names) {
+    auto id = data.dict.Find(name);
+    if (!id.ok()) return false;
+    target.Insert(*id);
+  }
+  for (const FlippingPattern& p : patterns) {
+    if (p.leaf_itemset == target) {
+      return std::string(LabelToString(p.chain[0].label)) ==
+             level1_label;
+    }
+  }
+  return false;
+}
+
+void ExpectPlantedRecovered(const SimulatedDataset& data) {
+  auto result =
+      FlipperMiner::Run(data.db, data.taxonomy, data.paper_config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const PlantedFlip& plant : data.planted) {
+    EXPECT_TRUE(ContainsPattern(data, result->patterns, plant.leaf_names,
+                                plant.level1_label))
+        << data.name << ": planted pattern not recovered: "
+        << plant.description << " (found " << result->patterns.size()
+        << " patterns total)";
+  }
+  for (const FlippingPattern& p : result->patterns) {
+    EXPECT_TRUE(p.IsValidFlip());
+  }
+}
+
+TEST(GroceriesSim, ShapeMatchesPaper) {
+  GroceriesParams params;
+  auto data = GenerateGroceries(params);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->db.size(), 9800u);
+  EXPECT_EQ(data->taxonomy.height(), 3);
+  EXPECT_EQ(data->taxonomy.Level1().size(), 10u);
+  EXPECT_EQ(data->name, "GROCERIES");
+  EXPECT_TRUE(data->taxonomy.Validate().ok());
+}
+
+TEST(GroceriesSim, PlantedFlipsRecovered) {
+  auto data = GenerateGroceries({});
+  ASSERT_TRUE(data.ok());
+  ExpectPlantedRecovered(*data);
+}
+
+TEST(GroceriesSim, RejectsTinySizes) {
+  GroceriesParams params;
+  params.num_transactions = 10;
+  EXPECT_FALSE(GenerateGroceries(params).ok());
+}
+
+TEST(CensusSim, ShapeMatchesPaper) {
+  auto data = GenerateCensus({});
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->db.size(), 32000u);
+  EXPECT_EQ(data->taxonomy.height(), 2);
+  EXPECT_EQ(data->db.max_width(), 3u);  // {occ|edu, age|occ, income}
+  EXPECT_TRUE(data->taxonomy.Validate().ok());
+}
+
+TEST(CensusSim, PlantedFlipsRecovered) {
+  auto data = GenerateCensus({});
+  ASSERT_TRUE(data.ok());
+  ExpectPlantedRecovered(*data);
+}
+
+TEST(MedlineSim, ShapeMatchesPaper) {
+  MedlineParams params;
+  params.num_citations = 64'000;  // scaled-down for test speed
+  auto data = GenerateMedline(params);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->db.size(), 64000u);
+  EXPECT_EQ(data->taxonomy.height(), 3);
+  EXPECT_EQ(data->taxonomy.Level1().size(), 15u);
+  EXPECT_TRUE(data->taxonomy.Validate().ok());
+}
+
+TEST(MedlineSim, PlantedFlipsRecoveredAtScale) {
+  MedlineParams params;
+  params.num_citations = 64'000;
+  auto data = GenerateMedline(params);
+  ASSERT_TRUE(data.ok());
+  ExpectPlantedRecovered(*data);
+}
+
+TEST(Sims, DeterministicAcrossRuns) {
+  auto a = GenerateGroceries({});
+  auto b = GenerateGroceries({});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->db.total_items(), b->db.total_items());
+
+  CensusParams census;
+  census.num_records = 5000;
+  auto c = GenerateCensus(census);
+  auto d = GenerateCensus(census);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(c->db.total_items(), d->db.total_items());
+}
+
+}  // namespace
+}  // namespace flipper

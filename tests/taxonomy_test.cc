@@ -1,0 +1,187 @@
+// Taxonomy construction, validation, level semantics (including the
+// Figure-3[B] shallow-leaf self-copies), level restriction
+// (Figure-3[A] / truncated queries) and text I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/item_dictionary.h"
+#include "taxonomy/taxonomy.h"
+#include "taxonomy/taxonomy_builder.h"
+#include "taxonomy/taxonomy_io.h"
+#include "test_util.h"
+
+namespace flipper {
+namespace {
+
+TEST(TaxonomyBuilder, BuildsPaperToyTree) {
+  testutil::Dataset data = testutil::PaperToyDataset();
+  const Taxonomy& tax = data.taxonomy;
+  EXPECT_EQ(tax.height(), 3);
+  EXPECT_TRUE(tax.Validate().ok());
+
+  const ItemId a = *data.dict.Find("a");
+  const ItemId a1 = *data.dict.Find("a1");
+  const ItemId a11 = *data.dict.Find("a11");
+  EXPECT_EQ(tax.LevelOf(a), 1);
+  EXPECT_EQ(tax.LevelOf(a1), 2);
+  EXPECT_EQ(tax.LevelOf(a11), 3);
+  EXPECT_EQ(tax.ParentOf(a11), a1);
+  EXPECT_EQ(tax.ParentOf(a1), a);
+  EXPECT_EQ(tax.ParentOf(a), kInvalidItem);
+  EXPECT_EQ(tax.RootOf(a11), a);
+  EXPECT_EQ(tax.AncestorAtLevel(a11, 1), a);
+  EXPECT_EQ(tax.AncestorAtLevel(a11, 2), a1);
+  EXPECT_EQ(tax.AncestorAtLevel(a11, 3), a11);
+  EXPECT_TRUE(tax.IsLeaf(a11));
+  EXPECT_FALSE(tax.IsLeaf(a1));
+}
+
+TEST(TaxonomyBuilder, RejectsTwoParents) {
+  TaxonomyBuilder builder;
+  builder.AddRoot(0);
+  builder.AddRoot(1);
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  EXPECT_FALSE(builder.AddEdge(1, 2).ok());
+}
+
+TEST(TaxonomyBuilder, RejectsSelfEdge) {
+  TaxonomyBuilder builder;
+  EXPECT_FALSE(builder.AddEdge(3, 3).ok());
+}
+
+TEST(TaxonomyBuilder, RejectsCycleAndUnreachable) {
+  TaxonomyBuilder builder;
+  builder.AddRoot(0);
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 1).ok());
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TaxonomyBuilder, RejectsRootThatIsAChild) {
+  TaxonomyBuilder builder;
+  builder.AddRoot(0);
+  builder.AddRoot(2);
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(TaxonomyBuilder, RejectsEmpty) {
+  TaxonomyBuilder builder;
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(Taxonomy, ShallowLeafSelfCopies) {
+  // Root r0 with a deep branch (c -> g) and root r1 that is itself a
+  // leaf: r1 must represent itself at levels 2 and 3.
+  TaxonomyBuilder builder;
+  builder.AddRoot(0);  // r0
+  builder.AddRoot(1);  // r1, shallow leaf
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  auto tax = builder.Build();
+  ASSERT_TRUE(tax.ok()) << tax.status();
+  EXPECT_EQ(tax->height(), 3);
+  EXPECT_EQ(tax->AncestorAtLevel(1, 1), 1u);
+  EXPECT_EQ(tax->AncestorAtLevel(1, 2), 1u);
+  EXPECT_EQ(tax->AncestorAtLevel(1, 3), 1u);
+  // Internal node 2 does not exist below its own level.
+  EXPECT_EQ(tax->AncestorAtLevel(2, 3), kInvalidItem);
+  // Level rosters include the self-copies.
+  const auto& level2 = tax->NodesAtLevel(2);
+  EXPECT_NE(std::find(level2.begin(), level2.end(), 1u), level2.end());
+  const auto& level3 = tax->NodesAtLevel(3);
+  EXPECT_NE(std::find(level3.begin(), level3.end(), 1u), level3.end());
+}
+
+TEST(Taxonomy, LevelMapMatchesAncestors) {
+  testutil::Dataset data = testutil::PaperToyDataset();
+  const Taxonomy& tax = data.taxonomy;
+  for (int h = 1; h <= tax.height(); ++h) {
+    const std::vector<ItemId> lut = tax.LevelMap(h);
+    for (size_t id = 0; id < tax.id_space(); ++id) {
+      const auto iid = static_cast<ItemId>(id);
+      if (tax.IsNode(iid)) {
+        EXPECT_EQ(lut[id], tax.AncestorAtLevel(iid, h));
+      } else {
+        EXPECT_EQ(lut[id], kInvalidItem);
+      }
+    }
+  }
+}
+
+TEST(Taxonomy, RestrictToLevels) {
+  testutil::Dataset data = testutil::PaperToyDataset();
+  // Keep levels {1, 3}: drops a1/a2/b1/b2; leaves attach directly to
+  // the roots (Figure-3[A] truncation).
+  const int levels[] = {1, 3};
+  auto restricted = data.taxonomy.RestrictToLevels(levels);
+  ASSERT_TRUE(restricted.ok()) << restricted.status();
+  EXPECT_EQ(restricted->height(), 2);
+  const ItemId a = *data.dict.Find("a");
+  const ItemId a11 = *data.dict.Find("a11");
+  const ItemId a1 = *data.dict.Find("a1");
+  EXPECT_EQ(restricted->ParentOf(a11), a);
+  EXPECT_FALSE(restricted->IsNode(a1));
+  EXPECT_TRUE(restricted->Validate().ok());
+  EXPECT_EQ(restricted->Leaves().size(), 8u);
+}
+
+TEST(Taxonomy, RestrictToLevelsValidation) {
+  testutil::Dataset data = testutil::PaperToyDataset();
+  const int empty[] = {1};
+  EXPECT_FALSE(
+      data.taxonomy.RestrictToLevels(std::span<const int>(empty, 0)).ok());
+  const int bad_order[] = {3, 1};
+  EXPECT_FALSE(data.taxonomy.RestrictToLevels(bad_order).ok());
+  const int out_of_range[] = {1, 9};
+  EXPECT_FALSE(data.taxonomy.RestrictToLevels(out_of_range).ok());
+  const int missing_leaf_level[] = {1, 2};
+  EXPECT_FALSE(data.taxonomy.RestrictToLevels(missing_leaf_level).ok());
+}
+
+TEST(TaxonomyIo, RoundTrip) {
+  testutil::Dataset data = testutil::PaperToyDataset();
+  std::ostringstream oss;
+  ASSERT_TRUE(WriteTaxonomyStream(data.taxonomy, data.dict, oss).ok());
+
+  ItemDictionary dict2;
+  std::istringstream iss(oss.str());
+  auto reloaded = ReadTaxonomyStream(iss, &dict2);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->height(), data.taxonomy.height());
+  EXPECT_EQ(reloaded->Leaves().size(), data.taxonomy.Leaves().size());
+  EXPECT_EQ(reloaded->Level1().size(), data.taxonomy.Level1().size());
+  EXPECT_TRUE(reloaded->Validate().ok());
+}
+
+TEST(TaxonomyIo, RejectsMalformedLines) {
+  ItemDictionary dict;
+  std::istringstream bad("root a\nedge a\n");
+  EXPECT_FALSE(ReadTaxonomyStream(bad, &dict).ok());
+
+  std::istringstream unknown("frob a b\n");
+  EXPECT_FALSE(ReadTaxonomyStream(unknown, &dict).ok());
+}
+
+TEST(TaxonomyIo, CommentsAndBlanksSkipped) {
+  ItemDictionary dict;
+  std::istringstream in(
+      "# taxonomy\n\nroot a\n  \nedge a b\n# done\n");
+  auto tax = ReadTaxonomyStream(in, &dict);
+  ASSERT_TRUE(tax.ok()) << tax.status();
+  EXPECT_EQ(tax->height(), 2);
+}
+
+TEST(TaxonomyIo, MissingFile) {
+  ItemDictionary dict;
+  auto result = ReadTaxonomyFile("/nonexistent/tax.txt", &dict);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace flipper

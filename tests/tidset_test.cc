@@ -1,0 +1,128 @@
+// TidSet unit + property tests: representation equivalence and
+// intersection correctness against a reference implementation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/tidset.h"
+
+namespace flipper {
+namespace {
+
+std::vector<TxnId> RandomSortedTids(Rng* rng, uint32_t universe,
+                                    double density) {
+  std::vector<TxnId> tids;
+  for (TxnId t = 0; t < universe; ++t) {
+    if (rng->Bernoulli(density)) tids.push_back(t);
+  }
+  return tids;
+}
+
+std::vector<TxnId> ReferenceIntersect(const std::vector<TxnId>& a,
+                                      const std::vector<TxnId>& b) {
+  std::vector<TxnId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(TidSet, BuildSelectsRepresentationByDensity) {
+  std::vector<TxnId> sparse = {1, 500, 900};
+  std::vector<TxnId> dense;
+  for (TxnId t = 0; t < 500; ++t) dense.push_back(t * 2);
+
+  EXPECT_EQ(TidSet::Build(sparse, 1000).mode(), TidSet::Mode::kSparse);
+  EXPECT_EQ(TidSet::Build(dense, 1000).mode(), TidSet::Mode::kDense);
+}
+
+TEST(TidSet, RoundTripBothModes) {
+  std::vector<TxnId> tids = {0, 3, 17, 63, 64, 65, 127, 999};
+  for (auto set : {TidSet::BuildDense(tids, 1000),
+                   TidSet::BuildSparse(tids, 1000)}) {
+    EXPECT_EQ(set.cardinality(), tids.size());
+    EXPECT_EQ(set.ToVector(), tids);
+    for (TxnId t : tids) EXPECT_TRUE(set.Contains(t));
+    EXPECT_FALSE(set.Contains(1));
+    EXPECT_FALSE(set.Contains(2000));
+  }
+}
+
+class TidSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TidSetProperty, PairwiseIntersectionsMatchReference) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const uint32_t universe =
+        64 + static_cast<uint32_t>(rng.Below(2000));
+    const double da = rng.NextDouble() * 0.4;
+    const double db = rng.NextDouble() * 0.4;
+    const auto ta = RandomSortedTids(&rng, universe, da);
+    const auto tb = RandomSortedTids(&rng, universe, db);
+    const uint32_t expected =
+        static_cast<uint32_t>(ReferenceIntersect(ta, tb).size());
+
+    // All four mode combinations must agree.
+    const TidSet variants_a[] = {TidSet::BuildDense(ta, universe),
+                                 TidSet::BuildSparse(ta, universe)};
+    const TidSet variants_b[] = {TidSet::BuildDense(tb, universe),
+                                 TidSet::BuildSparse(tb, universe)};
+    for (const TidSet& a : variants_a) {
+      for (const TidSet& b : variants_b) {
+        EXPECT_EQ(TidSet::IntersectCount(a, b), expected);
+      }
+    }
+  }
+}
+
+TEST_P(TidSetProperty, KWayIntersection) {
+  Rng rng(GetParam() ^ 0x5555);
+  for (int trial = 0; trial < 25; ++trial) {
+    const uint32_t universe =
+        128 + static_cast<uint32_t>(rng.Below(1000));
+    const int k = 2 + static_cast<int>(rng.Below(4));
+    std::vector<std::vector<TxnId>> lists;
+    std::vector<TidSet> sets;
+    for (int i = 0; i < k; ++i) {
+      lists.push_back(
+          RandomSortedTids(&rng, universe, 0.05 + rng.NextDouble() * 0.3));
+      sets.push_back(TidSet::Build(lists.back(), universe));
+    }
+    std::vector<TxnId> expected = lists[0];
+    for (int i = 1; i < k; ++i) {
+      std::vector<TxnId> next = ReferenceIntersect(expected, lists[i]);
+      expected.swap(next);
+    }
+    std::vector<const TidSet*> ptrs;
+    for (const TidSet& s : sets) ptrs.push_back(&s);
+    EXPECT_EQ(TidSet::IntersectCountMany(ptrs),
+              static_cast<uint32_t>(expected.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TidSetProperty,
+                         ::testing::Values(11, 22, 33));
+
+TEST(TidSet, GallopingPathExercised) {
+  // Extreme size ratio routes into the galloping branch.
+  std::vector<TxnId> small = {100, 5000, 9999};
+  std::vector<TxnId> big;
+  for (TxnId t = 0; t < 10000; t += 2) big.push_back(t);
+  TidSet a = TidSet::BuildSparse(small, 10000);
+  TidSet b = TidSet::BuildSparse(big, 10000);
+  EXPECT_EQ(TidSet::IntersectCount(a, b), 2u);  // 100 and 5000 are even
+}
+
+TEST(TidSet, EmptySets) {
+  TidSet empty = TidSet::Build({}, 100);
+  TidSet some = TidSet::Build(std::vector<TxnId>{1, 2, 3}, 100);
+  EXPECT_EQ(empty.cardinality(), 0u);
+  EXPECT_EQ(TidSet::IntersectCount(empty, some), 0u);
+  const TidSet* ptrs[] = {&empty, &some};
+  EXPECT_EQ(TidSet::IntersectCountMany(ptrs), 0u);
+}
+
+}  // namespace
+}  // namespace flipper

@@ -1,0 +1,172 @@
+// Tests for the CLI building blocks: the flag parser and the pattern
+// exporters, plus the scan-cell strategy toggle.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/arg_parser.h"
+#include "core/flipper_miner.h"
+#include "core/pattern_io.h"
+#include "test_util.h"
+
+namespace flipper {
+namespace {
+
+TEST(ArgParser, FlagsSwitchesPositionals) {
+  ArgParser args("prog", "test");
+  args.AddFlag("gamma", "positive threshold", "FLOAT");
+  args.AddFlag("name", "a string");
+  args.AddSwitch("verbose", "noise");
+  args.AddPositional("input", "input path");
+
+  const char* argv[] = {"prog",          "--gamma=0.25", "data.basket",
+                        "--name",        "hello world",  "--verbose"};
+  ASSERT_TRUE(args.Parse(6, argv).ok());
+  EXPECT_FALSE(args.help_requested());
+  EXPECT_EQ(args.GetPositional("input"), "data.basket");
+  EXPECT_DOUBLE_EQ(*args.GetDouble("gamma", 0.0), 0.25);
+  EXPECT_EQ(args.GetString("name", ""), "hello world");
+  EXPECT_TRUE(args.GetSwitch("verbose"));
+  EXPECT_FALSE(args.GetSwitch("missing_switch_is_false"));
+  EXPECT_EQ(*args.GetInt("missing", 7), 7);
+}
+
+TEST(ArgParser, Errors) {
+  {
+    ArgParser args("prog", "test");
+    const char* argv[] = {"prog", "--unknown=1"};
+    EXPECT_FALSE(args.Parse(2, argv).ok());
+  }
+  {
+    ArgParser args("prog", "test");
+    args.AddFlag("x", "x");
+    const char* argv[] = {"prog", "--x"};  // value missing
+    EXPECT_FALSE(args.Parse(2, argv).ok());
+  }
+  {
+    ArgParser args("prog", "test");
+    args.AddSwitch("v", "v");
+    const char* argv[] = {"prog", "--v=yes"};  // switch with value
+    EXPECT_FALSE(args.Parse(2, argv).ok());
+  }
+  {
+    ArgParser args("prog", "test");
+    args.AddPositional("input", "path");
+    const char* argv[] = {"prog"};  // positional missing
+    EXPECT_FALSE(args.Parse(1, argv).ok());
+  }
+  {
+    ArgParser args("prog", "test");
+    const char* argv[] = {"prog", "stray"};  // unexpected positional
+    EXPECT_FALSE(args.Parse(2, argv).ok());
+  }
+  {
+    ArgParser args("prog", "test");
+    args.AddFlag("n", "an int", "INT");
+    const char* argv[] = {"prog", "--n=abc"};
+    ASSERT_TRUE(args.Parse(2, argv).ok());
+    EXPECT_FALSE(args.GetInt("n", 0).ok());  // typed accessor fails
+  }
+}
+
+TEST(ArgParser, HelpRequested) {
+  ArgParser args("prog", "description text");
+  args.AddFlag("gamma", "threshold", "FLOAT");
+  args.AddPositional("input", "path");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(args.Parse(2, argv).ok());
+  EXPECT_TRUE(args.help_requested());
+  const std::string help = args.HelpText();
+  EXPECT_NE(help.find("description text"), std::string::npos);
+  EXPECT_NE(help.find("--gamma"), std::string::npos);
+  EXPECT_NE(help.find("<input>"), std::string::npos);
+}
+
+std::vector<FlippingPattern> MineToy(ItemDictionary** dict_out,
+                                     testutil::Dataset* data) {
+  *data = testutil::PaperToyDataset();
+  MiningConfig config;
+  config.gamma = 0.6;
+  config.epsilon = 0.35;
+  config.min_support = {0.1, 0.1, 0.1};
+  auto result = FlipperMiner::Run(data->db, data->taxonomy, config);
+  EXPECT_TRUE(result.ok());
+  *dict_out = &data->dict;
+  return result->patterns;
+}
+
+TEST(PatternIo, CsvExport) {
+  testutil::Dataset data;
+  ItemDictionary* dict = nullptr;
+  auto patterns = MineToy(&dict, &data);
+  ASSERT_EQ(patterns.size(), 1u);
+
+  std::ostringstream oss;
+  ASSERT_TRUE(WritePatternsCsv(patterns, dict, oss).ok());
+  const std::string csv = oss.str();
+  // Header + 3 chain rows.
+  EXPECT_NE(csv.find("pattern_id,level,itemset,support,corr,label"),
+            std::string::npos);
+  EXPECT_NE(csv.find("a11|b11"), std::string::npos);
+  EXPECT_NE(csv.find("POS"), std::string::npos);
+  EXPECT_NE(csv.find("NEG"), std::string::npos);
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')),
+            4);
+}
+
+TEST(PatternIo, JsonExport) {
+  testutil::Dataset data;
+  ItemDictionary* dict = nullptr;
+  auto patterns = MineToy(&dict, &data);
+
+  std::ostringstream oss;
+  ASSERT_TRUE(WritePatternsJson(patterns, dict, oss).ok());
+  const std::string json = oss.str();
+  EXPECT_NE(json.find("\"leaf\": [\"a11\", \"b11\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"NEG\""), std::string::npos);
+  EXPECT_NE(json.find("\"flip_gap\""), std::string::npos);
+  // Balanced brackets (crude structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(PatternIo, JsonEscapesSpecialNames) {
+  ItemDictionary dict;
+  const ItemId weird = dict.Intern("item\"with\\quote");
+  const ItemId plain = dict.Intern("plain");
+  FlippingPattern p;
+  p.leaf_itemset = Itemset::Pair(weird, plain);
+  p.chain.push_back({1, p.leaf_itemset, 5, 0.9, Label::kPositive});
+  std::ostringstream oss;
+  ASSERT_TRUE(WritePatternsJson({p}, &dict, oss).ok());
+  EXPECT_NE(oss.str().find("item\\\"with\\\\quote"), std::string::npos);
+}
+
+TEST(PatternIo, FileWriteFailsOnBadPath) {
+  EXPECT_FALSE(
+      WritePatternsCsvFile({}, nullptr, "/nonexistent/dir/p.csv").ok());
+  EXPECT_FALSE(
+      WritePatternsJsonFile({}, nullptr, "/nonexistent/dir/p.json").ok());
+}
+
+TEST(ScanCells, ToggleDoesNotChangeResults) {
+  testutil::Dataset data = testutil::RandomDataset(1234, 5, 3, 3, 600, 9);
+  MiningConfig config;
+  config.gamma = 0.45;
+  config.epsilon = 0.2;
+  config.min_support = {0.003, 0.002, 0.002};
+
+  config.enable_scan_cells = true;
+  auto with_scan = FlipperMiner::Run(data.db, data.taxonomy, config);
+  ASSERT_TRUE(with_scan.ok());
+  config.enable_scan_cells = false;
+  auto without_scan = FlipperMiner::Run(data.db, data.taxonomy, config);
+  ASSERT_TRUE(without_scan.ok());
+  EXPECT_TRUE(SamePatterns(with_scan->patterns, without_scan->patterns));
+}
+
+}  // namespace
+}  // namespace flipper

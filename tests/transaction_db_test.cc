@@ -1,0 +1,122 @@
+// TransactionDb storage, generalization and the vertical index.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/transaction_db.h"
+#include "data/vertical_index.h"
+#include "test_util.h"
+
+namespace flipper {
+namespace {
+
+TEST(TransactionDb, AddSortsAndDedupes) {
+  TransactionDb db;
+  db.Add({5, 1, 3, 1, 5});
+  ASSERT_EQ(db.size(), 1u);
+  auto txn = db.Get(0);
+  ASSERT_EQ(txn.size(), 3u);
+  EXPECT_EQ(txn[0], 1u);
+  EXPECT_EQ(txn[1], 3u);
+  EXPECT_EQ(txn[2], 5u);
+  EXPECT_EQ(db.max_width(), 3u);
+  EXPECT_EQ(db.alphabet_size(), 6u);
+}
+
+TEST(TransactionDb, EmptyTransactionsAllowed) {
+  TransactionDb db;
+  db.Add(std::initializer_list<ItemId>{});
+  db.Add({2});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.Get(0).size(), 0u);
+  EXPECT_DOUBLE_EQ(db.avg_width(), 0.5);
+}
+
+TEST(TransactionDb, CountSupportAndContains) {
+  TransactionDb db;
+  db.Add({1, 2, 3});
+  db.Add({2, 3});
+  db.Add({1, 3});
+  EXPECT_EQ(db.CountSupport(Itemset{3}), 3u);
+  EXPECT_EQ(db.CountSupport(Itemset{2, 3}), 2u);
+  EXPECT_EQ(db.CountSupport(Itemset{1, 2, 3}), 1u);
+  EXPECT_EQ(db.CountSupport(Itemset{4}), 0u);
+  EXPECT_TRUE(db.Contains(0, Itemset{1, 3}));
+  EXPECT_FALSE(db.Contains(1, Itemset{1}));
+}
+
+TEST(TransactionDb, ItemFrequencies) {
+  TransactionDb db;
+  db.Add({0, 1});
+  db.Add({1, 2});
+  db.Add({1});
+  const std::vector<uint32_t> freq = db.ItemFrequencies();
+  ASSERT_EQ(freq.size(), 3u);
+  EXPECT_EQ(freq[0], 1u);
+  EXPECT_EQ(freq[1], 3u);
+  EXPECT_EQ(freq[2], 1u);
+}
+
+TEST(TransactionDb, GeneralizeCollapsesAndDrops) {
+  TransactionDb db;
+  db.Add({0, 1, 2});
+  db.Add({2, 3});
+  // 0,1 -> 10; 2 -> 11; 3 -> dropped.
+  std::vector<ItemId> lut = {10, 10, 11, kInvalidItem};
+  TransactionDb gen = db.Generalize(lut);
+  ASSERT_EQ(gen.size(), 2u);
+  EXPECT_EQ(gen.Get(0).size(), 2u);  // {10, 11}
+  EXPECT_EQ(gen.Get(1).size(), 1u);  // {11}
+  EXPECT_EQ(gen.CountSupport(Itemset{10, 11}), 1u);
+}
+
+TEST(TransactionDb, GeneralizeMatchesPaperFigure4) {
+  testutil::Dataset data = testutil::PaperToyDataset();
+  // Level-1 view of D1 = {a, b}.
+  TransactionDb db1 =
+      data.db.Generalize(data.taxonomy.LevelMap(1));
+  const ItemId a = *data.dict.Find("a");
+  const ItemId b = *data.dict.Find("b");
+  EXPECT_EQ(db1.Get(0).size(), 2u);
+  EXPECT_EQ(db1.CountSupport(Itemset::Pair(a, b)), 7u);
+}
+
+TEST(VerticalIndex, MatchesScanCounting) {
+  Rng rng(99);
+  TransactionDb db;
+  std::vector<ItemId> txn;
+  for (int t = 0; t < 500; ++t) {
+    txn.clear();
+    const int width = 1 + static_cast<int>(rng.Below(8));
+    for (int i = 0; i < width; ++i) {
+      txn.push_back(static_cast<ItemId>(rng.Below(30)));
+    }
+    db.Add(txn);
+  }
+  VerticalIndex index(db);
+  EXPECT_EQ(index.universe(), db.size());
+  const std::vector<uint32_t> freq = db.ItemFrequencies();
+  for (ItemId item = 0; item < db.alphabet_size(); ++item) {
+    EXPECT_EQ(index.Support(item), freq[item]);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    Itemset candidate;
+    const int k = 1 + static_cast<int>(rng.Below(4));
+    for (int i = 0; i < k; ++i) {
+      candidate.Insert(static_cast<ItemId>(rng.Below(30)));
+    }
+    EXPECT_EQ(index.Support(candidate), db.CountSupport(candidate))
+        << candidate.ToString();
+  }
+}
+
+TEST(VerticalIndex, UnknownItemsHaveZeroSupport) {
+  TransactionDb db;
+  db.Add({0, 1});
+  VerticalIndex index(db);
+  EXPECT_EQ(index.Support(ItemId{7}), 0u);
+  EXPECT_EQ(index.Support(Itemset{0, 7}), 0u);
+}
+
+}  // namespace
+}  // namespace flipper
