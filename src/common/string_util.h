@@ -42,6 +42,9 @@ std::string FormatBytes(int64_t bytes);
 /// Thousands-separated integer ("1,234,567").
 std::string FormatCount(int64_t n);
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s);
+
 }  // namespace flipper
 
 #endif  // FLIPPER_COMMON_STRING_UTIL_H_

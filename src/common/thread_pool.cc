@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace flipper {
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_ready_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>* lock) {
+  if (queue_.empty()) return false;
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  ++in_flight_;
+  lock->unlock();
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock->lock();
+  if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) batch_done_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_ready_.wait(lock,
+                     [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    RunOneTask(&lock);
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Help drain the queue, then wait for stragglers running on workers.
+  while (RunOneTask(&lock)) {
+  }
+  batch_done_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+int ShardCount(size_t total_items, const ThreadPool* pool,
+               size_t min_items_per_shard) {
+  if (pool == nullptr || pool->num_threads() <= 1) return 1;
+  const size_t cap = std::max<size_t>(1, total_items / min_items_per_shard);
+  return static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(pool->num_threads()), cap));
+}
+
+std::pair<size_t, size_t> ShardRange(size_t begin, size_t end,
+                                     int num_shards, int shard) {
+  const size_t total = end - begin;
+  const auto shards = static_cast<size_t>(num_shards);
+  const auto s = static_cast<size_t>(shard);
+  const size_t chunk = total / shards;
+  const size_t remainder = total % shards;
+  const size_t lo = begin + s * chunk + std::min(s, remainder);
+  const size_t extent = chunk + (s < remainder ? 1 : 0);
+  return {lo, lo + extent};
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 int num_shards,
+                 const std::function<void(int, size_t, size_t)>& fn) {
+  if (begin >= end || num_shards < 1) return;
+  num_shards = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_shards), end - begin));
+  if (pool == nullptr || pool->num_threads() <= 1 || num_shards == 1) {
+    for (int s = 0; s < num_shards; ++s) {
+      const auto [lo, hi] = ShardRange(begin, end, num_shards, s);
+      fn(s, lo, hi);
+    }
+    return;
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    const auto [lo, hi] = ShardRange(begin, end, num_shards, s);
+    pool->Submit([&fn, s, lo = lo, hi = hi] { fn(s, lo, hi); });
+  }
+  pool->Wait();
+}
+
+}  // namespace flipper

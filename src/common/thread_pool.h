@@ -1,0 +1,88 @@
+// ThreadPool: a fixed-size worker pool plus a ParallelFor helper with
+// deterministic static range-sharding. The counting engines shard work
+// so that every shard writes into private state and shards are reduced
+// in shard-index order, which keeps results bit-identical to the serial
+// path regardless of thread count.
+
+#ifndef FLIPPER_COMMON_THREAD_POOL_H_
+#define FLIPPER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace flipper {
+
+class ThreadPool {
+ public:
+  /// Maps a requested thread count to an effective one: 0 means "all
+  /// hardware threads", anything else is clamped to >= 1.
+  static int ResolveThreadCount(int requested);
+
+  /// Starts `ResolveThreadCount(num_threads) - 1` workers; the calling
+  /// thread is the remaining executor (a 1-thread pool spawns nothing
+  /// and runs every task inline).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Effective parallelism (workers + the calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues one task. Pair with Wait(); tasks must not themselves
+  /// call Submit/Wait on the same pool.
+  void Submit(std::function<void()> fn);
+
+  /// Runs queued tasks on the calling thread until the queue drains and
+  /// every in-flight task has finished. Rethrows the first exception
+  /// any task raised.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one task; returns false if the queue was empty.
+  bool RunOneTask(std::unique_lock<std::mutex>* lock);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // workers wait here
+  std::condition_variable batch_done_;   // Wait() waits here
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+/// Number of shards for `total_items` work items: one per pool thread,
+/// reduced so every shard keeps at least `min_items_per_shard` (below
+/// that, per-shard buffer and merge overhead beats the parallelism).
+int ShardCount(size_t total_items, const ThreadPool* pool,
+               size_t min_items_per_shard);
+
+/// Deterministic static sharding: splits [begin, end) into `num_shards`
+/// contiguous ranges whose sizes differ by at most one. Returns the
+/// half-open range of shard `shard` (empty ranges are possible when
+/// there are more shards than elements).
+std::pair<size_t, size_t> ShardRange(size_t begin, size_t end,
+                                     int num_shards, int shard);
+
+/// Invokes `fn(shard, lo, hi)` for every non-empty shard of
+/// [begin, end), distributing shards over `pool` and blocking until all
+/// complete. A null pool or a 1-thread pool runs the shards inline on
+/// the calling thread, in shard order.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 int num_shards,
+                 const std::function<void(int, size_t, size_t)>& fn);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_THREAD_POOL_H_

@@ -72,13 +72,20 @@ CandidateTrie::CandidateTrie(std::span<const Itemset> candidates) {
 }
 
 void CandidateTrie::CountTransaction(std::span<const ItemId> txn) {
+  CountTransaction(txn, counts_);
+}
+
+void CandidateTrie::CountTransaction(std::span<const ItemId> txn,
+                                     std::span<uint32_t> counts) const {
   if (counts_.empty() || static_cast<int>(txn.size()) < k_) return;
-  Count(txn, 0, 0, 0, static_cast<uint32_t>(layers_[0].size()));
+  assert(counts.size() == counts_.size());
+  Count(txn, 0, 0, 0, static_cast<uint32_t>(layers_[0].size()),
+        counts.data());
 }
 
 void CandidateTrie::Count(std::span<const ItemId> txn, size_t txn_pos,
                           int depth, uint32_t node_begin,
-                          uint32_t node_end) {
+                          uint32_t node_end, uint32_t* counts) const {
   const auto& layer = layers_[static_cast<size_t>(depth)];
   // Merge-walk: both the sibling nodes and the transaction are sorted
   // by item id. Stop when fewer transaction items remain than levels
@@ -95,10 +102,10 @@ void CandidateTrie::Count(std::span<const ItemId> txn, size_t txn_pos,
       ++ti;
     } else {
       if (depth == k_ - 1) {
-        ++counts_[layer[ni].leaf_index];
+        ++counts[layer[ni].leaf_index];
       } else {
         Count(txn, ti + 1, depth + 1, layer[ni].child_begin,
-              layer[ni].child_end);
+              layer[ni].child_end, counts);
       }
       ++ni;
       ++ti;

@@ -28,6 +28,13 @@ class CandidateTrie {
   /// incrementing every contained candidate.
   void CountTransaction(std::span<const ItemId> txn);
 
+  /// External-counter variant: increments into `counts` (size
+  /// num_candidates(), same input-order indexing) instead of the
+  /// built-in counters. The trie itself is untouched, so concurrent
+  /// callers with private buffers can share one trie.
+  void CountTransaction(std::span<const ItemId> txn,
+                        std::span<uint32_t> counts) const;
+
   /// Counter of candidate `i` (input order).
   uint32_t CountOf(size_t i) const { return counts_[i]; }
 
@@ -48,7 +55,8 @@ class CandidateTrie {
   };
 
   void Count(std::span<const ItemId> txn, size_t txn_pos, int depth,
-             uint32_t node_begin, uint32_t node_end);
+             uint32_t node_begin, uint32_t node_end,
+             uint32_t* counts) const;
 
   int k_ = 0;
   // nodes per depth layer; layer d holds the d-th items of candidates.

@@ -54,6 +54,10 @@ Status MiningConfig::Validate() const {
   if (max_itemset_size < 0) {
     return Status::InvalidArgument("max_itemset_size must be >= 0");
   }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = all hardware threads)");
+  }
   return Status::OK();
 }
 

@@ -62,6 +62,11 @@ struct MiningConfig {
 
   CounterKind counter = CounterKind::kHorizontal;
 
+  /// Worker threads for support counting and view materialization;
+  /// 0 means "all hardware threads". Results are identical for any
+  /// value (sharded work reduces deterministically).
+  int num_threads = 0;
+
   /// Upper bound on itemset size; 0 means "auto" (number of level-1
   /// nodes, max generalized transaction width and kMaxItemsetSize).
   int max_itemset_size = 0;

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/memory_tracker.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/candidate_gen.h"
 #include "core/cell.h"
@@ -87,6 +88,7 @@ class FlipperRun {
 
   const Taxonomy& tax_;
   const MiningConfig& config_;
+  std::unique_ptr<ThreadPool> pool_;
   LevelViews views_;
   std::unique_ptr<SupportCounter> counter_;
   MemoryTracker tracker_;
@@ -110,8 +112,10 @@ class FlipperRun {
 
 Result<MiningResult> FlipperRun::Execute(const TransactionDb& db) {
   FLIPPER_RETURN_IF_ERROR(config_.Validate());
-  FLIPPER_ASSIGN_OR_RETURN(views_, LevelViews::Build(db, tax_));
-  counter_ = MakeCounter(config_.counter);
+  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  FLIPPER_ASSIGN_OR_RETURN(views_,
+                           LevelViews::Build(db, tax_, pool_.get()));
+  counter_ = MakeCounter(config_.counter, pool_.get());
 
   WallTimer total_timer;
   MiningResult result;

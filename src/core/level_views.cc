@@ -6,7 +6,8 @@
 namespace flipper {
 
 Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
-                                     const Taxonomy& taxonomy) {
+                                     const Taxonomy& taxonomy,
+                                     ThreadPool* pool) {
   // Every transaction item must be a taxonomy node with a defined
   // generalization at every level (leaves, or shallow leaves acting as
   // their own copies).
@@ -28,6 +29,7 @@ Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
   }
 
   LevelViews views;
+  views.pool_ = pool;
   views.num_txns_ = leaf_db.size();
   const int height = taxonomy.height();
   views.levels_.resize(static_cast<size_t>(height));
@@ -36,7 +38,7 @@ Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
     data.level = h;
     const std::vector<ItemId> lut =
         taxonomy.LevelMap(h, leaf_db.alphabet_size());
-    data.db = leaf_db.Generalize(lut);
+    data.db = leaf_db.Generalize(lut, pool);
     const std::vector<uint32_t> freq = data.db.ItemFrequencies();
     data.item_support.assign(
         std::max<size_t>(freq.size(), taxonomy.id_space()), 0);
@@ -52,7 +54,7 @@ Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
 const VerticalIndex& LevelViews::EnsureVertical(int h) {
   LevelData& data = levels_[static_cast<size_t>(h - 1)];
   if (data.vertical == nullptr) {
-    data.vertical = std::make_unique<VerticalIndex>(data.db);
+    data.vertical = std::make_unique<VerticalIndex>(data.db, pool_);
   }
   return *data.vertical;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/transaction_db.h"
 #include "data/vertical_index.h"
 #include "taxonomy/taxonomy.h"
@@ -35,9 +36,12 @@ class LevelViews {
 
   /// Materializes levels 1..taxonomy.height(). Fails if a transaction
   /// contains an item that is not a taxonomy node (every transaction
-  /// item must map to a node at every level).
+  /// item must map to a node at every level). A non-null `pool`
+  /// (which must outlive the views) parallelizes the per-level
+  /// generalization scans and later vertical-index builds.
   static Result<LevelViews> Build(const TransactionDb& leaf_db,
-                                  const Taxonomy& taxonomy);
+                                  const Taxonomy& taxonomy,
+                                  ThreadPool* pool = nullptr);
 
   int height() const { return static_cast<int>(levels_.size()); }
   uint32_t num_transactions() const { return num_txns_; }
@@ -61,6 +65,7 @@ class LevelViews {
  private:
   uint32_t num_txns_ = 0;
   std::vector<LevelData> levels_;
+  ThreadPool* pool_ = nullptr;  // not owned
 };
 
 }  // namespace flipper

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/candidate_gen.h"
 #include "core/cell.h"
@@ -26,9 +27,11 @@ Result<MiningResult> NaiveMiner::Run(const TransactionDb& db,
                                      const Taxonomy& taxonomy,
                                      const MiningConfig& config) {
   FLIPPER_RETURN_IF_ERROR(config.Validate());
+  ThreadPool pool(config.num_threads);
   FLIPPER_ASSIGN_OR_RETURN(LevelViews views,
-                           LevelViews::Build(db, taxonomy));
-  std::unique_ptr<SupportCounter> counter = MakeCounter(config.counter);
+                           LevelViews::Build(db, taxonomy, &pool));
+  std::unique_ptr<SupportCounter> counter =
+      MakeCounter(config.counter, &pool);
 
   MiningResult result;
   MemoryTracker tracker;

@@ -1,5 +1,6 @@
 #include "core/support_counting.h"
 
+#include <algorithm>
 #include <array>
 
 #include "core/candidate_trie.h"
@@ -7,68 +8,139 @@
 namespace flipper {
 namespace {
 
+constexpr size_t kMinTxnsPerShard = 512;
+
+/// Candidates per shard below which sharding the intersection loop is
+/// not worth the task dispatch and per-shard scratch.
+constexpr size_t kMinCandidatesPerShard = 64;
+
 class HorizontalCounter final : public SupportCounter {
  public:
+  explicit HorizontalCounter(ThreadPool* pool) : pool_(pool) {}
+
   Status Count(LevelViews* views, int h,
                std::span<const Itemset> candidates,
                std::vector<uint32_t>* supports) override {
-    supports->assign(candidates.size(), 0);
+    supports->resize(candidates.size());
     if (candidates.empty()) return Status::OK();
+    const TransactionDb& db = views->Level(h).db;
 
-    // The trie requires uniform arity; group mixed batches by size.
-    // The mining engines always send one arity, so the common path
-    // builds a single trie.
+    // The trie requires uniform arity. The mining engines always send
+    // one arity, so the common path feeds the candidate span straight
+    // to the trie with no batch copy; mixed batches group by size.
+    const bool uniform =
+        std::all_of(candidates.begin(), candidates.end(),
+                    [&](const Itemset& c) {
+                      return c.size() == candidates.front().size();
+                    });
+    if (uniform) {
+      CountBatchWithTrie(db, candidates, pool_, *supports);
+      ++num_db_scans_;
+      return Status::OK();
+    }
+
     std::array<std::vector<uint32_t>, kMaxItemsetSize + 1> by_size;
     for (size_t i = 0; i < candidates.size(); ++i) {
       by_size[static_cast<size_t>(candidates[i].size())].push_back(
           static_cast<uint32_t>(i));
     }
-    const TransactionDb& db = views->Level(h).db;
+    std::vector<Itemset> batch;
+    std::vector<uint32_t> batch_supports;
     for (const auto& group : by_size) {
       if (group.empty()) continue;
-      std::vector<Itemset> batch;
+      batch.clear();
       batch.reserve(group.size());
       for (uint32_t idx : group) batch.push_back(candidates[idx]);
-      CandidateTrie trie(batch);
-      for (TxnId t = 0; t < db.size(); ++t) {
-        trie.CountTransaction(db.Get(t));
-      }
+      batch_supports.resize(batch.size());
+      CountBatchWithTrie(db, batch, pool_, batch_supports);
       ++num_db_scans_;
       for (size_t j = 0; j < group.size(); ++j) {
-        (*supports)[group[j]] = trie.CountOf(j);
+        (*supports)[group[j]] = batch_supports[j];
       }
     }
     return Status::OK();
   }
 
   const char* name() const override { return "horizontal"; }
+
+ private:
+  ThreadPool* pool_;
 };
 
 class VerticalCounter final : public SupportCounter {
  public:
+  explicit VerticalCounter(ThreadPool* pool) : pool_(pool) {}
+
   Status Count(LevelViews* views, int h,
                std::span<const Itemset> candidates,
                std::vector<uint32_t>* supports) override {
     supports->assign(candidates.size(), 0);
     if (candidates.empty()) return Status::OK();
     const VerticalIndex& index = views->EnsureVertical(h);
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      (*supports)[i] = index.Support(candidates[i]);
-    }
+    // Each shard owns a disjoint slice of `supports`, with one
+    // intersection scratch per shard.
+    const int num_shards =
+        ShardCount(candidates.size(), pool_, kMinCandidatesPerShard);
+    ParallelFor(pool_, 0, candidates.size(), num_shards,
+                [&](int, size_t lo, size_t hi) {
+                  TidSet::IntersectScratch scratch;
+                  for (size_t i = lo; i < hi; ++i) {
+                    (*supports)[i] =
+                        index.Support(candidates[i], &scratch);
+                  }
+                });
     return Status::OK();
   }
 
   const char* name() const override { return "vertical"; }
+
+ private:
+  ThreadPool* pool_;
 };
 
 }  // namespace
 
-std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind) {
+void CountBatchWithTrie(const TransactionDb& db,
+                        std::span<const Itemset> candidates,
+                        ThreadPool* pool,
+                        std::span<uint32_t> supports) {
+  std::fill(supports.begin(), supports.end(), 0u);
+  const CandidateTrie trie(candidates);
+  const int num_shards = ShardCount(db.size(), pool, kMinTxnsPerShard);
+  if (num_shards <= 1) {
+    for (TxnId t = 0; t < db.size(); ++t) {
+      trie.CountTransaction(db.Get(t), supports);
+    }
+    return;
+  }
+  // Private per-shard counters, merged in shard order. Addition is
+  // commutative, so the merge order only matters for determinism of
+  // overflow behaviour — cheap insurance either way.
+  std::vector<std::vector<uint32_t>> partial(
+      static_cast<size_t>(num_shards));
+  ParallelFor(pool, 0, db.size(), num_shards,
+              [&](int shard, size_t lo, size_t hi) {
+                auto& counts = partial[static_cast<size_t>(shard)];
+                counts.assign(candidates.size(), 0);
+                for (size_t t = lo; t < hi; ++t) {
+                  trie.CountTransaction(db.Get(static_cast<TxnId>(t)),
+                                        counts);
+                }
+              });
+  for (const auto& counts : partial) {
+    for (size_t i = 0; i < supports.size(); ++i) {
+      supports[i] += counts[i];
+    }
+  }
+}
+
+std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
+                                            ThreadPool* pool) {
   switch (kind) {
     case CounterKind::kHorizontal:
-      return std::make_unique<HorizontalCounter>();
+      return std::make_unique<HorizontalCounter>(pool);
     case CounterKind::kVertical:
-      return std::make_unique<VerticalCounter>();
+      return std::make_unique<VerticalCounter>(pool);
   }
   return nullptr;
 }

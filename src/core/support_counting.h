@@ -6,6 +6,12 @@
 //     disk-scan counting model, §5);
 //   VerticalCounter   — k-way TID-set intersections over the level's
 //     vertical index (an ablation alternative, bench A1).
+//
+// Both engines accept an optional ThreadPool. The horizontal scan is
+// sharded over contiguous transaction ranges with per-shard private
+// counter buffers merged in shard order; the vertical engine shards the
+// candidate list with per-shard intersection scratch. Either way the
+// supports are bit-identical to the serial path for any thread count.
 
 #ifndef FLIPPER_CORE_SUPPORT_COUNTING_H_
 #define FLIPPER_CORE_SUPPORT_COUNTING_H_
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/level_views.h"
 #include "data/itemset.h"
@@ -41,7 +48,19 @@ class SupportCounter {
   uint64_t num_db_scans_ = 0;
 };
 
-std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind);
+/// `pool` (optional, not owned, must outlive the counter) parallelizes
+/// each Count() call.
+std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
+                                            ThreadPool* pool = nullptr);
+
+/// One sharded trie-counting scan of `db` for a uniform-arity batch
+/// (all candidates the same size, distinct). Fills `supports[i]` with
+/// sup(candidates[i]). This is the horizontal engine's inner scan,
+/// exposed for the thread-scaling bench and the equivalence tests.
+void CountBatchWithTrie(const TransactionDb& db,
+                        std::span<const Itemset> candidates,
+                        ThreadPool* pool,
+                        std::span<uint32_t> supports);
 
 }  // namespace flipper
 

@@ -49,18 +49,26 @@ bool TidSet::Contains(TxnId t) const {
 }
 
 std::vector<TxnId> TidSet::ToVector() const {
-  if (mode_ == Mode::kSparse) return tids_;
   std::vector<TxnId> out;
-  out.reserve(cardinality_);
+  AppendTo(&out);
+  return out;
+}
+
+void TidSet::AppendTo(std::vector<TxnId>* out) const {
+  out->reserve(out->size() + cardinality_);
+  if (mode_ == Mode::kSparse) {
+    out->insert(out->end(), tids_.begin(), tids_.end());
+    return;
+  }
   for (size_t w = 0; w < words_.size(); ++w) {
     uint64_t word = words_[w];
     while (word != 0) {
       const int bit = std::countr_zero(word);
-      out.push_back(static_cast<TxnId>(w * 64 + static_cast<size_t>(bit)));
+      out->push_back(
+          static_cast<TxnId>(w * 64 + static_cast<size_t>(bit)));
       word &= word - 1;
     }
   }
-  return out;
 }
 
 uint32_t TidSet::IntersectDenseDense(const TidSet& a, const TidSet& b) {
@@ -133,19 +141,28 @@ uint32_t TidSet::IntersectCount(const TidSet& a, const TidSet& b) {
 
 uint32_t TidSet::IntersectCountMany(
     std::span<const TidSet* const> sets) {
+  IntersectScratch scratch;
+  return IntersectCountMany(sets, &scratch);
+}
+
+uint32_t TidSet::IntersectCountMany(std::span<const TidSet* const> sets,
+                                    IntersectScratch* scratch) {
   assert(!sets.empty());
   if (sets.size() == 1) return sets[0]->cardinality();
   if (sets.size() == 2) return IntersectCount(*sets[0], *sets[1]);
 
   // Sort by ascending cardinality; intersect the two smallest first and
   // keep refining the explicit tid list.
-  std::vector<const TidSet*> order(sets.begin(), sets.end());
+  std::vector<const TidSet*>& order = scratch->order;
+  order.assign(sets.begin(), sets.end());
   std::sort(order.begin(), order.end(),
             [](const TidSet* x, const TidSet* y) {
               return x->cardinality() < y->cardinality();
             });
-  std::vector<TxnId> current = order[0]->ToVector();
-  std::vector<TxnId> next;
+  std::vector<TxnId>& current = scratch->current;
+  std::vector<TxnId>& next = scratch->next;
+  current.clear();
+  order[0]->AppendTo(&current);
   for (size_t i = 1; i < order.size(); ++i) {
     if (current.empty()) return 0;
     next.clear();

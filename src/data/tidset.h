@@ -41,12 +41,28 @@ class TidSet {
   /// Materializes the sorted tid list (mainly for tests).
   std::vector<TxnId> ToVector() const;
 
+  /// Appends the sorted tid list to `out` (no clear).
+  void AppendTo(std::vector<TxnId>* out) const;
+
+  /// Reusable working buffers for IntersectCountMany. Callers that
+  /// intersect many itemsets in a row (the vertical counting engine)
+  /// keep one per thread to amortize the allocations.
+  struct IntersectScratch {
+    std::vector<const TidSet*> order;
+    std::vector<TxnId> current;
+    std::vector<TxnId> next;
+  };
+
   /// |a ∩ b|.
   static uint32_t IntersectCount(const TidSet& a, const TidSet& b);
 
   /// |s_0 ∩ s_1 ∩ ... ∩ s_{n-1}|; n >= 1. Orders the work by ascending
   /// cardinality and intersects incrementally with early exit on empty.
   static uint32_t IntersectCountMany(std::span<const TidSet* const> sets);
+
+  /// Scratch-reusing variant; `scratch` must outlive the call.
+  static uint32_t IntersectCountMany(std::span<const TidSet* const> sets,
+                                     IntersectScratch* scratch);
 
   /// Approximate heap bytes.
   int64_t MemoryBytes() const {

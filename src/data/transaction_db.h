@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/itemset.h"
 #include "data/types.h"
 
@@ -66,8 +67,15 @@ class TransactionDb {
   /// Rewrites every item through `ancestor_of` (size >= alphabet_size())
   /// and returns the generalized database; duplicates collapse, so
   /// generalized transactions can be narrower. Items mapped to
-  /// kInvalidItem are dropped.
-  TransactionDb Generalize(std::span<const ItemId> ancestor_of) const;
+  /// kInvalidItem are dropped. With a pool the rewrite is sharded over
+  /// contiguous transaction ranges and stitched back in shard order, so
+  /// the result is identical to the serial rewrite.
+  TransactionDb Generalize(std::span<const ItemId> ancestor_of,
+                           ThreadPool* pool = nullptr) const;
+
+  /// Appends every transaction of `other` (already sorted/deduped),
+  /// preserving order.
+  void Append(const TransactionDb& other);
 
   /// Approximate heap footprint in bytes.
   int64_t MemoryBytes() const {

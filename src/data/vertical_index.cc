@@ -1,26 +1,79 @@
 #include "data/vertical_index.h"
 
+#include <algorithm>
 #include <array>
+#include <limits>
 
 namespace flipper {
 
-VerticalIndex::VerticalIndex(const TransactionDb& db)
+VerticalIndex::VerticalIndex(const TransactionDb& db, ThreadPool* pool)
     : universe_(db.size()) {
   const ItemId alphabet = db.alphabet_size();
-  std::vector<std::vector<TxnId>> tids(alphabet);
-  // Reserve using the frequency histogram to avoid re-allocation.
-  std::vector<uint32_t> freq = db.ItemFrequencies();
-  for (ItemId i = 0; i < alphabet; ++i) tids[i].reserve(freq[i]);
-  for (TxnId t = 0; t < db.size(); ++t) {
-    for (ItemId it : db.Get(t)) tids[it].push_back(t);
+  sets_.resize(alphabet);
+  if (alphabet == 0) return;
+
+  // Phase 1 allocates an alphabet-sized list array per shard, so also
+  // cap the shard count by the tids-per-item density: on sparse
+  // wide-alphabet data the per-shard init/merge overhead would
+  // otherwise exceed the scan being parallelized.
+  const auto density_cap = static_cast<int>(std::min<uint64_t>(
+      std::max<uint64_t>(1, db.total_items() / alphabet),
+      std::numeric_limits<int>::max()));
+  const int num_shards =
+      std::min(ShardCount(db.size(), pool, 1024), density_cap);
+  if (num_shards <= 1) {
+    std::vector<std::vector<TxnId>> tids(alphabet);
+    // Reserve using the frequency histogram to avoid re-allocation.
+    std::vector<uint32_t> freq = db.ItemFrequencies();
+    for (ItemId i = 0; i < alphabet; ++i) tids[i].reserve(freq[i]);
+    for (TxnId t = 0; t < db.size(); ++t) {
+      for (ItemId it : db.Get(t)) tids[it].push_back(t);
+    }
+    for (ItemId i = 0; i < alphabet; ++i) {
+      sets_[i] = TidSet::Build(tids[i], universe_);
+    }
+    return;
   }
-  sets_.reserve(alphabet);
-  for (ItemId i = 0; i < alphabet; ++i) {
-    sets_.push_back(TidSet::Build(tids[i], universe_));
-  }
+
+  // Phase 1: shard the transaction scan; each shard collects its own
+  // per-item tid lists (sorted, since a shard is a contiguous tid
+  // range).
+  std::vector<std::vector<std::vector<TxnId>>> shard_tids(
+      static_cast<size_t>(num_shards));
+  ParallelFor(pool, 0, db.size(), num_shards,
+              [&](int shard, size_t lo, size_t hi) {
+                auto& tids = shard_tids[static_cast<size_t>(shard)];
+                tids.assign(alphabet, {});
+                for (size_t t = lo; t < hi; ++t) {
+                  for (ItemId it : db.Get(static_cast<TxnId>(t))) {
+                    tids[it].push_back(static_cast<TxnId>(t));
+                  }
+                }
+              });
+
+  // Phase 2: per-item concatenation in shard order (keeps the list
+  // sorted) and TID-set construction, sharded over the alphabet.
+  ParallelFor(pool, 0, alphabet, pool->num_threads(),
+              [&](int, size_t lo, size_t hi) {
+                std::vector<TxnId> merged;
+                for (size_t i = lo; i < hi; ++i) {
+                  merged.clear();
+                  for (const auto& tids : shard_tids) {
+                    const auto& part = tids[i];
+                    merged.insert(merged.end(), part.begin(), part.end());
+                  }
+                  sets_[i] = TidSet::Build(merged, universe_);
+                }
+              });
 }
 
 uint32_t VerticalIndex::Support(const Itemset& itemset) const {
+  TidSet::IntersectScratch scratch;
+  return Support(itemset, &scratch);
+}
+
+uint32_t VerticalIndex::Support(const Itemset& itemset,
+                                TidSet::IntersectScratch* scratch) const {
   if (itemset.empty()) return universe_;
   std::array<const TidSet*, kMaxItemsetSize> ptrs;
   for (int i = 0; i < itemset.size(); ++i) {
@@ -29,8 +82,9 @@ uint32_t VerticalIndex::Support(const Itemset& itemset) const {
     ptrs[static_cast<size_t>(i)] = &sets_[it];
   }
   return TidSet::IntersectCountMany(
-      std::span<const TidSet* const>(ptrs.data(),
-                                     static_cast<size_t>(itemset.size())));
+      std::span<const TidSet* const>(
+          ptrs.data(), static_cast<size_t>(itemset.size())),
+      scratch);
 }
 
 int64_t VerticalIndex::MemoryBytes() const {

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/itemset.h"
 #include "data/tidset.h"
 #include "data/transaction_db.h"
@@ -18,8 +19,11 @@ class VerticalIndex {
  public:
   VerticalIndex() = default;
 
-  /// Builds TID-sets for every item in `db`'s alphabet.
-  explicit VerticalIndex(const TransactionDb& db);
+  /// Builds TID-sets for every item in `db`'s alphabet. With a pool,
+  /// the transaction scan and the per-item TID-set construction are
+  /// sharded across its workers; the result is identical either way.
+  explicit VerticalIndex(const TransactionDb& db,
+                         ThreadPool* pool = nullptr);
 
   uint32_t universe() const { return universe_; }
   ItemId alphabet_size() const {
@@ -34,6 +38,11 @@ class VerticalIndex {
 
   /// Support of an itemset by k-way TID-set intersection.
   uint32_t Support(const Itemset& itemset) const;
+
+  /// Scratch-reusing variant for tight counting loops (one scratch per
+  /// thread).
+  uint32_t Support(const Itemset& itemset,
+                   TidSet::IntersectScratch* scratch) const;
 
   int64_t MemoryBytes() const;
 

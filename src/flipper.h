@@ -12,6 +12,7 @@
 #define FLIPPER_FLIPPER_H_
 
 #include "common/status.h"           // IWYU pragma: export
+#include "common/thread_pool.h"      // IWYU pragma: export
 #include "core/config.h"             // IWYU pragma: export
 #include "core/flipper_miner.h"      // IWYU pragma: export
 #include "core/mining_result.h"      // IWYU pragma: export

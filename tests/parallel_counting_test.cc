@@ -1,0 +1,232 @@
+// Parallel-vs-serial equivalence: the sharded counting engine must
+// produce bit-identical supports and identical mining output for every
+// thread count, both counter kinds, and the parallelized view
+// materialization paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/flipper_miner.h"
+#include "core/naive_miner.h"
+#include "core/support_counting.h"
+#include "data/vertical_index.h"
+#include "test_util.h"
+
+namespace flipper {
+namespace {
+
+std::string Fingerprint(const MiningResult& result) {
+  std::string out;
+  for (const FlippingPattern& p : result.patterns) {
+    out += p.ToString() + "\n";
+  }
+  return out;
+}
+
+/// Thread counts the equivalence suites sweep: serial, 2, 4, and
+/// whatever the hardware reports (0 resolves to it).
+const int kThreadCounts[] = {1, 2, 4, 0};
+
+TEST(ParallelCounting, TrieScanMatchesSerialAndBruteForce) {
+  Rng rng(12345);
+  for (int trial = 0; trial < 5; ++trial) {
+    TransactionDb db;
+    std::vector<ItemId> txn;
+    const ItemId alphabet = 30;
+    // Enough transactions that the scan actually shards (>= 512/shard).
+    for (int t = 0; t < 4096; ++t) {
+      txn.clear();
+      const int width = 1 + static_cast<int>(rng.Below(9));
+      for (int i = 0; i < width; ++i) {
+        txn.push_back(static_cast<ItemId>(rng.Below(alphabet)));
+      }
+      db.Add(txn);
+    }
+    const int k = 2 + static_cast<int>(rng.Below(3));
+    std::vector<Itemset> candidates;
+    std::unordered_set<Itemset, ItemsetHash> seen;
+    for (int c = 0; c < 80; ++c) {
+      Itemset s;
+      while (s.size() < k) {
+        s.Insert(static_cast<ItemId>(rng.Below(alphabet)));
+      }
+      if (seen.insert(s).second) candidates.push_back(s);
+    }
+
+    std::vector<uint32_t> serial(candidates.size(), 0);
+    CountBatchWithTrie(db, candidates, nullptr, serial);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      ASSERT_EQ(serial[i], db.CountSupport(candidates[i]));
+    }
+    for (int threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      std::vector<uint32_t> parallel(candidates.size(), 0);
+      CountBatchWithTrie(db, candidates, &pool, parallel);
+      EXPECT_EQ(parallel, serial)
+          << "trial " << trial << ", threads " << pool.num_threads();
+    }
+  }
+}
+
+TEST(ParallelCounting, GeneralizeMatchesSerial) {
+  Rng rng(99);
+  TransactionDb db;
+  std::vector<ItemId> txn;
+  const ItemId alphabet = 50;
+  for (int t = 0; t < 5000; ++t) {
+    txn.clear();
+    const int width = 1 + static_cast<int>(rng.Below(7));
+    for (int i = 0; i < width; ++i) {
+      txn.push_back(static_cast<ItemId>(rng.Below(alphabet)));
+    }
+    db.Add(txn);
+  }
+  // A random many-to-one map with some dropped items.
+  std::vector<ItemId> lut(alphabet);
+  for (ItemId i = 0; i < alphabet; ++i) {
+    lut[i] = rng.Bernoulli(0.1) ? kInvalidItem
+                                : static_cast<ItemId>(rng.Below(12));
+  }
+
+  const TransactionDb serial = db.Generalize(lut);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const TransactionDb parallel = db.Generalize(lut, &pool);
+    ASSERT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(parallel.alphabet_size(), serial.alphabet_size());
+    EXPECT_EQ(parallel.max_width(), serial.max_width());
+    EXPECT_EQ(parallel.total_items(), serial.total_items());
+    for (TxnId t = 0; t < serial.size(); ++t) {
+      const auto a = serial.Get(t);
+      const auto b = parallel.Get(t);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "txn " << t << ", threads " << pool.num_threads();
+    }
+  }
+}
+
+TEST(ParallelCounting, VerticalIndexBuildMatchesSerial) {
+  Rng rng(4242);
+  TransactionDb db;
+  std::vector<ItemId> txn;
+  const ItemId alphabet = 40;
+  for (int t = 0; t < 5000; ++t) {
+    txn.clear();
+    const int width = 1 + static_cast<int>(rng.Below(6));
+    for (int i = 0; i < width; ++i) {
+      txn.push_back(static_cast<ItemId>(rng.Below(alphabet)));
+    }
+    db.Add(txn);
+  }
+  const VerticalIndex serial(db);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const VerticalIndex parallel(db, &pool);
+    ASSERT_EQ(parallel.alphabet_size(), serial.alphabet_size());
+    EXPECT_EQ(parallel.universe(), serial.universe());
+    for (ItemId i = 0; i < serial.alphabet_size(); ++i) {
+      EXPECT_EQ(parallel.Get(i).mode(), serial.Get(i).mode());
+      EXPECT_EQ(parallel.Get(i).ToVector(), serial.Get(i).ToVector())
+          << "item " << i << ", threads " << pool.num_threads();
+    }
+  }
+}
+
+TEST(ParallelCounting, VerticalCounterShardedMatchesSerial) {
+  // Wide-alphabet dataset so one batch exceeds the vertical engine's
+  // 64-candidates-per-shard floor and the sharded path really runs.
+  testutil::Dataset data = testutil::RandomDataset(
+      31, /*num_roots=*/8, /*fanout=*/3, /*depth=*/3,
+      /*num_txns=*/3000, /*max_width=*/8);
+  const int h = data.taxonomy.height();
+  std::vector<ItemId> items = data.taxonomy.NodesAtLevel(h);
+  ASSERT_GE(items.size(), 20u);
+  std::vector<Itemset> candidates;
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = i + 1; j < 20; ++j) {
+      candidates.push_back(Itemset::Pair(items[i], items[j]));
+    }
+  }
+  ASSERT_GE(candidates.size(), 128u);  // >= 2 shards per pool thread
+
+  auto serial_views = LevelViews::Build(data.db, data.taxonomy);
+  ASSERT_TRUE(serial_views.ok());
+  std::vector<uint32_t> serial;
+  ASSERT_TRUE(MakeCounter(CounterKind::kVertical)
+                  ->Count(&*serial_views, h, candidates, &serial)
+                  .ok());
+  // Sanity: the batch is not trivially all-zero.
+  EXPECT_NE(*std::max_element(serial.begin(), serial.end()), 0u);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    auto views = LevelViews::Build(data.db, data.taxonomy, &pool);
+    ASSERT_TRUE(views.ok());
+    std::vector<uint32_t> parallel;
+    ASSERT_TRUE(MakeCounter(CounterKind::kVertical, &pool)
+                    ->Count(&*views, h, candidates, &parallel)
+                    .ok());
+    EXPECT_EQ(parallel, serial) << "threads " << pool.num_threads();
+  }
+}
+
+struct MinerCase {
+  uint64_t seed;
+  CounterKind counter;
+};
+
+class MinerEquivalence : public ::testing::TestWithParam<MinerCase> {};
+
+TEST_P(MinerEquivalence, SameSupportsAndPatternsForAnyThreadCount) {
+  const MinerCase param = GetParam();
+  // Large enough to shard (>= 512 txns/shard at 4 threads).
+  testutil::Dataset data = testutil::RandomDataset(
+      param.seed, /*num_roots=*/4, /*fanout=*/2, /*depth=*/3,
+      /*num_txns=*/3000, /*max_width=*/6);
+
+  MiningConfig config;
+  config.gamma = 0.4;
+  config.epsilon = 0.2;
+  config.min_support = {0.05, 0.02, 0.01};
+  config.counter = param.counter;
+
+  config.num_threads = 1;
+  auto serial = FlipperMiner::Run(data.db, data.taxonomy, config);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  const std::string serial_fp = Fingerprint(*serial);
+
+  auto serial_naive = NaiveMiner::Run(data.db, data.taxonomy, config);
+  ASSERT_TRUE(serial_naive.ok()) << serial_naive.status();
+  const std::string serial_naive_fp = Fingerprint(*serial_naive);
+
+  for (int threads : kThreadCounts) {
+    config.num_threads = threads;
+    auto parallel = FlipperMiner::Run(data.db, data.taxonomy, config);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(Fingerprint(*parallel), serial_fp)
+        << "flipper threads=" << threads;
+    EXPECT_EQ(parallel->patterns.size(), serial->patterns.size());
+
+    auto naive = NaiveMiner::Run(data.db, data.taxonomy, config);
+    ASSERT_TRUE(naive.ok()) << naive.status();
+    EXPECT_EQ(Fingerprint(*naive), serial_naive_fp)
+        << "naive threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCounters, MinerEquivalence,
+    ::testing::Values(MinerCase{7, CounterKind::kHorizontal},
+                      MinerCase{7, CounterKind::kVertical},
+                      MinerCase{21, CounterKind::kHorizontal},
+                      MinerCase{21, CounterKind::kVertical},
+                      MinerCase{77, CounterKind::kHorizontal},
+                      MinerCase{77, CounterKind::kVertical}));
+
+}  // namespace
+}  // namespace flipper

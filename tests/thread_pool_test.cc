@@ -1,0 +1,124 @@
+// ThreadPool / ParallelFor: task execution, deterministic static
+// sharding, inline fallbacks, and exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace flipper {
+namespace {
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+
+  // The pool is reusable after Wait().
+  pool.Submit([&counter] { counter += 10; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 110);
+}
+
+TEST(ThreadPool, SingleThreadPoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int x = 0;
+  pool.Submit([&x] { x = 42; });
+  pool.Wait();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ThreadPool, WaitPropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool survives and keeps working.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ShardRange, PartitionsExactly) {
+  for (size_t begin : {size_t{0}, size_t{5}}) {
+    for (size_t total : {size_t{0}, size_t{1}, size_t{7}, size_t{100}}) {
+      for (int shards : {1, 2, 3, 8}) {
+        const size_t end = begin + total;
+        size_t expect_lo = begin;
+        for (int s = 0; s < shards; ++s) {
+          const auto [lo, hi] = ShardRange(begin, end, shards, s);
+          EXPECT_EQ(lo, expect_lo);
+          EXPECT_LE(hi, end);
+          // Shard sizes differ by at most one.
+          EXPECT_LE(hi - lo, total / static_cast<size_t>(shards) + 1);
+          expect_lo = hi;
+        }
+        EXPECT_EQ(expect_lo, end);
+      }
+    }
+  }
+}
+
+class ParallelForThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelForThreads, VisitsEveryIndexOnce) {
+  const int threads = GetParam();
+  ThreadPool pool(threads);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelFor(&pool, 0, kN, threads * 3,
+              [&](int shard, size_t lo, size_t hi) {
+                EXPECT_GE(shard, 0);
+                EXPECT_LT(lo, hi);
+                for (size_t i = lo; i < hi; ++i) ++visits[i];
+              });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelForThreads,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelFor, NullPoolRunsInlineInShardOrder) {
+  std::vector<int> shards_seen;
+  ParallelFor(nullptr, 0, 10, 4, [&](int shard, size_t lo, size_t hi) {
+    EXPECT_LT(lo, hi);
+    shards_seen.push_back(shard);
+  });
+  EXPECT_EQ(shards_seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParallelFor, EmptyRangeAndExcessShards) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 5, 5, 4, [&](int, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  // More shards than elements: every element still visited once, no
+  // empty-shard callbacks.
+  std::atomic<int> visited{0};
+  ParallelFor(&pool, 0, 3, 16, [&](int, size_t lo, size_t hi) {
+    visited += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(visited.load(), 3);
+}
+
+}  // namespace
+}  // namespace flipper

@@ -10,6 +10,7 @@
 // (useful for cross-checking); --topk=N keeps only the N widest flips.
 
 #include <iostream>
+#include <limits>
 
 #include "common/arg_parser.h"
 #include "common/string_util.h"
@@ -63,6 +64,10 @@ int Run(int argc, char** argv) {
                "NAME");
   args.AddFlag("counter", "horizontal|vertical (default horizontal)",
                "NAME");
+  args.AddFlag("threads",
+               "worker threads for counting (default 0 = all hardware "
+               "threads)",
+               "N");
   args.AddFlag("topk", "keep only the K widest flips", "K");
   args.AddFlag("format", "text|csv|json (default text)", "NAME");
   args.AddFlag("out", "write patterns to a file instead of stdout",
@@ -133,6 +138,17 @@ int Run(int argc, char** argv) {
     std::cerr << "error: --counter must be horizontal|vertical\n";
     return 2;
   }
+  auto threads = args.GetInt("threads", 0);
+  if (!threads.ok()) {
+    std::cerr << "error: " << threads.status() << "\n";
+    return 2;
+  }
+  if (*threads < 0 || *threads > std::numeric_limits<int>::max()) {
+    std::cerr << "error: --threads must be in [0, "
+              << std::numeric_limits<int>::max() << "]\n";
+    return 2;
+  }
+  config.num_threads = static_cast<int>(*threads);
 
   // --- Mine. ---
   auto result = args.GetSwitch("baseline")
