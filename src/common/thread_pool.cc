@@ -81,6 +81,58 @@ void ThreadPool::Wait() {
   }
 }
 
+struct ThreadPool::Completion::State {
+  std::mutex mu;
+  std::condition_variable done;
+  size_t pending = 0;
+  std::exception_ptr first_error;
+};
+
+ThreadPool::Completion ThreadPool::SubmitBatch(
+    std::vector<std::function<void()>> tasks) {
+  Completion handle;
+  if (tasks.empty()) return handle;
+  handle.pool_ = this;
+  handle.state_ = std::make_shared<Completion::State>();
+  handle.state_->pending = tasks.size();
+  for (auto& fn : tasks) {
+    Submit([state = handle.state_, fn = std::move(fn)] {
+      std::exception_ptr error;
+      try {
+        fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (error != nullptr && state->first_error == nullptr) {
+        state->first_error = error;
+      }
+      if (--state->pending == 0) state->done.notify_all();
+    });
+  }
+  return handle;
+}
+
+void ThreadPool::Completion::Wait() {
+  if (state_ == nullptr) return;
+  // Help drain the shared queue first: on a pool with no idle workers
+  // (notably num_threads == 1) the batch's tasks only ever run here.
+  // The queue may also hold tasks of other batches; running them on
+  // this thread is harmless — their own handles still see completion.
+  {
+    std::unique_lock<std::mutex> lock(pool_->mu_);
+    while (pool_->RunOneTask(&lock)) {
+    }
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
+  if (state_->first_error != nullptr) {
+    std::exception_ptr error = state_->first_error;
+    state_->first_error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
 int ShardCount(size_t total_items, const ThreadPool* pool,
                size_t min_items_per_shard) {
   if (pool == nullptr || pool->num_threads() <= 1) return 1;

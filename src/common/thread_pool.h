@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -44,6 +45,33 @@ class ThreadPool {
   /// every in-flight task has finished. Rethrows the first exception
   /// any task raised.
   void Wait();
+
+  /// Completion handle for one batch of tasks enqueued with
+  /// SubmitBatch. Copyable; all copies refer to the same batch.
+  class Completion {
+   public:
+    /// A default handle is already complete (no batch attached).
+    Completion() = default;
+
+    /// Blocks until every task of the batch has finished. The calling
+    /// thread helps run queued pool tasks while it waits, so joining
+    /// is safe (and required) even on a 1-thread pool, whose batches
+    /// only run here. Rethrows the first exception a batch task
+    /// raised, once across all copies of the handle.
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    struct State;
+    ThreadPool* pool_ = nullptr;
+    std::shared_ptr<State> state_;
+  };
+
+  /// Enqueues `tasks` as one batch whose completion can be awaited
+  /// independently of the rest of the queue. Unlike Submit/Wait,
+  /// exceptions surface through the returned handle, not Wait().
+  /// Overlapping batches are allowed; each joins only its own tasks.
+  Completion SubmitBatch(std::vector<std::function<void()>> tasks);
 
  private:
   void WorkerLoop();

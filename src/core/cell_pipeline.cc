@@ -1,0 +1,265 @@
+#include "core/cell_pipeline.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/candidate_gen.h"
+#include "core/scan_cell.h"
+
+namespace flipper {
+
+Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
+  FLIPPER_RETURN_IF_ERROR(config_.Validate());
+  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  FLIPPER_ASSIGN_OR_RETURN(views_,
+                           LevelViews::Build(db, tax_, pool_.get()));
+  counter_ = MakeCounter(config_.counter, pool_.get());
+  pipelining_ = config_.enable_pipelining;
+
+  WallTimer total_timer;
+  MiningResult result;
+  height_ = tax_.height();
+  num_txns_ = views_.num_transactions();
+
+  // Column bound: itemsets are rooted in distinct level-1 nodes, and a
+  // frequent (h,k)-itemset needs a transaction with k distinct level-h
+  // items (paper §4.1).
+  max_k_ = static_cast<int>(
+      std::min<size_t>(tax_.Level1().size(), views_.MaxUniversalWidth()));
+  max_k_ = std::min(max_k_, kMaxItemsetSize);
+  if (config_.max_itemset_size > 0) {
+    max_k_ = std::min(max_k_, config_.max_itemset_size);
+  }
+
+  // Scan 1 (line 1 of Algorithm 1): frequent single items per level.
+  freq_items_.assign(static_cast<size_t>(height_) + 1, {});
+  for (int h = 1; h <= height_; ++h) {
+    const uint32_t min_count = config_.MinCount(h, num_txns_);
+    auto& items = freq_items_[static_cast<size_t>(h)];
+    for (ItemId item : tax_.NodesAtLevel(h)) {
+      if (views_.ItemSupport(h, item) >= min_count) {
+        items.push_back(item);
+      }
+    }
+  }
+  planner_ = std::make_unique<CellPlanner>(tax_, config_, views_,
+                                           freq_items_, num_txns_);
+  evaluator_ = std::make_unique<CellEvaluator>(
+      tax_, config_, views_, &tracker_, freq_items_, num_txns_);
+
+  if (height_ < 2 || max_k_ < 2) {
+    // No flipping is possible with a single abstraction level, and no
+    // correlation is defined for single items.
+    result.stats.total_seconds = total_timer.ElapsedSeconds();
+    return result;
+  }
+
+  // --- Phase 1: the two ceiling rows, zigzag (lines 2-7). ---
+  Row row1;
+  Row row2;
+  std::optional<CellPlan> spec;
+  for (int k = 2; k <= max_k_; ++k) {
+    CellWork work1;
+    const Cell* prev1 =
+        k == 2 ? nullptr : &row1[static_cast<size_t>(k - 3)];
+    FLIPPER_RETURN_IF_ERROR(
+        BeginRow1Cell(k, prev1, std::move(spec), &work1));
+    spec.reset();
+    FLIPPER_ASSIGN_OR_RETURN(Cell q1, FinishCell(&work1, nullptr));
+    const bool q1_has_frequent = !q1.Select([](const ItemsetRecord& r) {
+                                     return r.frequent;
+                                   }).empty();
+    if (!q1_has_frequent) {
+      // Support termination: no frequent (1,k)-itemsets means no
+      // frequent (1,k')-itemsets for k' >= k, so every deeper chain is
+      // broken from column k on.
+      max_k_ = k - 1;
+      break;
+    }
+    row1.push_back(std::move(q1));
+
+    CellWork work2;
+    const Cell& parent = row1[static_cast<size_t>(k - 2)];
+    const Cell* prev2 =
+        k == 2 ? nullptr : &row2[static_cast<size_t>(k - 3)];
+    FLIPPER_RETURN_IF_ERROR(
+        BeginVerticalCell(2, k, &parent, prev2, std::nullopt, &work2));
+    // Overlap: while Q(2,k) counts on the pool, the driver plans
+    // Q(1,k+1) — the prefix join reads only the completed Q(1,k).
+    if (pipelining_ && k < max_k_ && !work2.counted_by_scan) {
+      spec = planner_->PlanRow1(k + 1, &parent);
+    }
+    FLIPPER_ASSIGN_OR_RETURN(Cell q2, FinishCell(&work2, &parent));
+    row2.push_back(std::move(q2));
+
+    evaluator_->SibpUpdate(1, k, row1[static_cast<size_t>(k - 2)]);
+    evaluator_->SibpUpdate(2, k, row2[static_cast<size_t>(k - 2)]);
+    evaluator_->SibpBan(2, k, &stats_);
+
+    if (TpgFires(row1[static_cast<size_t>(k - 2)],
+                 row2[static_cast<size_t>(k - 2)])) {
+      if (stats_.tpg_stopped_at == 0) stats_.tpg_stopped_at = k;
+      max_k_ = k - 1;
+      break;
+    }
+  }
+  spec.reset();
+  // Line 7: eliminate non-flipping patterns in rows 1 and 2. Row 1 is
+  // no longer needed at all (chains carry its data forward).
+  row1.clear();
+  evaluator_->ReleaseChains(1);
+  EvictCompletedRow(&row2);
+
+  // --- Phase 2: rows 3..H, row-wise (lines 8-15). ---
+  Row prev_row = std::move(row2);
+  for (int h = 3; h <= height_; ++h) {
+    Row cur_row;
+    std::optional<CellPlan> vspec;
+    for (int k = 2; k <= max_k_; ++k) {
+      const Cell* parent =
+          static_cast<size_t>(k - 2) < prev_row.size()
+              ? &prev_row[static_cast<size_t>(k - 2)]
+              : nullptr;
+      const Cell* prev_in_row =
+          k == 2 ? nullptr : &cur_row[static_cast<size_t>(k - 3)];
+      CellWork work;
+      FLIPPER_RETURN_IF_ERROR(BeginVerticalCell(
+          h, k, parent, prev_in_row, std::move(vspec), &work));
+      vspec.reset();
+      // Overlap: while Q(h,k)'s scan counts on the pool, the driver
+      // plans Q(h,k+1) from the completed parent row. The plan records
+      // the SIBP ban version it read; if evaluating Q(h,k) bans more
+      // items, BeginVerticalCell discards it and replans.
+      if (pipelining_ && k < max_k_ && !work.counted_by_scan) {
+        const Cell* next_parent =
+            static_cast<size_t>(k - 1) < prev_row.size()
+                ? &prev_row[static_cast<size_t>(k - 1)]
+                : nullptr;
+        if (next_parent != nullptr) {
+          vspec = planner_->PlanVertical(h, k + 1, *next_parent,
+                                         evaluator_->banned(h));
+        }
+      }
+      FLIPPER_ASSIGN_OR_RETURN(Cell cell, FinishCell(&work, parent));
+      cur_row.push_back(std::move(cell));
+
+      evaluator_->SibpUpdate(h, k, cur_row[static_cast<size_t>(k - 2)]);
+      evaluator_->SibpBan(h, k, &stats_);
+
+      if (parent != nullptr &&
+          TpgFires(*parent, cur_row[static_cast<size_t>(k - 2)])) {
+        if (stats_.tpg_stopped_at == 0) stats_.tpg_stopped_at = k;
+        max_k_ = k - 1;
+        break;
+      }
+    }
+    // Line 14: eliminate non-flipping patterns; row h-1 retires.
+    prev_row.clear();
+    evaluator_->ReleaseChains(h - 1);
+    EvictCompletedRow(&cur_row);
+    prev_row = std::move(cur_row);
+  }
+
+  // Line 16: report the alive itemsets of the deepest row.
+  evaluator_->AssemblePatterns(prev_row, &result);
+
+  // Counter scans + scan-driven cell scans + the initial singleton scan.
+  stats_.db_scans += counter_->num_db_scans() + 1;
+  stats_.peak_candidate_bytes = tracker_.peak_bytes();
+  stats_.total_seconds = total_timer.ElapsedSeconds();
+  result.stats = std::move(stats_);
+  return result;
+}
+
+Status CellPipeline::BeginRow1Cell(int k, const Cell* prev_in_row,
+                                   std::optional<CellPlan> spec,
+                                   CellWork* work) {
+  work->cs.h = 1;
+  work->cs.k = k;
+  CellPlan plan;
+  if (spec.has_value() && spec->k == k) {
+    plan = std::move(*spec);
+  } else {
+    plan = planner_->PlanRow1(k, prev_in_row);
+  }
+  if (plan.truncated) return TruncatedError(1, k);
+  work->cs.generated = plan.candidates.size();
+  work->candidates = std::move(plan.candidates);
+  work->cs.counted = work->candidates.size();
+  work->future =
+      counter_->StartCount(&views_, 1, work->candidates, &work->supports);
+  return Status::OK();
+}
+
+Status CellPipeline::BeginVerticalCell(int h, int k, const Cell* parent,
+                                       const Cell* prev_in_row,
+                                       std::optional<CellPlan> spec,
+                                       CellWork* work) {
+  work->cs.h = h;
+  work->cs.k = k;
+  if (parent == nullptr) {
+    // No parent cell to grow from: the cell is empty (the ready future
+    // leaves the supports empty without accounting a scan).
+    work->future = counter_->StartCount(&views_, h, work->candidates,
+                                        &work->supports);
+    return Status::OK();
+  }
+  const auto& banned = evaluator_->banned(h);
+  CellPlan plan;
+  if (spec.has_value() && spec->h == h && spec->k == k &&
+      CellPlanner::PlanValid(*spec, banned)) {
+    plan = std::move(*spec);
+  } else {
+    plan = planner_->PlanVertical(h, k, *parent, banned);
+  }
+  if (plan.strategy == CellStrategy::kScan) {
+    FLIPPER_RETURN_IF_ERROR(FillCellByScan(
+        views_, tax_, config_, h, k, *parent, prev_in_row, banned,
+        freq_items_[static_cast<size_t>(h)], &work->candidates,
+        &work->supports, &work->cs, &stats_));
+    work->counted_by_scan = true;
+    work->cs.counted = work->candidates.size();
+    return Status::OK();
+  }
+  work->cs.generated = plan.candidates.size();
+  work->candidates = std::move(plan.candidates);
+  if (prev_in_row != nullptr) {
+    work->candidates = FilterKnownInfrequentSubsets(
+        std::move(work->candidates), *prev_in_row);
+  }
+  if (plan.truncated) return TruncatedError(h, k);
+  work->cs.counted = work->candidates.size();
+  work->future =
+      counter_->StartCount(&views_, h, work->candidates, &work->supports);
+  return Status::OK();
+}
+
+Result<Cell> CellPipeline::FinishCell(CellWork* work, const Cell* parent) {
+  FLIPPER_RETURN_IF_ERROR(work->future.Join());
+  Cell cell =
+      evaluator_->Evaluate(work->cs.h, work->cs.k, work->candidates,
+                           work->supports, parent, &work->cs, &stats_);
+  work->cs.seconds = work->timer.ElapsedSeconds();
+  stats_.AddCell(work->cs);
+  return cell;
+}
+
+Status CellPipeline::TruncatedError(int h, int k) const {
+  return Status::ResourceExhausted(
+      "cell Q(" + std::to_string(h) + "," + std::to_string(k) +
+      ") exceeded the candidate limit (" +
+      std::to_string(config_.max_candidates_per_cell) + ")");
+}
+
+void CellPipeline::EvictCompletedRow(Row* row) {
+  for (Cell& cell : *row) {
+    if (config_.pruning.flipping) {
+      cell.Retain([](const ItemsetRecord& r) { return r.chain_alive; });
+    } else {
+      cell.Retain([](const ItemsetRecord& r) { return r.frequent; });
+    }
+  }
+}
+
+}  // namespace flipper

@@ -1,0 +1,126 @@
+// CellPipeline: the staged cell-execution driver of the Flipper
+// algorithm (Algorithm 1). Each cell Q(h,k) runs through three
+// explicit stages —
+//
+//   plan     (CellPlanner)   candidate generation, strategy selection
+//   count    (SupportCounter) one sharded database scan on the pool,
+//                             or the scan-driven route (scan_cell.h)
+//   evaluate (CellEvaluator)  correlation, labels, chains, SIBP
+//
+// — and the driver overlaps stages across cells: while Q(h,k)'s
+// support scan runs asynchronously on the thread pool
+// (SupportCounter::StartCount), the driver thread speculatively plans
+// Q(h,k+1). That is sound because planning reads only *completed*
+// cells (the parent row for vertical growth, the finished Q(1,k) for
+// the row-1 prefix join) plus level h's SIBP ban set; the driver joins
+// the per-cell count future before evaluation, and a speculative plan
+// whose ban-set version went stale (or that survives a TPG stop) is
+// simply discarded and regenerated, so mining output is bit-identical
+// to the staged-serial order for any thread count
+// (MiningConfig::enable_pipelining toggles the overlap).
+//
+// Processing order, pruning semantics and memory policy are unchanged
+// from the paper: the two ceiling rows zigzag so TPG always sees two
+// vertically consecutive cells, rows 3..H run left to right, only two
+// rows are resident, and completed rows evict chain-dead itemsets.
+
+#ifndef FLIPPER_CORE_CELL_PIPELINE_H_
+#define FLIPPER_CORE_CELL_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/cell.h"
+#include "core/cell_evaluator.h"
+#include "core/cell_planner.h"
+#include "core/config.h"
+#include "core/level_views.h"
+#include "core/mining_result.h"
+#include "core/support_counting.h"
+#include "data/transaction_db.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+
+class CellPipeline {
+ public:
+  CellPipeline(const Taxonomy& taxonomy, const MiningConfig& config)
+      : tax_(taxonomy), config_(config) {}
+
+  /// One full mining run over `db`.
+  Result<MiningResult> Execute(const TransactionDb& db);
+
+ private:
+  /// A row of the search-space table: row[k - 2] is Q(h, k).
+  using Row = std::vector<Cell>;
+
+  /// One cell travelling through the stages. Candidates and supports
+  /// must stay put while the count future is in flight.
+  struct CellWork {
+    CellStats cs;
+    WallTimer timer;
+    std::vector<Itemset> candidates;
+    std::vector<uint32_t> supports;
+    CountFuture future;
+    /// The scan-driven route counted during generation; no count
+    /// stage remains and therefore nothing overlaps this cell.
+    bool counted_by_scan = false;
+  };
+
+  /// Stage 1 (+ count dispatch) for a vertical cell Q(h,k), h >= 2:
+  /// uses `spec` when it is still valid, replans otherwise; applies
+  /// the within-row known-infrequent filter; dispatches the count or
+  /// runs the scan-driven route inline. `work` is filled in place —
+  /// its address must stay stable until FinishCell, because the
+  /// in-flight count writes into work->supports.
+  Status BeginVerticalCell(int h, int k, const Cell* parent,
+                           const Cell* prev_in_row,
+                           std::optional<CellPlan> spec, CellWork* work);
+
+  /// Stage 1 (+ count dispatch) for a row-1 cell.
+  Status BeginRow1Cell(int k, const Cell* prev_in_row,
+                       std::optional<CellPlan> spec, CellWork* work);
+
+  /// Joins the count, runs evaluation, commits the cell's stats.
+  Result<Cell> FinishCell(CellWork* work, const Cell* parent);
+
+  Status TruncatedError(int h, int k) const;
+
+  /// Theorem-3 premise over two vertically consecutive cells.
+  bool TpgFires(const Cell& upper, const Cell& lower) const {
+    return config_.pruning.tpg && upper.AllNonPositive() &&
+           lower.AllNonPositive();
+  }
+
+  /// Evicts records a completed row no longer needs: chain-dead ones
+  /// under flipping pruning ("eliminate non-flipping patterns"),
+  /// infrequent ones always.
+  void EvictCompletedRow(Row* row);
+
+  const Taxonomy& tax_;
+  const MiningConfig& config_;
+  std::unique_ptr<ThreadPool> pool_;
+  LevelViews views_;
+  std::unique_ptr<SupportCounter> counter_;
+  std::unique_ptr<CellPlanner> planner_;
+  std::unique_ptr<CellEvaluator> evaluator_;
+  MemoryTracker tracker_;
+  MiningStats stats_;
+
+  uint32_t num_txns_ = 0;
+  int height_ = 0;
+  int max_k_ = 0;  // current column cap; TPG shrinks it
+  bool pipelining_ = true;
+
+  /// Frequent single items per level (index h), sorted by id.
+  std::vector<std::vector<ItemId>> freq_items_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_CELL_PIPELINE_H_

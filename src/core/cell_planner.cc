@@ -1,0 +1,89 @@
+#include "core/cell_planner.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "core/candidate_gen.h"
+#include "core/scan_cell.h"
+
+namespace flipper {
+
+CellPlan CellPlanner::PlanRow1(int k, const Cell* prev_in_row) const {
+  CellPlan plan;
+  plan.h = 1;
+  plan.k = k;
+  if (k == 2) {
+    plan.strategy = CellStrategy::kPairs;
+    plan.candidates = GeneratePairs(freq_items_[1]);
+    plan.truncated =
+        plan.candidates.size() > config_.max_candidates_per_cell;
+  } else {
+    plan.strategy = CellStrategy::kAprioriJoin;
+    std::vector<Itemset> prev_frequent = prev_in_row->Select(
+        [](const ItemsetRecord& r) { return r.frequent; });
+    plan.candidates =
+        AprioriJoin(prev_frequent, *prev_in_row,
+                    config_.max_candidates_per_cell, &plan.truncated);
+  }
+  return plan;
+}
+
+CellPlan CellPlanner::PlanVertical(
+    int h, int k, const Cell& parent_cell,
+    const std::unordered_set<ItemId>& banned) const {
+  CellPlan plan;
+  plan.h = h;
+  plan.k = k;
+  plan.ban_version = banned.size();
+  const uint32_t min_count = config_.MinCount(h, num_txns_);
+  auto child_ok = [&](ItemId child) {
+    if (views_.ItemSupport(h, child) < min_count) return false;
+    return banned.find(child) == banned.end();
+  };
+  std::vector<Itemset> parents = parent_cell.Select(
+      [this](const ItemsetRecord& r) { return ParentEligible(config_, r); });
+
+  // Strategy selection: the cartesian children product can vastly
+  // exceed the number of k-subsets actually present in the data
+  // (every absent combination has support 0 and can never be
+  // frequent). Estimate both and take the cheaper route.
+  double cartesian_total = 0.0;
+  std::unordered_map<ItemId, double> eligible_children;
+  for (const Itemset& parent : parents) {
+    double product = 1.0;
+    for (ItemId node : parent) {
+      auto [it, inserted] = eligible_children.try_emplace(node, 0.0);
+      if (inserted) {
+        double count = 0.0;
+        if (tax_.IsLeaf(node) && tax_.LevelOf(node) < h) {
+          count = child_ok(node) ? 1.0 : 0.0;
+        } else {
+          for (ItemId child : tax_.ChildrenOf(node)) {
+            if (child_ok(child)) count += 1.0;
+          }
+        }
+        it->second = count;
+      }
+      product *= it->second;
+      if (product == 0.0) break;
+    }
+    cartesian_total += product;
+    if (cartesian_total > 1e15) break;
+  }
+  const double scan_cost = ScanEnumerationCost(views_, h, k);
+  if (config_.enable_scan_cells && !parents.empty() &&
+      cartesian_total > 65536 && scan_cost < cartesian_total) {
+    plan.strategy = CellStrategy::kScan;
+    return plan;
+  }
+
+  plan.strategy = CellStrategy::kVerticalExpand;
+  for (const Itemset& parent : parents) {
+    VerticalExpand(parent, tax_, h, child_ok, &plan.candidates,
+                   config_.max_candidates_per_cell, &plan.truncated);
+    if (plan.truncated) break;
+  }
+  return plan;
+}
+
+}  // namespace flipper

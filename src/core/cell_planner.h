@@ -1,0 +1,101 @@
+// CellPlanner: the candidate-generation stage of the cell pipeline.
+// For each cell Q(h,k) it selects a strategy and (for the in-memory
+// routes) materializes the candidate list:
+//
+//   kPairs          — all 2-itemsets over row 1's frequent items;
+//   kAprioriJoin    — prefix join within row 1 (whose cells are
+//                     complete, so subset pruning is exact);
+//   kVerticalExpand — the cartesian children product of each eligible
+//                     parent itemset of Q(h-1,k);
+//   kScan           — the scan-driven route (core/scan_cell.h), picked
+//                     when the cartesian product estimate dwarfs the
+//                     expected k-subset probes of one database scan.
+//
+// Planning is a pure function of completed cells plus the SIBP ban set
+// of level h, which makes it safe to run speculatively on the driver
+// thread while the previous cell's support scan is still counting on
+// the pool: the plan records the ban-set version it read, and
+// PlanValid() tells the pipeline whether the speculation survived the
+// previous cell's evaluation or must be regenerated.
+
+#ifndef FLIPPER_CORE_CELL_PLANNER_H_
+#define FLIPPER_CORE_CELL_PLANNER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cell.h"
+#include "core/config.h"
+#include "core/level_views.h"
+#include "data/itemset.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+
+/// Predicate selecting parents eligible for vertical growth.
+inline bool ParentEligible(const MiningConfig& config,
+                           const ItemsetRecord& record) {
+  return config.pruning.flipping ? record.chain_alive : record.frequent;
+}
+
+enum class CellStrategy { kPairs, kAprioriJoin, kVerticalExpand, kScan };
+
+/// Output of the planning stage for one cell. For kScan the candidate
+/// list stays empty — the scan-driven route discovers candidates and
+/// supports together during its own database scan.
+struct CellPlan {
+  int h = 0;
+  int k = 0;
+  CellStrategy strategy = CellStrategy::kVerticalExpand;
+  std::vector<Itemset> candidates;
+  /// Generation hit MiningConfig::max_candidates_per_cell.
+  bool truncated = false;
+  /// Size of level h's ban set when the plan was made; bans only grow,
+  /// so equality with the current size proves the plan is current.
+  size_t ban_version = 0;
+};
+
+class CellPlanner {
+ public:
+  /// All references must outlive the planner. `freq_items[h]` holds
+  /// level h's frequent single items sorted by id.
+  CellPlanner(const Taxonomy& taxonomy, const MiningConfig& config,
+              const LevelViews& views,
+              const std::vector<std::vector<ItemId>>& freq_items,
+              uint32_t num_txns)
+      : tax_(taxonomy),
+        config_(config),
+        views_(views),
+        freq_items_(freq_items),
+        num_txns_(num_txns) {}
+
+  /// Row-1 generation: pairs at k == 2, Apriori prefix join from the
+  /// completed Q(1,k-1) otherwise. Row 1 ignores the ban set (SIBP
+  /// never bans level-1 items), so these plans are always valid.
+  CellPlan PlanRow1(int k, const Cell* prev_in_row) const;
+
+  /// Rows >= 2: estimates the cartesian children product against the
+  /// scan-enumeration cost, picks the strategy, and runs the vertical
+  /// expansion for the cartesian route. Pure — reads only completed
+  /// cells and `banned` (recorded as plan.ban_version).
+  CellPlan PlanVertical(int h, int k, const Cell& parent_cell,
+                        const std::unordered_set<ItemId>& banned) const;
+
+  /// True while `plan` matches level `plan.h`'s current ban set.
+  static bool PlanValid(const CellPlan& plan,
+                        const std::unordered_set<ItemId>& banned) {
+    return plan.ban_version == banned.size();
+  }
+
+ private:
+  const Taxonomy& tax_;
+  const MiningConfig& config_;
+  const LevelViews& views_;
+  const std::vector<std::vector<ItemId>>& freq_items_;
+  uint32_t num_txns_ = 0;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CORE_CELL_PLANNER_H_

@@ -82,6 +82,13 @@ struct MiningConfig {
   /// the strategy ablation bench; results are identical either way.
   bool enable_scan_cells = true;
 
+  /// Overlap the cell stages across cells: while cell Q(h,k)'s support
+  /// scan runs on the thread pool, the driver thread speculatively
+  /// generates Q(h,k+1)'s candidates (revalidated against the SIBP ban
+  /// state before use). Mining output is bit-identical either way; off
+  /// gives the staged-serial execution order.
+  bool enable_pipelining = true;
+
   /// Checks gamma/epsilon ordering, threshold monotonicity and ranges.
   Status Validate() const;
 

@@ -1,593 +1,14 @@
 #include "core/flipper_miner.h"
 
-#include <algorithm>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
-
-#include "common/logging.h"
-#include "common/memory_tracker.h"
-#include "common/thread_pool.h"
-#include "common/timer.h"
-#include "core/candidate_gen.h"
-#include "core/cell.h"
-#include "core/label.h"
-#include "core/level_views.h"
-#include "core/support_counting.h"
-#include "measures/measure.h"
+#include "core/cell_pipeline.h"
 
 namespace flipper {
-namespace {
-
-/// Pattern chains of the alive itemsets of one row.
-using ChainMap =
-    std::unordered_map<Itemset, std::vector<LevelStat>, ItemsetHash>;
-
-/// One full execution of Algorithm 1.
-class FlipperRun {
- public:
-  FlipperRun(const Taxonomy& taxonomy, const MiningConfig& config)
-      : tax_(taxonomy), config_(config) {}
-
-  Result<MiningResult> Execute(const TransactionDb& db);
-
- private:
-  /// A row of the search-space table: cells_[k - 2] is Q(h, k).
-  using Row = std::vector<Cell>;
-
-  /// Computes cell Q(h,k). `parent_cell` is Q(h-1,k) (null for row 1),
-  /// `prev_in_row` is Q(h,k-1) (null for k == 2).
-  Result<Cell> ComputeCell(int h, int k, const Cell* parent_cell,
-                           const Cell* prev_in_row);
-
-  /// Scan-driven candidate discovery for explosive cells: enumerates
-  /// the k-subsets of each (filtered) generalized transaction instead
-  /// of materializing the cartesian children product, so combinations
-  /// that never co-occur are skipped. Sound because MinCount() is
-  /// always >= 1: a zero-support itemset can never be frequent.
-  /// Returns candidates with their exact supports.
-  Status FillCellByScan(int h, int k, const Cell* parent_cell,
-                        const Cell* prev_in_row,
-                        std::vector<Itemset>* candidates,
-                        std::vector<uint32_t>* supports,
-                        CellStats* cs);
-
-  /// Expected number of k-subset probes of a level-h database scan,
-  /// from the width histogram.
-  double ScanEnumerationCost(int h, int k) const;
-
-  /// SIBP per-cell bookkeeping: updates the per-item max-Corr walk of
-  /// L_h and records first-qualification columns (§4.3.2).
-  void SibpUpdate(int h, int k, const Cell& cell);
-
-  /// SIBP ban step: a level-h item whose qualification column and
-  /// whose parent's level-(h-1) qualification column are both <= k is
-  /// excluded from all wider candidate itemsets.
-  void SibpBan(int h, int k);
-
-  /// Theorem-3 premise over two vertically consecutive cells.
-  bool TpgFires(const Cell& upper, const Cell& lower) const {
-    return config_.pruning.tpg && upper.AllNonPositive() &&
-           lower.AllNonPositive();
-  }
-
-  /// Predicate selecting parents eligible for vertical growth.
-  bool ParentEligible(const ItemsetRecord& record) const {
-    return config_.pruning.flipping ? record.chain_alive
-                                    : record.frequent;
-  }
-
-  /// Evicts records a completed row no longer needs: chain-dead ones
-  /// under flipping pruning ("eliminate non-flipping patterns"),
-  /// infrequent ones always.
-  void EvictCompletedRow(Row* row);
-
-  /// Emits patterns for the alive records of the final row.
-  void AssemblePatterns(const Row& last_row, MiningResult* result);
-
-  const Taxonomy& tax_;
-  const MiningConfig& config_;
-  std::unique_ptr<ThreadPool> pool_;
-  LevelViews views_;
-  std::unique_ptr<SupportCounter> counter_;
-  MemoryTracker tracker_;
-  MiningStats stats_;
-
-  uint32_t num_txns_ = 0;
-  int height_ = 0;
-  int max_k_ = 0;  // current column cap; TPG shrinks it
-
-  /// Frequent single items per level (index h), sorted by id.
-  std::vector<std::vector<ItemId>> freq_items_;
-  /// SIBP's L_h: frequent items sorted by ascending support.
-  std::vector<std::vector<ItemId>> sibp_order_;
-  /// First column at which an item entered R_h.
-  std::vector<std::unordered_map<ItemId, int>> sibp_qualified_col_;
-  /// Items banned from further candidates at their level.
-  std::vector<std::unordered_set<ItemId>> banned_;
-  /// chains_[h]: generalization chains of row h's alive itemsets.
-  std::vector<ChainMap> chains_;
-};
-
-Result<MiningResult> FlipperRun::Execute(const TransactionDb& db) {
-  FLIPPER_RETURN_IF_ERROR(config_.Validate());
-  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
-  FLIPPER_ASSIGN_OR_RETURN(views_,
-                           LevelViews::Build(db, tax_, pool_.get()));
-  counter_ = MakeCounter(config_.counter, pool_.get());
-
-  WallTimer total_timer;
-  MiningResult result;
-  height_ = tax_.height();
-  num_txns_ = views_.num_transactions();
-
-  // Column bound: itemsets are rooted in distinct level-1 nodes, and a
-  // frequent (h,k)-itemset needs a transaction with k distinct level-h
-  // items (paper §4.1).
-  max_k_ = static_cast<int>(
-      std::min<size_t>(tax_.Level1().size(), views_.MaxUniversalWidth()));
-  max_k_ = std::min(max_k_, kMaxItemsetSize);
-  if (config_.max_itemset_size > 0) {
-    max_k_ = std::min(max_k_, config_.max_itemset_size);
-  }
-
-  // Scan 1 (line 1 of Algorithm 1): frequent single items per level.
-  freq_items_.assign(static_cast<size_t>(height_) + 1, {});
-  sibp_order_.assign(static_cast<size_t>(height_) + 1, {});
-  sibp_qualified_col_.assign(static_cast<size_t>(height_) + 1, {});
-  banned_.assign(static_cast<size_t>(height_) + 1, {});
-  chains_.assign(static_cast<size_t>(height_) + 1, {});
-  for (int h = 1; h <= height_; ++h) {
-    const uint32_t min_count = config_.MinCount(h, num_txns_);
-    auto& items = freq_items_[static_cast<size_t>(h)];
-    for (ItemId item : tax_.NodesAtLevel(h)) {
-      if (views_.ItemSupport(h, item) >= min_count) {
-        items.push_back(item);
-      }
-    }
-    auto& order = sibp_order_[static_cast<size_t>(h)];
-    order = items;
-    std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
-      const uint32_t sa = views_.ItemSupport(h, a);
-      const uint32_t sb = views_.ItemSupport(h, b);
-      return sa != sb ? sa < sb : a < b;
-    });
-  }
-
-  if (height_ < 2 || max_k_ < 2) {
-    // No flipping is possible with a single abstraction level, and no
-    // correlation is defined for single items.
-    result.stats.total_seconds = total_timer.ElapsedSeconds();
-    return result;
-  }
-
-  // --- Phase 1: the two ceiling rows, zigzag (lines 2-7). ---
-  Row row1;
-  Row row2;
-  for (int k = 2; k <= max_k_; ++k) {
-    const Cell* prev1 = k == 2 ? nullptr : &row1[static_cast<size_t>(k - 3)];
-    FLIPPER_ASSIGN_OR_RETURN(Cell q1, ComputeCell(1, k, nullptr, prev1));
-    const bool q1_has_frequent = !q1.Select([](const ItemsetRecord& r) {
-                                     return r.frequent;
-                                   }).empty();
-    if (!q1_has_frequent) {
-      // Support termination: no frequent (1,k)-itemsets means no
-      // frequent (1,k')-itemsets for k' >= k, so every deeper chain is
-      // broken from column k on.
-      max_k_ = k - 1;
-      break;
-    }
-    row1.push_back(std::move(q1));
-
-    const Cell* prev2 = k == 2 ? nullptr : &row2[static_cast<size_t>(k - 3)];
-    FLIPPER_ASSIGN_OR_RETURN(
-        Cell q2,
-        ComputeCell(2, k, &row1[static_cast<size_t>(k - 2)], prev2));
-    row2.push_back(std::move(q2));
-
-    SibpUpdate(1, k, row1[static_cast<size_t>(k - 2)]);
-    SibpUpdate(2, k, row2[static_cast<size_t>(k - 2)]);
-    SibpBan(2, k);
-
-    if (TpgFires(row1[static_cast<size_t>(k - 2)],
-                 row2[static_cast<size_t>(k - 2)])) {
-      if (stats_.tpg_stopped_at == 0) stats_.tpg_stopped_at = k;
-      max_k_ = k - 1;
-      break;
-    }
-  }
-  // Line 7: eliminate non-flipping patterns in rows 1 and 2. Row 1 is
-  // no longer needed at all (chains carry its data forward).
-  row1.clear();
-  chains_[1].clear();
-  EvictCompletedRow(&row2);
-
-  // --- Phase 2: rows 3..H, row-wise (lines 8-15). ---
-  Row prev_row = std::move(row2);
-  for (int h = 3; h <= height_; ++h) {
-    Row cur_row;
-    for (int k = 2; k <= max_k_; ++k) {
-      const Cell* parent =
-          static_cast<size_t>(k - 2) < prev_row.size()
-              ? &prev_row[static_cast<size_t>(k - 2)]
-              : nullptr;
-      const Cell* prev_in_row =
-          k == 2 ? nullptr : &cur_row[static_cast<size_t>(k - 3)];
-      FLIPPER_ASSIGN_OR_RETURN(Cell cell,
-                               ComputeCell(h, k, parent, prev_in_row));
-      cur_row.push_back(std::move(cell));
-
-      SibpUpdate(h, k, cur_row[static_cast<size_t>(k - 2)]);
-      SibpBan(h, k);
-
-      if (parent != nullptr &&
-          TpgFires(*parent, cur_row[static_cast<size_t>(k - 2)])) {
-        if (stats_.tpg_stopped_at == 0) stats_.tpg_stopped_at = k;
-        max_k_ = k - 1;
-        break;
-      }
-    }
-    // Line 14: eliminate non-flipping patterns; row h-1 retires.
-    prev_row.clear();
-    chains_[static_cast<size_t>(h - 1)].clear();
-    EvictCompletedRow(&cur_row);
-    prev_row = std::move(cur_row);
-  }
-
-  // Line 16: report the alive itemsets of the deepest row.
-  AssemblePatterns(prev_row, &result);
-
-  // Counter scans + scan-driven cell scans + the initial singleton scan.
-  stats_.db_scans += counter_->num_db_scans() + 1;
-  stats_.peak_candidate_bytes = tracker_.peak_bytes();
-  stats_.total_seconds = total_timer.ElapsedSeconds();
-  result.stats = std::move(stats_);
-  return result;
-}
-
-Result<Cell> FlipperRun::ComputeCell(int h, int k, const Cell* parent_cell,
-                                     const Cell* prev_in_row) {
-  WallTimer cell_timer;
-  CellStats cs;
-  cs.h = h;
-  cs.k = k;
-
-  // --- Candidate generation. ---
-  std::vector<Itemset> candidates;
-  std::vector<uint32_t> supports;
-  bool counted = false;
-  bool truncated = false;
-  if (h == 1) {
-    if (k == 2) {
-      candidates = GeneratePairs(freq_items_[1]);
-      truncated = candidates.size() > config_.max_candidates_per_cell;
-    } else {
-      std::vector<Itemset> prev_frequent = prev_in_row->Select(
-          [](const ItemsetRecord& r) { return r.frequent; });
-      candidates = AprioriJoin(prev_frequent, *prev_in_row,
-                               config_.max_candidates_per_cell,
-                               &truncated);
-    }
-    cs.generated = candidates.size();
-  } else if (parent_cell != nullptr) {
-    const uint32_t min_count = config_.MinCount(h, num_txns_);
-    const auto& banned = banned_[static_cast<size_t>(h)];
-    auto child_ok = [&](ItemId child) {
-      if (views_.ItemSupport(h, child) < min_count) return false;
-      return banned.find(child) == banned.end();
-    };
-    std::vector<Itemset> parents = parent_cell->Select(
-        [this](const ItemsetRecord& r) { return ParentEligible(r); });
-
-    // Strategy selection: the cartesian children product can vastly
-    // exceed the number of k-subsets actually present in the data
-    // (every absent combination has support 0 and can never be
-    // frequent). Estimate both and take the cheaper route.
-    double cartesian_total = 0.0;
-    std::unordered_map<ItemId, double> eligible_children;
-    for (const Itemset& parent : parents) {
-      double product = 1.0;
-      for (ItemId node : parent) {
-        auto [it, inserted] = eligible_children.try_emplace(node, 0.0);
-        if (inserted) {
-          double count = 0.0;
-          if (tax_.IsLeaf(node) && tax_.LevelOf(node) < h) {
-            count = child_ok(node) ? 1.0 : 0.0;
-          } else {
-            for (ItemId child : tax_.ChildrenOf(node)) {
-              if (child_ok(child)) count += 1.0;
-            }
-          }
-          it->second = count;
-        }
-        product *= it->second;
-        if (product == 0.0) break;
-      }
-      cartesian_total += product;
-      if (cartesian_total > 1e15) break;
-    }
-    const double scan_cost = ScanEnumerationCost(h, k);
-    const bool use_scan = config_.enable_scan_cells &&
-                          !parents.empty() && cartesian_total > 65536 &&
-                          scan_cost < cartesian_total;
-    if (use_scan) {
-      FLIPPER_RETURN_IF_ERROR(FillCellByScan(
-          h, k, parent_cell, prev_in_row, &candidates, &supports, &cs));
-      counted = true;
-    } else {
-      for (const Itemset& parent : parents) {
-        VerticalExpand(parent, tax_, h, child_ok, &candidates,
-                       config_.max_candidates_per_cell, &truncated);
-        if (truncated) break;
-      }
-      cs.generated = candidates.size();
-      if (prev_in_row != nullptr) {
-        candidates = FilterKnownInfrequentSubsets(std::move(candidates),
-                                                  *prev_in_row);
-      }
-    }
-  }
-  if (truncated) {
-    return Status::ResourceExhausted(
-        "cell Q(" + std::to_string(h) + "," + std::to_string(k) +
-        ") exceeded the candidate limit (" +
-        std::to_string(config_.max_candidates_per_cell) + ")");
-  }
-  cs.counted = candidates.size();
-
-  // --- Support counting (one database scan per cell, line 3/10). ---
-  if (!counted) {
-    FLIPPER_RETURN_IF_ERROR(
-        counter_->Count(&views_, h, candidates, &supports));
-  }
-
-  // --- Evaluation: correlation, label, chain-alive flag. ---
-  const uint32_t min_count = config_.MinCount(h, num_txns_);
-  Cell cell(h, k, &tracker_);
-  ChainMap& chains = chains_[static_cast<size_t>(h)];
-  const ChainMap& parent_chains =
-      chains_[static_cast<size_t>(h > 1 ? h - 1 : h)];
-  std::vector<uint32_t> item_sups;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    const Itemset& itemset = candidates[i];
-    const uint32_t sup = supports[i];
-    ItemsetRecord record;
-    record.support = sup;
-    record.frequent = sup >= min_count;
-    item_sups.clear();
-    for (ItemId item : itemset) {
-      item_sups.push_back(views_.ItemSupport(h, item));
-    }
-    record.corr = Correlation(config_.measure, sup, item_sups);
-    record.label =
-        LabelOf(record.corr, config_.gamma, config_.epsilon,
-                record.frequent);
-
-    const ItemsetRecord* parent_record = nullptr;
-    Itemset parent_itemset;
-    if (h > 1) {
-      parent_itemset = itemset.Map([&](ItemId item) {
-        return tax_.AncestorAtLevel(item, h - 1);
-      });
-      if (parent_cell != nullptr) {
-        parent_record = parent_cell->Find(parent_itemset);
-      }
-    }
-    if (h == 1) {
-      record.chain_alive =
-          record.frequent && record.label != Label::kNone;
-    } else {
-      record.chain_alive = record.frequent &&
-                           record.label != Label::kNone &&
-                           parent_record != nullptr &&
-                           parent_record->chain_alive &&
-                           Flips(parent_record->label, record.label);
-    }
-
-    if (record.frequent) ++cs.frequent;
-    if (record.label != Label::kNone) ++cs.labeled;
-    if (record.label == Label::kPositive) ++stats_.num_positive;
-    if (record.label == Label::kNegative) ++stats_.num_negative;
-    if (record.chain_alive) {
-      ++cs.alive;
-      std::vector<LevelStat> chain;
-      if (h > 1) {
-        auto it = parent_chains.find(parent_itemset);
-        FLIPPER_CHECK(it != parent_chains.end())
-            << "alive itemset without parent chain";
-        chain = it->second;
-      }
-      chain.push_back({h, itemset, sup, record.corr, record.label});
-      chains.emplace(itemset, std::move(chain));
-    }
-    cell.Put(itemset, record);
-  }
-  cs.seconds = cell_timer.ElapsedSeconds();
-  stats_.AddCell(cs);
-  return cell;
-}
-
-double FlipperRun::ScanEnumerationCost(int h, int k) const {
-  const std::vector<uint32_t>& hist =
-      views_.Level(h).width_hist;
-  double total = 0.0;
-  for (size_t w = static_cast<size_t>(k); w < hist.size(); ++w) {
-    if (hist[w] == 0) continue;
-    // C(w, k), capped.
-    double combos = 1.0;
-    for (int i = 0; i < k; ++i) {
-      combos *= static_cast<double>(w - static_cast<size_t>(i)) /
-                static_cast<double>(k - i);
-      if (combos > 1e15) break;
-    }
-    total += combos * hist[w];
-    if (total > 1e15) return total;
-  }
-  return total;
-}
-
-namespace {
-
-/// Calls `fn` for every k-combination of `items` (sorted).
-template <typename Fn>
-void ForEachCombination(std::span<const ItemId> items, int k,
-                        Itemset* scratch, size_t start, const Fn& fn) {
-  if (scratch->size() == k) {
-    fn(*scratch);
-    return;
-  }
-  const size_t needed = static_cast<size_t>(k - scratch->size());
-  for (size_t i = start; i + needed <= items.size(); ++i) {
-    Itemset next = *scratch;
-    next.Insert(items[i]);
-    ForEachCombination(items, k, &next, i + 1, fn);
-  }
-}
-
-}  // namespace
-
-Status FlipperRun::FillCellByScan(int h, int k, const Cell* parent_cell,
-                                  const Cell* prev_in_row,
-                                  std::vector<Itemset>* candidates,
-                                  std::vector<uint32_t>* supports,
-                                  CellStats* cs) {
-  const auto& banned = banned_[static_cast<size_t>(h)];
-
-  // Participating items: frequent at level h and not SIBP-banned.
-  const LevelData& level = views_.Level(h);
-  std::vector<char> ok(level.item_support.size(), 0);
-  for (ItemId item : freq_items_[static_cast<size_t>(h)]) {
-    if (banned.find(item) == banned.end()) ok[item] = 1;
-  }
-
-  // Phase 1: count every k-subset of participating items that occurs.
-  std::unordered_map<Itemset, uint32_t, ItemsetHash> counts;
-  std::vector<ItemId> buf;
-  for (TxnId t = 0; t < level.db.size(); ++t) {
-    buf.clear();
-    for (ItemId item : level.db.Get(t)) {
-      if (item < ok.size() && ok[item]) buf.push_back(item);
-    }
-    if (buf.size() < static_cast<size_t>(k)) continue;
-    Itemset scratch;
-    ForEachCombination(buf, k, &scratch, 0,
-                       [&](const Itemset& combo) { ++counts[combo]; });
-    if (counts.size() > config_.max_candidates_per_cell) {
-      return Status::ResourceExhausted(
-          "scan-driven cell Q(" + std::to_string(h) + "," +
-          std::to_string(k) + ") exceeded the candidate limit");
-    }
-  }
-  ++stats_.db_scans;
-  cs->generated = counts.size();
-
-  // Phase 2: keep combinations growable from an eligible parent that
-  // pass the known-infrequent subset filter. (Combinations whose items
-  // share a level-1 root generalize to fewer than k items and find no
-  // parent record, so they drop out here.)
-  candidates->clear();
-  supports->clear();
-  for (const auto& [combo, sup] : counts) {
-    const Itemset parent_itemset = combo.Map(
-        [&](ItemId item) { return tax_.AncestorAtLevel(item, h - 1); });
-    const ItemsetRecord* parent_record =
-        parent_cell->Find(parent_itemset);
-    if (parent_record == nullptr || !ParentEligible(*parent_record)) {
-      continue;
-    }
-    if (prev_in_row != nullptr) {
-      bool viable = true;
-      for (int drop = 0; drop < combo.size() && viable; ++drop) {
-        const ItemsetRecord* rec =
-            prev_in_row->Find(combo.WithoutIndex(drop));
-        if (rec != nullptr && !rec->frequent) viable = false;
-      }
-      if (!viable) continue;
-    }
-    candidates->push_back(combo);
-    supports->push_back(sup);
-  }
-  return Status::OK();
-}
-
-void FlipperRun::SibpUpdate(int h, int k, const Cell& cell) {
-  if (!config_.pruning.sibp) return;
-  // Max Corr per item over the cell's counted itemsets.
-  std::unordered_map<ItemId, double> max_corr;
-  cell.ForEach([&](const Itemset& itemset, const ItemsetRecord& record) {
-    for (ItemId item : itemset) {
-      auto [it, inserted] = max_corr.try_emplace(item, record.corr);
-      if (!inserted && record.corr > it->second) it->second = record.corr;
-    }
-  });
-  // Walk L_h from the smallest support; an item qualifies while its max
-  // Corr stays below gamma; the first failure stops the walk
-  // (Corollary 2 requires the smallest-support prefix). Banned items
-  // count as removed from the database.
-  auto& qualified = sibp_qualified_col_[static_cast<size_t>(h)];
-  const auto& banned = banned_[static_cast<size_t>(h)];
-  for (ItemId item : sibp_order_[static_cast<size_t>(h)]) {
-    if (banned.find(item) != banned.end()) continue;
-    auto it = max_corr.find(item);
-    const double mc = it == max_corr.end() ? 0.0 : it->second;
-    if (mc >= config_.gamma) break;
-    qualified.try_emplace(item, k);
-  }
-}
-
-void FlipperRun::SibpBan(int h, int k) {
-  if (!config_.pruning.sibp || h < 2) return;
-  auto& banned = banned_[static_cast<size_t>(h)];
-  const auto& qualified = sibp_qualified_col_[static_cast<size_t>(h)];
-  const auto& parent_qualified =
-      sibp_qualified_col_[static_cast<size_t>(h - 1)];
-  for (const auto& [item, col] : qualified) {
-    if (col > k || banned.find(item) != banned.end()) continue;
-    const ItemId parent = tax_.AncestorAtLevel(item, h - 1);
-    auto it = parent_qualified.find(parent);
-    if (it != parent_qualified.end() && it->second <= k) {
-      banned.insert(item);
-      ++stats_.sibp_banned_items;
-    }
-  }
-}
-
-void FlipperRun::EvictCompletedRow(Row* row) {
-  for (Cell& cell : *row) {
-    if (config_.pruning.flipping) {
-      cell.Retain([](const ItemsetRecord& r) { return r.chain_alive; });
-    } else {
-      cell.Retain([](const ItemsetRecord& r) { return r.frequent; });
-    }
-  }
-}
-
-void FlipperRun::AssemblePatterns(const Row& last_row,
-                                  MiningResult* result) {
-  const ChainMap& chains = chains_[static_cast<size_t>(height_)];
-  for (const Cell& cell : last_row) {
-    cell.ForEach([&](const Itemset& itemset, const ItemsetRecord& record) {
-      if (!record.chain_alive) return;
-      auto it = chains.find(itemset);
-      FLIPPER_CHECK(it != chains.end())
-          << "alive leaf itemset without chain";
-      FlippingPattern pattern;
-      pattern.leaf_itemset = itemset;
-      pattern.chain = it->second;
-      result->patterns.push_back(std::move(pattern));
-    });
-  }
-  SortPatterns(&result->patterns);
-}
-
-}  // namespace
 
 Result<MiningResult> FlipperMiner::Run(const TransactionDb& db,
                                        const Taxonomy& taxonomy,
                                        const MiningConfig& config) {
-  FlipperRun run(taxonomy, config);
-  return run.Execute(db);
+  CellPipeline pipeline(taxonomy, config);
+  return pipeline.Execute(db);
 }
 
 }  // namespace flipper

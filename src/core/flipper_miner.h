@@ -1,20 +1,26 @@
 // FlipperMiner: the paper's Flipper algorithm (§4, Algorithm 1).
 //
-// The search space is the two-dimensional table M of (h,k)-cells
-// (Figure 6). Processing order follows the paper exactly:
+// This is the public entry point; the implementation is the staged
+// cell-execution pipeline under src/core:
 //
-//   1. the two ceiling rows are computed in zigzag order
-//      Q(1,2) -> Q(2,2) -> Q(1,3) -> Q(2,3) -> ... so that the TPG
-//      termination test (Theorem 3) always sees two vertically
-//      consecutive cells (Figure 7(b));
-//   2. rows 3..H are computed one row at a time, left to right.
+//   cell_planner.h    — candidate generation + strategy selection
+//                       (pairs / apriori-join / vertical-expand /
+//                       scan-driven);
+//   support_counting.h — the sharded counting engines, with an
+//                       asynchronous StartCount seam;
+//   scan_cell.h       — the scan-driven cell (sharded hash counting
+//                       over transaction ranges);
+//   cell_evaluator.h  — correlation, labels, chain-alive flags,
+//                       pattern chains, SIBP bookkeeping;
+//   cell_pipeline.h   — the driver walking the Q(h,k) table, which
+//                       overlaps Q(h,k+1)'s planning with Q(h,k)'s
+//                       support scan (MiningConfig::enable_pipelining).
 //
-// Candidate generation: row 1 bootstraps with the Apriori prefix join
-// (its cells are complete); every deeper row grows vertically — each
-// surviving (frequent + labeled + chain-alive) parent itemset expands
-// into the combinations of its items' children — plus known-infrequent
-// subset filtering within the row. Pruning layers (all individually
-// switchable through MiningConfig::pruning):
+// Processing order follows the paper exactly: the two ceiling rows
+// zigzag Q(1,2) -> Q(2,2) -> Q(1,3) -> ... so the TPG termination test
+// (Theorem 3) always sees two vertically consecutive cells, then rows
+// 3..H run one row at a time, left to right. Pruning layers (all
+// individually switchable through MiningConfig::pruning):
 //
 //   support  — infrequent itemsets are neither extended nor kept;
 //   flipping — rows >= 2 grow only from chain-alive parents, and
@@ -28,7 +34,8 @@
 //
 // Memory: only two rows are resident at any time; pattern chains are
 // carried forward separately. A MemoryTracker records the candidate
-// store's peak footprint (Figure 9(b)).
+// store's peak footprint (Figure 9(b)). Mining output is bit-identical
+// for any thread count and with pipelining on or off.
 
 #ifndef FLIPPER_CORE_FLIPPER_MINER_H_
 #define FLIPPER_CORE_FLIPPER_MINER_H_

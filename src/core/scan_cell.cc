@@ -1,0 +1,149 @@
+#include "core/scan_cell.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/cell_planner.h"
+
+namespace flipper {
+namespace {
+
+/// Transactions per scan shard below which the per-shard hash maps and
+/// the merge pass cost more than the parallelism buys.
+constexpr size_t kMinTxnsPerScanShard = 512;
+
+using CountMap = std::unordered_map<Itemset, uint32_t, ItemsetHash>;
+
+}  // namespace
+
+double ScanEnumerationCost(const LevelViews& views, int h, int k) {
+  const std::vector<uint32_t>& hist = views.Level(h).width_hist;
+  double total = 0.0;
+  for (size_t w = static_cast<size_t>(k); w < hist.size(); ++w) {
+    if (hist[w] == 0) continue;
+    // C(w, k), capped.
+    double combos = 1.0;
+    for (int i = 0; i < k; ++i) {
+      combos *= static_cast<double>(w - static_cast<size_t>(i)) /
+                static_cast<double>(k - i);
+      if (combos > 1e15) break;
+    }
+    total += combos * hist[w];
+    if (total > 1e15) return total;
+  }
+  return total;
+}
+
+Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
+                      const MiningConfig& config, int h, int k,
+                      const Cell& parent_cell, const Cell* prev_in_row,
+                      const std::unordered_set<ItemId>& banned,
+                      std::span<const ItemId> freq_items,
+                      std::vector<Itemset>* candidates,
+                      std::vector<uint32_t>* supports, CellStats* cs,
+                      MiningStats* stats) {
+  // Participating items: frequent at level h and not SIBP-banned.
+  const LevelData& level = views.Level(h);
+  std::vector<char> ok(level.item_support.size(), 0);
+  for (ItemId item : freq_items) {
+    if (banned.find(item) == banned.end()) ok[item] = 1;
+  }
+
+  // Phase 1: count every k-subset of participating items that occurs,
+  // sharded over transaction ranges with one private hash counter per
+  // shard. A shard whose own map exceeds the candidate cap stops early
+  // and flags exhaustion: its local count already lower-bounds the
+  // merged count, so the run is doomed either way.
+  const int num_shards = views.NumScanShards(h, kMinTxnsPerScanShard);
+  std::vector<CountMap> shard_counts(static_cast<size_t>(num_shards));
+  std::atomic<bool> exhausted{false};
+  views.ScanShards(h, num_shards, [&](int shard, size_t lo, size_t hi) {
+    CountMap& counts = shard_counts[static_cast<size_t>(shard)];
+    std::vector<ItemId> buf;
+    Itemset scratch;
+    for (size_t t = lo; t < hi; ++t) {
+      if (exhausted.load(std::memory_order_relaxed)) return;
+      buf.clear();
+      for (ItemId item : level.db.Get(static_cast<TxnId>(t))) {
+        if (item < ok.size() && ok[item]) buf.push_back(item);
+      }
+      if (buf.size() < static_cast<size_t>(k)) continue;
+      ForEachCombination(buf, k, &scratch,
+                         [&](const Itemset& combo) { ++counts[combo]; });
+      if (counts.size() > config.max_candidates_per_cell) {
+        exhausted.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  // The scan I/O happened whether or not it completed — account it
+  // before any bail-out.
+  ++stats->db_scans;
+  ++stats->scan_cell_scans;
+
+  const Status overflow = Status::ResourceExhausted(
+      "scan-driven cell Q(" + std::to_string(h) + "," +
+      std::to_string(k) + ") exceeded the candidate limit");
+  if (exhausted.load(std::memory_order_relaxed)) return overflow;
+
+  // Deterministic shard-order merge of the private counters. The
+  // merged map is re-checked against the cap per shard so it never
+  // grows much past it; the per-shard maps themselves are each
+  // bounded by the cap above (a tighter cap / num_shards bound would
+  // flag cells the serial path accepts, since shards overlap).
+  CountMap merged;
+  if (num_shards == 1) {
+    merged = std::move(shard_counts[0]);
+  } else {
+    for (CountMap& counts : shard_counts) {
+      for (const auto& [combo, count] : counts) {
+        merged[combo] += count;
+      }
+      counts.clear();
+      if (merged.size() > config.max_candidates_per_cell) {
+        return overflow;
+      }
+    }
+  }
+  if (merged.size() > config.max_candidates_per_cell) return overflow;
+  cs->generated = merged.size();
+
+  // Phase 2: keep combinations growable from an eligible parent that
+  // pass the known-infrequent subset filter. (Combinations whose items
+  // share a level-1 root generalize to fewer than k items and find no
+  // parent record, so they drop out here.) Sorted emission keeps the
+  // cell contents reproducible across thread counts and platforms.
+  std::vector<std::pair<Itemset, uint32_t>> entries(merged.begin(),
+                                                    merged.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  candidates->clear();
+  supports->clear();
+  for (const auto& [combo, sup] : entries) {
+    const Itemset parent_itemset = combo.Map([&](ItemId item) {
+      return taxonomy.AncestorAtLevel(item, h - 1);
+    });
+    const ItemsetRecord* parent_record = parent_cell.Find(parent_itemset);
+    if (parent_record == nullptr ||
+        !ParentEligible(config, *parent_record)) {
+      continue;
+    }
+    if (prev_in_row != nullptr) {
+      bool viable = true;
+      for (int drop = 0; drop < combo.size() && viable; ++drop) {
+        const ItemsetRecord* rec =
+            prev_in_row->Find(combo.WithoutIndex(drop));
+        if (rec != nullptr && !rec->frequent) viable = false;
+      }
+      if (!viable) continue;
+    }
+    candidates->push_back(combo);
+    supports->push_back(sup);
+  }
+  return Status::OK();
+}
+
+}  // namespace flipper

@@ -28,6 +28,10 @@ struct MiningStats {
   uint64_t total_generated = 0;
   uint64_t total_counted = 0;
   uint64_t db_scans = 0;
+  /// Database scans performed by the scan-driven cell strategy alone
+  /// (already included in db_scans; counted even when a scan bails
+  /// mid-way with ResourceExhausted).
+  uint64_t scan_cell_scans = 0;
   double total_seconds = 0.0;
   int64_t peak_candidate_bytes = 0;
   /// Column at which TPG terminated growth (0 = never fired).

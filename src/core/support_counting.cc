@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
+#include <string>
 
 #include "core/candidate_trie.h"
 
@@ -61,6 +63,62 @@ class HorizontalCounter final : public SupportCounter {
     return Status::OK();
   }
 
+  CountFuture StartCount(LevelViews* views, int h,
+                         std::span<const Itemset> candidates,
+                         std::vector<uint32_t>* supports) override {
+    supports->resize(candidates.size());
+    if (candidates.empty()) return CountFuture(Status::OK());
+    const bool uniform =
+        std::all_of(candidates.begin(), candidates.end(),
+                    [&](const Itemset& c) {
+                      return c.size() == candidates.front().size();
+                    });
+    if (pool_ == nullptr || !uniform) {
+      // Mixed-arity batches (never sent by the mining engines) and
+      // pool-less counters take the synchronous path.
+      return CountFuture(Count(views, h, candidates, supports));
+    }
+    const TransactionDb& db = views->Level(h).db;
+    ++num_db_scans_;
+
+    // Shared shard state: the trie is built here (read-only for the
+    // shards), each shard owns one private counter buffer.
+    struct ScanState {
+      explicit ScanState(std::span<const Itemset> batch) : trie(batch) {}
+      CandidateTrie trie;
+      std::vector<std::vector<uint32_t>> partial;
+    };
+    auto state = std::make_shared<ScanState>(candidates);
+    const int num_shards = ShardCount(db.size(), pool_, kMinTxnsPerShard);
+    state->partial.resize(static_cast<size_t>(num_shards));
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<size_t>(num_shards));
+    const size_t num_candidates = candidates.size();
+    for (int s = 0; s < num_shards; ++s) {
+      const auto [lo, hi] = ShardRange(0, db.size(), num_shards, s);
+      tasks.push_back([state, &db, s, lo = lo, hi = hi,
+                       num_candidates] {
+        auto& counts = state->partial[static_cast<size_t>(s)];
+        counts.assign(num_candidates, 0);
+        for (size_t t = lo; t < hi; ++t) {
+          state->trie.CountTransaction(db.Get(static_cast<TxnId>(t)),
+                                       counts);
+        }
+      });
+    }
+    ThreadPool::Completion completion = pool_->SubmitBatch(std::move(tasks));
+    return CountFuture(std::move(completion), [state, supports] {
+      std::fill(supports->begin(), supports->end(), 0u);
+      for (const auto& counts : state->partial) {
+        for (size_t i = 0; i < supports->size(); ++i) {
+          (*supports)[i] += counts[i];
+        }
+      }
+      return Status::OK();
+    });
+  }
+
   const char* name() const override { return "horizontal"; }
 
  private:
@@ -92,6 +150,34 @@ class VerticalCounter final : public SupportCounter {
     return Status::OK();
   }
 
+  CountFuture StartCount(LevelViews* views, int h,
+                         std::span<const Itemset> candidates,
+                         std::vector<uint32_t>* supports) override {
+    supports->assign(candidates.size(), 0);
+    if (candidates.empty()) return CountFuture(Status::OK());
+    if (pool_ == nullptr) {
+      return CountFuture(Count(views, h, candidates, supports));
+    }
+    // Index build mutates the views — do it before going async.
+    const VerticalIndex& index = views->EnsureVertical(h);
+    const int num_shards =
+        ShardCount(candidates.size(), pool_, kMinCandidatesPerShard);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      const auto [lo, hi] =
+          ShardRange(0, candidates.size(), num_shards, s);
+      // Each shard writes a disjoint slice of `supports`.
+      tasks.push_back([&index, candidates, supports, lo = lo, hi = hi] {
+        TidSet::IntersectScratch scratch;
+        for (size_t i = lo; i < hi; ++i) {
+          (*supports)[i] = index.Support(candidates[i], &scratch);
+        }
+      });
+    }
+    return CountFuture(pool_->SubmitBatch(std::move(tasks)), nullptr);
+  }
+
   const char* name() const override { return "vertical"; }
 
  private:
@@ -99,6 +185,20 @@ class VerticalCounter final : public SupportCounter {
 };
 
 }  // namespace
+
+Status CountFuture::Join() {
+  if (joined_) return status_;
+  joined_ = true;
+  try {
+    completion_.Wait();
+  } catch (const std::exception& e) {
+    status_ = Status::Internal(std::string("async count failed: ") +
+                               e.what());
+    return status_;
+  }
+  if (finalize_ != nullptr) status_ = finalize_();
+  return status_;
+}
 
 void CountBatchWithTrie(const TransactionDb& db,
                         std::span<const Itemset> candidates,

@@ -16,8 +16,10 @@
 #ifndef FLIPPER_CORE_SUPPORT_COUNTING_H_
 #define FLIPPER_CORE_SUPPORT_COUNTING_H_
 
+#include <functional>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -28,6 +30,34 @@
 
 namespace flipper {
 
+/// Handle for an asynchronous Count() started with
+/// SupportCounter::StartCount. Join() blocks until the supports vector
+/// is filled and returns the final status; it also runs the
+/// deterministic shard-order merge on the joining thread, so supports
+/// are bit-identical to the synchronous path. Default-constructed
+/// handles are already complete with OK. Join() is idempotent.
+class CountFuture {
+ public:
+  CountFuture() = default;
+  /// An already-complete count with the given status.
+  explicit CountFuture(Status ready) : status_(std::move(ready)) {}
+  /// An in-flight count: `completion` guards the submitted shard
+  /// tasks, `finalize` (may be null) merges their private buffers in
+  /// shard order after they complete.
+  CountFuture(ThreadPool::Completion completion,
+              std::function<Status()> finalize)
+      : completion_(std::move(completion)),
+        finalize_(std::move(finalize)) {}
+
+  Status Join();
+
+ private:
+  ThreadPool::Completion completion_;
+  std::function<Status()> finalize_;
+  Status status_ = Status::OK();
+  bool joined_ = false;
+};
+
 class SupportCounter {
  public:
   virtual ~SupportCounter() = default;
@@ -37,6 +67,19 @@ class SupportCounter {
   virtual Status Count(LevelViews* views, int h,
                        std::span<const Itemset> candidates,
                        std::vector<uint32_t>* supports) = 0;
+
+  /// Starts counting without blocking: shard tasks are dispatched to
+  /// the pool and the calling thread is free until it joins the
+  /// returned future (which fills `supports`). `candidates` and
+  /// `supports` must stay valid until the join. Engines without an
+  /// asynchronous path (and pool-less counters) count synchronously
+  /// and return a ready future; either way one db scan is accounted
+  /// per non-empty batch, exactly as in Count().
+  virtual CountFuture StartCount(LevelViews* views, int h,
+                                 std::span<const Itemset> candidates,
+                                 std::vector<uint32_t>* supports) {
+    return CountFuture(Count(views, h, candidates, supports));
+  }
 
   virtual const char* name() const = 0;
 

@@ -63,6 +63,27 @@ class Itemset {
   /// Inserts keeping the sort order. No-op if present. Asserts capacity.
   void Insert(ItemId item);
 
+  /// Appends an item strictly greater than back() — the O(1) stack
+  /// push for combination enumeration over sorted inputs. Asserts
+  /// order and capacity.
+  void PushBack(ItemId item) {
+    assert(size_ < static_cast<int32_t>(kMaxItemsetSize));
+    assert(size_ == 0 || items_[static_cast<size_t>(size_ - 1)] < item);
+    items_[static_cast<size_t>(size_++)] = item;
+  }
+
+  /// Removes the largest item (the stack pop). Asserts non-empty.
+  void PopBack() {
+    assert(size_ > 0);
+    items_[static_cast<size_t>(--size_)] = kInvalidItem;
+  }
+
+  /// Resets to the empty itemset.
+  void Clear() {
+    items_.fill(kInvalidItem);
+    size_ = 0;
+  }
+
   /// Binary search.
   bool Contains(ItemId item) const;
 

@@ -68,6 +68,11 @@ int Run(int argc, char** argv) {
                "worker threads for counting (default 0 = all hardware "
                "threads)",
                "N");
+  args.AddFlag("pipeline",
+               "on|off — overlap candidate generation with the "
+               "previous cell's support scan (default on; results "
+               "are identical either way)",
+               "MODE");
   args.AddFlag("topk", "keep only the K widest flips", "K");
   args.AddFlag("format", "text|csv|json (default text)", "NAME");
   args.AddFlag("out", "write patterns to a file instead of stdout",
@@ -149,6 +154,13 @@ int Run(int argc, char** argv) {
     return 2;
   }
   config.num_threads = static_cast<int>(*threads);
+  const std::string pipeline = args.GetString("pipeline", "on");
+  if (pipeline == "off") {
+    config.enable_pipelining = false;
+  } else if (pipeline != "on") {
+    std::cerr << "error: --pipeline must be on|off\n";
+    return 2;
+  }
 
   // --- Mine. ---
   auto result = args.GetSwitch("baseline")

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Race-checks the parallel paths (thread pool, sharded counting, the
+# cell pipeline's cross-cell overlap) under ThreadSanitizer. Uses the
+# `tsan` CMake preset when available, falling back to explicit -D
+# flags on older CMake.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-tsan
+
+# The parallel suites; everything else is single-threaded and only
+# slows the instrumented run down.
+SUITES=(thread_pool_test parallel_counting_test cell_pipeline_test)
+
+if cmake --preset tsan >/dev/null 2>&1; then
+  cmake --build --preset tsan -j "$(nproc)" --target "${SUITES[@]}"
+else
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFLIPPER_SANITIZE=thread
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${SUITES[@]}"
+fi
+
+status=0
+for suite in "${SUITES[@]}"; do
+  echo "== tsan: $suite =="
+  # halt_on_error keeps the first race's report readable.
+  if ! TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      "$BUILD_DIR/$suite"; then
+    status=1
+  fi
+done
+exit $status
