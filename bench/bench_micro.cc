@@ -27,14 +27,18 @@
 #include "core/candidate_trie.h"
 #include "core/flipper_miner.h"
 #include "core/support_counting.h"
+#include "data/db_io.h"
 #include "data/item_dictionary.h"
 #include "data/itemset.h"
 #include "data/tidset.h"
 #include "data/transaction_db.h"
 #include "data/vertical_index.h"
+#include "datagen/groceries_sim.h"
 #include "datagen/quest_gen.h"
 #include "datagen/taxonomy_gen.h"
 #include "measures/measure.h"
+#include "storage/store_reader.h"
+#include "storage/store_writer.h"
 
 namespace flipper {
 namespace {
@@ -117,6 +121,11 @@ void EmitResults(const std::vector<CaseResult>& results) {
 
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    std::cout << "\n[json] skipped: cannot create bench_results/: "
+              << ec.message() << "\n";
+    return;
+  }
   const std::string path = "bench_results/bench_micro.json";
   std::ofstream out(path);
   if (out) {
@@ -384,6 +393,66 @@ void BenchMinerPipeline(std::vector<CaseResult>* results) {
   }
 }
 
+/// Dataset load paths on the groceries-sim dataset: basket-text
+/// parsing (the legacy ingestion, now block-buffered) vs FlipperStore
+/// open — once with the full payload validation scan and once trusting
+/// the file. The fdb cases report their speedup over the parse
+/// baseline in the speedup column/JSON field.
+void BenchStorage(std::vector<CaseResult>* results) {
+  GroceriesParams params;
+  params.num_transactions =
+      static_cast<uint32_t>(9'800 * std::max(1.0, BenchScale()));
+  auto dataset = GenerateGroceries(params);
+  if (!dataset.ok()) std::abort();
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir =
+      fs::temp_directory_path(ec) / "flipper_bench_storage";
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::cout << "[storage] skipped: cannot create " << dir << "\n";
+    return;
+  }
+  const std::string basket = (dir / "groceries.basket").string();
+  const std::string store = (dir / "groceries.fdb").string();
+  if (!WriteBasketFile(dataset->db, dataset->dict, basket).ok() ||
+      !storage::WriteStoreFile(store, dataset->db, dataset->dict,
+                               dataset->taxonomy)
+           .ok()) {
+    std::abort();
+  }
+
+  const double rows = dataset->db.size();
+  const CaseResult parse =
+      RunCase("basket_parse_groceries", 1, rows, [&] {
+        ItemDictionary dict;
+        auto db = ReadBasketFile(basket, &dict);
+        if (!db.ok() || db->size() != dataset->db.size()) std::abort();
+      });
+  results->push_back(parse);
+
+  for (const bool validate : {true, false}) {
+    storage::OpenOptions open_options;
+    open_options.validate = validate;
+    CaseResult r = RunCase(
+        validate ? "fdb_open_groceries" : "fdb_open_trusted_groceries",
+        1, rows, [&] {
+          auto reader = storage::StoreReader::Open(store, open_options);
+          if (!reader.ok() ||
+              reader->db().size() != dataset->db.size()) {
+            std::abort();
+          }
+        });
+    if (parse.median_ms > 0.0 && r.median_ms > 0.0) {
+      r.speedup = parse.median_ms / r.median_ms;
+      r.speedup_key = "speedup_vs_parse";
+    }
+    results->push_back(r);
+  }
+  fs::remove_all(dir, ec);
+}
+
 }  // namespace
 }  // namespace flipper
 
@@ -400,6 +469,7 @@ int main() {
   BenchTrieCounting(&results);
   BenchThreadScaling(&results);
   BenchMinerPipeline(&results);
+  BenchStorage(&results);
   EmitResults(results);
   return 0;
 }

@@ -1,0 +1,586 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arg_parser.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "datagen/census_sim.h"
+#include "datagen/groceries_sim.h"
+#include "datagen/medline_sim.h"
+#include "datagen/quest_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "flipper.h"
+#include "storage/store_reader.h"
+#include "storage/store_writer.h"
+
+namespace flipper {
+namespace {
+
+Result<std::vector<double>> ParseThresholds(const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& token : Split(csv, ',')) {
+    FLIPPER_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("--minsup needs at least one value");
+  }
+  return out;
+}
+
+Result<PruningOptions> ParsePruning(const std::string& name) {
+  if (name == "full") return PruningOptions::Full();
+  if (name == "tpg") return PruningOptions::FlippingTpg();
+  if (name == "flipping") return PruningOptions::FlippingOnly();
+  if (name == "support") return PruningOptions::Basic();
+  return Status::InvalidArgument(
+      "--pruning must be one of full|tpg|flipping|support, got '" +
+      name + "'");
+}
+
+/// Positive segment size for the store writer, from --segment-txns.
+Result<storage::StoreWriter::Options> ParseWriterOptions(
+    const ArgParser& args) {
+  storage::StoreWriter::Options options;
+  FLIPPER_ASSIGN_OR_RETURN(
+      int64_t segment_txns,
+      args.GetInt("segment-txns",
+                  static_cast<int64_t>(options.segment_txns)));
+  if (segment_txns <= 0 ||
+      segment_txns > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "--segment-txns must be a positive 32-bit count");
+  }
+  options.segment_txns = static_cast<uint32_t>(segment_txns);
+  return options;
+}
+
+// --- mine -------------------------------------------------------------
+
+int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
+                std::ostream& err) {
+  bool use_store = false;
+  for (const char* arg : argv) {
+    const std::string_view view(arg);
+    if (view == "--input" || view.rfind("--input=", 0) == 0) {
+      use_store = true;
+      break;
+    }
+  }
+
+  ArgParser args("flipper_cli mine",
+                 "Mine flipping correlation patterns (Barsky et al., "
+                 "VLDB 2011) from a basket file and a taxonomy file, "
+                 "or from a binary FlipperStore (.fdb) via --input.");
+  if (!use_store) {
+    args.AddPositional("basket",
+                       "transactions, one per line (item names)");
+    args.AddPositional("taxonomy",
+                       "'root <name>' / 'edge <parent> <child>' lines");
+  }
+  args.AddFlag("input", "mine a .fdb FlipperStore instead of text files",
+               "PATH");
+  args.AddSwitch("no-validate",
+                 "with --input: skip the store's payload validation "
+                 "scan (trusted files only)");
+  args.AddFlag("gamma", "positive correlation threshold (default 0.3)",
+               "FLOAT");
+  args.AddFlag("epsilon", "negative correlation threshold (default 0.1)",
+               "FLOAT");
+  args.AddFlag("minsup",
+               "comma-separated per-level minimum supports, most "
+               "general level first (default 0.01,0.001,0.0005)",
+               "F1,F2,...");
+  args.AddFlag("measure",
+               "all_confidence|coherence|cosine|kulczynski|"
+               "max_confidence (default kulczynski)",
+               "NAME");
+  args.AddFlag("pruning", "full|tpg|flipping|support (default full)",
+               "NAME");
+  args.AddFlag("counter", "horizontal|vertical (default horizontal)",
+               "NAME");
+  args.AddFlag("threads",
+               "worker threads for counting (default 0 = all hardware "
+               "threads)",
+               "N");
+  args.AddFlag("pipeline",
+               "on|off — overlap candidate generation with the "
+               "previous cell's support scan (default on; results "
+               "are identical either way)",
+               "MODE");
+  args.AddFlag("topk", "keep only the K widest flips", "K");
+  args.AddFlag("format", "text|csv|json (default text)", "NAME");
+  args.AddFlag("out", "write patterns to a file instead of stdout",
+               "PATH");
+  args.AddSwitch("baseline",
+                 "run the per-level Apriori baseline (NaiveMiner)");
+  args.AddSwitch("stats", "print mining statistics to stderr");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+
+  // --- Load inputs: either the store's borrowed views or text. ---
+  ItemDictionary text_dict;
+  Taxonomy text_taxonomy;
+  TransactionDb text_db;
+  std::optional<storage::StoreReader> reader;
+  const ItemDictionary* dict = &text_dict;
+  const Taxonomy* taxonomy = &text_taxonomy;
+  const TransactionDb* db = &text_db;
+  if (use_store) {
+    storage::OpenOptions open_options;
+    open_options.validate = !args.GetSwitch("no-validate");
+    auto opened = storage::StoreReader::Open(args.GetString("input", ""),
+                                             open_options);
+    if (!opened.ok()) {
+      err << "error: " << opened.status() << "\n";
+      return 1;
+    }
+    reader.emplace(std::move(opened).value());
+    dict = &reader->dict();
+    taxonomy = &reader->taxonomy();
+    db = &reader->db();
+  } else {
+    auto loaded_taxonomy =
+        ReadTaxonomyFile(args.GetPositional("taxonomy"), &text_dict);
+    if (!loaded_taxonomy.ok()) {
+      err << "error: " << loaded_taxonomy.status() << "\n";
+      return 1;
+    }
+    text_taxonomy = std::move(loaded_taxonomy).value();
+    auto loaded_db =
+        ReadBasketFile(args.GetPositional("basket"), &text_dict);
+    if (!loaded_db.ok()) {
+      err << "error: " << loaded_db.status() << "\n";
+      return 1;
+    }
+    text_db = std::move(loaded_db).value();
+  }
+
+  // --- Assemble the config. ---
+  MiningConfig config;
+  auto gamma = args.GetDouble("gamma", 0.3);
+  auto epsilon = args.GetDouble("epsilon", 0.1);
+  if (!gamma.ok() || !epsilon.ok()) {
+    err << "error: " << (!gamma.ok() ? gamma.status() : epsilon.status())
+        << "\n";
+    return 2;
+  }
+  config.gamma = *gamma;
+  config.epsilon = *epsilon;
+  auto thresholds =
+      ParseThresholds(args.GetString("minsup", "0.01,0.001,0.0005"));
+  if (!thresholds.ok()) {
+    err << "error: " << thresholds.status() << "\n";
+    return 2;
+  }
+  config.min_support = *thresholds;
+  auto measure =
+      ParseMeasureKind(args.GetString("measure", "kulczynski"));
+  if (!measure.ok()) {
+    err << "error: " << measure.status() << "\n";
+    return 2;
+  }
+  config.measure = *measure;
+  auto pruning = ParsePruning(args.GetString("pruning", "full"));
+  if (!pruning.ok()) {
+    err << "error: " << pruning.status() << "\n";
+    return 2;
+  }
+  config.pruning = *pruning;
+  const std::string counter = args.GetString("counter", "horizontal");
+  if (counter == "vertical") {
+    config.counter = CounterKind::kVertical;
+  } else if (counter != "horizontal") {
+    err << "error: --counter must be horizontal|vertical\n";
+    return 2;
+  }
+  auto threads = args.GetInt("threads", 0);
+  if (!threads.ok()) {
+    err << "error: " << threads.status() << "\n";
+    return 2;
+  }
+  if (*threads < 0 || *threads > std::numeric_limits<int>::max()) {
+    err << "error: --threads must be in [0, "
+        << std::numeric_limits<int>::max() << "]\n";
+    return 2;
+  }
+  config.num_threads = static_cast<int>(*threads);
+  const std::string pipeline = args.GetString("pipeline", "on");
+  if (pipeline == "off") {
+    config.enable_pipelining = false;
+  } else if (pipeline != "on") {
+    err << "error: --pipeline must be on|off\n";
+    return 2;
+  }
+
+  // --- Mine. ---
+  auto result = args.GetSwitch("baseline")
+                    ? NaiveMiner::Run(*db, *taxonomy, config)
+                    : FlipperMiner::Run(*db, *taxonomy, config);
+  if (!result.ok()) {
+    err << "error: " << result.status() << "\n";
+    return 1;
+  }
+  std::vector<FlippingPattern> patterns = std::move(result->patterns);
+  auto topk = args.GetInt("topk", 0);
+  if (!topk.ok()) {
+    err << "error: " << topk.status() << "\n";
+    return 2;
+  }
+  if (*topk > 0) {
+    patterns = TopKMostFlipping(std::move(patterns),
+                                static_cast<size_t>(*topk));
+  }
+
+  // --- Emit. ---
+  const std::string format = args.GetString("format", "text");
+  const std::string out_path = args.GetString("out", "");
+  Status emit;
+  if (format == "csv") {
+    emit = out_path.empty()
+               ? WritePatternsCsv(patterns, dict, out)
+               : WritePatternsCsvFile(patterns, dict, out_path);
+  } else if (format == "json") {
+    emit = out_path.empty()
+               ? WritePatternsJson(patterns, dict, out)
+               : WritePatternsJsonFile(patterns, dict, out_path);
+  } else if (format == "text") {
+    std::ofstream file;
+    std::ostream* sink = &out;
+    if (!out_path.empty()) {
+      file.open(out_path, std::ios::trunc);
+      if (!file) {
+        emit = Status::IoError("cannot open for writing: " + out_path);
+      }
+      sink = &file;
+    }
+    if (emit.ok()) {
+      *sink << patterns.size() << " flipping patterns\n\n";
+      for (const FlippingPattern& p : patterns) {
+        *sink << dict->Render(p.leaf_itemset) << "  (flip gap "
+              << FormatDouble(p.FlipGap(), 4) << ")\n"
+              << p.ToString(dict) << "\n";
+      }
+      if (!out_path.empty() && !file) {
+        emit = Status::IoError("write failed: " + out_path);
+      }
+    }
+  } else {
+    err << "error: --format must be text|csv|json\n";
+    return 2;
+  }
+  if (!emit.ok()) {
+    err << "error: " << emit << "\n";
+    return 1;
+  }
+  if (args.GetSwitch("stats")) {
+    err << result->stats.ToString();
+  }
+  return 0;
+}
+
+// --- convert ----------------------------------------------------------
+
+int ConvertCommand(const std::vector<const char*>& argv,
+                   std::ostream& out, std::ostream& err) {
+  ArgParser args("flipper_cli convert",
+                 "Convert basket + taxonomy text files into a binary "
+                 "FlipperStore (.fdb) that mmap-loads in O(1).");
+  args.AddPositional("basket", "transactions, one per line (item names)");
+  args.AddPositional("taxonomy",
+                     "'root <name>' / 'edge <parent> <child>' lines");
+  args.AddPositional("output", "the .fdb file to write");
+  args.AddFlag("segment-txns",
+               "transactions per shard segment (default 65536)", "N");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+  auto options = ParseWriterOptions(args);
+  if (!options.ok()) {
+    err << "error: " << options.status() << "\n";
+    return 2;
+  }
+
+  ItemDictionary dict;
+  auto taxonomy = ReadTaxonomyFile(args.GetPositional("taxonomy"), &dict);
+  if (!taxonomy.ok()) {
+    err << "error: " << taxonomy.status() << "\n";
+    return 1;
+  }
+  WallTimer timer;
+  auto db = ReadBasketFile(args.GetPositional("basket"), &dict);
+  if (!db.ok()) {
+    err << "error: " << db.status() << "\n";
+    return 1;
+  }
+  const double parse_s = timer.ElapsedSeconds();
+  const std::string& output = args.GetPositional("output");
+  Status written =
+      storage::WriteStoreFile(output, *db, dict, *taxonomy, *options);
+  if (!written.ok()) {
+    err << "error: " << written << "\n";
+    return 1;
+  }
+
+  auto reopened = storage::StoreReader::Open(output);
+  if (!reopened.ok()) {
+    err << "error: verification reopen failed: " << reopened.status()
+        << "\n";
+    return 1;
+  }
+  out << "wrote " << output << ": "
+      << FormatCount(static_cast<int64_t>(db->size()))
+      << " transactions, "
+      << FormatCount(static_cast<int64_t>(db->total_items()))
+      << " items, " << dict.size() << " names, "
+      << reopened->segments().size() - 1 << " segments, "
+      << FormatBytes(static_cast<int64_t>(reopened->file_size()))
+      << " (text parse took " << FormatDouble(parse_s * 1e3, 1)
+      << " ms)\n";
+  return 0;
+}
+
+// --- inspect ----------------------------------------------------------
+
+int InspectCommand(const std::vector<const char*>& argv,
+                   std::ostream& out, std::ostream& err) {
+  ArgParser args("flipper_cli inspect",
+                 "Validate a FlipperStore (.fdb) file and print its "
+                 "header, section table and checksum state.");
+  args.AddPositional("store", "the .fdb file to inspect");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+
+  const std::string& path = args.GetPositional("store");
+  auto reader = storage::StoreReader::Open(path);
+  if (!reader.ok()) {
+    err << "error: " << reader.status() << "\n";
+    return 1;
+  }
+  const storage::FileHeader& h = reader->header();
+  out << path << ": FlipperStore v" << h.version << ", "
+      << FormatBytes(static_cast<int64_t>(reader->file_size()))
+      << (reader->mapped() ? " (mmap)" : " (heap)") << "\n"
+      << "  transactions: "
+      << FormatCount(static_cast<int64_t>(h.num_transactions))
+      << "  items: " << FormatCount(static_cast<int64_t>(h.num_items))
+      << "  max width: " << h.max_width << "\n"
+      << "  alphabet: " << h.alphabet_size
+      << "  dictionary: " << h.dict_size << " names\n"
+      << "  taxonomy: height " << reader->taxonomy().height() << ", "
+      << h.taxonomy_num_roots << " roots, id space "
+      << h.taxonomy_id_space << "\n"
+      << "  segments: " << h.num_segments << "\n"
+      << "  sections:\n";
+  for (const storage::SectionEntry& e : reader->sections()) {
+    out << "    " << storage::SectionIdName(storage::SectionId(e.id))
+        << ": offset " << e.offset << ", "
+        << FormatBytes(static_cast<int64_t>(e.size)) << "\n";
+  }
+  Status checksums = reader->VerifyChecksums();
+  if (!checksums.ok()) {
+    err << "error: " << checksums << "\n";
+    return 1;
+  }
+  out << "  checksums: OK\n";
+  return 0;
+}
+
+// --- datagen ----------------------------------------------------------
+
+int DatagenCommand(const std::vector<const char*>& argv,
+                   std::ostream& out, std::ostream& err) {
+  ArgParser args("flipper_cli datagen",
+                 "Generate a synthetic dataset (the paper's §5 "
+                 "workloads) and write it straight to a FlipperStore "
+                 "(.fdb) — no text intermediate.");
+  args.AddPositional("scenario", "groceries|census|medline|quest");
+  args.AddPositional("output", "the .fdb file to write");
+  args.AddFlag("txns",
+               "transaction count (default: the scenario's paper size)",
+               "N");
+  args.AddFlag("seed", "generator seed (default: scenario default)",
+               "N");
+  args.AddFlag("segment-txns",
+               "transactions per shard segment (default 65536)", "N");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+  auto options = ParseWriterOptions(args);
+  if (!options.ok()) {
+    err << "error: " << options.status() << "\n";
+    return 2;
+  }
+  auto txns = args.GetInt("txns", 0);
+  auto seed = args.GetInt("seed", -1);
+  if (!txns.ok() || !seed.ok()) {
+    err << "error: " << (!txns.ok() ? txns.status() : seed.status())
+        << "\n";
+    return 2;
+  }
+  if (*txns < 0 || *txns > std::numeric_limits<uint32_t>::max()) {
+    err << "error: --txns must be a non-negative 32-bit count\n";
+    return 2;
+  }
+  const auto num_txns = static_cast<uint32_t>(*txns);
+
+  const std::string& scenario = args.GetPositional("scenario");
+  if (scenario != "groceries" && scenario != "census" &&
+      scenario != "medline" && scenario != "quest") {
+    err << "error: scenario must be groceries|census|medline|quest, "
+           "got '"
+        << scenario << "'\n";
+    return 2;
+  }
+  ItemDictionary dict;
+  Taxonomy taxonomy;
+  TransactionDb db;
+  if (scenario == "quest") {
+    TaxonomyGenParams tax_params;  // paper §5.1: 10 roots x fanout 5
+    auto built = GenerateBalancedTaxonomy(tax_params, &dict);
+    if (!built.ok()) {
+      err << "error: " << built.status() << "\n";
+      return 1;
+    }
+    taxonomy = std::move(built).value();
+    QuestParams params;
+    if (num_txns > 0) params.num_transactions = num_txns;
+    if (*seed >= 0) params.seed = static_cast<uint64_t>(*seed);
+    auto generated = GenerateQuest(params, taxonomy);
+    if (!generated.ok()) {
+      err << "error: " << generated.status() << "\n";
+      return 1;
+    }
+    db = std::move(generated).value();
+  } else {
+    Result<SimulatedDataset> generated = [&]() {
+      if (scenario == "groceries") {
+        GroceriesParams params;
+        if (num_txns > 0) params.num_transactions = num_txns;
+        if (*seed >= 0) params.seed = static_cast<uint64_t>(*seed);
+        return GenerateGroceries(params);
+      }
+      if (scenario == "census") {
+        CensusParams params;
+        if (num_txns > 0) params.num_records = num_txns;
+        if (*seed >= 0) params.seed = static_cast<uint64_t>(*seed);
+        return GenerateCensus(params);
+      }
+      MedlineParams params;
+      if (num_txns > 0) params.num_citations = num_txns;
+      if (*seed >= 0) params.seed = static_cast<uint64_t>(*seed);
+      return GenerateMedline(params);
+    }();
+    if (!generated.ok()) {
+      err << "error: " << generated.status() << "\n";
+      return 1;
+    }
+    dict = std::move(generated->dict);
+    taxonomy = std::move(generated->taxonomy);
+    db = std::move(generated->db);
+  }
+
+  const std::string& output = args.GetPositional("output");
+  Status written =
+      storage::WriteStoreFile(output, db, dict, taxonomy, *options);
+  if (!written.ok()) {
+    err << "error: " << written << "\n";
+    return 1;
+  }
+  out << "wrote " << output << ": " << scenario << ", "
+      << FormatCount(static_cast<int64_t>(db.size()))
+      << " transactions, "
+      << FormatCount(static_cast<int64_t>(db.total_items())) << " items, "
+      << dict.size() << " names\n";
+  return 0;
+}
+
+constexpr char kTopLevelHelp[] =
+    "flipper_cli — flipping-correlation mining toolkit\n"
+    "\n"
+    "usage:\n"
+    "  flipper_cli mine <basket> <taxonomy> [flags]\n"
+    "  flipper_cli mine --input <data.fdb> [flags]\n"
+    "  flipper_cli convert <basket> <taxonomy> <out.fdb>\n"
+    "  flipper_cli inspect <data.fdb>\n"
+    "  flipper_cli datagen <scenario> <out.fdb>\n"
+    "  flipper_cli <basket> <taxonomy> [flags]   (legacy: mine)\n"
+    "\n"
+    "run `flipper_cli <command> --help` for the command's flags.\n";
+
+}  // namespace
+
+int RunFlipperCli(int argc, const char* const* argv, std::ostream& out,
+                  std::ostream& err) {
+  const auto sub_argv = [&](const char* program) {
+    std::vector<const char*> sub;
+    sub.push_back(program);
+    for (int i = 2; i < argc; ++i) sub.push_back(argv[i]);
+    return sub;
+  };
+  if (argc >= 2) {
+    const std::string_view command(argv[1]);
+    if (command == "mine") {
+      return MineCommand(sub_argv("flipper_cli mine"), out, err);
+    }
+    if (command == "convert") {
+      return ConvertCommand(sub_argv("flipper_cli convert"), out, err);
+    }
+    if (command == "inspect") {
+      return InspectCommand(sub_argv("flipper_cli inspect"), out, err);
+    }
+    if (command == "datagen") {
+      return DatagenCommand(sub_argv("flipper_cli datagen"), out, err);
+    }
+    if (argc == 2 && (command == "--help" || command == "-h")) {
+      out << kTopLevelHelp;
+      return 0;
+    }
+  }
+  // Legacy spelling: flipper_cli <basket> <taxonomy> [flags].
+  std::vector<const char*> legacy(argv, argv + argc);
+  return MineCommand(legacy, out, err);
+}
+
+}  // namespace flipper

@@ -1,0 +1,30 @@
+// The flipper_cli command set as a library entry point, so the test
+// suite can drive the tool end-to-end in-process (tools/flipper_cli.cc
+// is a thin main() around this).
+//
+// Commands:
+//   flipper_cli mine <basket> <taxonomy> [flags]   mine text inputs
+//   flipper_cli mine --input data.fdb [flags]      mine a FlipperStore
+//   flipper_cli convert <basket> <taxonomy> <out.fdb>
+//   flipper_cli inspect <data.fdb>
+//   flipper_cli datagen <scenario> <out.fdb>       groceries|census|
+//                                                  medline|quest
+//   flipper_cli <basket> <taxonomy> [flags]        legacy spelling of
+//                                                  `mine`
+
+#ifndef FLIPPER_CLI_CLI_H_
+#define FLIPPER_CLI_CLI_H_
+
+#include <iosfwd>
+
+namespace flipper {
+
+/// Runs the CLI against argv, writing results to `out` and diagnostics
+/// to `err`. Returns the process exit code (0 success, 1 runtime
+/// error, 2 usage error).
+int RunFlipperCli(int argc, const char* const* argv, std::ostream& out,
+                  std::ostream& err);
+
+}  // namespace flipper
+
+#endif  // FLIPPER_CLI_CLI_H_

@@ -1,8 +1,60 @@
 #include "common/csv.h"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
+#include <istream>
 
 namespace flipper {
+
+LineScanner::LineScanner(std::istream& in, size_t block_bytes)
+    : in_(in), buffer_(std::max<size_t>(block_bytes, 64), '\0') {}
+
+bool LineScanner::Refill() {
+  if (eof_ || bad_) return false;
+  // Keep the unconsumed tail (a partial line) at the front.
+  const size_t tail = end_ - pos_;
+  if (tail > 0 && pos_ > 0) {
+    std::copy(buffer_.begin() + static_cast<ptrdiff_t>(pos_),
+              buffer_.begin() + static_cast<ptrdiff_t>(end_),
+              buffer_.begin());
+  }
+  pos_ = 0;
+  end_ = tail;
+  if (end_ == buffer_.size()) {
+    // A single line longer than the buffer: grow so it can complete.
+    buffer_.resize(buffer_.size() * 2);
+  }
+  in_.read(buffer_.data() + end_,
+           static_cast<std::streamsize>(buffer_.size() - end_));
+  const auto got = static_cast<size_t>(in_.gcount());
+  end_ += got;
+  if (in_.bad()) bad_ = true;
+  if (in_.eof()) eof_ = true;
+  return got > 0;
+}
+
+bool LineScanner::Next(std::string_view* line) {
+  while (true) {
+    const char* begin = buffer_.data() + pos_;
+    const auto* nl = static_cast<const char*>(
+        memchr(begin, '\n', end_ - pos_));
+    if (nl != nullptr) {
+      *line = std::string_view(begin, static_cast<size_t>(nl - begin));
+      pos_ = static_cast<size_t>(nl - buffer_.data()) + 1;
+      return true;
+    }
+    if (!Refill()) {
+      // Refill compacted the buffer; recompute the view.
+      if (bad_ || pos_ == end_) return false;
+      // Final line without a trailing newline.
+      *line = std::string_view(buffer_.data() + pos_, end_ - pos_);
+      pos_ = end_;
+      return true;
+    }
+  }
+}
+
 namespace {
 
 std::string EscapeField(const std::string& f) {

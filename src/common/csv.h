@@ -1,14 +1,67 @@
-// CSV emission for bench outputs so figure series can be re-plotted.
+// Tabular text tokenization and CSV emission: a buffered block-wise
+// line scanner shared by the bulk text readers (basket files load
+// through it), a whitespace tokenizer, and the CSV writer the bench
+// harness uses so figure series can be re-plotted.
 
 #ifndef FLIPPER_COMMON_CSV_H_
 #define FLIPPER_COMMON_CSV_H_
 
+#include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 
 namespace flipper {
+
+/// Reads a stream in fixed-size blocks and yields complete lines,
+/// replacing the per-line getline + stream-extraction pattern on bulk
+/// loads (one virtual read per block instead of per line). Returned
+/// views point into the internal buffer and are invalidated by the
+/// next call. A final line without a trailing newline is yielded too.
+class LineScanner {
+ public:
+  explicit LineScanner(std::istream& in, size_t block_bytes = 1 << 18);
+
+  /// Advances to the next line ('\n' not included). Returns false at
+  /// end of input or on a stream error (check bad()).
+  bool Next(std::string_view* line);
+
+  /// True if the underlying stream failed with a read error (as
+  /// opposed to clean end-of-file).
+  bool bad() const { return bad_; }
+
+ private:
+  /// Pulls another block, compacting the unconsumed tail first.
+  /// Returns false when no new bytes arrived.
+  bool Refill();
+
+  std::istream& in_;
+  std::string buffer_;
+  size_t pos_ = 0;   // start of the unconsumed region
+  size_t end_ = 0;   // end of the valid region
+  bool eof_ = false;
+  bool bad_ = false;
+};
+
+inline bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+/// Calls fn(token) for every maximal run of non-whitespace characters,
+/// left to right, without allocating.
+template <typename Fn>
+void ForEachWhitespaceToken(std::string_view s, Fn&& fn) {
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsAsciiSpace(s[i])) ++i;
+    const size_t start = i;
+    while (i < s.size() && !IsAsciiSpace(s[i])) ++i;
+    if (i > start) fn(s.substr(start, i - start));
+  }
+}
 
 /// Accumulates rows and writes an RFC-4180-ish CSV file (quotes fields
 /// containing separators/quotes/newlines).

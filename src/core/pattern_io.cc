@@ -10,7 +10,9 @@ namespace flipper {
 namespace {
 
 std::string RenderItem(ItemId item, const ItemDictionary* dict) {
-  if (dict != nullptr && item < dict->size()) return dict->Name(item);
+  if (dict != nullptr && item < dict->size()) {
+    return std::string(dict->Name(item));
+  }
   return std::to_string(item);
 }
 

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <vector>
 
+#include "common/csv.h"
 #include "common/string_util.h"
 
 namespace flipper {
@@ -12,18 +13,21 @@ namespace flipper {
 Result<TransactionDb> ReadBasketStream(std::istream& in,
                                        ItemDictionary* dict) {
   TransactionDb db;
-  std::string line;
+  LineScanner scanner(in);
+  std::string_view line;
   std::vector<ItemId> items;
-  while (std::getline(in, line)) {
+  while (scanner.Next(&line)) {
     std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     items.clear();
-    for (const std::string& token : SplitWhitespace(trimmed)) {
+    ForEachWhitespaceToken(trimmed, [&](std::string_view token) {
       items.push_back(dict->Intern(token));
-    }
+    });
     db.Add(items);
   }
-  if (in.bad()) return Status::IoError("stream error while reading baskets");
+  if (scanner.bad()) {
+    return Status::IoError("stream error while reading baskets");
+  }
   return db;
 }
 

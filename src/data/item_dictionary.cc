@@ -4,8 +4,34 @@
 
 namespace flipper {
 
+ItemDictionary ItemDictionary::FromBorrowed(
+    std::span<const uint64_t> name_offsets, std::string_view blob) {
+  FLIPPER_CHECK(!name_offsets.empty())
+      << "name_offsets needs at least the terminating boundary";
+  ItemDictionary dict;
+  dict.borrowed_offsets_ = name_offsets;
+  dict.borrowed_blob_ = blob;
+  dict.borrowed_ = true;
+  return dict;
+}
+
+void ItemDictionary::EnsureOwned() {
+  if (!borrowed_) return;
+  const uint32_t n = size();
+  names_.reserve(n);
+  index_.reserve(n);
+  for (ItemId id = 0; id < n; ++id) {
+    names_.emplace_back(Name(id));
+    index_.emplace(names_.back(), id);
+  }
+  borrowed_ = false;
+  borrowed_offsets_ = {};
+  borrowed_blob_ = {};
+}
+
 ItemId ItemDictionary::Intern(std::string_view name) {
-  auto it = index_.find(std::string(name));
+  EnsureOwned();
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   ItemId id = static_cast<ItemId>(names_.size());
   names_.emplace_back(name);
@@ -14,20 +40,30 @@ ItemId ItemDictionary::Intern(std::string_view name) {
 }
 
 Result<ItemId> ItemDictionary::Find(std::string_view name) const {
-  auto it = index_.find(std::string(name));
-  if (it == index_.end()) {
-    return Status::NotFound("unknown item name: '" + std::string(name) +
-                            "'");
+  if (borrowed_) {
+    const uint32_t n = size();
+    for (ItemId id = 0; id < n; ++id) {
+      if (Name(id) == name) return id;
+    }
+  } else {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
   }
-  return it->second;
+  return Status::NotFound("unknown item name: '" + std::string(name) +
+                          "'");
 }
 
 bool ItemDictionary::Contains(std::string_view name) const {
-  return index_.count(std::string(name)) > 0;
+  return Find(name).ok();
 }
 
-const std::string& ItemDictionary::Name(ItemId id) const {
-  FLIPPER_CHECK(id < names_.size()) << "invalid ItemId " << id;
+std::string_view ItemDictionary::Name(ItemId id) const {
+  FLIPPER_CHECK(id < size()) << "invalid ItemId " << id;
+  if (borrowed_) {
+    return borrowed_blob_.substr(
+        borrowed_offsets_[id], borrowed_offsets_[id + 1] -
+                                   borrowed_offsets_[id]);
+  }
   return names_[id];
 }
 

@@ -1,10 +1,19 @@
 // Bidirectional mapping between item names and dense ItemIds. Leaf
 // items and taxonomy nodes share this dictionary so that a single id
 // space covers every abstraction level.
+//
+// The name table is either owned (the default: names interned one by
+// one) or borrowed from an external name blob — e.g. the dictionary
+// sections of a memory-mapped FlipperStore file — via FromBorrowed().
+// Lookups by name on a borrowed dictionary fall back to a linear scan
+// (the mining path never needs them); Intern() first materializes the
+// borrowed names into owned storage.
 
 #ifndef FLIPPER_DATA_ITEM_DICTIONARY_H_
 #define FLIPPER_DATA_ITEM_DICTIONARY_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -20,25 +29,59 @@ class ItemDictionary {
  public:
   ItemDictionary() = default;
 
-  /// Returns the id for `name`, creating it if necessary.
+  /// Zero-copy dictionary over an external name table: `name_offsets`
+  /// holds N + 1 monotone byte offsets into `blob`, name i being
+  /// blob[offsets[i], offsets[i+1]). The backing memory must outlive
+  /// this dictionary and every copy of it; callers (the storage layer)
+  /// validate the offsets before wrapping.
+  static ItemDictionary FromBorrowed(
+      std::span<const uint64_t> name_offsets, std::string_view blob);
+
+  /// True while the names point at external memory.
+  bool borrowed() const { return borrowed_; }
+
+  /// Returns the id for `name`, creating it if necessary. On a
+  /// borrowed dictionary this first copies the names into owned
+  /// storage.
   ItemId Intern(std::string_view name);
 
-  /// Id lookup without insertion.
+  /// Id lookup without insertion (linear scan when borrowed).
   Result<ItemId> Find(std::string_view name) const;
 
   bool Contains(std::string_view name) const;
 
-  /// Name of an id. Requires a valid id.
-  const std::string& Name(ItemId id) const;
+  /// Name of an id. Requires a valid id. The view stays valid as long
+  /// as the dictionary (and, when borrowed, its backing memory) lives
+  /// and the entry is not re-interned.
+  std::string_view Name(ItemId id) const;
 
-  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+  uint32_t size() const {
+    return borrowed_
+               ? static_cast<uint32_t>(borrowed_offsets_.size() - 1)
+               : static_cast<uint32_t>(names_.size());
+  }
 
   /// "{milk, bread}" — names joined in id-sorted itemset order.
   std::string Render(const Itemset& itemset) const;
 
  private:
+  /// Heterogeneous string hashing so Intern/Find can probe with a
+  /// string_view without allocating a temporary std::string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  void EnsureOwned();
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, ItemId> index_;
+  std::unordered_map<std::string, ItemId, StringHash, std::equal_to<>>
+      index_;
+  std::span<const uint64_t> borrowed_offsets_;
+  std::string_view borrowed_blob_;
+  bool borrowed_ = false;
 };
 
 }  // namespace flipper

@@ -3,8 +3,112 @@
 #include <algorithm>
 
 namespace flipper {
+namespace {
+
+/// Sentinel CSR of an empty database; moved-from objects borrow it so
+/// resetting them never allocates (the moves are noexcept).
+constexpr uint64_t kEmptyOffsets[1] = {0};
+
+}  // namespace
+
+void TransactionDb::ResetToEmpty() noexcept {
+  items_.clear();
+  offsets_.clear();
+  items_view_ = {};
+  offsets_view_ = std::span<const uint64_t>(kEmptyOffsets, 1);
+  borrowed_ = true;
+  alphabet_size_ = 0;
+  max_width_ = 0;
+}
+
+TransactionDb::TransactionDb(const TransactionDb& other)
+    : items_(other.items_),
+      offsets_(other.offsets_),
+      borrowed_(other.borrowed_),
+      alphabet_size_(other.alphabet_size_),
+      max_width_(other.max_width_) {
+  if (borrowed_) {
+    items_view_ = other.items_view_;
+    offsets_view_ = other.offsets_view_;
+  } else {
+    SyncViews();
+  }
+}
+
+TransactionDb& TransactionDb::operator=(const TransactionDb& other) {
+  if (this != &other) {
+    items_ = other.items_;
+    offsets_ = other.offsets_;
+    borrowed_ = other.borrowed_;
+    alphabet_size_ = other.alphabet_size_;
+    max_width_ = other.max_width_;
+    if (borrowed_) {
+      items_view_ = other.items_view_;
+      offsets_view_ = other.offsets_view_;
+    } else {
+      SyncViews();
+    }
+  }
+  return *this;
+}
+
+TransactionDb::TransactionDb(TransactionDb&& other) noexcept
+    : items_(std::move(other.items_)),
+      offsets_(std::move(other.offsets_)),
+      borrowed_(other.borrowed_),
+      alphabet_size_(other.alphabet_size_),
+      max_width_(other.max_width_) {
+  if (borrowed_) {
+    items_view_ = other.items_view_;
+    offsets_view_ = other.offsets_view_;
+  } else {
+    SyncViews();
+  }
+  other.ResetToEmpty();
+}
+
+TransactionDb& TransactionDb::operator=(TransactionDb&& other) noexcept {
+  if (this != &other) {
+    items_ = std::move(other.items_);
+    offsets_ = std::move(other.offsets_);
+    borrowed_ = other.borrowed_;
+    alphabet_size_ = other.alphabet_size_;
+    max_width_ = other.max_width_;
+    if (borrowed_) {
+      items_view_ = other.items_view_;
+      offsets_view_ = other.offsets_view_;
+    } else {
+      SyncViews();
+    }
+    other.ResetToEmpty();
+  }
+  return *this;
+}
+
+TransactionDb TransactionDb::FromBorrowed(std::span<const uint64_t> offsets,
+                                          std::span<const ItemId> items,
+                                          ItemId alphabet_size,
+                                          uint32_t max_width) {
+  TransactionDb db;
+  db.offsets_.clear();
+  db.items_view_ = items;
+  db.offsets_view_ = offsets;
+  db.borrowed_ = true;
+  db.alphabet_size_ = alphabet_size;
+  db.max_width_ = max_width;
+  return db;
+}
+
+void TransactionDb::EnsureOwned() {
+  if (!borrowed_) return;
+  items_.assign(items_view_.begin(), items_view_.end());
+  offsets_.assign(offsets_view_.begin(), offsets_view_.end());
+  borrowed_ = false;
+  SyncViews();
+}
 
 void TransactionDb::Add(std::span<const ItemId> items) {
+  EnsureOwned();
   const size_t start = items_.size();
   items_.insert(items_.end(), items.begin(), items.end());
   auto begin = items_.begin() + static_cast<ptrdiff_t>(start);
@@ -16,6 +120,7 @@ void TransactionDb::Add(std::span<const ItemId> items) {
   if (width > 0) {
     alphabet_size_ = std::max(alphabet_size_, items_.back() + 1);
   }
+  SyncViews();
 }
 
 bool TransactionDb::Contains(TxnId t, const Itemset& itemset) const {
@@ -34,7 +139,7 @@ uint32_t TransactionDb::CountSupport(const Itemset& itemset) const {
 
 std::vector<uint32_t> TransactionDb::ItemFrequencies() const {
   std::vector<uint32_t> freq(alphabet_size_, 0);
-  for (ItemId it : items_) ++freq[it];
+  for (ItemId it : items_view_) ++freq[it];
   return freq;
 }
 
@@ -67,7 +172,7 @@ TransactionDb TransactionDb::Generalize(std::span<const ItemId> ancestor_of,
               [&](int shard, size_t lo, size_t hi) {
                 TransactionDb& part = parts[static_cast<size_t>(shard)];
                 part.Reserve(static_cast<uint32_t>(hi - lo),
-                             offsets_[hi] - offsets_[lo]);
+                             offsets_view_[hi] - offsets_view_[lo]);
                 generalize_range(&part, lo, hi);
               });
   TransactionDb out;
@@ -77,13 +182,16 @@ TransactionDb TransactionDb::Generalize(std::span<const ItemId> ancestor_of,
 }
 
 void TransactionDb::Append(const TransactionDb& other) {
+  EnsureOwned();
   const uint64_t base = items_.size();
-  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
-  for (size_t i = 1; i < other.offsets_.size(); ++i) {
-    offsets_.push_back(base + other.offsets_[i]);
+  items_.insert(items_.end(), other.items_view_.begin(),
+                other.items_view_.end());
+  for (size_t i = 1; i < other.offsets_view_.size(); ++i) {
+    offsets_.push_back(base + other.offsets_view_[i]);
   }
   alphabet_size_ = std::max(alphabet_size_, other.alphabet_size_);
   max_width_ = std::max(max_width_, other.max_width_);
+  SyncViews();
 }
 
 }  // namespace flipper

@@ -3,6 +3,12 @@
 // duplicate-free; the flattened layout keeps scans cache-friendly,
 // which matters because the paper's counting model is "sequential scans
 // of the input data" (§5).
+//
+// The CSR arrays either live in owned vectors (the default, grown via
+// Add/Append) or borrow externally owned memory — e.g. sections of a
+// memory-mapped FlipperStore file — via FromBorrowed(). Reads are
+// identical either way; a mutating call on a borrowed db first copies
+// the borrowed data into owned storage.
 
 #ifndef FLIPPER_DATA_TRANSACTION_DB_H_
 #define FLIPPER_DATA_TRANSACTION_DB_H_
@@ -20,7 +26,30 @@ namespace flipper {
 
 class TransactionDb {
  public:
-  TransactionDb() { offsets_.push_back(0); }
+  TransactionDb() {
+    offsets_.push_back(0);
+    SyncViews();
+  }
+
+  TransactionDb(const TransactionDb& other);
+  TransactionDb& operator=(const TransactionDb& other);
+  TransactionDb(TransactionDb&& other) noexcept;
+  TransactionDb& operator=(TransactionDb&& other) noexcept;
+  ~TransactionDb() = default;
+
+  /// Wraps externally owned CSR storage without copying. `offsets`
+  /// must hold N + 1 monotone boundaries starting at 0 and ending at
+  /// items.size(), and every transaction's items must be sorted and
+  /// duplicate-free; callers (the storage layer) validate this before
+  /// wrapping. The backing memory must outlive this db and every copy
+  /// of it.
+  static TransactionDb FromBorrowed(std::span<const uint64_t> offsets,
+                                    std::span<const ItemId> items,
+                                    ItemId alphabet_size,
+                                    uint32_t max_width);
+
+  /// True while the CSR arrays point at external memory.
+  bool borrowed() const { return borrowed_; }
 
   /// Appends a transaction; the items are copied, sorted and deduped.
   /// Empty transactions are allowed (they are null transactions for
@@ -31,15 +60,15 @@ class TransactionDb {
   }
 
   uint32_t size() const {
-    return static_cast<uint32_t>(offsets_.size() - 1);
+    return static_cast<uint32_t>(offsets_view_.size() - 1);
   }
   bool empty() const { return size() == 0; }
 
   /// Sorted, duplicate-free view of transaction `t`.
   std::span<const ItemId> Get(TxnId t) const {
-    const size_t b = offsets_[t];
-    const size_t e = offsets_[t + 1];
-    return {items_.data() + b, e - b};
+    const size_t b = offsets_view_[t];
+    const size_t e = offsets_view_[t + 1];
+    return {items_view_.data() + b, e - b};
   }
 
   /// True if transaction `t` contains every item of `itemset`
@@ -57,9 +86,9 @@ class TransactionDb {
   uint32_t max_width() const { return max_width_; }
   double avg_width() const {
     return empty() ? 0.0
-                   : static_cast<double>(items_.size()) / size();
+                   : static_cast<double>(items_view_.size()) / size();
   }
-  uint64_t total_items() const { return items_.size(); }
+  uint64_t total_items() const { return items_view_.size(); }
 
   /// Per-item occurrence counts (size alphabet_size()).
   std::vector<uint32_t> ItemFrequencies() const;
@@ -77,20 +106,39 @@ class TransactionDb {
   /// preserving order.
   void Append(const TransactionDb& other);
 
-  /// Approximate heap footprint in bytes.
+  /// Approximate heap footprint in bytes (borrowed storage counts as
+  /// zero — it belongs to the backing file/mapping).
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(items_.capacity() * sizeof(ItemId) +
                                 offsets_.capacity() * sizeof(uint64_t));
   }
 
   void Reserve(uint32_t num_txns, uint64_t num_items) {
+    EnsureOwned();
     offsets_.reserve(num_txns + 1);
     items_.reserve(num_items);
+    SyncViews();
   }
 
  private:
-  std::vector<ItemId> items_;      // flattened transactions
-  std::vector<uint64_t> offsets_;  // size() + 1 boundaries
+  /// Copies borrowed storage into the owned vectors (no-op when
+  /// already owned).
+  void EnsureOwned();
+  /// Valid empty state without allocating: borrows a static empty CSR
+  /// sentinel (used to reset moved-from objects in noexcept moves).
+  void ResetToEmpty() noexcept;
+  void SyncViews() {
+    offsets_view_ = offsets_;
+    items_view_ = items_;
+  }
+
+  std::vector<ItemId> items_;      // flattened transactions (owned)
+  std::vector<uint64_t> offsets_;  // size() + 1 boundaries (owned)
+  /// Read views: aliases of the owned vectors, or external memory when
+  /// borrowed_ is set. Every accessor goes through these.
+  std::span<const ItemId> items_view_;
+  std::span<const uint64_t> offsets_view_;
+  bool borrowed_ = false;
   ItemId alphabet_size_ = 0;
   uint32_t max_width_ = 0;
 };

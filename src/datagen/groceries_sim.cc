@@ -95,8 +95,8 @@ Result<SimulatedDataset> GenerateGroceries(const GroceriesParams& params) {
   std::vector<ItemId> noise_pool;
   for (size_t d = 0; d < filler_roots.size(); ++d) {
     for (int c = 0; c < 4; ++c) {
-      const std::string cat_name =
-          dict.Name(filler_roots[d]) + "_cat" + std::to_string(c);
+      const std::string cat_name = std::string(dict.Name(filler_roots[d])) +
+                                   "_cat" + std::to_string(c);
       const ItemId cat = add_child(filler_roots[d], cat_name);
       for (int p = 0; p < 3; ++p) {
         noise_pool.push_back(

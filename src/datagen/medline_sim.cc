@@ -77,9 +77,10 @@ Result<SimulatedDataset> GenerateMedline(const MedlineParams& params) {
   for (ItemId root : named_roots) {
     for (int s = 0; s < 6; ++s) {
       const ItemId sub = add_child(
-          root, dict.Name(root) + ".s" + std::to_string(s));
+          root, std::string(dict.Name(root)) + ".s" + std::to_string(s));
       for (int l = 0; l < 7; ++l) {
-        add_child(sub, dict.Name(sub) + ".t" + std::to_string(l));
+        add_child(sub,
+                  std::string(dict.Name(sub)) + ".t" + std::to_string(l));
       }
     }
   }

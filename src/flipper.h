@@ -24,6 +24,8 @@
 #include "data/item_dictionary.h"    // IWYU pragma: export
 #include "data/transaction_db.h"     // IWYU pragma: export
 #include "measures/measure.h"        // IWYU pragma: export
+#include "storage/store_reader.h"    // IWYU pragma: export
+#include "storage/store_writer.h"    // IWYU pragma: export
 #include "taxonomy/taxonomy.h"       // IWYU pragma: export
 #include "taxonomy/taxonomy_builder.h"  // IWYU pragma: export
 #include "taxonomy/taxonomy_io.h"    // IWYU pragma: export

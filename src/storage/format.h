@@ -1,0 +1,115 @@
+// FlipperStore on-disk format (.fdb): a single versioned binary file
+// holding a complete mining input — the CSR transaction database, the
+// item-name dictionary, and the taxonomy — so datasets load in O(mmap)
+// instead of O(parse).
+//
+// Layout (all integers little-endian, fixed width):
+//
+//   [FileHeader]      104 bytes, checksummed (FNV-1a 64)
+//   [SectionTable]    section_count x SectionEntry (32 bytes each)
+//   [section payloads ...]  each 8-byte aligned, padded with zeros
+//
+// Version-1 sections (exactly these seven, in any physical order; the
+// table records where each one lives):
+//
+//   kTxnOffsets   (num_transactions + 1) x u64   CSR boundaries
+//   kTxnItems     num_items x u32                flattened sorted items
+//   kSegments     (num_segments + 1) x u64       shard txn boundaries
+//   kDictOffsets  (dict_size + 1) x u64          byte offsets into blob
+//   kDictBlob     raw bytes                      concatenated names
+//   kTaxParents   taxonomy_id_space x u32        parent per id
+//   kTaxRoots     taxonomy_num_roots x u32       level-1 node ids
+//
+// Segments partition the transactions into contiguous shards (the
+// writer cuts one every Options::segment_txns transactions) so
+// sharded scans — LevelViews::ScanShards and future distributed
+// readers — can split the file without touching the offsets section.
+//
+// Versioning rules: readers reject a different `version`; any layout
+// or semantic change bumps it. Reserved fields are written as zero and
+// ignored on read, so compatible additions can reuse them without a
+// bump.
+
+#ifndef FLIPPER_STORAGE_FORMAT_H_
+#define FLIPPER_STORAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flipper {
+namespace storage {
+
+inline constexpr char kMagic[8] = {'F', 'L', 'I', 'P', 'F', 'D', 'B', '\0'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint64_t kSectionAlignment = 8;
+
+enum class SectionId : uint32_t {
+  kTxnOffsets = 1,
+  kTxnItems = 2,
+  kSegments = 3,
+  kDictOffsets = 4,
+  kDictBlob = 5,
+  kTaxParents = 6,
+  kTaxRoots = 7,
+};
+
+inline constexpr uint32_t kNumSections = 7;
+
+/// Human-readable section name ("txn_offsets", ...); "unknown" for ids
+/// outside the version-1 set.
+const char* SectionIdName(SectionId id);
+
+#pragma pack(push, 1)
+
+/// One row of the section table.
+struct SectionEntry {
+  uint32_t id = 0;        // SectionId
+  uint32_t reserved = 0;  // zero
+  uint64_t offset = 0;    // absolute byte offset, 8-aligned
+  uint64_t size = 0;      // payload bytes (excluding padding)
+  uint64_t checksum = 0;  // FNV-1a 64 of the payload bytes
+};
+static_assert(sizeof(SectionEntry) == 32);
+
+struct FileHeader {
+  char magic[8] = {};
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  uint64_t file_size = 0;  // total bytes; guards against truncation
+  uint64_t num_transactions = 0;
+  uint64_t num_items = 0;     // total flattened items
+  uint64_t num_segments = 0;  // shard count (>= 1 unless empty)
+  uint32_t alphabet_size = 0;
+  uint32_t max_width = 0;
+  uint32_t dict_size = 0;          // number of interned names
+  uint32_t taxonomy_id_space = 0;  // length of the parent array
+  uint32_t taxonomy_num_roots = 0;
+  uint32_t flags = 0;          // reserved, zero
+  uint64_t reserved[2] = {};   // zero
+  uint64_t table_checksum = 0;  // FNV-1a 64 of the section table bytes
+  uint64_t header_checksum = 0;  // FNV-1a 64 of this struct with
+                                 // header_checksum itself zeroed
+};
+static_assert(sizeof(FileHeader) == 104);
+
+#pragma pack(pop)
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/// FNV-1a 64. Pass a previous return value as `state` to checksum data
+/// arriving in chunks.
+uint64_t Fnv1a64(const void* data, size_t size,
+                 uint64_t state = kFnvOffsetBasis);
+
+/// Checksum of a header with its `header_checksum` field zeroed.
+uint64_t HeaderChecksum(const FileHeader& header);
+
+/// `n` rounded up to the section alignment.
+inline constexpr uint64_t AlignUp(uint64_t n) {
+  return (n + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+}  // namespace storage
+}  // namespace flipper
+
+#endif  // FLIPPER_STORAGE_FORMAT_H_

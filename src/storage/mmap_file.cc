@@ -1,0 +1,111 @@
+#include "storage/mmap_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FLIPPER_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace flipper {
+namespace storage {
+namespace {
+
+struct HeapFile {
+  std::unique_ptr<uint64_t[]> bytes;
+  uint64_t size = 0;
+};
+
+Result<HeapFile> ReadWholeFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return Status::IoError("cannot open store file: " + path);
+  const std::streamoff end = f.tellg();
+  if (end < 0) return Status::IoError("cannot stat store file: " + path);
+  HeapFile out;
+  out.size = static_cast<uint64_t>(end);
+  out.bytes = std::make_unique<uint64_t[]>((out.size + 7) / 8);
+  f.seekg(0);
+  if (out.size > 0 &&
+      !f.read(reinterpret_cast<char*>(out.bytes.get()),
+              static_cast<std::streamsize>(out.size))) {
+    return Status::IoError("short read on store file: " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path, bool force_heap) {
+  const auto open_heap = [&path]() -> Result<MmapFile> {
+    FLIPPER_ASSIGN_OR_RETURN(HeapFile heap, ReadWholeFile(path));
+    MmapFile out;
+    out.heap_ = std::move(heap.bytes);
+    out.data_ = reinterpret_cast<const std::byte*>(out.heap_.get());
+    out.size_ = heap.size;
+    out.mapped_ = false;
+    return out;
+  };
+#if FLIPPER_HAVE_MMAP
+  if (!force_heap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IoError("cannot open store file: " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IoError("cannot stat store file: " + path);
+    }
+    const auto size = static_cast<uint64_t>(st.st_size);
+    if (size == 0) {
+      // mmap of length 0 is an error; an empty file cannot be a valid
+      // store anyway, so hand back an empty view for the reader's
+      // truncation check to reject.
+      ::close(fd);
+      MmapFile out;
+      return out;
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      // Some filesystems refuse mmap; fall back to reading.
+      return open_heap();
+    }
+    MmapFile out;
+    out.data_ = static_cast<const std::byte*>(base);
+    out.size_ = size;
+    out.mapped_ = true;
+    return out;
+  }
+#endif
+  return open_heap();
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    heap_ = std::move(other.heap_);
+  }
+  return *this;
+}
+
+void MmapFile::Reset() {
+#if FLIPPER_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  heap_.reset();
+}
+
+}  // namespace storage
+}  // namespace flipper

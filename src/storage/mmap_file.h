@@ -1,0 +1,52 @@
+// Read-only file mapping with a portable fallback: mmap(2) where the
+// platform has it, otherwise (or on request) the file is read into an
+// 8-byte-aligned heap buffer. Either way callers see a stable
+// (data, size) view for the lifetime of the object.
+
+#ifndef FLIPPER_STORAGE_MMAP_FILE_H_
+#define FLIPPER_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace flipper {
+namespace storage {
+
+class MmapFile {
+ public:
+  /// Maps (or reads) `path`. `force_heap` skips mmap and always takes
+  /// the read-into-memory path.
+  static Result<MmapFile> Open(const std::string& path,
+                               bool force_heap = false);
+
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  const std::byte* data() const { return data_; }
+  uint64_t size() const { return size_; }
+  /// True when backed by an actual memory mapping (false: heap copy).
+  bool mapped() const { return mapped_; }
+
+ private:
+  void Reset();
+
+  const std::byte* data_ = nullptr;
+  uint64_t size_ = 0;
+  bool mapped_ = false;
+  /// Owning storage for the heap fallback; 8-byte aligned.
+  std::unique_ptr<uint64_t[]> heap_;
+};
+
+}  // namespace storage
+}  // namespace flipper
+
+#endif  // FLIPPER_STORAGE_MMAP_FILE_H_

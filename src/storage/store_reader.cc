@@ -1,0 +1,295 @@
+#include "storage/store_reader.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "taxonomy/taxonomy_builder.h"
+
+namespace flipper {
+namespace storage {
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::CorruptedData("store file: " + what);
+}
+
+std::span<const uint64_t> U64Span(const std::byte* base,
+                                  const SectionEntry& e) {
+  return {reinterpret_cast<const uint64_t*>(base + e.offset),
+          static_cast<size_t>(e.size / sizeof(uint64_t))};
+}
+
+std::span<const uint32_t> U32Span(const std::byte* base,
+                                  const SectionEntry& e) {
+  return {reinterpret_cast<const uint32_t*>(base + e.offset),
+          static_cast<size_t>(e.size / sizeof(uint32_t))};
+}
+
+/// Requires the section to hold exactly `count` elements of
+/// `elem_size` bytes.
+Status CheckElementCount(const SectionEntry& e, uint64_t count,
+                         uint64_t elem_size) {
+  if (e.size % elem_size != 0 || e.size / elem_size != count) {
+    return Corrupt(std::string(SectionIdName(SectionId(e.id))) +
+                   " section holds " + std::to_string(e.size) +
+                   " bytes, expected " + std::to_string(count) +
+                   " x " + std::to_string(elem_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StoreReader> StoreReader::Open(const std::string& path,
+                                      const OpenOptions& options) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal(
+        "FlipperStore requires a little-endian host (fixed LE format)");
+  }
+  StoreReader reader;
+  FLIPPER_ASSIGN_OR_RETURN(reader.file_,
+                           MmapFile::Open(path, options.force_heap));
+  const std::byte* base = reader.file_.data();
+  const uint64_t file_size = reader.file_.size();
+
+  // --- Header. ---
+  if (file_size < sizeof(FileHeader)) {
+    return Corrupt("truncated header (" + std::to_string(file_size) +
+                   " bytes, need " + std::to_string(sizeof(FileHeader)) +
+                   "): " + path);
+  }
+  FileHeader& h = reader.header_;
+  std::memcpy(&h, base, sizeof(h));
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic, not a FlipperStore file: " + path);
+  }
+  if (h.version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported store version " + std::to_string(h.version) +
+        " (this build reads version " + std::to_string(kFormatVersion) +
+        "): " + path);
+  }
+  if (HeaderChecksum(h) != h.header_checksum) {
+    return Corrupt("header checksum mismatch: " + path);
+  }
+  if (h.file_size != file_size) {
+    return Corrupt("file size mismatch (truncated?): header records " +
+                   std::to_string(h.file_size) + " bytes, file has " +
+                   std::to_string(file_size));
+  }
+  if (h.num_transactions >
+      static_cast<uint64_t>(std::numeric_limits<TxnId>::max())) {
+    return Corrupt("transaction count exceeds the TxnId range");
+  }
+
+  // --- Section table. ---
+  if (h.section_count != kNumSections) {
+    return Corrupt("version-1 files carry " +
+                   std::to_string(kNumSections) + " sections, found " +
+                   std::to_string(h.section_count));
+  }
+  const uint64_t table_bytes =
+      uint64_t{h.section_count} * sizeof(SectionEntry);
+  if (file_size - sizeof(FileHeader) < table_bytes) {
+    return Corrupt("truncated section table");
+  }
+  reader.sections_.resize(h.section_count);
+  std::memcpy(reader.sections_.data(), base + sizeof(FileHeader),
+              table_bytes);
+  if (Fnv1a64(reader.sections_.data(), table_bytes) != h.table_checksum) {
+    return Corrupt("section table checksum mismatch");
+  }
+
+  const SectionEntry* by_id[kNumSections] = {};
+  for (const SectionEntry& e : reader.sections_) {
+    if (e.id < 1 || e.id > kNumSections) {
+      return Corrupt("unknown section id " + std::to_string(e.id));
+    }
+    if (by_id[e.id - 1] != nullptr) {
+      return Corrupt(std::string("duplicate section ") +
+                     SectionIdName(SectionId(e.id)));
+    }
+    if (e.offset % kSectionAlignment != 0) {
+      return Corrupt(std::string(SectionIdName(SectionId(e.id))) +
+                     " section is misaligned");
+    }
+    if (e.offset > file_size || file_size - e.offset < e.size) {
+      return Corrupt(std::string(SectionIdName(SectionId(e.id))) +
+                     " section extends past end of file");
+    }
+    by_id[e.id - 1] = &e;
+  }
+  const auto section = [&](SectionId id) -> const SectionEntry& {
+    return *by_id[static_cast<uint32_t>(id) - 1];
+  };
+
+  // --- Element counts against the header. ---
+  FLIPPER_RETURN_IF_ERROR(CheckElementCount(
+      section(SectionId::kTxnOffsets), h.num_transactions + 1,
+      sizeof(uint64_t)));
+  FLIPPER_RETURN_IF_ERROR(CheckElementCount(
+      section(SectionId::kTxnItems), h.num_items, sizeof(uint32_t)));
+  FLIPPER_RETURN_IF_ERROR(CheckElementCount(
+      section(SectionId::kSegments), h.num_segments + 1,
+      sizeof(uint64_t)));
+  FLIPPER_RETURN_IF_ERROR(CheckElementCount(
+      section(SectionId::kDictOffsets), uint64_t{h.dict_size} + 1,
+      sizeof(uint64_t)));
+  FLIPPER_RETURN_IF_ERROR(CheckElementCount(
+      section(SectionId::kTaxParents), h.taxonomy_id_space,
+      sizeof(uint32_t)));
+  FLIPPER_RETURN_IF_ERROR(CheckElementCount(
+      section(SectionId::kTaxRoots), h.taxonomy_num_roots,
+      sizeof(uint32_t)));
+
+  const std::span<const uint64_t> offsets =
+      U64Span(base, section(SectionId::kTxnOffsets));
+  const std::span<const uint32_t> items =
+      U32Span(base, section(SectionId::kTxnItems));
+  const std::span<const uint64_t> segments =
+      U64Span(base, section(SectionId::kSegments));
+  const std::span<const uint64_t> name_offsets =
+      U64Span(base, section(SectionId::kDictOffsets));
+  const SectionEntry& blob_entry = section(SectionId::kDictBlob);
+  const std::string_view blob(
+      reinterpret_cast<const char*>(base + blob_entry.offset),
+      static_cast<size_t>(blob_entry.size));
+  const std::span<const uint32_t> parents =
+      U32Span(base, section(SectionId::kTaxParents));
+  const std::span<const uint32_t> roots =
+      U32Span(base, section(SectionId::kTaxRoots));
+
+  // --- Cheap structural validation (always on). ---
+  if (h.alphabet_size > h.dict_size) {
+    return Corrupt("alphabet_size " + std::to_string(h.alphabet_size) +
+                   " exceeds dictionary size " +
+                   std::to_string(h.dict_size));
+  }
+  if (h.taxonomy_id_space > h.dict_size) {
+    return Corrupt("taxonomy id space " +
+                   std::to_string(h.taxonomy_id_space) +
+                   " exceeds dictionary size " +
+                   std::to_string(h.dict_size));
+  }
+  if (name_offsets.front() != 0 || name_offsets.back() != blob.size()) {
+    return Corrupt("dictionary offsets do not span the name blob");
+  }
+  for (size_t i = 0; i + 1 < name_offsets.size(); ++i) {
+    if (name_offsets[i] > name_offsets[i + 1]) {
+      return Corrupt("dictionary offsets are not monotone");
+    }
+  }
+  if (segments.front() != 0 || segments.back() != h.num_transactions) {
+    return Corrupt("segment boundaries do not span the transactions");
+  }
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i] >= segments[i + 1]) {
+      return Corrupt("segment boundaries are not strictly increasing");
+    }
+  }
+  for (const uint32_t parent : parents) {
+    if (parent != kInvalidItem && parent >= h.taxonomy_id_space) {
+      return Corrupt("taxonomy parent id out of range");
+    }
+  }
+  for (const uint32_t root : roots) {
+    if (root >= h.taxonomy_id_space) {
+      return Corrupt("taxonomy root id out of range");
+    }
+  }
+
+  // --- Payload validation (the O(num_items) scan). ---
+  if (options.validate) {
+    if (offsets.front() != 0 || offsets.back() != h.num_items) {
+      return Corrupt("transaction offsets do not span the items");
+    }
+    uint32_t max_width = 0;
+    ItemId max_item = 0;
+    bool any_item = false;
+    for (size_t t = 0; t + 1 < offsets.size(); ++t) {
+      const uint64_t lo = offsets[t];
+      const uint64_t hi = offsets[t + 1];
+      if (lo > hi || hi > h.num_items) {
+        return Corrupt("transaction offsets are not monotone at txn " +
+                       std::to_string(t));
+      }
+      const uint64_t width = hi - lo;
+      if (width > std::numeric_limits<uint32_t>::max()) {
+        return Corrupt("transaction width overflows at txn " +
+                       std::to_string(t));
+      }
+      max_width = std::max(max_width, static_cast<uint32_t>(width));
+      for (uint64_t i = lo; i < hi; ++i) {
+        const ItemId item = items[i];
+        if (item >= h.alphabet_size) {
+          return Corrupt("item id " + std::to_string(item) +
+                         " out of range in txn " + std::to_string(t));
+        }
+        if (i > lo && items[i - 1] >= item) {
+          return Corrupt("items of txn " + std::to_string(t) +
+                         " are not sorted and duplicate-free");
+        }
+        max_item = std::max(max_item, item);
+        any_item = true;
+      }
+    }
+    if (max_width != h.max_width) {
+      return Corrupt("max_width mismatch: header records " +
+                     std::to_string(h.max_width) + ", data has " +
+                     std::to_string(max_width));
+    }
+    const ItemId actual_alphabet = any_item ? max_item + 1 : 0;
+    if (actual_alphabet != h.alphabet_size) {
+      return Corrupt("alphabet_size mismatch: header records " +
+                     std::to_string(h.alphabet_size) + ", data has " +
+                     std::to_string(actual_alphabet));
+    }
+  }
+
+  // --- Reconstruct the taxonomy (canonical: children end up sorted,
+  // independent of original edge declaration order). ---
+  if (!roots.empty()) {
+    TaxonomyBuilder builder;
+    for (const uint32_t root : roots) builder.AddRoot(root);
+    for (uint32_t id = 0; id < parents.size(); ++id) {
+      if (parents[id] != kInvalidItem) {
+        Status added = builder.AddEdge(parents[id], id);
+        if (!added.ok()) {
+          return Corrupt("taxonomy rebuild failed: " + added.message());
+        }
+      }
+    }
+    auto built = builder.Build();
+    if (!built.ok()) {
+      return Corrupt("taxonomy rebuild failed: " +
+                     built.status().message());
+    }
+    reader.taxonomy_ = std::move(built).value();
+  } else if (h.taxonomy_id_space != 0) {
+    return Corrupt("taxonomy has nodes but no roots");
+  }
+
+  // --- Borrowed views over the mapping. ---
+  reader.dict_ = ItemDictionary::FromBorrowed(name_offsets, blob);
+  reader.db_ = TransactionDb::FromBorrowed(
+      offsets, std::span<const ItemId>(items.data(), items.size()),
+      h.alphabet_size, h.max_width);
+  reader.segments_ = segments;
+  return reader;
+}
+
+Status StoreReader::VerifyChecksums() const {
+  const std::byte* base = file_.data();
+  for (const SectionEntry& e : sections_) {
+    if (Fnv1a64(base + e.offset, static_cast<size_t>(e.size)) !=
+        e.checksum) {
+      return Corrupt(std::string(SectionIdName(SectionId(e.id))) +
+                     " section checksum mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace flipper

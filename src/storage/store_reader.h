@@ -1,0 +1,90 @@
+// StoreReader: opens a .fdb FlipperStore file and exposes its contents
+// as ready-to-mine objects. The transaction database and dictionary
+// are zero-copy views over the file mapping (borrowed-span mode of
+// TransactionDb / ItemDictionary); only the taxonomy — a few KB of
+// tree structure — is reconstructed in memory. On platforms without
+// mmap (or with OpenOptions::force_heap) the file is read into one
+// aligned heap buffer instead, with identical semantics.
+//
+// Open() hard-validates the header checksum, the section table, and
+// every section's bounds before handing out a single pointer; with
+// OpenOptions::validate (the default) it additionally scans the
+// payloads so that every CSR offset is monotone, every item id is
+// in-range and sorted within its transaction, and the header's derived
+// metadata matches the data. A corrupt or truncated file yields a
+// Status error, never UB.
+
+#ifndef FLIPPER_STORAGE_STORE_READER_H_
+#define FLIPPER_STORAGE_STORE_READER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/item_dictionary.h"
+#include "data/transaction_db.h"
+#include "storage/format.h"
+#include "storage/mmap_file.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+namespace storage {
+
+struct OpenOptions {
+  /// Scan section payloads (O(num_items)) so that every offset and
+  /// item id is proven in-bounds before use. Disable only for trusted
+  /// files (e.g. open-latency benchmarks); structural checks — header
+  /// checksum, section table, section bounds, dictionary offsets,
+  /// segment boundaries, taxonomy reconstruction — always run.
+  bool validate = true;
+  /// Skip mmap and read the file into memory (the portable fallback;
+  /// also exercised by tests).
+  bool force_heap = false;
+};
+
+class StoreReader {
+ public:
+  static Result<StoreReader> Open(const std::string& path,
+                                  const OpenOptions& options = {});
+
+  StoreReader(StoreReader&&) = default;
+  StoreReader& operator=(StoreReader&&) = default;
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+
+  /// Borrowed views into the file; valid while this reader is alive.
+  const TransactionDb& db() const { return db_; }
+  const ItemDictionary& dict() const { return dict_; }
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+
+  /// Shard boundaries: num_segments + 1 transaction indexes starting
+  /// at 0 and ending at num_transactions.
+  std::span<const uint64_t> segments() const { return segments_; }
+
+  const FileHeader& header() const { return header_; }
+  std::span<const SectionEntry> sections() const { return sections_; }
+  bool mapped() const { return file_.mapped(); }
+  uint64_t file_size() const { return file_.size(); }
+
+  /// Recomputes every section checksum against the table (full file
+  /// scan; `flipper_cli inspect` runs this).
+  Status VerifyChecksums() const;
+
+ private:
+  StoreReader() = default;
+
+  MmapFile file_;
+  FileHeader header_;
+  std::vector<SectionEntry> sections_;
+  std::span<const uint64_t> segments_;
+  TransactionDb db_;
+  ItemDictionary dict_;
+  Taxonomy taxonomy_;
+};
+
+}  // namespace storage
+}  // namespace flipper
+
+#endif  // FLIPPER_STORAGE_STORE_READER_H_

@@ -1,0 +1,195 @@
+#include "storage/store_writer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace flipper {
+namespace storage {
+
+Result<StoreWriter> StoreWriter::Create(const std::string& path,
+                                        const Options& options) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal(
+        "FlipperStore requires a little-endian host (fixed LE format)");
+  }
+  if (options.segment_txns == 0) {
+    return Status::InvalidArgument("segment_txns must be positive");
+  }
+  StoreWriter writer;
+  writer.options_ = options;
+  writer.path_ = path;
+  writer.file_.open(path, std::ios::binary | std::ios::trunc);
+  if (!writer.file_) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  // Placeholder header + section table; Finish() seeks back and
+  // rewrites them with the real contents.
+  const std::vector<char> zeros(
+      sizeof(FileHeader) + kNumSections * sizeof(SectionEntry), 0);
+  FLIPPER_RETURN_IF_ERROR(
+      writer.WriteBytes(zeros.data(), zeros.size(), nullptr));
+  writer.items_start_ = writer.file_pos_;
+  return writer;
+}
+
+Status StoreWriter::WriteBytes(const void* data, size_t size,
+                               uint64_t* checksum) {
+  if (size == 0) return Status::OK();
+  file_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  if (!file_) return Status::IoError("write failed: " + path_);
+  file_pos_ += size;
+  if (checksum != nullptr) *checksum = Fnv1a64(data, size, *checksum);
+  return Status::OK();
+}
+
+Status StoreWriter::Pad() {
+  static constexpr char kZeros[kSectionAlignment] = {};
+  const uint64_t target = AlignUp(file_pos_);
+  if (target > file_pos_) {
+    return WriteBytes(kZeros, target - file_pos_, nullptr);
+  }
+  return Status::OK();
+}
+
+Status StoreWriter::WriteSection(SectionId id, const void* data,
+                                 size_t size) {
+  SectionEntry entry;
+  entry.id = static_cast<uint32_t>(id);
+  entry.offset = file_pos_;
+  entry.size = size;
+  entry.checksum = Fnv1a64(data, size);
+  FLIPPER_RETURN_IF_ERROR(WriteBytes(data, size, nullptr));
+  FLIPPER_RETURN_IF_ERROR(Pad());
+  sections_.push_back(entry);
+  return Status::OK();
+}
+
+Status StoreWriter::Append(std::span<const ItemId> items) {
+  if (finished_) {
+    return Status::FailedPrecondition("Append after Finish");
+  }
+  scratch_.assign(items.begin(), items.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  FLIPPER_RETURN_IF_ERROR(WriteBytes(
+      scratch_.data(), scratch_.size() * sizeof(ItemId), &items_checksum_));
+  offsets_.push_back(offsets_.back() + scratch_.size());
+  max_width_ = std::max(max_width_, static_cast<uint32_t>(scratch_.size()));
+  if (!scratch_.empty()) {
+    alphabet_size_ = std::max(alphabet_size_, scratch_.back() + 1);
+  }
+  if (num_transactions() % options_.segment_txns == 0) {
+    segments_.push_back(num_transactions());
+  }
+  return Status::OK();
+}
+
+Status StoreWriter::Finish(const ItemDictionary& dict,
+                           const Taxonomy& taxonomy) {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  if (alphabet_size_ > dict.size()) {
+    return Status::InvalidArgument(
+        "dictionary has " + std::to_string(dict.size()) +
+        " names but transactions reference item " +
+        std::to_string(alphabet_size_ - 1));
+  }
+  if (taxonomy.id_space() > dict.size()) {
+    return Status::InvalidArgument(
+        "dictionary has " + std::to_string(dict.size()) +
+        " names but the taxonomy id space is " +
+        std::to_string(taxonomy.id_space()));
+  }
+
+  // The items section has been streaming since Create.
+  SectionEntry items_entry;
+  items_entry.id = static_cast<uint32_t>(SectionId::kTxnItems);
+  items_entry.offset = items_start_;
+  items_entry.size = file_pos_ - items_start_;
+  items_entry.checksum = items_checksum_;
+  FLIPPER_RETURN_IF_ERROR(Pad());
+  sections_.push_back(items_entry);
+
+  FLIPPER_RETURN_IF_ERROR(WriteSection(
+      SectionId::kTxnOffsets, offsets_.data(),
+      offsets_.size() * sizeof(uint64_t)));
+
+  if (segments_.back() != num_transactions()) {
+    segments_.push_back(num_transactions());
+  }
+  FLIPPER_RETURN_IF_ERROR(WriteSection(
+      SectionId::kSegments, segments_.data(),
+      segments_.size() * sizeof(uint64_t)));
+
+  std::vector<uint64_t> name_offsets;
+  name_offsets.reserve(dict.size() + 1);
+  name_offsets.push_back(0);
+  std::string blob;
+  for (ItemId id = 0; id < dict.size(); ++id) {
+    blob += dict.Name(id);
+    name_offsets.push_back(blob.size());
+  }
+  FLIPPER_RETURN_IF_ERROR(WriteSection(
+      SectionId::kDictOffsets, name_offsets.data(),
+      name_offsets.size() * sizeof(uint64_t)));
+  FLIPPER_RETURN_IF_ERROR(
+      WriteSection(SectionId::kDictBlob, blob.data(), blob.size()));
+
+  std::vector<ItemId> parents(taxonomy.id_space());
+  for (size_t id = 0; id < parents.size(); ++id) {
+    parents[id] = taxonomy.ParentOf(static_cast<ItemId>(id));
+  }
+  FLIPPER_RETURN_IF_ERROR(WriteSection(
+      SectionId::kTaxParents, parents.data(),
+      parents.size() * sizeof(ItemId)));
+  const std::vector<ItemId>& roots = taxonomy.Level1();
+  FLIPPER_RETURN_IF_ERROR(WriteSection(
+      SectionId::kTaxRoots, roots.data(), roots.size() * sizeof(ItemId)));
+
+  FileHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.file_size = file_pos_;
+  header.num_transactions = num_transactions();
+  header.num_items = num_items();
+  header.num_segments = segments_.size() - 1;
+  header.alphabet_size = alphabet_size_;
+  header.max_width = max_width_;
+  header.dict_size = dict.size();
+  header.taxonomy_id_space = static_cast<uint32_t>(taxonomy.id_space());
+  header.taxonomy_num_roots = static_cast<uint32_t>(roots.size());
+  header.table_checksum = Fnv1a64(
+      sections_.data(), sections_.size() * sizeof(SectionEntry));
+  header.header_checksum = HeaderChecksum(header);
+
+  file_.seekp(0);
+  if (!file_) return Status::IoError("seek failed: " + path_);
+  file_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  file_.write(reinterpret_cast<const char*>(sections_.data()),
+              static_cast<std::streamsize>(sections_.size() *
+                                           sizeof(SectionEntry)));
+  file_.flush();
+  if (!file_) return Status::IoError("write failed: " + path_);
+  file_.close();
+  finished_ = true;
+  return Status::OK();
+}
+
+Status WriteStoreFile(const std::string& path, const TransactionDb& db,
+                      const ItemDictionary& dict, const Taxonomy& taxonomy,
+                      const StoreWriter::Options& options) {
+  FLIPPER_ASSIGN_OR_RETURN(StoreWriter writer,
+                           StoreWriter::Create(path, options));
+  for (TxnId t = 0; t < db.size(); ++t) {
+    FLIPPER_RETURN_IF_ERROR(writer.Append(db.Get(t)));
+  }
+  return writer.Finish(dict, taxonomy);
+}
+
+}  // namespace storage
+}  // namespace flipper

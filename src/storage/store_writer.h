@@ -1,0 +1,93 @@
+// StoreWriter: streams a mining input into a .fdb FlipperStore file.
+//
+// Transactions are appended one at a time and their items flow
+// straight to disk, so a generator can emit datasets larger than RAM
+// without ever building a full TransactionDb in memory; only the CSR
+// offsets (8 bytes per transaction) and segment boundaries are
+// buffered until Finish(). The dictionary and taxonomy are written at
+// Finish() so callers may keep interning names while appending.
+
+#ifndef FLIPPER_STORAGE_STORE_WRITER_H_
+#define FLIPPER_STORAGE_STORE_WRITER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/item_dictionary.h"
+#include "data/transaction_db.h"
+#include "storage/format.h"
+#include "taxonomy/taxonomy.h"
+
+namespace flipper {
+namespace storage {
+
+class StoreWriter {
+ public:
+  struct Options {
+    /// Transactions per shard segment. Segments partition the file for
+    /// sharded scans (LevelViews::ScanShards-style static splits).
+    uint32_t segment_txns = 1u << 16;
+  };
+
+  /// Creates/truncates `path` and writes a placeholder header.
+  static Result<StoreWriter> Create(const std::string& path,
+                                    const Options& options);
+  static Result<StoreWriter> Create(const std::string& path) {
+    return Create(path, Options());
+  }
+
+  StoreWriter(StoreWriter&&) = default;
+  StoreWriter& operator=(StoreWriter&&) = default;
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Appends one transaction; items are copied, sorted and deduped
+  /// (TransactionDb::Add semantics). Invalid after Finish().
+  Status Append(std::span<const ItemId> items);
+
+  /// Writes the remaining sections plus the final checksummed header
+  /// and closes the file. `dict` must name every appended item and
+  /// every taxonomy node. Call exactly once.
+  Status Finish(const ItemDictionary& dict, const Taxonomy& taxonomy);
+
+  uint64_t num_transactions() const { return offsets_.size() - 1; }
+  uint64_t num_items() const { return offsets_.back(); }
+
+ private:
+  StoreWriter() = default;
+
+  /// Appends raw bytes to the file, folding them into `checksum`.
+  Status WriteBytes(const void* data, size_t size, uint64_t* checksum);
+  /// Pads the file to the section alignment.
+  Status Pad();
+  /// Writes one fully buffered section and records its table entry.
+  Status WriteSection(SectionId id, const void* data, size_t size);
+
+  Options options_;
+  std::string path_;
+  std::ofstream file_;
+  uint64_t file_pos_ = 0;
+  std::vector<uint64_t> offsets_ = {0};
+  std::vector<uint64_t> segments_ = {0};
+  std::vector<ItemId> scratch_;
+  std::vector<SectionEntry> sections_;
+  uint64_t items_checksum_ = kFnvOffsetBasis;
+  uint64_t items_start_ = 0;
+  ItemId alphabet_size_ = 0;
+  uint32_t max_width_ = 0;
+  bool finished_ = false;
+};
+
+/// Convenience wrapper: streams an in-memory database into `path`.
+Status WriteStoreFile(const std::string& path, const TransactionDb& db,
+                      const ItemDictionary& dict, const Taxonomy& taxonomy,
+                      const StoreWriter::Options& options = {});
+
+}  // namespace storage
+}  // namespace flipper
+
+#endif  // FLIPPER_STORAGE_STORE_WRITER_H_

@@ -17,13 +17,12 @@ Status TaxonomyBuilder::AddEdge(ItemId parent, ItemId child) {
     return Status::InvalidArgument("taxonomy self-edge on node " +
                                    std::to_string(parent));
   }
-  for (const Edge& e : edges_) {
-    if (e.child == child && e.parent != parent) {
-      return Status::InvalidArgument(
-          "node " + std::to_string(child) + " already has parent " +
-          std::to_string(e.parent) + ", cannot add parent " +
-          std::to_string(parent));
-    }
+  const auto [it, inserted] = parent_of_.emplace(child, parent);
+  if (!inserted && it->second != parent) {
+    return Status::InvalidArgument(
+        "node " + std::to_string(child) + " already has parent " +
+        std::to_string(it->second) + ", cannot add parent " +
+        std::to_string(parent));
   }
   edges_.push_back({parent, child});
   return Status::OK();

@@ -3,6 +3,7 @@
 #ifndef FLIPPER_TAXONOMY_TAXONOMY_BUILDER_H_
 #define FLIPPER_TAXONOMY_TAXONOMY_BUILDER_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -38,6 +39,8 @@ class TaxonomyBuilder {
   };
   std::vector<ItemId> roots_;
   std::vector<Edge> edges_;
+  /// child -> parent, for O(1) conflict detection in AddEdge.
+  std::unordered_map<ItemId, ItemId> parent_of_;
 };
 
 }  // namespace flipper

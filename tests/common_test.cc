@@ -5,6 +5,9 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/env.h"
@@ -171,6 +174,46 @@ TEST(Csv, EscapesFields) {
   const std::string out = csv.ToString();
   EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
   EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(LineScanner, YieldsEveryLineAcrossBlockBoundaries) {
+  // A tiny block size forces refills mid-line; the long line also
+  // exceeds the block and triggers the buffer-growth path.
+  const std::string long_line(500, 'x');
+  std::istringstream in("first\n\nsecond\r\n" + long_line +
+                        "\nlast-no-newline");
+  LineScanner scanner(in, /*block_bytes=*/1);  // clamped to 64
+  std::vector<std::string> lines;
+  std::string_view line;
+  while (scanner.Next(&line)) lines.emplace_back(line);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "first");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], "second\r");
+  EXPECT_EQ(lines[3], long_line);
+  EXPECT_EQ(lines[4], "last-no-newline");
+  EXPECT_FALSE(scanner.bad());
+}
+
+TEST(LineScanner, EmptyInput) {
+  std::istringstream in("");
+  LineScanner scanner(in);
+  std::string_view line;
+  EXPECT_FALSE(scanner.Next(&line));
+  EXPECT_FALSE(scanner.bad());
+}
+
+TEST(ForEachWhitespaceToken, SplitsRuns) {
+  std::vector<std::string> tokens;
+  ForEachWhitespaceToken("  a\t bb  ccc \n", [&](std::string_view t) {
+    tokens.emplace_back(t);
+  });
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "bb");
+  EXPECT_EQ(tokens[2], "ccc");
+  ForEachWhitespaceToken("", [&](std::string_view) { FAIL(); });
+  ForEachWhitespaceToken("   ", [&](std::string_view) { FAIL(); });
 }
 
 TEST(Env, FallbacksAndParsing) {

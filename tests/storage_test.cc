@@ -1,0 +1,399 @@
+// FlipperStore tests: byte-level round trips (basket -> .fdb -> mine
+// is bit-identical to mining the text inputs, serial and parallel),
+// the streaming writer against the bulk path, borrowed-view semantics,
+// and a corruption battery — every malformed file must come back as a
+// Status error, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/flipper_miner.h"
+#include "core/pattern_io.h"
+#include "data/db_io.h"
+#include "storage/format.h"
+#include "storage/store_reader.h"
+#include "storage/store_writer.h"
+#include "taxonomy/taxonomy_io.h"
+#include "test_util.h"
+
+namespace flipper {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f) << path;
+  std::ostringstream oss;
+  oss << f.rdbuf();
+  return oss.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f) << path;
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+storage::FileHeader* HeaderOf(std::string* bytes) {
+  return reinterpret_cast<storage::FileHeader*>(bytes->data());
+}
+
+storage::SectionEntry* SectionOf(std::string* bytes,
+                                 storage::SectionId id) {
+  auto* table = reinterpret_cast<storage::SectionEntry*>(
+      bytes->data() + sizeof(storage::FileHeader));
+  for (uint32_t i = 0; i < storage::kNumSections; ++i) {
+    if (table[i].id == static_cast<uint32_t>(id)) return &table[i];
+  }
+  return nullptr;
+}
+
+/// Recomputes section, table and header checksums so a deliberately
+/// patched payload exercises the deep validation scan rather than the
+/// checksum gates.
+void FixChecksums(std::string* bytes) {
+  auto* header = HeaderOf(bytes);
+  auto* table = reinterpret_cast<storage::SectionEntry*>(
+      bytes->data() + sizeof(storage::FileHeader));
+  for (uint32_t i = 0; i < storage::kNumSections; ++i) {
+    table[i].checksum = storage::Fnv1a64(
+        bytes->data() + table[i].offset,
+        static_cast<size_t>(table[i].size));
+  }
+  header->table_checksum = storage::Fnv1a64(
+      table, storage::kNumSections * sizeof(storage::SectionEntry));
+  header->header_checksum = storage::HeaderChecksum(*header);
+}
+
+/// Mines and serializes to the CSV export (the CLI's machine format);
+/// byte equality of two of these is the round-trip criterion.
+std::string MineToCsv(const TransactionDb& db, const Taxonomy& taxonomy,
+                      const ItemDictionary& dict, int threads) {
+  MiningConfig config;
+  config.gamma = 0.45;
+  config.epsilon = 0.2;
+  config.min_support = {0.003, 0.002, 0.002};
+  config.num_threads = threads;
+  auto result = FlipperMiner::Run(db, taxonomy, config);
+  EXPECT_TRUE(result.ok()) << result.status();
+  std::ostringstream oss;
+  EXPECT_TRUE(WritePatternsCsv(result->patterns, &dict, oss).ok());
+  return oss.str();
+}
+
+/// Text files + .fdb conversion of one randomized dataset, shared by
+/// the round-trip tests.
+struct ConvertedDataset {
+  std::string basket_path;
+  std::string taxonomy_path;
+  std::string store_path;
+  ItemDictionary dict;
+  Taxonomy taxonomy;
+  TransactionDb db;
+};
+
+ConvertedDataset MakeConverted(const std::string& tag) {
+  testutil::Dataset data = testutil::RandomDataset(1234, 5, 3, 3, 600, 9);
+  ConvertedDataset out;
+  out.basket_path = TempPath(tag + ".basket");
+  out.taxonomy_path = TempPath(tag + ".taxonomy");
+  out.store_path = TempPath(tag + ".fdb");
+  EXPECT_TRUE(
+      WriteTaxonomyFile(data.taxonomy, data.dict, out.taxonomy_path).ok());
+  EXPECT_TRUE(WriteBasketFile(data.db, data.dict, out.basket_path).ok());
+  // Reload through the text readers (exactly what the CLI does) so the
+  // id assignment matches a fresh `flipper_cli mine <basket> <tax>`.
+  auto taxonomy = ReadTaxonomyFile(out.taxonomy_path, &out.dict);
+  EXPECT_TRUE(taxonomy.ok()) << taxonomy.status();
+  out.taxonomy = std::move(taxonomy).value();
+  auto db = ReadBasketFile(out.basket_path, &out.dict);
+  EXPECT_TRUE(db.ok()) << db.status();
+  out.db = std::move(db).value();
+  EXPECT_TRUE(storage::WriteStoreFile(out.store_path, out.db, out.dict,
+                                      out.taxonomy)
+                  .ok());
+  return out;
+}
+
+TEST(StorageRoundTrip, MiningIsBitIdenticalAtAnyThreadCount) {
+  ConvertedDataset data = MakeConverted("roundtrip");
+  auto reader = storage::StoreReader::Open(data.store_path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->db().size(), data.db.size());
+  EXPECT_TRUE(reader->db().borrowed());
+  EXPECT_TRUE(reader->dict().borrowed());
+
+  for (int threads : {1, 4}) {
+    const std::string from_text =
+        MineToCsv(data.db, data.taxonomy, data.dict, threads);
+    const std::string from_store = MineToCsv(
+        reader->db(), reader->taxonomy(), reader->dict(), threads);
+    EXPECT_FALSE(from_text.empty());
+    EXPECT_EQ(from_text, from_store) << "threads=" << threads;
+  }
+}
+
+TEST(StorageRoundTrip, BasketReserializationIsByteIdentical) {
+  ConvertedDataset data = MakeConverted("reserialize");
+  auto reader = storage::StoreReader::Open(data.store_path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const std::string rewritten = TempPath("reserialize2.basket");
+  ASSERT_TRUE(
+      WriteBasketFile(reader->db(), reader->dict(), rewritten).ok());
+  EXPECT_EQ(ReadFileBytes(data.basket_path), ReadFileBytes(rewritten));
+}
+
+TEST(StorageRoundTrip, HeapFallbackMatchesMmap) {
+  ConvertedDataset data = MakeConverted("heap");
+  storage::OpenOptions heap_options;
+  heap_options.force_heap = true;
+  auto mapped = storage::StoreReader::Open(data.store_path);
+  auto heap = storage::StoreReader::Open(data.store_path, heap_options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE(heap.ok()) << heap.status();
+  EXPECT_FALSE(heap->mapped());
+  EXPECT_EQ(
+      MineToCsv(mapped->db(), mapped->taxonomy(), mapped->dict(), 1),
+      MineToCsv(heap->db(), heap->taxonomy(), heap->dict(), 1));
+}
+
+TEST(StorageWriter, StreamingAppendMatchesBulkWrite) {
+  testutil::Dataset data = testutil::RandomDataset(9, 3, 2, 3, 120, 5);
+  const std::string bulk_path = TempPath("bulk.fdb");
+  const std::string stream_path = TempPath("stream.fdb");
+  ASSERT_TRUE(storage::WriteStoreFile(bulk_path, data.db, data.dict,
+                                      data.taxonomy)
+                  .ok());
+  auto writer = storage::StoreWriter::Create(stream_path);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (TxnId t = 0; t < data.db.size(); ++t) {
+    ASSERT_TRUE(writer->Append(data.db.Get(t)).ok());
+  }
+  ASSERT_TRUE(writer->Finish(data.dict, data.taxonomy).ok());
+  EXPECT_EQ(ReadFileBytes(bulk_path), ReadFileBytes(stream_path));
+}
+
+TEST(StorageWriter, SegmentBoundariesFollowTheConfiguredSize) {
+  testutil::Dataset data = testutil::RandomDataset(5, 3, 2, 3, 100, 5);
+  const std::string path = TempPath("segments.fdb");
+  storage::StoreWriter::Options options;
+  options.segment_txns = 32;
+  ASSERT_TRUE(storage::WriteStoreFile(path, data.db, data.dict,
+                                      data.taxonomy, options)
+                  .ok());
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const auto segments = reader->segments();
+  ASSERT_EQ(segments.size(), 5u);  // 100 txns / 32 -> 0,32,64,96,100
+  EXPECT_EQ(segments[0], 0u);
+  EXPECT_EQ(segments[1], 32u);
+  EXPECT_EQ(segments[3], 96u);
+  EXPECT_EQ(segments[4], 100u);
+}
+
+TEST(StorageBorrowed, MutationMaterializesTheViews) {
+  ConvertedDataset data = MakeConverted("borrowed");
+  auto reader = storage::StoreReader::Open(data.store_path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  TransactionDb copy = reader->db();  // still borrowed
+  EXPECT_TRUE(copy.borrowed());
+  const uint32_t before = copy.size();
+  copy.Add({0, 1});
+  EXPECT_FALSE(copy.borrowed());
+  EXPECT_EQ(copy.size(), before + 1);
+  for (TxnId t = 0; t < before; ++t) {
+    const auto a = reader->db().Get(t);
+    const auto b = copy.Get(t);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+
+  ItemDictionary dict_copy = reader->dict();
+  EXPECT_TRUE(dict_copy.borrowed());
+  const std::string name0(dict_copy.Name(0));
+  EXPECT_EQ(*dict_copy.Find(name0), 0u);  // linear-scan lookup
+  const ItemId added = dict_copy.Intern("brand-new-item");
+  EXPECT_FALSE(dict_copy.borrowed());
+  EXPECT_EQ(added, reader->dict().size());
+  EXPECT_EQ(dict_copy.Name(0), name0);
+}
+
+// --- Corruption battery ----------------------------------------------
+
+std::string MakeToyStore(const std::string& tag) {
+  testutil::Dataset data = testutil::PaperToyDataset();
+  const std::string path = TempPath(tag + ".fdb");
+  EXPECT_TRUE(
+      storage::WriteStoreFile(path, data.db, data.dict, data.taxonomy)
+          .ok());
+  return path;
+}
+
+TEST(StorageCorruption, TruncatedHeaderFails) {
+  const std::string path = MakeToyStore("trunc_header");
+  WriteFileBytes(path, ReadFileBytes(path).substr(0, 10));
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("truncated header"),
+            std::string::npos);
+}
+
+TEST(StorageCorruption, BadMagicFails) {
+  const std::string path = MakeToyStore("magic");
+  std::string bytes = ReadFileBytes(path);
+  bytes[0] = 'X';
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos);
+}
+
+TEST(StorageCorruption, UnsupportedVersionFails) {
+  const std::string path = MakeToyStore("version");
+  std::string bytes = ReadFileBytes(path);
+  HeaderOf(&bytes)->version = 99;
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reader.status().message().find("version"),
+            std::string::npos);
+}
+
+TEST(StorageCorruption, HeaderBitFlipFailsTheChecksum) {
+  const std::string path = MakeToyStore("header_flip");
+  std::string bytes = ReadFileBytes(path);
+  HeaderOf(&bytes)->num_transactions += 1;  // checksum left stale
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("header checksum"),
+            std::string::npos);
+}
+
+TEST(StorageCorruption, TruncatedFileFails) {
+  const std::string path = MakeToyStore("trunc_file");
+  const std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 16));
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("size mismatch"),
+            std::string::npos);
+}
+
+TEST(StorageCorruption, SectionBeyondEndOfFileFails) {
+  const std::string path = MakeToyStore("section_bounds");
+  std::string bytes = ReadFileBytes(path);
+  SectionOf(&bytes, storage::SectionId::kTxnItems)->offset =
+      storage::AlignUp(bytes.size() + 64);
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("past end of file"),
+            std::string::npos);
+}
+
+TEST(StorageCorruption, OutOfRangeItemFails) {
+  const std::string path = MakeToyStore("bad_item");
+  std::string bytes = ReadFileBytes(path);
+  const auto* items = SectionOf(&bytes, storage::SectionId::kTxnItems);
+  ASSERT_NE(items, nullptr);
+  uint32_t bogus = HeaderOf(&bytes)->alphabet_size + 100;
+  std::memcpy(bytes.data() + items->offset, &bogus, sizeof(bogus));
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(StorageCorruption, NonMonotoneOffsetsFail) {
+  const std::string path = MakeToyStore("bad_offsets");
+  std::string bytes = ReadFileBytes(path);
+  const auto* offsets =
+      SectionOf(&bytes, storage::SectionId::kTxnOffsets);
+  ASSERT_NE(offsets, nullptr);
+  const uint64_t bogus = HeaderOf(&bytes)->num_items + 7;
+  std::memcpy(bytes.data() + offsets->offset + sizeof(uint64_t), &bogus,
+              sizeof(bogus));
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("not monotone"),
+            std::string::npos);
+}
+
+TEST(StorageCorruption, TrustedOpenSkipsThePayloadScan) {
+  // Same corruption as OutOfRangeItemFails, but validate=false trusts
+  // the payload; structural gates still pass, so Open succeeds. (This
+  // is the documented contract, not a bug: trusted mode is for files
+  // this process just wrote.)
+  const std::string path = MakeToyStore("trusted");
+  std::string bytes = ReadFileBytes(path);
+  const auto* items = SectionOf(&bytes, storage::SectionId::kTxnItems);
+  uint32_t bogus = HeaderOf(&bytes)->alphabet_size + 100;
+  std::memcpy(bytes.data() + items->offset, &bogus, sizeof(bogus));
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  storage::OpenOptions trusting;
+  trusting.validate = false;
+  EXPECT_TRUE(storage::StoreReader::Open(path, trusting).ok());
+  EXPECT_FALSE(storage::StoreReader::Open(path).ok());
+}
+
+TEST(StorageCorruption, VerifyChecksumsCatchesPayloadBitrot) {
+  const std::string path = MakeToyStore("bitrot");
+  std::string bytes = ReadFileBytes(path);
+  // Flip a byte inside the name blob: no structural check looks at
+  // name bytes, so Open succeeds and only the checksum sweep trips.
+  const auto* blob = SectionOf(&bytes, storage::SectionId::kDictBlob);
+  ASSERT_NE(blob, nullptr);
+  ASSERT_GT(blob->size, 0u);
+  bytes[blob->offset] ^= 0x20;
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  Status verified = reader->VerifyChecksums();
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.code(), StatusCode::kCorruptedData);
+  EXPECT_NE(verified.message().find("dict_blob"), std::string::npos);
+}
+
+TEST(StorageCorruption, EmptyAndGarbageFilesFailCleanly) {
+  const std::string empty = TempPath("empty.fdb");
+  WriteFileBytes(empty, "");
+  EXPECT_FALSE(storage::StoreReader::Open(empty).ok());
+
+  const std::string garbage = TempPath("garbage.fdb");
+  WriteFileBytes(garbage, std::string(4096, '\x5a'));
+  auto reader = storage::StoreReader::Open(garbage);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+
+  EXPECT_FALSE(
+      storage::StoreReader::Open(TempPath("missing_file.fdb")).ok());
+}
+
+}  // namespace
+}  // namespace flipper

@@ -102,7 +102,7 @@ inline Dataset RandomDataset(uint64_t seed, uint32_t num_roots = 4,
           (fanout > 1 && rng.Bernoulli(0.2) ? 1 : 0);
       for (uint32_t c = 0; c < children; ++c) {
         const ItemId id = out.dict.Intern(
-            out.dict.Name(parent) + "." + std::to_string(c));
+            std::string(out.dict.Name(parent)) + "." + std::to_string(c));
         FLIPPER_CHECK(builder.AddEdge(parent, id).ok());
         next.push_back(id);
       }

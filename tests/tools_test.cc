@@ -1,13 +1,21 @@
 // Tests for the CLI building blocks: the flag parser and the pattern
-// exporters, plus the scan-cell strategy toggle.
+// exporters, plus the scan-cell strategy toggle and the flipper_cli
+// command set driven end-to-end in-process (convert / inspect /
+// datagen / mine --input).
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "cli/cli.h"
 #include "common/arg_parser.h"
 #include "core/flipper_miner.h"
 #include "core/pattern_io.h"
+#include "data/db_io.h"
+#include "taxonomy/taxonomy_io.h"
 #include "test_util.h"
 
 namespace flipper {
@@ -150,6 +158,124 @@ TEST(PatternIo, FileWriteFailsOnBadPath) {
       WritePatternsCsvFile({}, nullptr, "/nonexistent/dir/p.csv").ok());
   EXPECT_FALSE(
       WritePatternsJsonFile({}, nullptr, "/nonexistent/dir/p.json").ok());
+}
+
+/// Drives RunFlipperCli as a subprocess would, capturing both streams.
+int RunCli(const std::vector<std::string>& cli_args, std::string* out_text,
+           std::string* err_text) {
+  std::vector<const char*> argv;
+  argv.push_back("flipper_cli");
+  for (const std::string& arg : cli_args) argv.push_back(arg.c_str());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = RunFlipperCli(static_cast<int>(argv.size()), argv.data(),
+                               out, err);
+  *out_text = out.str();
+  *err_text = err.str();
+  return rc;
+}
+
+class FlipperCliEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::Dataset data = testutil::PaperToyDataset();
+    basket_ = ::testing::TempDir() + "cli_e2e.basket";
+    taxonomy_ = ::testing::TempDir() + "cli_e2e.taxonomy";
+    store_ = ::testing::TempDir() + "cli_e2e.fdb";
+    ASSERT_TRUE(WriteTaxonomyFile(data.taxonomy, data.dict, taxonomy_).ok());
+    ASSERT_TRUE(WriteBasketFile(data.db, data.dict, basket_).ok());
+  }
+
+  std::string basket_;
+  std::string taxonomy_;
+  std::string store_;
+  std::string out_;
+  std::string err_;
+};
+
+TEST_F(FlipperCliEndToEnd, ConvertInspectAndMineAreBitIdentical) {
+  ASSERT_EQ(RunCli({"convert", basket_, taxonomy_, store_}, &out_, &err_),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("wrote " + store_), std::string::npos);
+
+  ASSERT_EQ(RunCli({"inspect", store_}, &out_, &err_), 0) << err_;
+  EXPECT_NE(out_.find("FlipperStore v1"), std::string::npos);
+  EXPECT_NE(out_.find("checksums: OK"), std::string::npos);
+  EXPECT_NE(out_.find("txn_items"), std::string::npos);
+
+  const std::vector<std::string> mining_flags = {
+      "--gamma=0.6", "--epsilon=0.35", "--minsup=0.1,0.1,0.1",
+      "--format=csv"};
+  std::vector<std::string> from_text = {"mine", basket_, taxonomy_};
+  from_text.insert(from_text.end(), mining_flags.begin(),
+                   mining_flags.end());
+  std::string text_csv;
+  ASSERT_EQ(RunCli(from_text, &text_csv, &err_), 0) << err_;
+  EXPECT_NE(text_csv.find("a11|b11"), std::string::npos);
+
+  std::vector<std::string> from_store = {"mine", "--input", store_};
+  from_store.insert(from_store.end(), mining_flags.begin(),
+                    mining_flags.end());
+  std::string store_csv;
+  ASSERT_EQ(RunCli(from_store, &store_csv, &err_), 0) << err_;
+  EXPECT_EQ(text_csv, store_csv);
+
+  // Legacy spelling (no subcommand) still mines.
+  std::vector<std::string> legacy = {basket_, taxonomy_};
+  legacy.insert(legacy.end(), mining_flags.begin(), mining_flags.end());
+  std::string legacy_csv;
+  ASSERT_EQ(RunCli(legacy, &legacy_csv, &err_), 0) << err_;
+  EXPECT_EQ(text_csv, legacy_csv);
+}
+
+TEST_F(FlipperCliEndToEnd, MineRejectsACorruptStore) {
+  ASSERT_EQ(RunCli({"convert", basket_, taxonomy_, store_}, &out_, &err_),
+            0)
+      << err_;
+  // Truncate the store mid-file.
+  std::ifstream in(store_, std::ios::binary);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  const std::string bytes = oss.str();
+  std::ofstream trunc(store_, std::ios::binary | std::ios::trunc);
+  trunc.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  trunc.close();
+
+  EXPECT_EQ(RunCli({"mine", "--input", store_}, &out_, &err_), 1);
+  EXPECT_NE(err_.find("error:"), std::string::npos);
+  EXPECT_EQ(RunCli({"inspect", store_}, &out_, &err_), 1);
+  EXPECT_NE(err_.find("error:"), std::string::npos);
+}
+
+TEST_F(FlipperCliEndToEnd, DatagenWritesAMineableStore) {
+  const std::string generated = ::testing::TempDir() + "cli_datagen.fdb";
+  ASSERT_EQ(RunCli({"datagen", "groceries", generated, "--txns=400",
+                    "--segment-txns=128"},
+                   &out_, &err_),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("wrote " + generated), std::string::npos);
+
+  ASSERT_EQ(RunCli({"inspect", generated}, &out_, &err_), 0) << err_;
+  EXPECT_NE(out_.find("checksums: OK"), std::string::npos);
+  EXPECT_NE(out_.find("segments: 4"), std::string::npos);  // 400/128
+
+  EXPECT_EQ(RunCli({"mine", "--input", generated, "--format=json"},
+                   &out_, &err_),
+            0)
+      << err_;
+  EXPECT_EQ(RunCli({"datagen", "nonsense", generated}, &out_, &err_), 2);
+}
+
+TEST_F(FlipperCliEndToEnd, UsageErrorsReturnTwo) {
+  EXPECT_EQ(RunCli({"convert", "only_one_arg"}, &out_, &err_), 2);
+  EXPECT_NE(err_.find("error:"), std::string::npos);
+  EXPECT_EQ(RunCli({"inspect"}, &out_, &err_), 2);
+  ASSERT_EQ(RunCli({"--help"}, &out_, &err_), 0);
+  EXPECT_NE(out_.find("convert"), std::string::npos);
+  EXPECT_NE(out_.find("datagen"), std::string::npos);
 }
 
 TEST(ScanCells, ToggleDoesNotChangeResults) {

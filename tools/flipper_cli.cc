@@ -1,224 +1,12 @@
-// flipper_cli — mine flipping correlations from basket + taxonomy
-// files on the command line.
-//
-//   flipper_cli data.basket data.taxonomy
-//     --gamma=0.3 --epsilon=0.1 --minsup=0.01,0.001,0.0005
-//     --measure=kulczynski --pruning=full --format=text
-//
-// Formats: text (default, human-readable chains), csv, json.
-// --baseline runs the per-level Apriori NaiveMiner instead of Flipper
-// (useful for cross-checking); --topk=N keeps only the N widest flips.
+// flipper_cli — mine flipping correlations, convert/inspect binary
+// FlipperStore datasets, and generate synthetic workloads. All logic
+// lives in src/cli/cli.cc so the test suite can drive it in-process;
+// run `flipper_cli --help` for the command list.
 
 #include <iostream>
-#include <limits>
 
-#include "common/arg_parser.h"
-#include "common/string_util.h"
-#include "flipper.h"
+#include "cli/cli.h"
 
-namespace flipper {
-namespace {
-
-Result<std::vector<double>> ParseThresholds(const std::string& csv) {
-  std::vector<double> out;
-  for (const std::string& token : Split(csv, ',')) {
-    FLIPPER_ASSIGN_OR_RETURN(double v, ParseDouble(token));
-    out.push_back(v);
-  }
-  if (out.empty()) {
-    return Status::InvalidArgument("--minsup needs at least one value");
-  }
-  return out;
+int main(int argc, char** argv) {
+  return flipper::RunFlipperCli(argc, argv, std::cout, std::cerr);
 }
-
-Result<PruningOptions> ParsePruning(const std::string& name) {
-  if (name == "full") return PruningOptions::Full();
-  if (name == "tpg") return PruningOptions::FlippingTpg();
-  if (name == "flipping") return PruningOptions::FlippingOnly();
-  if (name == "support") return PruningOptions::Basic();
-  return Status::InvalidArgument(
-      "--pruning must be one of full|tpg|flipping|support, got '" +
-      name + "'");
-}
-
-int Run(int argc, char** argv) {
-  ArgParser args("flipper_cli",
-                 "Mine flipping correlation patterns (Barsky et al., "
-                 "VLDB 2011) from a basket file and a taxonomy file.");
-  args.AddPositional("basket", "transactions, one per line (item names)");
-  args.AddPositional("taxonomy",
-                     "'root <name>' / 'edge <parent> <child>' lines");
-  args.AddFlag("gamma", "positive correlation threshold (default 0.3)",
-               "FLOAT");
-  args.AddFlag("epsilon", "negative correlation threshold (default 0.1)",
-               "FLOAT");
-  args.AddFlag("minsup",
-               "comma-separated per-level minimum supports, most "
-               "general level first (default 0.01,0.001,0.0005)",
-               "F1,F2,...");
-  args.AddFlag("measure",
-               "all_confidence|coherence|cosine|kulczynski|"
-               "max_confidence (default kulczynski)",
-               "NAME");
-  args.AddFlag("pruning", "full|tpg|flipping|support (default full)",
-               "NAME");
-  args.AddFlag("counter", "horizontal|vertical (default horizontal)",
-               "NAME");
-  args.AddFlag("threads",
-               "worker threads for counting (default 0 = all hardware "
-               "threads)",
-               "N");
-  args.AddFlag("pipeline",
-               "on|off — overlap candidate generation with the "
-               "previous cell's support scan (default on; results "
-               "are identical either way)",
-               "MODE");
-  args.AddFlag("topk", "keep only the K widest flips", "K");
-  args.AddFlag("format", "text|csv|json (default text)", "NAME");
-  args.AddFlag("out", "write patterns to a file instead of stdout",
-               "PATH");
-  args.AddSwitch("baseline",
-                 "run the per-level Apriori baseline (NaiveMiner)");
-  args.AddSwitch("stats", "print mining statistics to stderr");
-
-  Status parse_status = args.Parse(argc, argv);
-  if (!parse_status.ok()) {
-    std::cerr << "error: " << parse_status << "\n\n"
-              << args.HelpText();
-    return 2;
-  }
-  if (args.help_requested()) {
-    std::cout << args.HelpText();
-    return 0;
-  }
-
-  // --- Load inputs. ---
-  ItemDictionary dict;
-  auto taxonomy = ReadTaxonomyFile(args.GetPositional("taxonomy"), &dict);
-  if (!taxonomy.ok()) {
-    std::cerr << "error: " << taxonomy.status() << "\n";
-    return 1;
-  }
-  auto db = ReadBasketFile(args.GetPositional("basket"), &dict);
-  if (!db.ok()) {
-    std::cerr << "error: " << db.status() << "\n";
-    return 1;
-  }
-
-  // --- Assemble the config. ---
-  MiningConfig config;
-  auto gamma = args.GetDouble("gamma", 0.3);
-  auto epsilon = args.GetDouble("epsilon", 0.1);
-  if (!gamma.ok() || !epsilon.ok()) {
-    std::cerr << "error: "
-              << (!gamma.ok() ? gamma.status() : epsilon.status()) << "\n";
-    return 2;
-  }
-  config.gamma = *gamma;
-  config.epsilon = *epsilon;
-  auto thresholds =
-      ParseThresholds(args.GetString("minsup", "0.01,0.001,0.0005"));
-  if (!thresholds.ok()) {
-    std::cerr << "error: " << thresholds.status() << "\n";
-    return 2;
-  }
-  config.min_support = *thresholds;
-  auto measure =
-      ParseMeasureKind(args.GetString("measure", "kulczynski"));
-  if (!measure.ok()) {
-    std::cerr << "error: " << measure.status() << "\n";
-    return 2;
-  }
-  config.measure = *measure;
-  auto pruning = ParsePruning(args.GetString("pruning", "full"));
-  if (!pruning.ok()) {
-    std::cerr << "error: " << pruning.status() << "\n";
-    return 2;
-  }
-  config.pruning = *pruning;
-  const std::string counter = args.GetString("counter", "horizontal");
-  if (counter == "vertical") {
-    config.counter = CounterKind::kVertical;
-  } else if (counter != "horizontal") {
-    std::cerr << "error: --counter must be horizontal|vertical\n";
-    return 2;
-  }
-  auto threads = args.GetInt("threads", 0);
-  if (!threads.ok()) {
-    std::cerr << "error: " << threads.status() << "\n";
-    return 2;
-  }
-  if (*threads < 0 || *threads > std::numeric_limits<int>::max()) {
-    std::cerr << "error: --threads must be in [0, "
-              << std::numeric_limits<int>::max() << "]\n";
-    return 2;
-  }
-  config.num_threads = static_cast<int>(*threads);
-  const std::string pipeline = args.GetString("pipeline", "on");
-  if (pipeline == "off") {
-    config.enable_pipelining = false;
-  } else if (pipeline != "on") {
-    std::cerr << "error: --pipeline must be on|off\n";
-    return 2;
-  }
-
-  // --- Mine. ---
-  auto result = args.GetSwitch("baseline")
-                    ? NaiveMiner::Run(*db, *taxonomy, config)
-                    : FlipperMiner::Run(*db, *taxonomy, config);
-  if (!result.ok()) {
-    std::cerr << "error: " << result.status() << "\n";
-    return 1;
-  }
-  std::vector<FlippingPattern> patterns = std::move(result->patterns);
-  auto topk = args.GetInt("topk", 0);
-  if (!topk.ok()) {
-    std::cerr << "error: " << topk.status() << "\n";
-    return 2;
-  }
-  if (*topk > 0) {
-    patterns = TopKMostFlipping(std::move(patterns),
-                                static_cast<size_t>(*topk));
-  }
-
-  // --- Emit. ---
-  const std::string format = args.GetString("format", "text");
-  const std::string out_path = args.GetString("out", "");
-  Status emit;
-  if (format == "csv") {
-    emit = out_path.empty()
-               ? WritePatternsCsv(patterns, &dict, std::cout)
-               : WritePatternsCsvFile(patterns, &dict, out_path);
-  } else if (format == "json") {
-    emit = out_path.empty()
-               ? WritePatternsJson(patterns, &dict, std::cout)
-               : WritePatternsJsonFile(patterns, &dict, out_path);
-  } else if (format == "text") {
-    std::ostream& os = std::cout;
-    os << patterns.size() << " flipping patterns\n\n";
-    for (const FlippingPattern& p : patterns) {
-      os << dict.Render(p.leaf_itemset) << "  (flip gap "
-         << FormatDouble(p.FlipGap(), 4) << ")\n"
-         << p.ToString(&dict) << "\n";
-    }
-    if (!out_path.empty()) {
-      emit = WritePatternsCsvFile(patterns, &dict, out_path);
-    }
-  } else {
-    std::cerr << "error: --format must be text|csv|json\n";
-    return 2;
-  }
-  if (!emit.ok()) {
-    std::cerr << "error: " << emit << "\n";
-    return 1;
-  }
-  if (args.GetSwitch("stats")) {
-    std::cerr << result->stats.ToString();
-  }
-  return 0;
-}
-
-}  // namespace
-}  // namespace flipper
-
-int main(int argc, char** argv) { return flipper::Run(argc, argv); }

@@ -8,9 +8,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-tsan
 
-# The parallel suites; everything else is single-threaded and only
-# slows the instrumented run down.
-SUITES=(thread_pool_test parallel_counting_test cell_pipeline_test)
+# The parallel suites (storage_test mines borrowed mmap views at 4
+# threads); everything else is single-threaded and only slows the
+# instrumented run down.
+SUITES=(thread_pool_test parallel_counting_test cell_pipeline_test
+        storage_test)
 
 if cmake --preset tsan >/dev/null 2>&1; then
   cmake --build --preset tsan -j "$(nproc)" --target "${SUITES[@]}"
