@@ -33,7 +33,9 @@
 #include "data/tidset.h"
 #include "data/transaction_db.h"
 #include "data/vertical_index.h"
+#include "datagen/census_sim.h"
 #include "datagen/groceries_sim.h"
+#include "datagen/medline_sim.h"
 #include "datagen/quest_gen.h"
 #include "datagen/taxonomy_gen.h"
 #include "measures/measure.h"
@@ -56,6 +58,9 @@ struct CaseResult {
   /// (1-thread scan vs staged-serial miner) are not conflated.
   double speedup = 0.0;
   const char* speedup_key = "speedup_vs_1t";
+  /// Extra `"key": value` JSON fields for this case (pre-rendered,
+  /// comma-prefixed on emit), e.g. scan_skip's skipped-segment counts.
+  std::string extra_json;
 };
 
 int NumReps() {
@@ -88,7 +93,8 @@ CaseResult RunCase(const std::string& name, int threads,
   return out;
 }
 
-void EmitResults(const std::vector<CaseResult>& results) {
+void EmitResults(const std::vector<CaseResult>& results,
+                 const std::string& extra_blocks) {
   TablePrinter table(
       {"case", "threads", "reps", "median_ms", "rows/s", "speedup"});
   for (const CaseResult& r : results) {
@@ -115,9 +121,12 @@ void EmitResults(const std::vector<CaseResult>& results) {
       json += ", \"" + std::string(r.speedup_key) +
               "\": " + FormatDouble(r.speedup, 3);
     }
+    if (!r.extra_json.empty()) json += ", " + r.extra_json;
     json += i + 1 < results.size() ? "},\n" : "}\n";
   }
-  json += "  ]\n}\n";
+  json += "  ]";
+  if (!extra_blocks.empty()) json += ",\n" + extra_blocks;
+  json += "\n}\n";
 
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
@@ -395,9 +404,10 @@ void BenchMinerPipeline(std::vector<CaseResult>* results) {
 
 /// Dataset load paths on the groceries-sim dataset: basket-text
 /// parsing (the legacy ingestion, now block-buffered) vs FlipperStore
-/// open — once with the full payload validation scan and once trusting
-/// the file. The fdb cases report their speedup over the parse
-/// baseline in the speedup column/JSON field.
+/// open — v1 (zero-copy mmap) and v2 (varint decode + catalog), each
+/// with and without the payload validation scan. The fdb cases report
+/// their speedup over the parse baseline in the speedup column/JSON
+/// field.
 void BenchStorage(std::vector<CaseResult>* results) {
   GroceriesParams params;
   params.num_transactions =
@@ -415,10 +425,18 @@ void BenchStorage(std::vector<CaseResult>* results) {
     return;
   }
   const std::string basket = (dir / "groceries.basket").string();
-  const std::string store = (dir / "groceries.fdb").string();
+  const std::string store_v1 = (dir / "groceries_v1.fdb").string();
+  const std::string store_v2 = (dir / "groceries_v2.fdb").string();
+  storage::StoreWriter::Options v1_options;
+  v1_options.version = storage::kFormatVersionV1;
+  storage::StoreWriter::Options v2_options;
+  v2_options.version = storage::kFormatVersionV2;
   if (!WriteBasketFile(dataset->db, dataset->dict, basket).ok() ||
-      !storage::WriteStoreFile(store, dataset->db, dataset->dict,
-                               dataset->taxonomy)
+      !storage::WriteStoreFile(store_v1, dataset->db, dataset->dict,
+                               dataset->taxonomy, v1_options)
+           .ok() ||
+      !storage::WriteStoreFile(store_v2, dataset->db, dataset->dict,
+                               dataset->taxonomy, v2_options)
            .ok()) {
     std::abort();
   }
@@ -432,21 +450,207 @@ void BenchStorage(std::vector<CaseResult>* results) {
       });
   results->push_back(parse);
 
-  for (const bool validate : {true, false}) {
+  const auto bench_open = [&](const std::string& name,
+                              const std::string& store, bool validate) {
     storage::OpenOptions open_options;
     open_options.validate = validate;
-    CaseResult r = RunCase(
-        validate ? "fdb_open_groceries" : "fdb_open_trusted_groceries",
-        1, rows, [&] {
-          auto reader = storage::StoreReader::Open(store, open_options);
-          if (!reader.ok() ||
-              reader->db().size() != dataset->db.size()) {
-            std::abort();
-          }
-        });
+    CaseResult r = RunCase(name, 1, rows, [&] {
+      auto reader = storage::StoreReader::Open(store, open_options);
+      if (!reader.ok() || reader->db().size() != dataset->db.size()) {
+        std::abort();
+      }
+    });
     if (parse.median_ms > 0.0 && r.median_ms > 0.0) {
       r.speedup = parse.median_ms / r.median_ms;
       r.speedup_key = "speedup_vs_parse";
+    }
+    results->push_back(r);
+  };
+  bench_open("fdb_open_groceries", store_v1, true);
+  bench_open("fdb_open_trusted_groceries", store_v1, false);
+  bench_open("fdb_v2_open", store_v2, true);
+  bench_open("fdb_v2_open_trusted", store_v2, false);
+  fs::remove_all(dir, ec);
+}
+
+/// v1 vs v2 file sizes across every datagen scenario (container-sized
+/// datasets). Returned as a "store_sizes" JSON block so cross-PR runs
+/// can track the compression ratio; the v2 file must come out smaller
+/// on each scenario.
+std::string BenchStoreSizes() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir = fs::temp_directory_path(ec) / "flipper_bench_sizes";
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::cout << "[store_sizes] skipped: cannot create " << dir << "\n";
+    return "";
+  }
+
+  struct Scenario {
+    const char* name;
+    ItemDictionary dict;
+    Taxonomy taxonomy;
+    TransactionDb db;
+  };
+  std::vector<Scenario> scenarios;
+  // Floors keep every generator above its minimum size when
+  // FLIPPER_BENCH_SCALE is small (MedlineSim needs >= 1000 citations).
+  {
+    GroceriesParams params;
+    params.num_transactions = std::max<uint32_t>(
+        500, static_cast<uint32_t>(9'800 * BenchScale()));
+    auto generated = GenerateGroceries(params);
+    if (!generated.ok()) std::abort();
+    scenarios.push_back({"groceries", std::move(generated->dict),
+                         std::move(generated->taxonomy),
+                         std::move(generated->db)});
+  }
+  {
+    CensusParams params;
+    params.num_records = std::max<uint32_t>(
+        500, static_cast<uint32_t>(10'000 * BenchScale()));
+    auto generated = GenerateCensus(params);
+    if (!generated.ok()) std::abort();
+    scenarios.push_back({"census", std::move(generated->dict),
+                         std::move(generated->taxonomy),
+                         std::move(generated->db)});
+  }
+  {
+    MedlineParams params;
+    params.num_citations = std::max<uint32_t>(
+        2'000, static_cast<uint32_t>(10'000 * BenchScale()));
+    auto generated = GenerateMedline(params);
+    if (!generated.ok()) std::abort();
+    scenarios.push_back({"medline", std::move(generated->dict),
+                         std::move(generated->taxonomy),
+                         std::move(generated->db)});
+  }
+  {
+    ItemDictionary dict;
+    auto taxonomy = GenerateBalancedTaxonomy(TaxonomyGenParams(), &dict);
+    if (!taxonomy.ok()) std::abort();
+    QuestParams params;
+    params.num_transactions = std::max<uint32_t>(
+        500, static_cast<uint32_t>(10'000 * BenchScale()));
+    auto db = GenerateQuest(params, *taxonomy);
+    if (!db.ok()) std::abort();
+    scenarios.push_back({"quest", std::move(dict),
+                         std::move(*taxonomy), std::move(*db)});
+  }
+
+  std::string json = "  \"store_sizes\": [\n";
+  std::cout << "\nstore sizes (v1 vs v2):\n";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    Scenario& s = scenarios[i];
+    const std::string v1_path =
+        (dir / (std::string(s.name) + "_v1.fdb")).string();
+    const std::string v2_path =
+        (dir / (std::string(s.name) + "_v2.fdb")).string();
+    storage::StoreWriter::Options options;
+    options.version = storage::kFormatVersionV1;
+    if (!storage::WriteStoreFile(v1_path, s.db, s.dict, s.taxonomy,
+                                 options)
+             .ok()) {
+      std::abort();
+    }
+    options.version = storage::kFormatVersionV2;
+    if (!storage::WriteStoreFile(v2_path, s.db, s.dict, s.taxonomy,
+                                 options)
+             .ok()) {
+      std::abort();
+    }
+    const auto v1_bytes =
+        static_cast<int64_t>(fs::file_size(v1_path, ec));
+    const auto v2_bytes =
+        static_cast<int64_t>(fs::file_size(v2_path, ec));
+    const double ratio =
+        v1_bytes > 0 ? static_cast<double>(v2_bytes) / v1_bytes : 0.0;
+    std::cout << "  " << s.name << ": v1 " << FormatBytes(v1_bytes)
+              << ", v2 " << FormatBytes(v2_bytes) << " ("
+              << FormatDouble(ratio * 100.0, 1) << "% of v1"
+              << (v2_bytes < v1_bytes ? "" : " — NOT smaller!") << ")\n";
+    json += "    {\"scenario\": \"" + std::string(s.name) +
+            "\", \"v1_bytes\": " + std::to_string(v1_bytes) +
+            ", \"v2_bytes\": " + std::to_string(v2_bytes) +
+            ", \"v2_over_v1\": " + FormatDouble(ratio, 4) + "}";
+    json += i + 1 < scenarios.size() ? ",\n" : "\n";
+  }
+  json += "  ]";
+  fs::remove_all(dir, ec);
+  return json;
+}
+
+/// Scan skipping on the skewed quest scenario (phased pattern pool:
+/// item populations drift across the file, so whole segments hold no
+/// live candidate). Mines the same v2 store with the segment catalog
+/// consulted and force-disabled; the JSON records the skipped-segment
+/// count so the skip fraction is tracked across PRs. Patterns are
+/// identical either way — skipping is exact.
+void BenchScanSkip(std::vector<CaseResult>* results) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir = fs::temp_directory_path(ec) / "flipper_bench_skip";
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::cout << "[scan_skip] skipped: cannot create " << dir << "\n";
+    return;
+  }
+  ItemDictionary dict;
+  auto taxonomy = GenerateBalancedTaxonomy(TaxonomyGenParams(), &dict);
+  if (!taxonomy.ok()) std::abort();
+  QuestParams quest;
+  quest.num_transactions =
+      static_cast<uint32_t>(20'000 * std::max(1.0, BenchScale()));
+  quest.phases = 50;
+  quest.seed = 11;
+  auto db = GenerateQuest(quest, *taxonomy);
+  if (!db.ok()) std::abort();
+
+  const std::string store = (dir / "skew.fdb").string();
+  storage::StoreWriter::Options write_options;
+  write_options.version = storage::kFormatVersionV2;
+  write_options.segment_txns = 512;
+  if (!storage::WriteStoreFile(store, *db, dict, *taxonomy,
+                               write_options)
+           .ok()) {
+    std::abort();
+  }
+  auto reader = storage::StoreReader::Open(store);
+  if (!reader.ok()) std::abort();
+  const uint64_t segments_total = reader->segments().size() - 1;
+
+  MiningConfig config;
+  config.gamma = 0.3;
+  config.epsilon = 0.1;
+  config.min_support = {0.01, 0.006, 0.004, 0.002};
+  config.num_threads = 0;
+  uint64_t skipped = 0;
+  double off_ms = 0.0;
+  for (const bool skipping : {false, true}) {
+    config.enable_segment_skipping = skipping;
+    CaseResult r = RunCase(
+        skipping ? "scan_skip" : "scan_skip_off",
+        ThreadPool::ResolveThreadCount(0), reader->db().size(), [&] {
+          auto result = FlipperMiner::Run(reader->db(),
+                                          reader->taxonomy(), config);
+          if (!result.ok()) std::abort();
+          skipped = result->stats.segments_skipped;
+        });
+    if (!skipping) {
+      off_ms = r.median_ms;
+      if (skipped != 0) std::abort();  // disabled must never skip
+    } else {
+      if (off_ms > 0.0 && r.median_ms > 0.0) {
+        r.speedup = off_ms / r.median_ms;
+        r.speedup_key = "speedup_vs_no_skip";
+      }
+      r.extra_json = "\"segments_skipped\": " + std::to_string(skipped) +
+                     ", \"segments_total\": " +
+                     std::to_string(segments_total);
+      std::cout << "scan_skip: " << skipped
+                << " segment-scans skipped (catalog of "
+                << segments_total << " segments)\n";
     }
     results->push_back(r);
   }
@@ -470,6 +674,8 @@ int main() {
   BenchThreadScaling(&results);
   BenchMinerPipeline(&results);
   BenchStorage(&results);
-  EmitResults(results);
+  BenchScanSkip(&results);
+  const std::string store_sizes = BenchStoreSizes();
+  EmitResults(results, store_sizes);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <optional>
@@ -45,7 +46,7 @@ Result<PruningOptions> ParsePruning(const std::string& name) {
       name + "'");
 }
 
-/// Positive segment size for the store writer, from --segment-txns.
+/// Writer options from --segment-txns and --store-version.
 Result<storage::StoreWriter::Options> ParseWriterOptions(
     const ArgParser& args) {
   storage::StoreWriter::Options options;
@@ -59,7 +60,25 @@ Result<storage::StoreWriter::Options> ParseWriterOptions(
         "--segment-txns must be a positive 32-bit count");
   }
   options.segment_txns = static_cast<uint32_t>(segment_txns);
+  FLIPPER_ASSIGN_OR_RETURN(
+      int64_t version,
+      args.GetInt("store-version",
+                  static_cast<int64_t>(storage::kFormatVersionLatest)));
+  if (version != storage::kFormatVersionV1 &&
+      version != storage::kFormatVersionV2) {
+    return Status::InvalidArgument("--store-version must be 1 or 2");
+  }
+  options.version = static_cast<uint32_t>(version);
   return options;
+}
+
+void AddWriterFlags(ArgParser* args) {
+  args->AddFlag("segment-txns",
+                "transactions per shard segment (default 65536)", "N");
+  args->AddFlag("store-version",
+                "on-disk format: 1 (raw columns, zero-copy mmap) or 2 "
+                "(delta+varint columns + segment catalog; default)",
+                "N");
 }
 
 // --- mine -------------------------------------------------------------
@@ -113,6 +132,11 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
   args.AddFlag("pipeline",
                "on|off — overlap candidate generation with the "
                "previous cell's support scan (default on; results "
+               "are identical either way)",
+               "MODE");
+  args.AddFlag("segment-skipping",
+               "on|off — let segment catalogs skip candidate-free "
+               "segments during counting scans (default on; results "
                "are identical either way)",
                "MODE");
   args.AddFlag("topk", "keep only the K widest flips", "K");
@@ -228,6 +252,13 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
     err << "error: --pipeline must be on|off\n";
     return 2;
   }
+  const std::string skipping = args.GetString("segment-skipping", "on");
+  if (skipping == "off") {
+    config.enable_segment_skipping = false;
+  } else if (skipping != "on") {
+    err << "error: --segment-skipping must be on|off\n";
+    return 2;
+  }
 
   // --- Mine. ---
   auto result = args.GetSwitch("baseline")
@@ -297,17 +328,111 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
 
 // --- convert ----------------------------------------------------------
 
+/// Re-encodes `reader`'s dataset (or fast-copies it when the target
+/// version matches and no re-segmentation was requested) into
+/// `output`. `same_file` says input and output are one file on disk
+/// (any spelling, symlink or hardlink): writing would truncate the
+/// store under the reader's live mapping, so it degrades the fast
+/// path to validate-only and refuses the re-encode outright.
+int ConvertFromStore(const storage::StoreReader& reader,
+                     const std::string& input, const std::string& output,
+                     const storage::StoreWriter::Options& options,
+                     bool resegment, bool same_file, std::ostream& out,
+                     std::ostream& err) {
+  const uint32_t detected = reader.version();
+  // Open() validates structure and semantics, but only the checksum
+  // sweep compares bytes nothing else interprets (e.g. dictionary name
+  // text) against what was written — run it on every path so bitrot is
+  // never laundered into a "fresh" output file.
+  Status checksums = reader.VerifyChecksums();
+  if (!checksums.ok()) {
+    err << "error: " << checksums << "\n";
+    return 1;
+  }
+  if (detected == options.version && !resegment) {
+    // Same version in and out: the input has already passed Open()'s
+    // validation, so a byte copy is both faster and safer than a
+    // decode/re-encode round trip.
+    if (!same_file) {
+      std::ifstream in_file(input, std::ios::binary);
+      std::ofstream out_file(output,
+                             std::ios::binary | std::ios::trunc);
+      if (!in_file || !(out_file << in_file.rdbuf())) {
+        err << "error: cannot copy " << input << " to " << output
+            << "\n";
+        return 1;
+      }
+    }
+    if (same_file) {
+      out << "validated " << input << " in place (already v" << detected
+          << ", "
+          << FormatBytes(static_cast<int64_t>(reader.file_size()))
+          << "; nothing written)\n";
+    } else {
+      out << "wrote " << output << ": validated copy of " << input
+          << " (already v" << detected << ", "
+          << FormatBytes(static_cast<int64_t>(reader.file_size()))
+          << ")\n";
+    }
+    return 0;
+  }
+
+  if (same_file) {
+    err << "error: cannot re-encode " << input
+        << " onto itself; write to a different path\n";
+    return 2;
+  }
+  Status written = storage::WriteStoreFile(
+      output, reader.db(), reader.dict(), reader.taxonomy(), options);
+  if (!written.ok()) {
+    err << "error: " << written << "\n";
+    return 1;
+  }
+  auto reopened = storage::StoreReader::Open(output);
+  if (!reopened.ok()) {
+    err << "error: verification reopen failed: " << reopened.status()
+        << "\n";
+    return 1;
+  }
+  out << "wrote " << output << ": v" << detected << " -> v"
+      << options.version << ", "
+      << FormatCount(static_cast<int64_t>(reader.db().size()))
+      << " transactions, "
+      << FormatBytes(static_cast<int64_t>(reader.file_size())) << " -> "
+      << FormatBytes(static_cast<int64_t>(reopened->file_size()))
+      << "\n";
+  return 0;
+}
+
 int ConvertCommand(const std::vector<const char*>& argv,
                    std::ostream& out, std::ostream& err) {
+  bool from_store = false;
+  for (const char* arg : argv) {
+    const std::string_view view(arg);
+    if (view == "--from-fdb" || view.rfind("--from-fdb=", 0) == 0) {
+      from_store = true;
+      break;
+    }
+  }
+
   ArgParser args("flipper_cli convert",
                  "Convert basket + taxonomy text files into a binary "
-                 "FlipperStore (.fdb) that mmap-loads in O(1).");
-  args.AddPositional("basket", "transactions, one per line (item names)");
-  args.AddPositional("taxonomy",
-                     "'root <name>' / 'edge <parent> <child>' lines");
+                 "FlipperStore (.fdb), or re-encode an existing store "
+                 "between format versions via --from-fdb (e.g. a v2 -> "
+                 "v1 downgrade for older readers).");
+  if (!from_store) {
+    args.AddPositional("basket",
+                       "transactions, one per line (item names)");
+    args.AddPositional("taxonomy",
+                       "'root <name>' / 'edge <parent> <child>' lines");
+  }
   args.AddPositional("output", "the .fdb file to write");
-  args.AddFlag("segment-txns",
-               "transactions per shard segment (default 65536)", "N");
+  args.AddFlag("from-fdb",
+               "re-encode this .fdb store instead of parsing text "
+               "(same-version conversions become a validated copy "
+               "unless --segment-txns requests a re-shard)",
+               "PATH");
+  AddWriterFlags(&args);
 
   Status parse_status =
       args.Parse(static_cast<int>(argv.size()), argv.data());
@@ -324,6 +449,38 @@ int ConvertCommand(const std::vector<const char*>& argv,
     err << "error: " << options.status() << "\n";
     return 2;
   }
+  const std::string& output = args.GetPositional("output");
+
+  if (from_store) {
+    const std::string input = args.GetString("from-fdb", "");
+    auto reader = storage::StoreReader::Open(input);
+    if (!reader.ok()) {
+      err << "error: " << reader.status() << "\n";
+      return 1;
+    }
+    // An explicit --segment-txns means "re-cut the shards", which
+    // rules out the same-version byte-copy fast path; without one,
+    // carry the input's shard granularity over instead of re-cutting
+    // at the default size.
+    const bool resegment = !args.GetString("segment-txns", "").empty();
+    if (!resegment && reader->segments().size() > 1) {
+      const uint64_t first_segment =
+          reader->segments()[1] - reader->segments()[0];
+      if (first_segment > 0 &&
+          first_segment <= std::numeric_limits<uint32_t>::max()) {
+        options->segment_txns = static_cast<uint32_t>(first_segment);
+      }
+    }
+    // File identity by device+inode (std::filesystem::equivalent), so
+    // every aliasing — ./x vs x, symlinks, hardlinks — is caught; an
+    // error (e.g. output does not exist yet) means distinct files,
+    // with the raw strings as a last-resort fallback.
+    std::error_code eq_ec;
+    bool same_file = std::filesystem::equivalent(input, output, eq_ec);
+    if (eq_ec) same_file = input == output;
+    return ConvertFromStore(*reader, input, output, *options, resegment,
+                            same_file, out, err);
+  }
 
   ItemDictionary dict;
   auto taxonomy = ReadTaxonomyFile(args.GetPositional("taxonomy"), &dict);
@@ -338,7 +495,6 @@ int ConvertCommand(const std::vector<const char*>& argv,
     return 1;
   }
   const double parse_s = timer.ElapsedSeconds();
-  const std::string& output = args.GetPositional("output");
   Status written =
       storage::WriteStoreFile(output, *db, dict, *taxonomy, *options);
   if (!written.ok()) {
@@ -352,7 +508,7 @@ int ConvertCommand(const std::vector<const char*>& argv,
         << "\n";
     return 1;
   }
-  out << "wrote " << output << ": "
+  out << "wrote " << output << " (v" << reopened->version() << "): "
       << FormatCount(static_cast<int64_t>(db->size()))
       << " transactions, "
       << FormatCount(static_cast<int64_t>(db->total_items()))
@@ -410,6 +566,22 @@ int InspectCommand(const std::vector<const char*>& argv,
         << ": offset " << e.offset << ", "
         << FormatBytes(static_cast<int64_t>(e.size)) << "\n";
   }
+  if (const SegmentCatalog* catalog = reader->catalog()) {
+    out << "  catalog: " << catalog->num_segments() << " segments, "
+        << catalog->tracked_ids().size() << " tracked items, "
+        << catalog->bitset_bits() << "-bit segment bitsets, mean fill "
+        << FormatDouble(catalog->MeanBitsetFill() * 100.0, 1) << "%\n";
+    if (!catalog->tracked_ids().empty()) {
+      out << "  tracked:";
+      for (ItemId id : catalog->tracked_ids()) {
+        out << " " << reader->dict().Name(id);
+      }
+      out << "\n";
+    }
+  } else {
+    out << "  catalog: none (v" << h.version
+        << " stores carry no segment catalog)\n";
+  }
   Status checksums = reader->VerifyChecksums();
   if (!checksums.ok()) {
     err << "error: " << checksums << "\n";
@@ -434,8 +606,12 @@ int DatagenCommand(const std::vector<const char*>& argv,
                "N");
   args.AddFlag("seed", "generator seed (default: scenario default)",
                "N");
-  args.AddFlag("segment-txns",
-               "transactions per shard segment (default 65536)", "N");
+  args.AddFlag("phases",
+               "quest only: split the stream into N consecutive phases "
+               "drawing from disjoint pattern-pool slices (temporal "
+               "skew; default 0 = stationary)",
+               "N");
+  AddWriterFlags(&args);
 
   Status parse_status =
       args.Parse(static_cast<int>(argv.size()), argv.data());
@@ -454,13 +630,20 @@ int DatagenCommand(const std::vector<const char*>& argv,
   }
   auto txns = args.GetInt("txns", 0);
   auto seed = args.GetInt("seed", -1);
-  if (!txns.ok() || !seed.ok()) {
-    err << "error: " << (!txns.ok() ? txns.status() : seed.status())
+  auto phases = args.GetInt("phases", 0);
+  if (!txns.ok() || !seed.ok() || !phases.ok()) {
+    err << "error: "
+        << (!txns.ok() ? txns.status()
+                       : (!seed.ok() ? seed.status() : phases.status()))
         << "\n";
     return 2;
   }
   if (*txns < 0 || *txns > std::numeric_limits<uint32_t>::max()) {
     err << "error: --txns must be a non-negative 32-bit count\n";
+    return 2;
+  }
+  if (*phases < 0 || *phases > std::numeric_limits<uint32_t>::max()) {
+    err << "error: --phases must be a non-negative 32-bit count\n";
     return 2;
   }
   const auto num_txns = static_cast<uint32_t>(*txns);
@@ -471,6 +654,10 @@ int DatagenCommand(const std::vector<const char*>& argv,
     err << "error: scenario must be groceries|census|medline|quest, "
            "got '"
         << scenario << "'\n";
+    return 2;
+  }
+  if (*phases > 0 && scenario != "quest") {
+    err << "error: --phases is only supported by the quest scenario\n";
     return 2;
   }
   ItemDictionary dict;
@@ -487,6 +674,7 @@ int DatagenCommand(const std::vector<const char*>& argv,
     QuestParams params;
     if (num_txns > 0) params.num_transactions = num_txns;
     if (*seed >= 0) params.seed = static_cast<uint64_t>(*seed);
+    params.phases = static_cast<uint32_t>(*phases);
     auto generated = GenerateQuest(params, taxonomy);
     if (!generated.ok()) {
       err << "error: " << generated.status() << "\n";
@@ -528,7 +716,8 @@ int DatagenCommand(const std::vector<const char*>& argv,
     err << "error: " << written << "\n";
     return 1;
   }
-  out << "wrote " << output << ": " << scenario << ", "
+  out << "wrote " << output << " (v" << options->version
+      << "): " << scenario << ", "
       << FormatCount(static_cast<int64_t>(db.size()))
       << " transactions, "
       << FormatCount(static_cast<int64_t>(db.total_items())) << " items, "
@@ -543,6 +732,8 @@ constexpr char kTopLevelHelp[] =
     "  flipper_cli mine <basket> <taxonomy> [flags]\n"
     "  flipper_cli mine --input <data.fdb> [flags]\n"
     "  flipper_cli convert <basket> <taxonomy> <out.fdb>\n"
+    "  flipper_cli convert --from-fdb <in.fdb> <out.fdb> "
+    "[--store-version N]\n"
     "  flipper_cli inspect <data.fdb>\n"
     "  flipper_cli datagen <scenario> <out.fdb>\n"
     "  flipper_cli <basket> <taxonomy> [flags]   (legacy: mine)\n"

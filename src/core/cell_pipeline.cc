@@ -12,9 +12,18 @@ namespace flipper {
 Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
   FLIPPER_RETURN_IF_ERROR(config_.Validate());
   pool_ = std::make_unique<ThreadPool>(config_.num_threads);
-  FLIPPER_ASSIGN_OR_RETURN(views_,
-                           LevelViews::Build(db, tax_, pool_.get()));
-  counter_ = MakeCounter(config_.counter, pool_.get());
+  LevelViews::BuildOptions view_options;
+  // Catalogs have exactly two consumers — the horizontal counting
+  // scan and the scan-driven cell — so skip the per-level build pass
+  // when neither can run.
+  view_options.build_catalogs =
+      config_.enable_segment_skipping &&
+      (config_.counter == CounterKind::kHorizontal ||
+       config_.enable_scan_cells);
+  FLIPPER_ASSIGN_OR_RETURN(
+      views_, LevelViews::Build(db, tax_, pool_.get(), view_options));
+  counter_ = MakeCounter(config_.counter, pool_.get(),
+                         config_.enable_segment_skipping);
   pipelining_ = config_.enable_pipelining;
 
   WallTimer total_timer;
@@ -166,6 +175,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
 
   // Counter scans + scan-driven cell scans + the initial singleton scan.
   stats_.db_scans += counter_->num_db_scans() + 1;
+  stats_.segments_skipped += counter_->segments_skipped();
   stats_.peak_candidate_bytes = tracker_.peak_bytes();
   stats_.total_seconds = total_timer.ElapsedSeconds();
   result.stats = std::move(stats_);

@@ -89,6 +89,16 @@ struct MiningConfig {
   /// gives the staged-serial execution order.
   bool enable_pipelining = true;
 
+  /// Consult per-segment catalogs (min/max item, presence bitset,
+  /// tracked supports) in the horizontal counting scan and the
+  /// scan-driven cell, skipping segments that provably contain no
+  /// live candidate. Skipping is exact — a skipped segment contributes
+  /// zero to every candidate by construction — so supports and mining
+  /// output are bit-identical with it on or off. Off also disables
+  /// catalog construction in LevelViews (MiningStats::segments_skipped
+  /// stays 0).
+  bool enable_segment_skipping = true;
+
   /// Checks gamma/epsilon ordering, threshold monotonicity and ranges.
   Status Validate() const;
 

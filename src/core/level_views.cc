@@ -7,7 +7,8 @@ namespace flipper {
 
 Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
                                      const Taxonomy& taxonomy,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool,
+                                     const BuildOptions& options) {
   // Every transaction item must be a taxonomy node with a defined
   // generalization at every level (leaves, or shallow leaves acting as
   // their own copies).
@@ -33,6 +34,23 @@ Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
   views.num_txns_ = leaf_db.size();
   const int height = taxonomy.height();
   views.levels_.resize(static_cast<size_t>(height));
+
+  // Catalog boundaries: the leaf database's own segmentation (the
+  // store's shard layout) when it carries one, uniform ranges
+  // otherwise. Generalization preserves transaction indexes, so the
+  // same boundaries describe every level.
+  std::vector<uint64_t> boundaries;
+  if (options.build_catalogs && !leaf_db.empty()) {
+    if (leaf_db.segment_catalog() != nullptr) {
+      const auto leaf_boundaries =
+          leaf_db.segment_catalog()->boundaries();
+      boundaries.assign(leaf_boundaries.begin(), leaf_boundaries.end());
+    } else {
+      boundaries = SegmentCatalog::UniformBoundaries(
+          leaf_db.size(), options.segment_txns);
+    }
+  }
+
   for (int h = 1; h <= height; ++h) {
     LevelData& data = views.levels_[static_cast<size_t>(h - 1)];
     data.level = h;
@@ -46,6 +64,20 @@ Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
     data.width_hist.assign(data.db.max_width() + 1, 0);
     for (TxnId t = 0; t < data.db.size(); ++t) {
       ++data.width_hist[data.db.Get(t).size()];
+    }
+    if (!boundaries.empty()) {
+      // The deepest level's view is the leaf database itself (every
+      // transaction item is a leaf), so a store-provided catalog is
+      // reused as-is there instead of being rebuilt.
+      if (h == height && leaf_db.segment_catalog() != nullptr) {
+        data.catalog = leaf_db.segment_catalog();
+      } else {
+        data.catalog = std::make_shared<SegmentCatalog>(
+            SegmentCatalog::Build(data.db, boundaries,
+                                  SegmentCatalog::kDefaultTrackedItems,
+                                  SegmentCatalog::kDefaultBitsetWords,
+                                  pool));
+      }
     }
   }
   return views;

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "data/segment_catalog.h"
 #include "data/transaction_db.h"
 #include "data/vertical_index.h"
 #include "taxonomy/taxonomy.h"
@@ -28,10 +29,24 @@ struct LevelData {
   std::vector<uint32_t> width_hist;
   /// Built on demand (vertical counting only).
   std::unique_ptr<VerticalIndex> vertical;
+  /// Per-segment presence metadata of this level's generalized
+  /// database (scan skipping); null when catalogs are disabled.
+  std::shared_ptr<const SegmentCatalog> catalog;
 };
 
 class LevelViews {
  public:
+  struct BuildOptions {
+    /// Build a per-level SegmentCatalog so the scan paths can skip
+    /// segments that cannot contain a live candidate
+    /// (MiningConfig::enable_segment_skipping). Levels reuse the leaf
+    /// database's attached catalog boundaries (a segmented store's
+    /// shard layout) when present, and fall back to uniform
+    /// `segment_txns`-sized ranges otherwise.
+    bool build_catalogs = true;
+    uint64_t segment_txns = SegmentCatalog::kDefaultSegmentTxns;
+  };
+
   /// Creates an empty view (no levels); assign from Build().
   LevelViews() = default;
 
@@ -42,7 +57,19 @@ class LevelViews {
   /// generalization scans and later vertical-index builds.
   static Result<LevelViews> Build(const TransactionDb& leaf_db,
                                   const Taxonomy& taxonomy,
-                                  ThreadPool* pool = nullptr);
+                                  ThreadPool* pool,
+                                  const BuildOptions& options);
+  /// Convenience overload without catalogs: direct callers (tests,
+  /// ad-hoc tools) rarely run the skipping scan paths, so they should
+  /// not pay the per-level catalog pass; the miners opt in through
+  /// BuildOptions.
+  static Result<LevelViews> Build(const TransactionDb& leaf_db,
+                                  const Taxonomy& taxonomy,
+                                  ThreadPool* pool = nullptr) {
+    BuildOptions options;
+    options.build_catalogs = false;
+    return Build(leaf_db, taxonomy, pool, options);
+  }
 
   int height() const { return static_cast<int>(levels_.size()); }
   uint32_t num_transactions() const { return num_txns_; }

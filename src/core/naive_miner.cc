@@ -28,10 +28,16 @@ Result<MiningResult> NaiveMiner::Run(const TransactionDb& db,
                                      const MiningConfig& config) {
   FLIPPER_RETURN_IF_ERROR(config.Validate());
   ThreadPool pool(config.num_threads);
-  FLIPPER_ASSIGN_OR_RETURN(LevelViews views,
-                           LevelViews::Build(db, taxonomy, &pool));
+  LevelViews::BuildOptions view_options;
+  // The naive miner never runs scan-driven cells, so only the
+  // horizontal counter can consume catalogs.
+  view_options.build_catalogs = config.enable_segment_skipping &&
+                                config.counter == CounterKind::kHorizontal;
+  FLIPPER_ASSIGN_OR_RETURN(
+      LevelViews views, LevelViews::Build(db, taxonomy, &pool,
+                                          view_options));
   std::unique_ptr<SupportCounter> counter =
-      MakeCounter(config.counter, &pool);
+      MakeCounter(config.counter, &pool, config.enable_segment_skipping);
 
   MiningResult result;
   MemoryTracker tracker;
@@ -164,6 +170,7 @@ Result<MiningResult> NaiveMiner::Run(const TransactionDb& db,
   SortPatterns(&result.patterns);
 
   result.stats.db_scans = counter->num_db_scans();
+  result.stats.segments_skipped = counter->segments_skipped();
   result.stats.peak_candidate_bytes = tracker.peak_bytes();
   result.stats.total_seconds = total_timer.ElapsedSeconds();
   return result;

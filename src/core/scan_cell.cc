@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/cell_planner.h"
+#include "core/support_counting.h"
 
 namespace flipper {
 namespace {
@@ -48,8 +49,41 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   // Participating items: frequent at level h and not SIBP-banned.
   const LevelData& level = views.Level(h);
   std::vector<char> ok(level.item_support.size(), 0);
+  std::vector<ItemId> live_items;
   for (ItemId item : freq_items) {
-    if (banned.find(item) == banned.end()) ok[item] = 1;
+    if (banned.find(item) == banned.end()) {
+      ok[item] = 1;
+      live_items.push_back(item);
+    }
+  }
+
+  // Segment skipping: a transaction can only contribute a k-subset if
+  // its segment holds at least k distinct participating items, so a
+  // segment whose catalog proves fewer possible live items is skipped
+  // outright. The rule is exact — MayContain() is one-sided — so cell
+  // contents are identical with skipping on or off.
+  std::vector<char> scan_flags;
+  std::span<const uint64_t> seg_boundaries;
+  const SegmentCatalog* catalog =
+      config.enable_segment_skipping
+          ? UsableCatalog(level.catalog.get(), level.db)
+          : nullptr;
+  if (catalog != nullptr) {
+    seg_boundaries = catalog->boundaries();
+    scan_flags.assign(catalog->num_segments(), 1);
+    for (size_t seg = 0; seg < catalog->num_segments(); ++seg) {
+      size_t possible = 0;
+      for (ItemId item : live_items) {
+        if (catalog->MayContain(seg, item) &&
+            ++possible >= static_cast<size_t>(k)) {
+          break;
+        }
+      }
+      if (possible < static_cast<size_t>(k)) {
+        scan_flags[seg] = 0;
+        ++stats->segments_skipped;
+      }
+    }
   }
 
   // Phase 1: count every k-subset of participating items that occurs,
@@ -64,20 +98,24 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
     CountMap& counts = shard_counts[static_cast<size_t>(shard)];
     std::vector<ItemId> buf;
     Itemset scratch;
-    for (size_t t = lo; t < hi; ++t) {
-      if (exhausted.load(std::memory_order_relaxed)) return;
-      buf.clear();
-      for (ItemId item : level.db.Get(static_cast<TxnId>(t))) {
-        if (item < ok.size() && ok[item]) buf.push_back(item);
+    const auto scan_range = [&](size_t range_lo, size_t range_hi) {
+      for (size_t t = range_lo; t < range_hi; ++t) {
+        if (exhausted.load(std::memory_order_relaxed)) return;
+        buf.clear();
+        for (ItemId item : level.db.Get(static_cast<TxnId>(t))) {
+          if (item < ok.size() && ok[item]) buf.push_back(item);
+        }
+        if (buf.size() < static_cast<size_t>(k)) continue;
+        ForEachCombination(buf, k, &scratch,
+                           [&](const Itemset& combo) { ++counts[combo]; });
+        if (counts.size() > config.max_candidates_per_cell) {
+          exhausted.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
-      if (buf.size() < static_cast<size_t>(k)) continue;
-      ForEachCombination(buf, k, &scratch,
-                         [&](const Itemset& combo) { ++counts[combo]; });
-      if (counts.size() > config.max_candidates_per_cell) {
-        exhausted.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
+    };
+    ForEachScannableRange(seg_boundaries, scan_flags, lo, hi,
+                          scan_range);
   });
   // The scan I/O happened whether or not it completed — account it
   // before any bail-out.

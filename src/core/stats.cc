@@ -22,6 +22,8 @@ std::string MiningStats::ToString() const {
   out += "db scans:          " +
          FormatCount(static_cast<int64_t>(db_scans)) + " (scan-cell: " +
          FormatCount(static_cast<int64_t>(scan_cell_scans)) + ")\n";
+  out += "segments skipped:  " +
+         FormatCount(static_cast<int64_t>(segments_skipped)) + "\n";
   out += "positive itemsets: " +
          FormatCount(static_cast<int64_t>(num_positive)) + "\n";
   out += "negative itemsets: " +

@@ -4,6 +4,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <unordered_set>
 
 #include "core/candidate_trie.h"
 
@@ -18,14 +19,18 @@ constexpr size_t kMinCandidatesPerShard = 64;
 
 class HorizontalCounter final : public SupportCounter {
  public:
-  explicit HorizontalCounter(ThreadPool* pool) : pool_(pool) {}
+  HorizontalCounter(ThreadPool* pool, bool enable_segment_skipping)
+      : pool_(pool), skipping_(enable_segment_skipping) {}
 
   Status Count(LevelViews* views, int h,
                std::span<const Itemset> candidates,
                std::vector<uint32_t>* supports) override {
     supports->resize(candidates.size());
     if (candidates.empty()) return Status::OK();
-    const TransactionDb& db = views->Level(h).db;
+    const LevelData& level = views->Level(h);
+    const SegmentCatalog* catalog =
+        skipping_ ? UsableCatalog(level.catalog.get(), level.db)
+                  : nullptr;
 
     // The trie requires uniform arity. The mining engines always send
     // one arity, so the common path feeds the candidate span straight
@@ -36,7 +41,8 @@ class HorizontalCounter final : public SupportCounter {
                       return c.size() == candidates.front().size();
                     });
     if (uniform) {
-      CountBatchWithTrie(db, candidates, pool_, *supports);
+      CountBatchWithTrie(level.db, candidates, pool_, *supports, catalog,
+                         &segments_skipped_);
       ++num_db_scans_;
       return Status::OK();
     }
@@ -54,7 +60,8 @@ class HorizontalCounter final : public SupportCounter {
       batch.reserve(group.size());
       for (uint32_t idx : group) batch.push_back(candidates[idx]);
       batch_supports.resize(batch.size());
-      CountBatchWithTrie(db, batch, pool_, batch_supports);
+      CountBatchWithTrie(level.db, batch, pool_, batch_supports, catalog,
+                         &segments_skipped_);
       ++num_db_scans_;
       for (size_t j = 0; j < group.size(); ++j) {
         (*supports)[group[j]] = batch_supports[j];
@@ -78,8 +85,22 @@ class HorizontalCounter final : public SupportCounter {
       // pool-less counters take the synchronous path.
       return CountFuture(Count(views, h, candidates, supports));
     }
-    const TransactionDb& db = views->Level(h).db;
+    const LevelData& level = views->Level(h);
+    const TransactionDb& db = level.db;
     ++num_db_scans_;
+
+    // Segment-skip flags are computed on the driver thread before the
+    // shards launch (the accounting stays single-threaded; the shards
+    // only read the flags).
+    const SegmentCatalog* catalog =
+        skipping_ ? UsableCatalog(level.catalog.get(), db) : nullptr;
+    std::vector<char> scan_flags;
+    std::span<const uint64_t> boundaries;
+    if (catalog != nullptr) {
+      scan_flags =
+          SegmentScanFlags(*catalog, candidates, &segments_skipped_);
+      boundaries = catalog->boundaries();
+    }
 
     // Shared shard state: the trie is built here (read-only for the
     // shards), each shard owns one private counter buffer.
@@ -87,8 +108,10 @@ class HorizontalCounter final : public SupportCounter {
       explicit ScanState(std::span<const Itemset> batch) : trie(batch) {}
       CandidateTrie trie;
       std::vector<std::vector<uint32_t>> partial;
+      std::vector<char> scan_flags;
     };
     auto state = std::make_shared<ScanState>(candidates);
+    state->scan_flags = std::move(scan_flags);
     const int num_shards = ShardCount(db.size(), pool_, kMinTxnsPerShard);
     state->partial.resize(static_cast<size_t>(num_shards));
 
@@ -97,14 +120,18 @@ class HorizontalCounter final : public SupportCounter {
     const size_t num_candidates = candidates.size();
     for (int s = 0; s < num_shards; ++s) {
       const auto [lo, hi] = ShardRange(0, db.size(), num_shards, s);
-      tasks.push_back([state, &db, s, lo = lo, hi = hi,
+      tasks.push_back([state, &db, s, lo = lo, hi = hi, boundaries,
                        num_candidates] {
         auto& counts = state->partial[static_cast<size_t>(s)];
         counts.assign(num_candidates, 0);
-        for (size_t t = lo; t < hi; ++t) {
-          state->trie.CountTransaction(db.Get(static_cast<TxnId>(t)),
-                                       counts);
-        }
+        ForEachScannableRange(
+            boundaries, state->scan_flags, lo, hi,
+            [&](size_t range_lo, size_t range_hi) {
+              for (size_t t = range_lo; t < range_hi; ++t) {
+                state->trie.CountTransaction(
+                    db.Get(static_cast<TxnId>(t)), counts);
+              }
+            });
       });
     }
     ThreadPool::Completion completion = pool_->SubmitBatch(std::move(tasks));
@@ -123,6 +150,7 @@ class HorizontalCounter final : public SupportCounter {
 
  private:
   ThreadPool* pool_;
+  bool skipping_;
 };
 
 class VerticalCounter final : public SupportCounter {
@@ -186,6 +214,15 @@ class VerticalCounter final : public SupportCounter {
 
 }  // namespace
 
+const SegmentCatalog* UsableCatalog(const SegmentCatalog* catalog,
+                                    const TransactionDb& db) {
+  if (catalog == nullptr || catalog->empty() ||
+      catalog->boundaries().back() != db.size()) {
+    return nullptr;
+  }
+  return catalog;
+}
+
 Status CountFuture::Join() {
   if (joined_) return status_;
   joined_ = true;
@@ -200,17 +237,80 @@ Status CountFuture::Join() {
   return status_;
 }
 
+std::vector<char> SegmentScanFlags(const SegmentCatalog& catalog,
+                                   std::span<const Itemset> candidates,
+                                   uint64_t* skipped) {
+  const size_t num_segments = catalog.num_segments();
+  std::vector<char> scan(num_segments, 1);
+
+  // Distinct items across the batch — the level vocabulary, which is
+  // tiny next to the batch itself.
+  std::unordered_set<ItemId> distinct;
+  for (const Itemset& candidate : candidates) {
+    distinct.insert(candidate.begin(), candidate.end());
+  }
+
+  std::unordered_set<ItemId> absent;
+  for (size_t seg = 0; seg < num_segments; ++seg) {
+    absent.clear();
+    for (ItemId item : distinct) {
+      if (!catalog.MayContain(seg, item)) absent.insert(item);
+    }
+    if (absent.empty()) continue;  // every candidate may occur — scan
+    // The segment is skippable iff every candidate carries at least
+    // one provably absent item; bail on the first survivor.
+    bool any_viable = false;
+    for (const Itemset& candidate : candidates) {
+      bool viable = true;
+      for (ItemId item : candidate) {
+        if (absent.find(item) != absent.end()) {
+          viable = false;
+          break;
+        }
+      }
+      if (viable) {
+        any_viable = true;
+        break;
+      }
+    }
+    if (!any_viable) {
+      scan[seg] = 0;
+      if (skipped != nullptr) ++*skipped;
+    }
+  }
+  return scan;
+}
+
 void CountBatchWithTrie(const TransactionDb& db,
                         std::span<const Itemset> candidates,
                         ThreadPool* pool,
-                        std::span<uint32_t> supports) {
+                        std::span<uint32_t> supports,
+                        const SegmentCatalog* catalog,
+                        uint64_t* segments_skipped) {
   std::fill(supports.begin(), supports.end(), 0u);
+  catalog = UsableCatalog(catalog, db);
+  std::vector<char> scan_flags;
+  std::span<const uint64_t> boundaries;
+  if (catalog != nullptr) {
+    scan_flags = SegmentScanFlags(*catalog, candidates, segments_skipped);
+    boundaries = catalog->boundaries();
+  }
+
   const CandidateTrie trie(candidates);
+  const auto count_range = [&](std::span<uint32_t> counts, size_t lo,
+                               size_t hi) {
+    ForEachScannableRange(
+        boundaries, scan_flags, lo, hi,
+        [&](size_t range_lo, size_t range_hi) {
+          for (size_t t = range_lo; t < range_hi; ++t) {
+            trie.CountTransaction(db.Get(static_cast<TxnId>(t)), counts);
+          }
+        });
+  };
+
   const int num_shards = ShardCount(db.size(), pool, kMinTxnsPerShard);
   if (num_shards <= 1) {
-    for (TxnId t = 0; t < db.size(); ++t) {
-      trie.CountTransaction(db.Get(t), supports);
-    }
+    count_range(supports, 0, db.size());
     return;
   }
   // Private per-shard counters, merged in shard order. Addition is
@@ -222,10 +322,7 @@ void CountBatchWithTrie(const TransactionDb& db,
               [&](int shard, size_t lo, size_t hi) {
                 auto& counts = partial[static_cast<size_t>(shard)];
                 counts.assign(candidates.size(), 0);
-                for (size_t t = lo; t < hi; ++t) {
-                  trie.CountTransaction(db.Get(static_cast<TxnId>(t)),
-                                        counts);
-                }
+                count_range(counts, lo, hi);
               });
   for (const auto& counts : partial) {
     for (size_t i = 0; i < supports.size(); ++i) {
@@ -235,10 +332,12 @@ void CountBatchWithTrie(const TransactionDb& db,
 }
 
 std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
-                                            ThreadPool* pool) {
+                                            ThreadPool* pool,
+                                            bool enable_segment_skipping) {
   switch (kind) {
     case CounterKind::kHorizontal:
-      return std::make_unique<HorizontalCounter>(pool);
+      return std::make_unique<HorizontalCounter>(pool,
+                                                 enable_segment_skipping);
     case CounterKind::kVertical:
       return std::make_unique<VerticalCounter>(pool);
   }

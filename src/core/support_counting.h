@@ -87,23 +87,54 @@ class SupportCounter {
   /// counting only; vertical reports 0).
   uint64_t num_db_scans() const { return num_db_scans_; }
 
+  /// Segments the level catalogs proved candidate-free and the scans
+  /// skipped so far (horizontal counting with segment skipping enabled
+  /// only; always 0 otherwise).
+  uint64_t segments_skipped() const { return segments_skipped_; }
+
  protected:
   uint64_t num_db_scans_ = 0;
+  uint64_t segments_skipped_ = 0;
 };
 
 /// `pool` (optional, not owned, must outlive the counter) parallelizes
-/// each Count() call.
-std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
-                                            ThreadPool* pool = nullptr);
+/// each Count() call. With `enable_segment_skipping` the horizontal
+/// engine consults each level's SegmentCatalog to skip segments that
+/// cannot contain any candidate of the batch; supports are identical
+/// either way (the skip rule is exact).
+std::unique_ptr<SupportCounter> MakeCounter(
+    CounterKind kind, ThreadPool* pool = nullptr,
+    bool enable_segment_skipping = false);
+
+/// `catalog` when it is usable for skipping over `db` — non-empty and
+/// with boundaries spanning exactly db.size() transactions — else
+/// nullptr. Every scan path (horizontal counting and the scan-driven
+/// cell) must route through this guard: a stale or foreign catalog
+/// steering a scan could skip live segments.
+const SegmentCatalog* UsableCatalog(const SegmentCatalog* catalog,
+                                    const TransactionDb& db);
+
+/// Per-segment scan flags for one uniform batch against `catalog`:
+/// flags[seg] is 0 iff every candidate contains an item provably
+/// absent from segment `seg` (the segment cannot change any support).
+/// Adds the number of cleared flags to *skipped when non-null.
+std::vector<char> SegmentScanFlags(const SegmentCatalog& catalog,
+                                   std::span<const Itemset> candidates,
+                                   uint64_t* skipped);
 
 /// One sharded trie-counting scan of `db` for a uniform-arity batch
 /// (all candidates the same size, distinct). Fills `supports[i]` with
 /// sup(candidates[i]). This is the horizontal engine's inner scan,
 /// exposed for the thread-scaling bench and the equivalence tests.
+/// A non-null `catalog` (whose boundaries must span db.size()) lets
+/// the scan skip segments per SegmentScanFlags, adding the skip count
+/// to *segments_skipped when non-null.
 void CountBatchWithTrie(const TransactionDb& db,
                         std::span<const Itemset> candidates,
                         ThreadPool* pool,
-                        std::span<uint32_t> supports);
+                        std::span<uint32_t> supports,
+                        const SegmentCatalog* catalog = nullptr,
+                        uint64_t* segments_skipped = nullptr);
 
 }  // namespace flipper
 

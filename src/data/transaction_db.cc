@@ -1,5 +1,7 @@
 #include "data/transaction_db.h"
 
+#include "data/segment_catalog.h"
+
 #include <algorithm>
 
 namespace flipper {
@@ -14,6 +16,7 @@ constexpr uint64_t kEmptyOffsets[1] = {0};
 void TransactionDb::ResetToEmpty() noexcept {
   items_.clear();
   offsets_.clear();
+  catalog_.reset();
   items_view_ = {};
   offsets_view_ = std::span<const uint64_t>(kEmptyOffsets, 1);
   borrowed_ = true;
@@ -26,7 +29,8 @@ TransactionDb::TransactionDb(const TransactionDb& other)
       offsets_(other.offsets_),
       borrowed_(other.borrowed_),
       alphabet_size_(other.alphabet_size_),
-      max_width_(other.max_width_) {
+      max_width_(other.max_width_),
+      catalog_(other.catalog_) {
   if (borrowed_) {
     items_view_ = other.items_view_;
     offsets_view_ = other.offsets_view_;
@@ -42,6 +46,7 @@ TransactionDb& TransactionDb::operator=(const TransactionDb& other) {
     borrowed_ = other.borrowed_;
     alphabet_size_ = other.alphabet_size_;
     max_width_ = other.max_width_;
+    catalog_ = other.catalog_;
     if (borrowed_) {
       items_view_ = other.items_view_;
       offsets_view_ = other.offsets_view_;
@@ -57,7 +62,8 @@ TransactionDb::TransactionDb(TransactionDb&& other) noexcept
       offsets_(std::move(other.offsets_)),
       borrowed_(other.borrowed_),
       alphabet_size_(other.alphabet_size_),
-      max_width_(other.max_width_) {
+      max_width_(other.max_width_),
+      catalog_(std::move(other.catalog_)) {
   if (borrowed_) {
     items_view_ = other.items_view_;
     offsets_view_ = other.offsets_view_;
@@ -74,6 +80,7 @@ TransactionDb& TransactionDb::operator=(TransactionDb&& other) noexcept {
     borrowed_ = other.borrowed_;
     alphabet_size_ = other.alphabet_size_;
     max_width_ = other.max_width_;
+    catalog_ = std::move(other.catalog_);
     if (borrowed_) {
       items_view_ = other.items_view_;
       offsets_view_ = other.offsets_view_;
@@ -109,6 +116,7 @@ void TransactionDb::EnsureOwned() {
 
 void TransactionDb::Add(std::span<const ItemId> items) {
   EnsureOwned();
+  catalog_.reset();  // boundaries/contents no longer describe this db
   const size_t start = items_.size();
   items_.insert(items_.end(), items.begin(), items.end());
   auto begin = items_.begin() + static_cast<ptrdiff_t>(start);
@@ -183,6 +191,7 @@ TransactionDb TransactionDb::Generalize(std::span<const ItemId> ancestor_of,
 
 void TransactionDb::Append(const TransactionDb& other) {
   EnsureOwned();
+  catalog_.reset();
   const uint64_t base = items_.size();
   items_.insert(items_.end(), other.items_view_.begin(),
                 other.items_view_.end());

@@ -14,6 +14,7 @@
 #define FLIPPER_DATA_TRANSACTION_DB_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "data/types.h"
 
 namespace flipper {
+
+class SegmentCatalog;
 
 class TransactionDb {
  public:
@@ -120,6 +123,17 @@ class TransactionDb {
     SyncViews();
   }
 
+  /// Attaches a segment catalog describing this database (its
+  /// boundaries must end at size()). The catalog is advisory metadata
+  /// for scan skipping; it is shared by copies and dropped by any
+  /// mutation that could invalidate it (Add/Append).
+  void AttachSegmentCatalog(std::shared_ptr<const SegmentCatalog> catalog) {
+    catalog_ = std::move(catalog);
+  }
+  const std::shared_ptr<const SegmentCatalog>& segment_catalog() const {
+    return catalog_;
+  }
+
  private:
   /// Copies borrowed storage into the owned vectors (no-op when
   /// already owned).
@@ -141,6 +155,8 @@ class TransactionDb {
   bool borrowed_ = false;
   ItemId alphabet_size_ = 0;
   uint32_t max_width_ = 0;
+  /// Optional scan-skipping metadata (see AttachSegmentCatalog).
+  std::shared_ptr<const SegmentCatalog> catalog_;
 };
 
 }  // namespace flipper

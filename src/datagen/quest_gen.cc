@@ -22,6 +22,11 @@ Status QuestParams::Validate() const {
   if (corruption_mean < 0.0 || corruption_mean >= 1.0) {
     return Status::InvalidArgument("corruption_mean must be in [0, 1)");
   }
+  if (phases > num_patterns) {
+    return Status::InvalidArgument(
+        "phases must not exceed num_patterns (every phase needs at "
+        "least one pattern)");
+  }
   return Status::OK();
 }
 
@@ -81,11 +86,26 @@ Result<TransactionDb> GenerateQuest(const QuestParams& params,
   }
   cdf.back() = 1.0;
 
-  auto pick_pattern = [&]() -> const Pattern& {
-    const double u = rng.NextDouble();
+  // Weighted pick, optionally restricted to the pattern slice of the
+  // transaction's phase (rescaling the cumulative distribution onto
+  // the slice keeps the relative weights intact).
+  const uint32_t phases = params.phases >= 2 ? params.phases : 1;
+  auto pick_pattern = [&](uint32_t phase) -> const Pattern& {
+    size_t lo = 0;
+    size_t hi = pool.size();
+    if (phases > 1) {
+      lo = static_cast<size_t>(phase) * pool.size() / phases;
+      hi = static_cast<size_t>(phase + 1) * pool.size() / phases;
+    }
+    const double cdf_lo = lo == 0 ? 0.0 : cdf[lo - 1];
+    const double cdf_hi = cdf[hi - 1];
+    const double u =
+        cdf_lo + rng.NextDouble() * (cdf_hi - cdf_lo);
     const size_t idx = static_cast<size_t>(
-        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-    return pool[std::min(idx, pool.size() - 1)];
+        std::lower_bound(cdf.begin() + static_cast<ptrdiff_t>(lo),
+                         cdf.begin() + static_cast<ptrdiff_t>(hi), u) -
+        cdf.begin());
+    return pool[std::min(idx, hi - 1)];
   };
 
   // --- Transactions. ---
@@ -96,6 +116,8 @@ Result<TransactionDb> GenerateQuest(const QuestParams& params,
   std::vector<ItemId> txn;
   std::vector<ItemId> corrupted;
   for (uint32_t t = 0; t < params.num_transactions; ++t) {
+    const uint32_t phase = static_cast<uint32_t>(
+        uint64_t{t} * phases / params.num_transactions);
     const uint32_t width =
         std::max<uint32_t>(1, rng.Poisson(params.avg_width));
     txn.clear();
@@ -104,7 +126,7 @@ Result<TransactionDb> GenerateQuest(const QuestParams& params,
     int attempts = 0;
     while (txn.size() < width && attempts < 64) {
       ++attempts;
-      const Pattern& pat = pick_pattern();
+      const Pattern& pat = pick_pattern(phase);
       corrupted = pat.items;
       // Classic Quest corruption: keep dropping a random item while a
       // coin toss stays below the pattern's corruption level.

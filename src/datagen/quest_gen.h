@@ -31,6 +31,13 @@ struct QuestParams {
   double correlation = 0.5;
   /// Mean of the per-pattern corruption level (clipped N(mean, 0.1)).
   double corruption_mean = 0.5;
+  /// Temporal skew: with `phases` >= 2 the transaction stream is split
+  /// into that many consecutive phases and phase p draws only from the
+  /// p-th slice of the pattern pool, so item populations drift across
+  /// the file (the "skewed" scenario segment catalogs can skip into).
+  /// 0 or 1 keeps the classic stationary generator — bit-identical to
+  /// the pre-phases output for any seed.
+  uint32_t phases = 0;
   uint64_t seed = 1;
 
   Status Validate() const;

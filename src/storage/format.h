@@ -1,9 +1,9 @@
 // FlipperStore on-disk format (.fdb): a single versioned binary file
 // holding a complete mining input — the CSR transaction database, the
 // item-name dictionary, and the taxonomy — so datasets load in O(mmap)
-// instead of O(parse).
+// (v1) or one bounds-checked decode pass (v2).
 //
-// Layout (all integers little-endian, fixed width):
+// Layout (all integers little-endian, fixed width unless marked):
 //
 //   [FileHeader]      104 bytes, checksummed (FNV-1a 64)
 //   [SectionTable]    section_count x SectionEntry (32 bytes each)
@@ -20,15 +20,37 @@
 //   kTaxParents   taxonomy_id_space x u32        parent per id
 //   kTaxRoots     taxonomy_num_roots x u32       level-1 node ids
 //
+// Version 2 keeps the container (header, table, checksums, alignment)
+// and the dictionary/taxonomy/segments sections unchanged, but
+// compresses the two big columns and adds a segment catalog:
+//
+//   kTxnOffsets   num_transactions varints       per-txn width (delta
+//                                                of the CSR boundary)
+//   kTxnItems     per txn: varint first item,    sorted items as gaps
+//                 then varint gaps (>= 1)
+//   kSegCatalog   fixed-width catalog (below)    scan-skipping metadata
+//
+// kSegCatalog payload:
+//
+//   u32 tracked_count K      top-frequency items with exact per-segment
+//   u32 bitset_words  W      supports; W 64-bit bitset words per segment
+//   K x u32 tracked item ids (global frequency desc, id asc)
+//   num_segments x { u32 min_item; u32 max_item;
+//                    W x u64 bits; K x u32 tracked supports }
+//
+// An unset bitset bit / out-of-range id / zero tracked support proves
+// an item absent from a segment, so readers can skip segments that
+// cannot contain any live candidate while staying exact.
+//
 // Segments partition the transactions into contiguous shards (the
 // writer cuts one every Options::segment_txns transactions) so
 // sharded scans — LevelViews::ScanShards and future distributed
 // readers — can split the file without touching the offsets section.
 //
-// Versioning rules: readers reject a different `version`; any layout
-// or semantic change bumps it. Reserved fields are written as zero and
-// ignored on read, so compatible additions can reuse them without a
-// bump.
+// Versioning rules: readers accept exactly the versions they know
+// (currently 1 and 2); any other layout or semantic change bumps the
+// version. Reserved fields are written as zero and ignored on read, so
+// compatible additions can reuse them without a bump.
 
 #ifndef FLIPPER_STORAGE_FORMAT_H_
 #define FLIPPER_STORAGE_FORMAT_H_
@@ -40,8 +62,14 @@ namespace flipper {
 namespace storage {
 
 inline constexpr char kMagic[8] = {'F', 'L', 'I', 'P', 'F', 'D', 'B', '\0'};
-inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kFormatVersionV1 = 1;
+inline constexpr uint32_t kFormatVersionV2 = 2;
+/// The version new files are written with by default.
+inline constexpr uint32_t kFormatVersionLatest = kFormatVersionV2;
 inline constexpr uint64_t kSectionAlignment = 8;
+/// Upper bound on the per-segment catalog bitset (64-bit words);
+/// writer option validation and reader corruption checks share it.
+inline constexpr uint32_t kMaxCatalogBitsetWords = 1024;
 
 enum class SectionId : uint32_t {
   kTxnOffsets = 1,
@@ -51,12 +79,22 @@ enum class SectionId : uint32_t {
   kDictBlob = 5,
   kTaxParents = 6,
   kTaxRoots = 7,
+  kSegCatalog = 8,  // v2 only
 };
 
-inline constexpr uint32_t kNumSections = 7;
+inline constexpr uint32_t kNumSectionsV1 = 7;
+inline constexpr uint32_t kNumSectionsV2 = 8;
+
+/// Section count a file of `version` must carry (0 for unknown
+/// versions).
+inline constexpr uint32_t SectionCountForVersion(uint32_t version) {
+  if (version == kFormatVersionV1) return kNumSectionsV1;
+  if (version == kFormatVersionV2) return kNumSectionsV2;
+  return 0;
+}
 
 /// Human-readable section name ("txn_offsets", ...); "unknown" for ids
-/// outside the version-1 set.
+/// outside the known set.
 const char* SectionIdName(SectionId id);
 
 #pragma pack(push, 1)
@@ -77,7 +115,8 @@ struct FileHeader {
   uint32_t section_count = 0;
   uint64_t file_size = 0;  // total bytes; guards against truncation
   uint64_t num_transactions = 0;
-  uint64_t num_items = 0;     // total flattened items
+  uint64_t num_items = 0;     // total flattened items (logical count,
+                              // not encoded bytes)
   uint64_t num_segments = 0;  // shard count (>= 1 unless empty)
   uint32_t alphabet_size = 0;
   uint32_t max_width = 0;
@@ -92,7 +131,22 @@ struct FileHeader {
 };
 static_assert(sizeof(FileHeader) == 104);
 
+/// Fixed-width prefix of the kSegCatalog payload.
+struct SegCatalogHeader {
+  uint32_t tracked_count = 0;  // K
+  uint32_t bitset_words = 0;   // W (64-bit words per segment)
+};
+static_assert(sizeof(SegCatalogHeader) == 8);
+
 #pragma pack(pop)
+
+/// Bytes of one per-segment catalog record for K tracked items and W
+/// bitset words: min/max + bitset + tracked supports.
+inline constexpr uint64_t SegCatalogRecordBytes(uint64_t tracked_count,
+                                                uint64_t bitset_words) {
+  return 2 * sizeof(uint32_t) + bitset_words * sizeof(uint64_t) +
+         tracked_count * sizeof(uint32_t);
+}
 
 inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
 

@@ -1,9 +1,11 @@
 #include "storage/store_reader.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <limits>
 
+#include "storage/varint.h"
 #include "taxonomy/taxonomy_builder.h"
 
 namespace flipper {
@@ -41,6 +43,249 @@ Status CheckElementCount(const SectionEntry& e, uint64_t count,
 
 }  // namespace
 
+Status StoreReader::DecodeColumnsV2(const std::byte* base,
+                                    const SectionEntry& offsets_entry,
+                                    const SectionEntry& items_entry,
+                                    bool validate) {
+  const FileHeader& h = header_;
+
+  // Every varint occupies at least one byte, so the header counts are
+  // bounded by the section sizes. Checking first keeps the reserve()
+  // calls below from ballooning on a corrupt header (allocation
+  // failure would escape as bad_alloc, not a Status).
+  if (h.num_transactions > offsets_entry.size) {
+    return Corrupt("txn_offsets section is too small for " +
+                   std::to_string(h.num_transactions) + " transactions");
+  }
+  if (h.num_items > items_entry.size) {
+    return Corrupt("txn_items section is too small for " +
+                   std::to_string(h.num_items) + " items");
+  }
+
+  // --- Widths column -> CSR offsets. ---
+  decoded_offsets_.clear();
+  decoded_offsets_.reserve(h.num_transactions + 1);
+  decoded_offsets_.push_back(0);
+  {
+    const auto* pos =
+        reinterpret_cast<const uint8_t*>(base + offsets_entry.offset);
+    const uint8_t* end = pos + offsets_entry.size;
+    uint32_t max_width = 0;
+    for (uint64_t t = 0; t < h.num_transactions; ++t) {
+      uint64_t width = 0;
+      if (!GetVarint(&pos, end, &width)) {
+        return Corrupt("truncated varint in txn_offsets at txn " +
+                       std::to_string(t));
+      }
+      if (width > std::numeric_limits<uint32_t>::max()) {
+        return Corrupt("transaction width overflows at txn " +
+                       std::to_string(t));
+      }
+      decoded_offsets_.push_back(decoded_offsets_.back() + width);
+      max_width = std::max(max_width, static_cast<uint32_t>(width));
+    }
+    if (pos != end) {
+      return Corrupt("txn_offsets section has trailing bytes");
+    }
+    if (decoded_offsets_.back() != h.num_items) {
+      return Corrupt("transaction offsets do not span the items");
+    }
+    if (max_width != h.max_width) {
+      return Corrupt("max_width mismatch: header records " +
+                     std::to_string(h.max_width) + ", data has " +
+                     std::to_string(max_width));
+    }
+  }
+
+  // --- Delta-encoded items column. ---
+  decoded_items_.clear();
+  decoded_items_.reserve(h.num_items);
+  {
+    const auto* pos =
+        reinterpret_cast<const uint8_t*>(base + items_entry.offset);
+    const uint8_t* end = pos + items_entry.size;
+    uint64_t max_item = 0;
+    bool any_item = false;
+    for (uint64_t t = 0; t < h.num_transactions; ++t) {
+      const uint64_t width =
+          decoded_offsets_[t + 1] - decoded_offsets_[t];
+      uint64_t item = 0;
+      for (uint64_t i = 0; i < width; ++i) {
+        uint64_t delta = 0;
+        if (!GetVarint(&pos, end, &delta)) {
+          return Corrupt("truncated varint in txn_items at txn " +
+                         std::to_string(t));
+        }
+        if (i == 0) {
+          item = delta;
+        } else {
+          if (delta == 0) {
+            return Corrupt("items of txn " + std::to_string(t) +
+                           " are not sorted and duplicate-free");
+          }
+          // In-range items make every true gap < alphabet_size; a
+          // larger delta is either out of range or a 64-bit wraparound
+          // crafted to decode as an unsorted transaction — reject it
+          // before the addition can wrap.
+          if (delta >= h.alphabet_size) {
+            return Corrupt("item gap " + std::to_string(delta) +
+                           " out of range in txn " + std::to_string(t));
+          }
+          item += delta;
+        }
+        if (item >= h.alphabet_size) {
+          return Corrupt("item id " + std::to_string(item) +
+                         " out of range in txn " + std::to_string(t));
+        }
+        decoded_items_.push_back(static_cast<ItemId>(item));
+        max_item = std::max(max_item, item);
+        any_item = true;
+      }
+    }
+    if (pos != end) {
+      return Corrupt("txn_items section has trailing bytes");
+    }
+    const uint64_t actual_alphabet = any_item ? max_item + 1 : 0;
+    if (actual_alphabet != h.alphabet_size) {
+      return Corrupt("alphabet_size mismatch: header records " +
+                     std::to_string(h.alphabet_size) + ", data has " +
+                     std::to_string(actual_alphabet));
+    }
+  }
+  (void)validate;  // the v2 decode is always fully checked
+  return Status::OK();
+}
+
+Status StoreReader::DecodeCatalogV2(const std::byte* base,
+                                    const SectionEntry& entry,
+                                    bool validate) {
+  const FileHeader& h = header_;
+  if (entry.size < sizeof(SegCatalogHeader)) {
+    return Corrupt("seg_catalog section is too small for its header");
+  }
+  SegCatalogHeader ch;
+  std::memcpy(&ch, base + entry.offset, sizeof(ch));
+  if (ch.bitset_words == 0 || ch.bitset_words > kMaxCatalogBitsetWords) {
+    return Corrupt("seg_catalog bitset length is invalid (" +
+                   std::to_string(ch.bitset_words) + " words)");
+  }
+  if (ch.tracked_count > h.alphabet_size) {
+    return Corrupt("seg_catalog tracks more items than the alphabet");
+  }
+  const uint64_t expected =
+      sizeof(SegCatalogHeader) +
+      uint64_t{ch.tracked_count} * sizeof(uint32_t) +
+      h.num_segments *
+          SegCatalogRecordBytes(ch.tracked_count, ch.bitset_words);
+  if (entry.size != expected) {
+    return Corrupt(
+        "seg_catalog section holds " + std::to_string(entry.size) +
+        " bytes, expected " + std::to_string(expected) + " for " +
+        std::to_string(h.num_segments) + " segments (bitset/tracked "
+        "length mismatch?)");
+  }
+
+  const auto* cursor = reinterpret_cast<const uint8_t*>(
+      base + entry.offset + sizeof(SegCatalogHeader));
+  const auto read_u32 = [&cursor]() {
+    uint32_t v;
+    std::memcpy(&v, cursor, sizeof(v));
+    cursor += sizeof(v);
+    return v;
+  };
+  const auto read_u64 = [&cursor]() {
+    uint64_t v;
+    std::memcpy(&v, cursor, sizeof(v));
+    cursor += sizeof(v);
+    return v;
+  };
+
+  std::vector<ItemId> tracked_ids(ch.tracked_count);
+  for (uint32_t i = 0; i < ch.tracked_count; ++i) {
+    tracked_ids[i] = read_u32();
+    if (tracked_ids[i] >= h.alphabet_size) {
+      return Corrupt("seg_catalog tracked item id out of range");
+    }
+  }
+
+  std::vector<ItemId> min_item(h.num_segments);
+  std::vector<ItemId> max_item(h.num_segments);
+  std::vector<uint64_t> bits;
+  bits.reserve(h.num_segments * ch.bitset_words);
+  std::vector<uint32_t> tracked_supports;
+  tracked_supports.reserve(h.num_segments * ch.tracked_count);
+  for (uint64_t seg = 0; seg < h.num_segments; ++seg) {
+    min_item[seg] = read_u32();
+    max_item[seg] = read_u32();
+    const bool empty_segment =
+        min_item[seg] == kInvalidItem && max_item[seg] == 0;
+    if (!empty_segment &&
+        (min_item[seg] > max_item[seg] ||
+         max_item[seg] >= h.alphabet_size)) {
+      return Corrupt("seg_catalog segment " + std::to_string(seg) +
+                     " has out-of-range item bounds");
+    }
+    for (uint32_t w = 0; w < ch.bitset_words; ++w) {
+      bits.push_back(read_u64());
+    }
+    const uint64_t seg_txns = segments_[seg + 1] - segments_[seg];
+    for (uint32_t i = 0; i < ch.tracked_count; ++i) {
+      const uint32_t support = read_u32();
+      if (support > seg_txns) {
+        return Corrupt("seg_catalog segment " + std::to_string(seg) +
+                       " records a support above its size");
+      }
+      tracked_supports.push_back(support);
+    }
+  }
+
+  auto catalog = std::make_shared<SegmentCatalog>(SegmentCatalog::FromParts(
+      std::vector<uint64_t>(segments_.begin(), segments_.end()),
+      ch.bitset_words, std::move(tracked_ids), std::move(min_item),
+      std::move(max_item), std::move(bits),
+      std::move(tracked_supports)));
+
+  if (validate) {
+    // Rebuild the catalog from the decoded transactions; any
+    // disagreement means the section could mislead scan skipping into
+    // wrong supports, so it is rejected outright. (Bitwise equality
+    // holds because writer and rebuild share the top-K selection and
+    // the bit hash.)
+    const SegmentCatalog reference = SegmentCatalog::Build(
+        db_, std::vector<uint64_t>(segments_.begin(), segments_.end()),
+        ch.tracked_count, ch.bitset_words);
+    const auto mismatch = [&](const std::string& what) {
+      return Corrupt("seg_catalog disagrees with the items column (" +
+                     what + ")");
+    };
+    if (!std::equal(reference.tracked_ids().begin(),
+                    reference.tracked_ids().end(),
+                    catalog->tracked_ids().begin(),
+                    catalog->tracked_ids().end())) {
+      return mismatch("tracked items");
+    }
+    for (size_t seg = 0; seg < catalog->num_segments(); ++seg) {
+      if (catalog->min_item(seg) != reference.min_item(seg) ||
+          catalog->max_item(seg) != reference.max_item(seg)) {
+        return mismatch("segment item bounds");
+      }
+      const auto a = catalog->segment_bits(seg);
+      const auto b = reference.segment_bits(seg);
+      if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
+        return mismatch("segment bitsets");
+      }
+      const auto sa = catalog->segment_tracked_supports(seg);
+      const auto sb = reference.segment_tracked_supports(seg);
+      if (!std::equal(sa.begin(), sa.end(), sb.begin(), sb.end())) {
+        return mismatch("tracked supports");
+      }
+    }
+  }
+
+  catalog_ = std::move(catalog);
+  return Status::OK();
+}
+
 Result<StoreReader> StoreReader::Open(const std::string& path,
                                       const OpenOptions& options) {
   if constexpr (std::endian::native != std::endian::little) {
@@ -64,11 +309,13 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
   if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
     return Corrupt("bad magic, not a FlipperStore file: " + path);
   }
-  if (h.version != kFormatVersion) {
+  const uint32_t expected_sections = SectionCountForVersion(h.version);
+  if (expected_sections == 0) {
     return Status::InvalidArgument(
         "unsupported store version " + std::to_string(h.version) +
-        " (this build reads version " + std::to_string(kFormatVersion) +
-        "): " + path);
+        " (this build reads versions " +
+        std::to_string(kFormatVersionV1) + " and " +
+        std::to_string(kFormatVersionV2) + "): " + path);
   }
   if (HeaderChecksum(h) != h.header_checksum) {
     return Corrupt("header checksum mismatch: " + path);
@@ -82,12 +329,13 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
       static_cast<uint64_t>(std::numeric_limits<TxnId>::max())) {
     return Corrupt("transaction count exceeds the TxnId range");
   }
+  const bool v2 = h.version == kFormatVersionV2;
 
   // --- Section table. ---
-  if (h.section_count != kNumSections) {
-    return Corrupt("version-1 files carry " +
-                   std::to_string(kNumSections) + " sections, found " +
-                   std::to_string(h.section_count));
+  if (h.section_count != expected_sections) {
+    return Corrupt("version-" + std::to_string(h.version) +
+                   " files carry " + std::to_string(expected_sections) +
+                   " sections, found " + std::to_string(h.section_count));
   }
   const uint64_t table_bytes =
       uint64_t{h.section_count} * sizeof(SectionEntry);
@@ -101,10 +349,12 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
     return Corrupt("section table checksum mismatch");
   }
 
-  const SectionEntry* by_id[kNumSections] = {};
+  const SectionEntry* by_id[kNumSectionsV2] = {};
   for (const SectionEntry& e : reader.sections_) {
-    if (e.id < 1 || e.id > kNumSections) {
-      return Corrupt("unknown section id " + std::to_string(e.id));
+    if (e.id < 1 || e.id > expected_sections) {
+      return Corrupt("unknown section id " + std::to_string(e.id) +
+                     " for a version-" + std::to_string(h.version) +
+                     " file");
     }
     if (by_id[e.id - 1] != nullptr) {
       return Corrupt(std::string("duplicate section ") +
@@ -124,12 +374,14 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
     return *by_id[static_cast<uint32_t>(id) - 1];
   };
 
-  // --- Element counts against the header. ---
-  FLIPPER_RETURN_IF_ERROR(CheckElementCount(
-      section(SectionId::kTxnOffsets), h.num_transactions + 1,
-      sizeof(uint64_t)));
-  FLIPPER_RETURN_IF_ERROR(CheckElementCount(
-      section(SectionId::kTxnItems), h.num_items, sizeof(uint32_t)));
+  // --- Element counts against the header (fixed-width sections). ---
+  if (!v2) {
+    FLIPPER_RETURN_IF_ERROR(CheckElementCount(
+        section(SectionId::kTxnOffsets), h.num_transactions + 1,
+        sizeof(uint64_t)));
+    FLIPPER_RETURN_IF_ERROR(CheckElementCount(
+        section(SectionId::kTxnItems), h.num_items, sizeof(uint32_t)));
+  }
   FLIPPER_RETURN_IF_ERROR(CheckElementCount(
       section(SectionId::kSegments), h.num_segments + 1,
       sizeof(uint64_t)));
@@ -143,10 +395,6 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
       section(SectionId::kTaxRoots), h.taxonomy_num_roots,
       sizeof(uint32_t)));
 
-  const std::span<const uint64_t> offsets =
-      U64Span(base, section(SectionId::kTxnOffsets));
-  const std::span<const uint32_t> items =
-      U32Span(base, section(SectionId::kTxnItems));
   const std::span<const uint64_t> segments =
       U64Span(base, section(SectionId::kSegments));
   const std::span<const uint64_t> name_offsets =
@@ -198,53 +446,71 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
       return Corrupt("taxonomy root id out of range");
     }
   }
+  reader.segments_ = segments;
 
-  // --- Payload validation (the O(num_items) scan). ---
-  if (options.validate) {
-    if (offsets.front() != 0 || offsets.back() != h.num_items) {
-      return Corrupt("transaction offsets do not span the items");
-    }
-    uint32_t max_width = 0;
-    ItemId max_item = 0;
-    bool any_item = false;
-    for (size_t t = 0; t + 1 < offsets.size(); ++t) {
-      const uint64_t lo = offsets[t];
-      const uint64_t hi = offsets[t + 1];
-      if (lo > hi || hi > h.num_items) {
-        return Corrupt("transaction offsets are not monotone at txn " +
-                       std::to_string(t));
+  // --- The transaction columns. ---
+  std::span<const uint64_t> offsets;
+  std::span<const ItemId> items;
+  if (!v2) {
+    offsets = U64Span(base, section(SectionId::kTxnOffsets));
+    const std::span<const uint32_t> raw_items =
+        U32Span(base, section(SectionId::kTxnItems));
+    items = std::span<const ItemId>(raw_items.data(), raw_items.size());
+
+    // Payload validation (the O(num_items) scan, v1 only — the v2
+    // decode below subsumes it).
+    if (options.validate) {
+      if (offsets.front() != 0 || offsets.back() != h.num_items) {
+        return Corrupt("transaction offsets do not span the items");
       }
-      const uint64_t width = hi - lo;
-      if (width > std::numeric_limits<uint32_t>::max()) {
-        return Corrupt("transaction width overflows at txn " +
-                       std::to_string(t));
-      }
-      max_width = std::max(max_width, static_cast<uint32_t>(width));
-      for (uint64_t i = lo; i < hi; ++i) {
-        const ItemId item = items[i];
-        if (item >= h.alphabet_size) {
-          return Corrupt("item id " + std::to_string(item) +
-                         " out of range in txn " + std::to_string(t));
+      uint32_t max_width = 0;
+      ItemId max_item = 0;
+      bool any_item = false;
+      for (size_t t = 0; t + 1 < offsets.size(); ++t) {
+        const uint64_t lo = offsets[t];
+        const uint64_t hi = offsets[t + 1];
+        if (lo > hi || hi > h.num_items) {
+          return Corrupt("transaction offsets are not monotone at txn " +
+                         std::to_string(t));
         }
-        if (i > lo && items[i - 1] >= item) {
-          return Corrupt("items of txn " + std::to_string(t) +
-                         " are not sorted and duplicate-free");
+        const uint64_t width = hi - lo;
+        if (width > std::numeric_limits<uint32_t>::max()) {
+          return Corrupt("transaction width overflows at txn " +
+                         std::to_string(t));
         }
-        max_item = std::max(max_item, item);
-        any_item = true;
+        max_width = std::max(max_width, static_cast<uint32_t>(width));
+        for (uint64_t i = lo; i < hi; ++i) {
+          const ItemId item = items[i];
+          if (item >= h.alphabet_size) {
+            return Corrupt("item id " + std::to_string(item) +
+                           " out of range in txn " + std::to_string(t));
+          }
+          if (i > lo && items[i - 1] >= item) {
+            return Corrupt("items of txn " + std::to_string(t) +
+                           " are not sorted and duplicate-free");
+          }
+          max_item = std::max(max_item, item);
+          any_item = true;
+        }
+      }
+      if (max_width != h.max_width) {
+        return Corrupt("max_width mismatch: header records " +
+                       std::to_string(h.max_width) + ", data has " +
+                       std::to_string(max_width));
+      }
+      const ItemId actual_alphabet = any_item ? max_item + 1 : 0;
+      if (actual_alphabet != h.alphabet_size) {
+        return Corrupt("alphabet_size mismatch: header records " +
+                       std::to_string(h.alphabet_size) + ", data has " +
+                       std::to_string(actual_alphabet));
       }
     }
-    if (max_width != h.max_width) {
-      return Corrupt("max_width mismatch: header records " +
-                     std::to_string(h.max_width) + ", data has " +
-                     std::to_string(max_width));
-    }
-    const ItemId actual_alphabet = any_item ? max_item + 1 : 0;
-    if (actual_alphabet != h.alphabet_size) {
-      return Corrupt("alphabet_size mismatch: header records " +
-                     std::to_string(h.alphabet_size) + ", data has " +
-                     std::to_string(actual_alphabet));
-    }
+  } else {
+    FLIPPER_RETURN_IF_ERROR(reader.DecodeColumnsV2(
+        base, section(SectionId::kTxnOffsets),
+        section(SectionId::kTxnItems), options.validate));
+    offsets = reader.decoded_offsets_;
+    items = reader.decoded_items_;
   }
 
   // --- Reconstruct the taxonomy (canonical: children end up sorted,
@@ -270,12 +536,18 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
     return Corrupt("taxonomy has nodes but no roots");
   }
 
-  // --- Borrowed views over the mapping. ---
+  // --- Borrowed views over the mapping / decode buffers. ---
   reader.dict_ = ItemDictionary::FromBorrowed(name_offsets, blob);
   reader.db_ = TransactionDb::FromBorrowed(
-      offsets, std::span<const ItemId>(items.data(), items.size()),
-      h.alphabet_size, h.max_width);
-  reader.segments_ = segments;
+      offsets, items, h.alphabet_size, h.max_width);
+
+  // --- The v2 segment catalog (validated against the decoded items,
+  // then attached to the database for scan skipping). ---
+  if (v2) {
+    FLIPPER_RETURN_IF_ERROR(reader.DecodeCatalogV2(
+        base, section(SectionId::kSegCatalog), options.validate));
+    reader.db_.AttachSegmentCatalog(reader.catalog_);
+  }
   return reader;
 }
 

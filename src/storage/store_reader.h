@@ -1,29 +1,44 @@
-// StoreReader: opens a .fdb FlipperStore file and exposes its contents
-// as ready-to-mine objects. The transaction database and dictionary
-// are zero-copy views over the file mapping (borrowed-span mode of
-// TransactionDb / ItemDictionary); only the taxonomy — a few KB of
-// tree structure — is reconstructed in memory. On platforms without
-// mmap (or with OpenOptions::force_heap) the file is read into one
-// aligned heap buffer instead, with identical semantics.
+// StoreReader: opens a .fdb FlipperStore file (version 1 or 2) and
+// exposes its contents as ready-to-mine objects.
+//
+// v1 files carry raw fixed-width columns: the transaction database and
+// dictionary are zero-copy views over the file mapping (borrowed-span
+// mode of TransactionDb / ItemDictionary); only the taxonomy — a few
+// KB of tree structure — is reconstructed in memory.
+//
+// v2 files carry delta+varint columns, so Open() runs one
+// bounds-checked decode pass into reader-owned buffers (the spans the
+// TransactionDb borrows then point at those buffers) and additionally
+// decodes the segment catalog, which it attaches to the database for
+// scan skipping and exposes through catalog().
+//
+// On platforms without mmap (or with OpenOptions::force_heap) the file
+// is read into one aligned heap buffer instead, with identical
+// semantics.
 //
 // Open() hard-validates the header checksum, the section table, and
 // every section's bounds before handing out a single pointer; with
 // OpenOptions::validate (the default) it additionally scans the
 // payloads so that every CSR offset is monotone, every item id is
-// in-range and sorted within its transaction, and the header's derived
-// metadata matches the data. A corrupt or truncated file yields a
-// Status error, never UB.
+// in-range and sorted within its transaction, the header's derived
+// metadata matches the data, and (v2) the catalog agrees with the
+// items it summarizes. The v2 column decode is always fully
+// bounds-checked — a truncated varint is a Status error even in
+// trusted mode. A corrupt or truncated file yields a Status error,
+// never UB.
 
 #ifndef FLIPPER_STORAGE_STORE_READER_H_
 #define FLIPPER_STORAGE_STORE_READER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "data/item_dictionary.h"
+#include "data/segment_catalog.h"
 #include "data/transaction_db.h"
 #include "storage/format.h"
 #include "storage/mmap_file.h"
@@ -37,7 +52,8 @@ struct OpenOptions {
   /// item id is proven in-bounds before use. Disable only for trusted
   /// files (e.g. open-latency benchmarks); structural checks — header
   /// checksum, section table, section bounds, dictionary offsets,
-  /// segment boundaries, taxonomy reconstruction — always run.
+  /// segment boundaries, taxonomy reconstruction, and the v2 varint
+  /// decode itself — always run.
   bool validate = true;
   /// Skip mmap and read the file into memory (the portable fallback;
   /// also exercised by tests).
@@ -54,7 +70,8 @@ class StoreReader {
   StoreReader(const StoreReader&) = delete;
   StoreReader& operator=(const StoreReader&) = delete;
 
-  /// Borrowed views into the file; valid while this reader is alive.
+  /// Borrowed views into the file (v1) or the reader's decode buffers
+  /// (v2); valid while this reader is alive.
   const TransactionDb& db() const { return db_; }
   const ItemDictionary& dict() const { return dict_; }
   const Taxonomy& taxonomy() const { return taxonomy_; }
@@ -63,7 +80,12 @@ class StoreReader {
   /// at 0 and ending at num_transactions.
   std::span<const uint64_t> segments() const { return segments_; }
 
+  /// The decoded segment catalog, or nullptr for v1 files (which do
+  /// not carry one). Also attached to db() for the mining paths.
+  const SegmentCatalog* catalog() const { return catalog_.get(); }
+
   const FileHeader& header() const { return header_; }
+  uint32_t version() const { return header_.version; }
   std::span<const SectionEntry> sections() const { return sections_; }
   bool mapped() const { return file_.mapped(); }
   uint64_t file_size() const { return file_.size(); }
@@ -75,10 +97,24 @@ class StoreReader {
  private:
   StoreReader() = default;
 
+  /// Decodes the v2 varint columns into decoded_offsets_ /
+  /// decoded_items_ (always bounds-checked; `validate` adds the
+  /// header-consistency cross-checks).
+  Status DecodeColumnsV2(const std::byte* base,
+                         const SectionEntry& offsets_entry,
+                         const SectionEntry& items_entry, bool validate);
+  /// Decodes and validates the v2 segment catalog section.
+  Status DecodeCatalogV2(const std::byte* base, const SectionEntry& entry,
+                         bool validate);
+
   MmapFile file_;
   FileHeader header_;
   std::vector<SectionEntry> sections_;
   std::span<const uint64_t> segments_;
+  /// v2 decode buffers; the db's borrowed spans point into these.
+  std::vector<uint64_t> decoded_offsets_;
+  std::vector<ItemId> decoded_items_;
+  std::shared_ptr<const SegmentCatalog> catalog_;
   TransactionDb db_;
   ItemDictionary dict_;
   Taxonomy taxonomy_;

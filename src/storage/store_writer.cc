@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "storage/varint.h"
+
 namespace flipper {
 namespace storage {
 
@@ -16,6 +18,18 @@ Result<StoreWriter> StoreWriter::Create(const std::string& path,
   if (options.segment_txns == 0) {
     return Status::InvalidArgument("segment_txns must be positive");
   }
+  if (SectionCountForVersion(options.version) == 0) {
+    return Status::InvalidArgument(
+        "unsupported store version " + std::to_string(options.version) +
+        " (this build writes versions 1 and 2)");
+  }
+  if (options.version == kFormatVersionV2 &&
+      (options.catalog_bitset_words == 0 ||
+       options.catalog_bitset_words > kMaxCatalogBitsetWords)) {
+    return Status::InvalidArgument(
+        "catalog_bitset_words must be in [1, " +
+        std::to_string(kMaxCatalogBitsetWords) + "]");
+  }
   StoreWriter writer;
   writer.options_ = options;
   writer.path_ = path;
@@ -23,10 +37,15 @@ Result<StoreWriter> StoreWriter::Create(const std::string& path,
   if (!writer.file_) {
     return Status::IoError("cannot open for writing: " + path);
   }
+  if (options.version == kFormatVersionV2) {
+    writer.cur_seg_bits_.assign(options.catalog_bitset_words, 0);
+  }
   // Placeholder header + section table; Finish() seeks back and
   // rewrites them with the real contents.
   const std::vector<char> zeros(
-      sizeof(FileHeader) + kNumSections * sizeof(SectionEntry), 0);
+      sizeof(FileHeader) +
+          SectionCountForVersion(options.version) * sizeof(SectionEntry),
+      0);
   FLIPPER_RETURN_IF_ERROR(
       writer.WriteBytes(zeros.data(), zeros.size(), nullptr));
   writer.items_start_ = writer.file_pos_;
@@ -66,6 +85,16 @@ Status StoreWriter::WriteSection(SectionId id, const void* data,
   return Status::OK();
 }
 
+void StoreWriter::FlushCatalogSegment() {
+  seg_min_.push_back(cur_seg_min_);
+  seg_max_.push_back(cur_seg_max_);
+  seg_bits_.insert(seg_bits_.end(), cur_seg_bits_.begin(),
+                   cur_seg_bits_.end());
+  cur_seg_min_ = kInvalidItem;
+  cur_seg_max_ = 0;
+  std::fill(cur_seg_bits_.begin(), cur_seg_bits_.end(), 0);
+}
+
 Status StoreWriter::Append(std::span<const ItemId> items) {
   if (finished_) {
     return Status::FailedPrecondition("Append after Finish");
@@ -74,8 +103,30 @@ Status StoreWriter::Append(std::span<const ItemId> items) {
   std::sort(scratch_.begin(), scratch_.end());
   scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
                  scratch_.end());
-  FLIPPER_RETURN_IF_ERROR(WriteBytes(
-      scratch_.data(), scratch_.size() * sizeof(ItemId), &items_checksum_));
+  if (options_.version == kFormatVersionV1) {
+    FLIPPER_RETURN_IF_ERROR(WriteBytes(
+        scratch_.data(), scratch_.size() * sizeof(ItemId),
+        &items_checksum_));
+  } else {
+    // v2: first item raw, then the strictly positive gaps — plus the
+    // catalog accumulators for the open segment.
+    encode_scratch_.clear();
+    const uint32_t num_bits = options_.catalog_bitset_words * 64;
+    ItemId prev = 0;
+    for (size_t i = 0; i < scratch_.size(); ++i) {
+      const ItemId item = scratch_[i];
+      PutVarint(i == 0 ? item : item - prev, &encode_scratch_);
+      prev = item;
+      cur_seg_min_ = std::min(cur_seg_min_, item);
+      cur_seg_max_ = std::max(cur_seg_max_, item);
+      const uint32_t bit = SegmentCatalog::HashBit(item, num_bits);
+      cur_seg_bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+      if (item >= item_freq_.size()) item_freq_.resize(item + 1, 0);
+      ++item_freq_[item];
+    }
+    FLIPPER_RETURN_IF_ERROR(WriteBytes(
+        encode_scratch_.data(), encode_scratch_.size(), &items_checksum_));
+  }
   offsets_.push_back(offsets_.back() + scratch_.size());
   max_width_ = std::max(max_width_, static_cast<uint32_t>(scratch_.size()));
   if (!scratch_.empty()) {
@@ -83,6 +134,81 @@ Status StoreWriter::Append(std::span<const ItemId> items) {
   }
   if (num_transactions() % options_.segment_txns == 0) {
     segments_.push_back(num_transactions());
+    if (options_.version == kFormatVersionV2) FlushCatalogSegment();
+  }
+  return Status::OK();
+}
+
+Status StoreWriter::CountTrackedSupports(
+    uint64_t items_bytes, std::span<const ItemId> tracked_ids,
+    std::vector<uint32_t>* supports) const {
+  const size_t tracked = tracked_ids.size();
+  supports->assign((segments_.size() - 1) * tracked, 0);
+  if (tracked == 0 || num_transactions() == 0) return Status::OK();
+
+  std::vector<uint32_t> slot_of(alphabet_size_, 0);
+  for (size_t i = 0; i < tracked; ++i) {
+    slot_of[tracked_ids[i]] = static_cast<uint32_t>(i) + 1;
+  }
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IoError("cannot reopen for reading: " + path_);
+  in.seekg(static_cast<std::streamoff>(items_start_));
+  if (!in) return Status::IoError("seek failed: " + path_);
+
+  // Chunked decode: refill keeps at least one maximal varint of slack
+  // so a value never straddles the buffer edge unseen.
+  std::vector<uint8_t> buffer(1u << 20);
+  size_t buf_len = 0;
+  size_t buf_pos = 0;
+  uint64_t remaining = items_bytes;
+  const auto refill = [&]() -> Status {
+    std::memmove(buffer.data(), buffer.data() + buf_pos,
+                 buf_len - buf_pos);
+    buf_len -= buf_pos;
+    buf_pos = 0;
+    const size_t want = std::min<uint64_t>(remaining,
+                                           buffer.size() - buf_len);
+    if (want > 0) {
+      in.read(reinterpret_cast<char*>(buffer.data() + buf_len),
+              static_cast<std::streamsize>(want));
+      if (static_cast<size_t>(in.gcount()) != want) {
+        return Status::IoError("re-read of items column failed: " +
+                               path_);
+      }
+      buf_len += want;
+      remaining -= want;
+    }
+    return Status::OK();
+  };
+
+  size_t seg = 0;
+  uint32_t* seg_supports = supports->data();
+  for (uint64_t t = 0; t < num_transactions(); ++t) {
+    while (seg + 1 < segments_.size() - 1 && t >= segments_[seg + 1]) {
+      ++seg;
+      seg_supports = supports->data() + seg * tracked;
+    }
+    const uint64_t width = offsets_[t + 1] - offsets_[t];
+    ItemId item = 0;
+    for (uint64_t i = 0; i < width; ++i) {
+      if (buf_len - buf_pos < kMaxVarintBytes && remaining > 0) {
+        FLIPPER_RETURN_IF_ERROR(refill());
+      }
+      const uint8_t* pos = buffer.data() + buf_pos;
+      uint64_t delta = 0;
+      if (!GetVarint(&pos, buffer.data() + buf_len, &delta)) {
+        return Status::Internal(
+            "items column re-read desynchronized at txn " +
+            std::to_string(t));
+      }
+      buf_pos = static_cast<size_t>(pos - buffer.data());
+      item = i == 0 ? static_cast<ItemId>(delta)
+                    : item + static_cast<ItemId>(delta);
+      if (item < slot_of.size() && slot_of[item] != 0) {
+        ++seg_supports[slot_of[item] - 1];
+      }
+    }
   }
   return Status::OK();
 }
@@ -111,15 +237,27 @@ Status StoreWriter::Finish(const ItemDictionary& dict,
   items_entry.offset = items_start_;
   items_entry.size = file_pos_ - items_start_;
   items_entry.checksum = items_checksum_;
+  const uint64_t items_end = file_pos_;
   FLIPPER_RETURN_IF_ERROR(Pad());
   sections_.push_back(items_entry);
 
-  FLIPPER_RETURN_IF_ERROR(WriteSection(
-      SectionId::kTxnOffsets, offsets_.data(),
-      offsets_.size() * sizeof(uint64_t)));
+  if (options_.version == kFormatVersionV1) {
+    FLIPPER_RETURN_IF_ERROR(WriteSection(
+        SectionId::kTxnOffsets, offsets_.data(),
+        offsets_.size() * sizeof(uint64_t)));
+  } else {
+    encode_scratch_.clear();
+    for (size_t t = 0; t + 1 < offsets_.size(); ++t) {
+      PutVarint(offsets_[t + 1] - offsets_[t], &encode_scratch_);
+    }
+    FLIPPER_RETURN_IF_ERROR(WriteSection(
+        SectionId::kTxnOffsets, encode_scratch_.data(),
+        encode_scratch_.size()));
+  }
 
   if (segments_.back() != num_transactions()) {
     segments_.push_back(num_transactions());
+    if (options_.version == kFormatVersionV2) FlushCatalogSegment();
   }
   FLIPPER_RETURN_IF_ERROR(WriteSection(
       SectionId::kSegments, segments_.data(),
@@ -150,9 +288,57 @@ Status StoreWriter::Finish(const ItemDictionary& dict,
   FLIPPER_RETURN_IF_ERROR(WriteSection(
       SectionId::kTaxRoots, roots.data(), roots.size() * sizeof(ItemId)));
 
+  if (options_.version == kFormatVersionV2) {
+    // Tracked set: the same selection the reader's validation rebuild
+    // runs (SegmentCatalog::Build), so the two can never disagree.
+    const std::vector<ItemId> tracked_vec =
+        SegmentCatalog::TopKByFrequency(item_freq_,
+                                        options_.catalog_tracked_items);
+    const size_t tracked = tracked_vec.size();
+    const std::span<const ItemId> tracked_ids(tracked_vec.data(),
+                                              tracked);
+
+    std::vector<uint32_t> tracked_supports;
+    // The items column must be durable before the counting re-read.
+    file_.flush();
+    if (!file_) return Status::IoError("flush failed: " + path_);
+    FLIPPER_RETURN_IF_ERROR(CountTrackedSupports(
+        items_end - items_start_, tracked_ids, &tracked_supports));
+
+    const size_t num_segments = segments_.size() - 1;
+    const uint32_t words = options_.catalog_bitset_words;
+    std::vector<uint8_t> payload;
+    payload.reserve(sizeof(SegCatalogHeader) +
+                    tracked * sizeof(uint32_t) +
+                    num_segments * SegCatalogRecordBytes(tracked, words));
+    const auto put_u32 = [&payload](uint32_t v) {
+      const auto* p = reinterpret_cast<const uint8_t*>(&v);
+      payload.insert(payload.end(), p, p + sizeof(v));
+    };
+    const auto put_u64 = [&payload](uint64_t v) {
+      const auto* p = reinterpret_cast<const uint8_t*>(&v);
+      payload.insert(payload.end(), p, p + sizeof(v));
+    };
+    put_u32(static_cast<uint32_t>(tracked));
+    put_u32(words);
+    for (ItemId id : tracked_ids) put_u32(id);
+    for (size_t seg = 0; seg < num_segments; ++seg) {
+      put_u32(seg_min_[seg]);
+      put_u32(seg_max_[seg]);
+      for (uint32_t w = 0; w < words; ++w) {
+        put_u64(seg_bits_[seg * words + w]);
+      }
+      for (size_t i = 0; i < tracked; ++i) {
+        put_u32(tracked_supports[seg * tracked + i]);
+      }
+    }
+    FLIPPER_RETURN_IF_ERROR(WriteSection(
+        SectionId::kSegCatalog, payload.data(), payload.size()));
+  }
+
   FileHeader header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
-  header.version = kFormatVersion;
+  header.version = options_.version;
   header.section_count = static_cast<uint32_t>(sections_.size());
   header.file_size = file_pos_;
   header.num_transactions = num_transactions();

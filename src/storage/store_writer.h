@@ -1,11 +1,19 @@
 // StoreWriter: streams a mining input into a .fdb FlipperStore file.
 //
 // Transactions are appended one at a time and their items flow
-// straight to disk, so a generator can emit datasets larger than RAM
-// without ever building a full TransactionDb in memory; only the CSR
-// offsets (8 bytes per transaction) and segment boundaries are
-// buffered until Finish(). The dictionary and taxonomy are written at
-// Finish() so callers may keep interning names while appending.
+// straight to disk (raw u32 for v1, delta+varint for v2), so a
+// generator can emit datasets larger than RAM without ever building a
+// full TransactionDb in memory; only the CSR offsets (8 bytes per
+// transaction), segment boundaries and per-segment catalog records
+// (v2) are buffered until Finish(). The dictionary and taxonomy are
+// written at Finish() so callers may keep interning names while
+// appending.
+//
+// The v2 segment catalog tracks exact per-segment supports for the
+// globally most frequent items; because "most frequent" is only known
+// once every transaction has been appended, Finish() re-reads the
+// just-written items column once (chunked, O(1) memory) to fill those
+// counts — streaming memory stays bounded by the offsets buffer.
 
 #ifndef FLIPPER_STORAGE_STORE_WRITER_H_
 #define FLIPPER_STORAGE_STORE_WRITER_H_
@@ -18,6 +26,7 @@
 
 #include "common/status.h"
 #include "data/item_dictionary.h"
+#include "data/segment_catalog.h"
 #include "data/transaction_db.h"
 #include "storage/format.h"
 #include "taxonomy/taxonomy.h"
@@ -29,8 +38,18 @@ class StoreWriter {
  public:
   struct Options {
     /// Transactions per shard segment. Segments partition the file for
-    /// sharded scans (LevelViews::ScanShards-style static splits).
+    /// sharded scans (LevelViews::ScanShards-style static splits) and
+    /// are the granularity of v2 scan skipping.
     uint32_t segment_txns = 1u << 16;
+    /// On-disk format version: kFormatVersionV1 (raw fixed-width
+    /// columns, zero-copy mmap reads) or kFormatVersionV2 (delta+varint
+    /// columns plus the segment catalog).
+    uint32_t version = kFormatVersionLatest;
+    /// v2 only: top-frequency items whose exact per-segment supports
+    /// the catalog records.
+    uint32_t catalog_tracked_items = SegmentCatalog::kDefaultTrackedItems;
+    /// v2 only: 64-bit bitset words per segment in the catalog.
+    uint32_t catalog_bitset_words = SegmentCatalog::kDefaultBitsetWords;
   };
 
   /// Creates/truncates `path` and writes a placeholder header.
@@ -66,6 +85,14 @@ class StoreWriter {
   Status Pad();
   /// Writes one fully buffered section and records its table entry.
   Status WriteSection(SectionId id, const void* data, size_t size);
+  /// Closes the current catalog segment record (v2).
+  void FlushCatalogSegment();
+  /// Re-reads the items column (`items_bytes` encoded bytes starting
+  /// at items_start_) and accumulates per-segment supports for
+  /// `tracked_ids` into `supports` (segments x tracked, v2).
+  Status CountTrackedSupports(uint64_t items_bytes,
+                              std::span<const ItemId> tracked_ids,
+                              std::vector<uint32_t>* supports) const;
 
   Options options_;
   std::string path_;
@@ -74,12 +101,22 @@ class StoreWriter {
   std::vector<uint64_t> offsets_ = {0};
   std::vector<uint64_t> segments_ = {0};
   std::vector<ItemId> scratch_;
+  std::vector<uint8_t> encode_scratch_;
   std::vector<SectionEntry> sections_;
   uint64_t items_checksum_ = kFnvOffsetBasis;
   uint64_t items_start_ = 0;
   ItemId alphabet_size_ = 0;
   uint32_t max_width_ = 0;
   bool finished_ = false;
+
+  // --- v2 catalog accumulation (empty for v1). ---
+  std::vector<uint32_t> item_freq_;     // global, grown on demand
+  std::vector<ItemId> seg_min_;         // per flushed segment
+  std::vector<ItemId> seg_max_;
+  std::vector<uint64_t> seg_bits_;      // flushed segments x words
+  ItemId cur_seg_min_ = kInvalidItem;   // open segment accumulator
+  ItemId cur_seg_max_ = 0;
+  std::vector<uint64_t> cur_seg_bits_;
 };
 
 /// Convenience wrapper: streams an in-memory database into `path`.

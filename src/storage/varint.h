@@ -1,0 +1,59 @@
+// LEB128 varints for the v2 FlipperStore columns. Values are written
+// 7 bits at a time, low group first, with the high bit of every byte
+// except the last set — small deltas (the common case for sorted item
+// gaps and transaction widths) take one byte.
+//
+// Decoding is bounds-checked against an explicit end pointer and a
+// 10-byte length cap, so a truncated or malformed column surfaces as a
+// Status error at the storage layer, never as an out-of-bounds read.
+
+#ifndef FLIPPER_STORAGE_VARINT_H_
+#define FLIPPER_STORAGE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flipper {
+namespace storage {
+
+/// Longest encoding of a uint64_t (10 x 7 bits >= 64 bits).
+inline constexpr size_t kMaxVarintBytes = 10;
+
+/// Appends the varint encoding of `value` to `out`.
+inline void PutVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Decodes one varint from [*pos, end). On success stores the value,
+/// advances *pos past it and returns true; returns false on truncation
+/// or an over-long (> 10 byte / > 64 bit) encoding, leaving *pos
+/// unspecified.
+inline bool GetVarint(const uint8_t** pos, const uint8_t* end,
+                      uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  const uint8_t* p = *pos;
+  while (p < end && shift < 64) {
+    const uint8_t byte = *p++;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical bits spilled past the 64-bit boundary.
+      if (shift == 63 && (byte & 0x7e) != 0) return false;
+      *pos = p;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace storage
+}  // namespace flipper
+
+#endif  // FLIPPER_STORAGE_VARINT_H_

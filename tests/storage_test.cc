@@ -18,6 +18,7 @@
 #include "storage/format.h"
 #include "storage/store_reader.h"
 #include "storage/store_writer.h"
+#include "storage/varint.h"
 #include "taxonomy/taxonomy_io.h"
 #include "test_util.h"
 
@@ -52,7 +53,7 @@ storage::SectionEntry* SectionOf(std::string* bytes,
                                  storage::SectionId id) {
   auto* table = reinterpret_cast<storage::SectionEntry*>(
       bytes->data() + sizeof(storage::FileHeader));
-  for (uint32_t i = 0; i < storage::kNumSections; ++i) {
+  for (uint32_t i = 0; i < HeaderOf(bytes)->section_count; ++i) {
     if (table[i].id == static_cast<uint32_t>(id)) return &table[i];
   }
   return nullptr;
@@ -65,13 +66,13 @@ void FixChecksums(std::string* bytes) {
   auto* header = HeaderOf(bytes);
   auto* table = reinterpret_cast<storage::SectionEntry*>(
       bytes->data() + sizeof(storage::FileHeader));
-  for (uint32_t i = 0; i < storage::kNumSections; ++i) {
+  for (uint32_t i = 0; i < header->section_count; ++i) {
     table[i].checksum = storage::Fnv1a64(
         bytes->data() + table[i].offset,
         static_cast<size_t>(table[i].size));
   }
   header->table_checksum = storage::Fnv1a64(
-      table, storage::kNumSections * sizeof(storage::SectionEntry));
+      table, header->section_count * sizeof(storage::SectionEntry));
   header->header_checksum = storage::HeaderChecksum(*header);
 }
 
@@ -230,12 +231,15 @@ TEST(StorageBorrowed, MutationMaterializesTheViews) {
 
 // --- Corruption battery ----------------------------------------------
 
-std::string MakeToyStore(const std::string& tag) {
+std::string MakeToyStore(const std::string& tag,
+                         uint32_t version = storage::kFormatVersionV1) {
   testutil::Dataset data = testutil::PaperToyDataset();
   const std::string path = TempPath(tag + ".fdb");
-  EXPECT_TRUE(
-      storage::WriteStoreFile(path, data.db, data.dict, data.taxonomy)
-          .ok());
+  storage::StoreWriter::Options options;
+  options.version = version;
+  EXPECT_TRUE(storage::WriteStoreFile(path, data.db, data.dict,
+                                      data.taxonomy, options)
+                  .ok());
   return path;
 }
 
@@ -378,6 +382,340 @@ TEST(StorageCorruption, VerifyChecksumsCatchesPayloadBitrot) {
   ASSERT_FALSE(verified.ok());
   EXPECT_EQ(verified.code(), StatusCode::kCorruptedData);
   EXPECT_NE(verified.message().find("dict_blob"), std::string::npos);
+}
+
+// --- v2: round trips, catalog semantics, corruption battery ---------
+
+TEST(StorageV2, RoundTripMatchesV1AndTextAtAnyThreadCount) {
+  // MakeConverted writes the default (latest = v2) store.
+  ConvertedDataset data = MakeConverted("v2_roundtrip");
+  const std::string v1_path = TempPath("v2_roundtrip_v1.fdb");
+  storage::StoreWriter::Options v1_options;
+  v1_options.version = storage::kFormatVersionV1;
+  ASSERT_TRUE(storage::WriteStoreFile(v1_path, data.db, data.dict,
+                                      data.taxonomy, v1_options)
+                  .ok());
+
+  auto v2 = storage::StoreReader::Open(data.store_path);
+  auto v1 = storage::StoreReader::Open(v1_path);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(v2->version(), storage::kFormatVersionV2);
+  EXPECT_EQ(v1->version(), storage::kFormatVersionV1);
+  EXPECT_LT(v2->file_size(), v1->file_size());  // varint columns shrink
+
+  for (int threads : {1, 4}) {
+    const std::string from_text =
+        MineToCsv(data.db, data.taxonomy, data.dict, threads);
+    EXPECT_FALSE(from_text.empty());
+    EXPECT_EQ(from_text,
+              MineToCsv(v1->db(), v1->taxonomy(), v1->dict(), threads))
+        << "v1 threads=" << threads;
+    EXPECT_EQ(from_text,
+              MineToCsv(v2->db(), v2->taxonomy(), v2->dict(), threads))
+        << "v2 threads=" << threads;
+  }
+}
+
+TEST(StorageV2, CatalogIsExposedAndExact) {
+  testutil::Dataset data = testutil::RandomDataset(77, 4, 2, 3, 400, 7);
+  const std::string path = TempPath("v2_catalog.fdb");
+  storage::StoreWriter::Options options;
+  options.segment_txns = 64;
+  ASSERT_TRUE(storage::WriteStoreFile(path, data.db, data.dict,
+                                      data.taxonomy, options)
+                  .ok());
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const SegmentCatalog* catalog = reader->catalog();
+  ASSERT_NE(catalog, nullptr);
+  EXPECT_EQ(reader->db().segment_catalog().get(), catalog);
+  ASSERT_EQ(catalog->num_segments(), reader->segments().size() - 1);
+  ASSERT_TRUE(std::equal(catalog->boundaries().begin(),
+                         catalog->boundaries().end(),
+                         reader->segments().begin(),
+                         reader->segments().end()));
+
+  // One-sided exactness: an item the catalog rules out must truly be
+  // absent; every present item must be possible. Tracked supports are
+  // exact per construction.
+  for (size_t seg = 0; seg < catalog->num_segments(); ++seg) {
+    std::vector<uint32_t> present(reader->db().alphabet_size(), 0);
+    for (uint64_t t = catalog->boundaries()[seg];
+         t < catalog->boundaries()[seg + 1]; ++t) {
+      for (ItemId item : reader->db().Get(static_cast<TxnId>(t))) {
+        ++present[item];
+      }
+    }
+    for (ItemId item = 0; item < present.size(); ++item) {
+      if (present[item] > 0) {
+        EXPECT_TRUE(catalog->MayContain(seg, item))
+            << "seg " << seg << " item " << item;
+      } else {
+        // MayContain may report false positives, never negatives;
+        // nothing to assert for absent items.
+      }
+      const auto tracked = catalog->TrackedSupport(seg, item);
+      if (tracked.has_value()) {
+        EXPECT_EQ(*tracked, present[item])
+            << "seg " << seg << " item " << item;
+      }
+    }
+  }
+}
+
+TEST(StorageV2, V1StoreCarriesNoCatalog) {
+  const std::string path = MakeToyStore("v1_no_catalog");
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->catalog(), nullptr);
+  EXPECT_EQ(reader->db().segment_catalog(), nullptr);
+}
+
+TEST(StorageV2, HeapFallbackMatchesMmap) {
+  ConvertedDataset data = MakeConverted("v2_heap");
+  storage::OpenOptions heap_options;
+  heap_options.force_heap = true;
+  auto mapped = storage::StoreReader::Open(data.store_path);
+  auto heap = storage::StoreReader::Open(data.store_path, heap_options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE(heap.ok()) << heap.status();
+  EXPECT_FALSE(heap->mapped());
+  EXPECT_EQ(
+      MineToCsv(mapped->db(), mapped->taxonomy(), mapped->dict(), 1),
+      MineToCsv(heap->db(), heap->taxonomy(), heap->dict(), 1));
+}
+
+TEST(StorageV2, EmptyDatabaseRoundTrips) {
+  testutil::Dataset data = testutil::PaperToyDataset();
+  TransactionDb empty_db;
+  for (uint32_t version :
+       {storage::kFormatVersionV1, storage::kFormatVersionV2}) {
+    const std::string path =
+        TempPath("empty_v" + std::to_string(version) + ".fdb");
+    storage::StoreWriter::Options options;
+    options.version = version;
+    ASSERT_TRUE(storage::WriteStoreFile(path, empty_db, data.dict,
+                                        data.taxonomy, options)
+                    .ok());
+    auto reader = storage::StoreReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << "v" << version << ": " << reader.status();
+    EXPECT_EQ(reader->db().size(), 0u);
+    EXPECT_EQ(reader->dict().size(), data.dict.size());
+    EXPECT_TRUE(reader->VerifyChecksums().ok());
+  }
+}
+
+/// Byte offset of the first per-segment record inside the catalog
+/// payload (past the catalog header and the tracked-id table).
+size_t CatalogRecordsOffset(std::string* bytes) {
+  const auto* entry = SectionOf(bytes, storage::SectionId::kSegCatalog);
+  EXPECT_NE(entry, nullptr);
+  storage::SegCatalogHeader ch;
+  std::memcpy(&ch, bytes->data() + entry->offset, sizeof(ch));
+  return static_cast<size_t>(entry->offset) + sizeof(ch) +
+         ch.tracked_count * sizeof(uint32_t);
+}
+
+TEST(StorageV2Corruption, TruncatedVarintMidColumnFails) {
+  const std::string path =
+      MakeToyStore("v2_trunc_varint", storage::kFormatVersionV2);
+  std::string bytes = ReadFileBytes(path);
+  const auto* items = SectionOf(&bytes, storage::SectionId::kTxnItems);
+  ASSERT_NE(items, nullptr);
+  ASSERT_GT(items->size, 0u);
+  // Setting the continuation bit on the column's last byte makes the
+  // final varint run off the end of the section.
+  bytes[items->offset + items->size - 1] |= '\x80';
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("truncated varint"),
+            std::string::npos);
+
+  // The decode is always bounds-checked: trusted mode must fail too,
+  // never crash or mis-read.
+  storage::OpenOptions trusting;
+  trusting.validate = false;
+  EXPECT_FALSE(storage::StoreReader::Open(path, trusting).ok());
+}
+
+TEST(StorageV2Corruption, CatalogSegmentBoundsOutOfRangeFails) {
+  const std::string path =
+      MakeToyStore("v2_catalog_bounds", storage::kFormatVersionV2);
+  std::string bytes = ReadFileBytes(path);
+  const size_t record = CatalogRecordsOffset(&bytes);
+  const uint32_t bogus_min = 0;
+  const uint32_t bogus_max = HeaderOf(&bytes)->alphabet_size + 9;
+  std::memcpy(bytes.data() + record, &bogus_min, sizeof(bogus_min));
+  std::memcpy(bytes.data() + record + sizeof(uint32_t), &bogus_max,
+              sizeof(bogus_max));
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("out-of-range item bounds"),
+            std::string::npos);
+}
+
+TEST(StorageV2Corruption, CatalogBitsetLengthMismatchFails) {
+  const std::string path =
+      MakeToyStore("v2_bitset_len", storage::kFormatVersionV2);
+  std::string bytes = ReadFileBytes(path);
+  const auto* entry = SectionOf(&bytes, storage::SectionId::kSegCatalog);
+  ASSERT_NE(entry, nullptr);
+  storage::SegCatalogHeader ch;
+  std::memcpy(&ch, bytes.data() + entry->offset, sizeof(ch));
+  ch.bitset_words += 1;  // section size no longer matches the layout
+  std::memcpy(bytes.data() + entry->offset, &ch, sizeof(ch));
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("mismatch"),
+            std::string::npos);
+}
+
+TEST(StorageV2Corruption, V2HeaderWithV1SectionTableFails) {
+  // A v1 file whose header claims version 2: the seven-section table
+  // cannot satisfy the v2 layout and must be rejected before any
+  // varint decoding is attempted.
+  const std::string path =
+      MakeToyStore("v2_header_v1_table", storage::kFormatVersionV1);
+  std::string bytes = ReadFileBytes(path);
+  HeaderOf(&bytes)->version = storage::kFormatVersionV2;
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("8 sections"),
+            std::string::npos);
+}
+
+TEST(StorageV2Corruption, LyingCatalogIsRejectedByValidation) {
+  // Zero a segment's bitset: the structural checks still pass, but a
+  // scan consulting it would wrongly skip the segment, so validation
+  // must catch the disagreement with the items column.
+  const std::string path =
+      MakeToyStore("v2_lying_catalog", storage::kFormatVersionV2);
+  std::string bytes = ReadFileBytes(path);
+  const size_t record = CatalogRecordsOffset(&bytes);
+  storage::SegCatalogHeader ch;
+  std::memcpy(&ch,
+              bytes.data() +
+                  SectionOf(&bytes, storage::SectionId::kSegCatalog)
+                      ->offset,
+              sizeof(ch));
+  std::memset(bytes.data() + record + 2 * sizeof(uint32_t), 0,
+              ch.bitset_words * sizeof(uint64_t));
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("disagrees"),
+            std::string::npos);
+}
+
+TEST(StorageV2Corruption, HugeClaimedCountsFailBeforeAllocating) {
+  // A corrupt header claiming 2^32-1 transactions (with the segments
+  // section patched to agree) must be rejected by the cheap
+  // size-vs-section bound, not by a multi-gigabyte reserve() that
+  // escapes as bad_alloc.
+  const std::string path =
+      MakeToyStore("v2_huge_counts", storage::kFormatVersionV2);
+  std::string bytes = ReadFileBytes(path);
+  const uint64_t huge = 0xFFFFFFFFull;
+  HeaderOf(&bytes)->num_transactions = huge;
+  const auto* segments = SectionOf(&bytes, storage::SectionId::kSegments);
+  ASSERT_NE(segments, nullptr);
+  std::memcpy(bytes.data() + segments->offset + sizeof(uint64_t), &huge,
+              sizeof(huge));
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("too small"),
+            std::string::npos);
+}
+
+TEST(StorageV2Corruption, WraparoundGapFailsEvenTrusted) {
+  // A 10-byte varint gap of 2^64-1 makes `item += delta` wrap to
+  // item-1: in range, nonzero gap — but the decoded transaction is
+  // unsorted. The decoder must reject oversized gaps outright, in
+  // trusted mode too (this is the "never mis-mine" guarantee).
+  const std::string path =
+      MakeToyStore("v2_wrap_gap", storage::kFormatVersionV2);
+  std::string bytes = ReadFileBytes(path);
+
+  // Re-encode the whole items column with txn 0's first gap replaced
+  // by the wraparound value, append it as a fresh section payload (so
+  // no other offsets move), and point the section entry at it.
+  std::vector<uint8_t> encoded;
+  {
+    auto reader = storage::StoreReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status();
+    for (TxnId t = 0; t < reader->db().size(); ++t) {
+      const auto txn = reader->db().Get(t);
+      for (size_t i = 0; i < txn.size(); ++i) {
+        if (t == 0 && i == 1) {
+          storage::PutVarint(~uint64_t{0}, &encoded);  // txn[0] - 1
+        } else {
+          storage::PutVarint(i == 0 ? txn[i] : txn[i] - txn[i - 1],
+                             &encoded);
+        }
+      }
+    }
+  }
+
+  const uint64_t new_offset = storage::AlignUp(bytes.size());
+  bytes.resize(new_offset, '\0');
+  bytes.append(reinterpret_cast<const char*>(encoded.data()),
+               encoded.size());
+  auto* items = SectionOf(&bytes, storage::SectionId::kTxnItems);
+  ASSERT_NE(items, nullptr);
+  items->offset = new_offset;
+  items->size = encoded.size();
+  HeaderOf(&bytes)->file_size = bytes.size();
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+
+  auto validated = storage::StoreReader::Open(path);
+  ASSERT_FALSE(validated.ok());
+  EXPECT_EQ(validated.status().code(), StatusCode::kCorruptedData);
+  storage::OpenOptions trusting;
+  trusting.validate = false;
+  auto trusted = storage::StoreReader::Open(path, trusting);
+  ASSERT_FALSE(trusted.ok());
+  EXPECT_EQ(trusted.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(trusted.status().message().find("gap"), std::string::npos)
+      << trusted.status();
+}
+
+TEST(StorageV2Corruption, NonCanonicalGapFails) {
+  // A zero gap inside a transaction means duplicate/unsorted items.
+  const std::string path =
+      MakeToyStore("v2_zero_gap", storage::kFormatVersionV2);
+  std::string bytes = ReadFileBytes(path);
+  const auto* items = SectionOf(&bytes, storage::SectionId::kTxnItems);
+  ASSERT_NE(items, nullptr);
+  // The toy store's first transaction has four items; its second
+  // varint is the first gap. Every toy item id fits one byte, so the
+  // gap byte sits at offset 1.
+  bytes[items->offset + 1] = '\x00';
+  FixChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  auto reader = storage::StoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruptedData);
+  EXPECT_NE(reader.status().message().find("not sorted"),
+            std::string::npos);
 }
 
 TEST(StorageCorruption, EmptyAndGarbageFilesFailCleanly) {

@@ -200,9 +200,10 @@ TEST_F(FlipperCliEndToEnd, ConvertInspectAndMineAreBitIdentical) {
   EXPECT_NE(out_.find("wrote " + store_), std::string::npos);
 
   ASSERT_EQ(RunCli({"inspect", store_}, &out_, &err_), 0) << err_;
-  EXPECT_NE(out_.find("FlipperStore v1"), std::string::npos);
+  EXPECT_NE(out_.find("FlipperStore v2"), std::string::npos);
   EXPECT_NE(out_.find("checksums: OK"), std::string::npos);
   EXPECT_NE(out_.find("txn_items"), std::string::npos);
+  EXPECT_NE(out_.find("catalog:"), std::string::npos);
 
   const std::vector<std::string> mining_flags = {
       "--gamma=0.6", "--epsilon=0.35", "--minsup=0.1,0.1,0.1",
@@ -227,6 +228,144 @@ TEST_F(FlipperCliEndToEnd, ConvertInspectAndMineAreBitIdentical) {
   std::string legacy_csv;
   ASSERT_EQ(RunCli(legacy, &legacy_csv, &err_), 0) << err_;
   EXPECT_EQ(text_csv, legacy_csv);
+
+  // Skipping toggle does not change the output.
+  std::vector<std::string> no_skip = {"mine", "--input", store_,
+                                      "--segment-skipping=off"};
+  no_skip.insert(no_skip.end(), mining_flags.begin(),
+                 mining_flags.end());
+  std::string no_skip_csv;
+  ASSERT_EQ(RunCli(no_skip, &no_skip_csv, &err_), 0) << err_;
+  EXPECT_EQ(text_csv, no_skip_csv);
+}
+
+TEST_F(FlipperCliEndToEnd, ConvertStoreVersionsAndDowngrade) {
+  // Explicit v1 conversion still writes a v1 store.
+  const std::string v1_store = ::testing::TempDir() + "cli_e2e_v1.fdb";
+  ASSERT_EQ(RunCli({"convert", basket_, taxonomy_, v1_store,
+                    "--store-version=1"},
+                   &out_, &err_),
+            0)
+      << err_;
+  ASSERT_EQ(RunCli({"inspect", v1_store}, &out_, &err_), 0) << err_;
+  EXPECT_NE(out_.find("FlipperStore v1"), std::string::npos);
+  EXPECT_NE(out_.find("catalog: none"), std::string::npos);
+
+  // Default conversion is v2; upgrade the v1 file and compare mining.
+  ASSERT_EQ(RunCli({"convert", basket_, taxonomy_, store_}, &out_, &err_),
+            0)
+      << err_;
+  const std::string upgraded = ::testing::TempDir() + "cli_e2e_up.fdb";
+  ASSERT_EQ(RunCli({"convert", "--from-fdb", v1_store, upgraded},
+                   &out_, &err_),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("v1 -> v2"), std::string::npos);
+
+  const std::vector<std::string> mining_flags = {
+      "--gamma=0.6", "--epsilon=0.35", "--minsup=0.1,0.1,0.1",
+      "--format=csv"};
+  const auto mine_store = [&](const std::string& path) {
+    std::vector<std::string> cmd = {"mine", "--input", path};
+    cmd.insert(cmd.end(), mining_flags.begin(), mining_flags.end());
+    std::string csv;
+    EXPECT_EQ(RunCli(cmd, &csv, &err_), 0) << err_;
+    return csv;
+  };
+  const std::string v1_csv = mine_store(v1_store);
+  EXPECT_FALSE(v1_csv.empty());
+  EXPECT_EQ(v1_csv, mine_store(store_));
+  EXPECT_EQ(v1_csv, mine_store(upgraded));
+
+  // Downgrade back to v1; the upgraded and downgraded files mine the
+  // same patterns.
+  const std::string downgraded =
+      ::testing::TempDir() + "cli_e2e_down.fdb";
+  ASSERT_EQ(RunCli({"convert", "--from-fdb", upgraded, downgraded,
+                    "--store-version=1"},
+                   &out_, &err_),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("v2 -> v1"), std::string::npos);
+  ASSERT_EQ(RunCli({"inspect", downgraded}, &out_, &err_), 0) << err_;
+  EXPECT_NE(out_.find("FlipperStore v1"), std::string::npos);
+  EXPECT_EQ(v1_csv, mine_store(downgraded));
+}
+
+TEST_F(FlipperCliEndToEnd, ConvertSameVersionIsAValidatedCopy) {
+  ASSERT_EQ(RunCli({"convert", basket_, taxonomy_, store_}, &out_, &err_),
+            0)
+      << err_;
+  std::ifstream original_file(store_, std::ios::binary);
+  std::ostringstream original_bytes;
+  original_bytes << original_file.rdbuf();
+
+  const std::string copy = ::testing::TempDir() + "cli_e2e_copy.fdb";
+  ASSERT_EQ(RunCli({"convert", "--from-fdb", store_, copy}, &out_, &err_),
+            0)
+      << err_;
+  EXPECT_NE(out_.find("validated copy"), std::string::npos);
+  EXPECT_NE(out_.find("already v2"), std::string::npos);
+
+  std::ifstream copy_file(copy, std::ios::binary);
+  std::ostringstream copy_bytes;
+  copy_bytes << copy_file.rdbuf();
+  EXPECT_EQ(original_bytes.str(), copy_bytes.str());
+
+  // An explicit --segment-txns requests a re-shard, so the fast copy
+  // is bypassed even at the same version.
+  const std::string resharded =
+      ::testing::TempDir() + "cli_e2e_reshard.fdb";
+  ASSERT_EQ(RunCli({"convert", "--from-fdb", copy, resharded,
+                    "--segment-txns=4"},
+                   &out_, &err_),
+            0)
+      << err_;
+  EXPECT_EQ(out_.find("validated copy"), std::string::npos);
+  ASSERT_EQ(RunCli({"inspect", resharded}, &out_, &err_), 0) << err_;
+  EXPECT_NE(out_.find("segments: 3"), std::string::npos);  // 10 txns / 4
+
+  // An in-place re-encode would truncate the store while its mapping
+  // is being read — it must be refused up front (through differing
+  // spellings of the same path too), leaving the file intact.
+  std::ifstream before_file(copy, std::ios::binary);
+  std::ostringstream before_bytes;
+  before_bytes << before_file.rdbuf();
+  before_file.close();
+  EXPECT_EQ(RunCli({"convert", "--from-fdb", copy, copy,
+                    "--store-version=1"},
+                   &out_, &err_),
+            2);
+  EXPECT_NE(err_.find("onto itself"), std::string::npos);
+  const std::string alias =
+      ::testing::TempDir() + "./cli_e2e_copy.fdb";  // same file
+  EXPECT_EQ(RunCli({"convert", "--from-fdb", copy, alias,
+                    "--segment-txns=4"},
+                   &out_, &err_),
+            2);
+  std::ifstream after_file(copy, std::ios::binary);
+  std::ostringstream after_bytes;
+  after_bytes << after_file.rdbuf();
+  EXPECT_EQ(before_bytes.str(), after_bytes.str());
+
+  // A corrupt same-version input must fail the validated copy, not be
+  // propagated.
+  // 16 consecutive bytes cannot be all inter-section padding (at most
+  // 7 pad bytes per boundary), so some checksummed payload is hit.
+  std::string bytes = original_bytes.str();
+  for (size_t i = 0; i < 16; ++i) bytes[bytes.size() / 2 + i] ^= 0x1;
+  std::ofstream corrupt(store_, std::ios::binary | std::ios::trunc);
+  corrupt.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+  corrupt.close();
+  EXPECT_NE(RunCli({"convert", "--from-fdb", store_, copy}, &out_, &err_),
+            0);
+  // The re-encode path must refuse the same bitrot too — otherwise a
+  // version change would launder it into a freshly checksummed file.
+  EXPECT_NE(RunCli({"convert", "--from-fdb", store_, copy,
+                    "--store-version=1"},
+                   &out_, &err_),
+            0);
 }
 
 TEST_F(FlipperCliEndToEnd, MineRejectsACorruptStore) {

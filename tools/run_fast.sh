@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Developer inner loop: build and run every suite except the
+# randomized fuzz harnesses (`ctest -LE fuzz`). The fuzz label stays in
+# the full `ctest` run and in CI; this script is for quick iteration.
+#
+# Usage: tools/run_fast.sh [label]
+#   label — optional ctest label to restrict to (unit, storage,
+#           parallel, e2e); default runs everything but fuzz.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+cd "$BUILD_DIR"
+if [[ $# -ge 1 ]]; then
+  exec ctest --output-on-failure -j "$(nproc)" -L "$1" -LE fuzz
+fi
+exec ctest --output-on-failure -j "$(nproc)" -LE fuzz

@@ -9,10 +9,15 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-tsan
 
 # The parallel suites (storage_test mines borrowed mmap views at 4
-# threads); everything else is single-threaded and only slows the
-# instrumented run down.
+# threads; segment_skipping_test and the fuzz harness drive the
+# catalog-guided sharded scans); everything else is single-threaded
+# and only slows the instrumented run down.
 SUITES=(thread_pool_test parallel_counting_test cell_pipeline_test
-        storage_test)
+        storage_test segment_skipping_test fuzz_differential_test)
+
+# Instrumented fuzz rounds are ~20x slower; a few are enough to race-
+# check the catalog paths (override by exporting FLIPPER_FUZZ_ITERS).
+export FLIPPER_FUZZ_ITERS="${FLIPPER_FUZZ_ITERS:-3}"
 
 if cmake --preset tsan >/dev/null 2>&1; then
   cmake --build --preset tsan -j "$(nproc)" --target "${SUITES[@]}"
