@@ -303,6 +303,238 @@ void BenchTrieCounting(std::vector<CaseResult>* results) {
   }
 }
 
+/// Flat SoA trie (packed/galloping probes + prefilter) vs the legacy
+/// AoS layer trie on quest-shaped counting workloads — stationary and
+/// temporally skewed (the two scenarios the scan paths care about).
+/// Candidates are 3-subsets drawn from real transactions so supports
+/// are non-trivial. The flat cases report speedup_vs_legacy.
+void BenchTrieLayouts(std::vector<CaseResult>* results) {
+  ItemDictionary dict;
+  auto taxonomy = GenerateBalancedTaxonomy(TaxonomyGenParams(), &dict);
+  if (!taxonomy.ok()) std::abort();
+  struct Scenario {
+    const char* tag;
+    uint32_t phases;
+  };
+  for (const Scenario scenario :
+       {Scenario{"quest", 0}, Scenario{"skewed_quest", 50}}) {
+    QuestParams params;
+    params.num_transactions =
+        static_cast<uint32_t>(20'000 * std::max(0.25, BenchScale()));
+    params.phases = scenario.phases;
+    params.seed = 7;
+    auto db = GenerateQuest(params, *taxonomy);
+    if (!db.ok()) std::abort();
+
+    Rng rng(5);
+    std::unordered_set<Itemset, ItemsetHash> seen;
+    std::vector<Itemset> candidates;
+    for (int attempts = 0;
+         candidates.size() < 4000 && attempts < 200'000; ++attempts) {
+      const auto txn = db->Get(static_cast<TxnId>(rng.Below(db->size())));
+      if (txn.size() < 3) continue;
+      Itemset s;
+      while (s.size() < 3) {
+        s.Insert(txn[rng.Below(txn.size())]);
+      }
+      if (seen.insert(s).second) candidates.push_back(s);
+    }
+    if (candidates.empty()) std::abort();
+    std::vector<uint32_t> supports(candidates.size());
+
+    CountBatchOptions legacy_options;
+    legacy_options.trie.flat = false;
+    legacy_options.trie.prefilter = false;
+    const CaseResult legacy = RunCase(
+        std::string("trie_legacy_") + scenario.tag, 1, db->size(), [&] {
+          CountBatchWithTrie(*db, candidates, nullptr, supports, nullptr,
+                             nullptr, legacy_options);
+        });
+    results->push_back(legacy);
+
+    CountBatchOptions flat_options;  // pure layout A/B: prefilter has
+    flat_options.trie.prefilter = false;  // its own bench cases
+    CaseResult flat = RunCase(
+        std::string("trie_flat_vs_legacy_") + scenario.tag, 1,
+        db->size(), [&] {
+          CountBatchWithTrie(*db, candidates, nullptr, supports, nullptr,
+                             nullptr, flat_options);
+        });
+    if (legacy.median_ms > 0.0 && flat.median_ms > 0.0) {
+      flat.speedup = legacy.median_ms / flat.median_ms;
+      flat.speedup_key = "speedup_vs_legacy";
+    }
+    flat.extra_json = std::string("\"packed_kernel\": \"") +
+                      trie_probe::PackedKernelName() + "\"";
+    results->push_back(flat);
+  }
+}
+
+/// Transaction prefilter on a workload where it has bite: candidates
+/// concentrated on a narrow item band, transactions spread over the
+/// whole alphabet — most transactions keep fewer than k candidate
+/// items and skip the walk entirely. The on-case records the rejected
+/// transaction count in the JSON.
+void BenchTxnPrefilter(std::vector<CaseResult>* results) {
+  Rng rng(23);
+  const auto num_txns =
+      static_cast<uint32_t>(30'000 * std::max(0.25, BenchScale()));
+  const ItemId alphabet = 4000;
+  const ItemId band = 150;  // candidate items live in [0, band)
+  TransactionDb db;
+  std::vector<ItemId> txn;
+  for (uint32_t t = 0; t < num_txns; ++t) {
+    txn.clear();
+    for (int i = 0; i < 10; ++i) {
+      txn.push_back(static_cast<ItemId>(rng.Below(alphabet)));
+    }
+    db.Add(txn);
+  }
+  std::unordered_set<Itemset, ItemsetHash> seen;
+  std::vector<Itemset> candidates;
+  while (candidates.size() < 2000) {
+    Itemset s;
+    while (s.size() < 3) {
+      s.Insert(static_cast<ItemId>(rng.Below(band)));
+    }
+    if (seen.insert(s).second) candidates.push_back(s);
+  }
+  std::vector<uint32_t> supports(candidates.size());
+
+  uint64_t prefiltered = 0;
+  double off_ms = 0.0;
+  for (const bool prefilter : {false, true}) {
+    CountBatchOptions options;
+    options.trie.prefilter = prefilter;
+    prefiltered = 0;
+    options.txns_prefiltered = &prefiltered;
+    CaseResult r = RunCase(
+        prefilter ? "txn_prefilter_on" : "txn_prefilter_off", 1,
+        db.size(), [&] {
+          prefiltered = 0;
+          CountBatchWithTrie(db, candidates, nullptr, supports, nullptr,
+                             nullptr, options);
+        });
+    if (!prefilter) {
+      off_ms = r.median_ms;
+      if (prefiltered != 0) std::abort();  // disabled must never reject
+    } else {
+      if (off_ms > 0.0 && r.median_ms > 0.0) {
+        r.speedup = off_ms / r.median_ms;
+        r.speedup_key = "speedup_vs_no_prefilter";
+      }
+      r.extra_json =
+          "\"txns_prefiltered\": " + std::to_string(prefiltered) +
+          ", \"txns_total\": " + std::to_string(db.size());
+      std::cout << "txn_prefilter: " << prefiltered << " of " << db.size()
+                << " transactions rejected before the walk\n";
+    }
+    results->push_back(r);
+  }
+}
+
+/// Probe-kernel shoot-out on synthetic sibling fanouts: scalar linear
+/// scan vs the packed compare (SSE2/AVX2/portable word mask) vs
+/// galloping, each resolving the same lower-bound queries.
+void BenchProbeKernels(std::vector<CaseResult>* results) {
+  Rng rng(31);
+  for (const uint32_t fanout : {uint32_t{16}, uint32_t{256},
+                                uint32_t{4096}}) {
+    // Strictly increasing id stream with random gaps.
+    std::vector<ItemId> items(fanout);
+    ItemId next = 0;
+    for (auto& item : items) {
+      next += 1 + static_cast<ItemId>(rng.Below(8));
+      item = next;
+    }
+    std::vector<ItemId> targets(1024);
+    for (auto& t : targets) {
+      t = static_cast<ItemId>(rng.Below(next + 8));
+    }
+    const int probes = static_cast<int>(
+        std::max<uint32_t>(50'000, 4'000'000 / fanout));
+
+    struct Kernel {
+      const char* name;
+      uint32_t (*fn)(const ItemId*, uint32_t, uint32_t, ItemId);
+    };
+    const Kernel kernels[] = {
+        {"scalar", &trie_probe::LowerBoundScalar},
+        {"packed", &trie_probe::LowerBoundPacked},
+        {"gallop", &trie_probe::LowerBoundGallop},
+    };
+    double scalar_ms = 0.0;
+    for (const Kernel& kernel : kernels) {
+      CaseResult r = RunCase(
+          std::string("trie_probe_kernels_") + kernel.name + "_f" +
+              std::to_string(fanout),
+          1, probes, [&] {
+            uint64_t acc = 0;
+            for (int i = 0; i < probes; ++i) {
+              acc += kernel.fn(items.data(), 0,
+                               static_cast<uint32_t>(items.size()),
+                               targets[static_cast<size_t>(i) &
+                                       (targets.size() - 1)]);
+            }
+            volatile uint64_t sink = acc;
+            (void)sink;
+          });
+      if (kernel.name == kernels[0].name) {
+        scalar_ms = r.median_ms;
+      } else if (scalar_ms > 0.0 && r.median_ms > 0.0) {
+        r.speedup = scalar_ms / r.median_ms;
+        r.speedup_key = "speedup_vs_scalar";
+      }
+      if (std::string(kernel.name) == "packed") {
+        r.extra_json = std::string("\"packed_kernel\": \"") +
+                       trie_probe::PackedKernelName() + "\"";
+      }
+      results->push_back(r);
+    }
+  }
+}
+
+/// Row-level trie reuse: several consecutive batches (a row's cells)
+/// counted against one database — a fresh trie + buffers per call vs
+/// one warm CountBatchScratch rebuilt in place.
+void BenchRowTrieReuse(std::vector<CaseResult>* results) {
+  // Many small cells against a modest database: the shape where the
+  // per-cell trie build + buffer setup is a visible fraction of the
+  // scan, i.e. where the reuse seam pays.
+  const auto num_txns = static_cast<uint32_t>(
+      2'000 * std::max(0.25, BenchScale()));
+  ScanWorkload w = MakeScanWorkload(num_txns, 4096);
+  constexpr size_t kBatches = 16;
+  const size_t per_batch = w.candidates.size() / kBatches;
+  std::vector<uint32_t> supports(per_batch);
+  const double rows_per_rep =
+      static_cast<double>(w.db.size()) * kBatches;
+
+  double fresh_ms = 0.0;
+  for (const bool reuse : {false, true}) {
+    CountBatchScratch scratch;
+    CaseResult r = RunCase(
+        reuse ? "row_trie_reuse_on" : "row_trie_reuse_off", 1,
+        rows_per_rep, [&] {
+          for (size_t b = 0; b < kBatches; ++b) {
+            CountBatchOptions options;
+            if (reuse) options.scratch = &scratch;
+            const std::span<const Itemset> batch(
+                w.candidates.data() + b * per_batch, per_batch);
+            CountBatchWithTrie(w.db, batch, nullptr, supports, nullptr,
+                               nullptr, options);
+          }
+        });
+    if (!reuse) {
+      fresh_ms = r.median_ms;
+    } else if (fresh_ms > 0.0 && r.median_ms > 0.0) {
+      r.speedup = fresh_ms / r.median_ms;
+      r.speedup_key = "speedup_vs_fresh";
+    }
+    results->push_back(r);
+  }
+}
+
 /// Thread-scaling series: the sharded horizontal counting scan on a
 /// fixed synthetic DB at 1..N threads. The JSON records speedup_vs_1t
 /// so cross-PR runs can track the scaling curve.
@@ -671,6 +903,10 @@ int main() {
   BenchTidSetIntersect(&results);
   BenchItemsetOps(&results);
   BenchTrieCounting(&results);
+  BenchTrieLayouts(&results);
+  BenchTxnPrefilter(&results);
+  BenchProbeKernels(&results);
+  BenchRowTrieReuse(&results);
   BenchThreadScaling(&results);
   BenchMinerPipeline(&results);
   BenchStorage(&results);

@@ -139,6 +139,16 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
                "segments during counting scans (default on; results "
                "are identical either way)",
                "MODE");
+  args.AddFlag("flat-trie",
+               "on|off — flat SoA candidate-trie layout with packed/"
+               "galloping probe kernels (default on; off = legacy "
+               "layer layout; results are identical either way)",
+               "MODE");
+  args.AddFlag("txn-prefilter",
+               "on|off — reject/compact transactions through the "
+               "candidate-item prefilter before the trie walk "
+               "(default on; results are identical either way)",
+               "MODE");
   args.AddFlag("topk", "keep only the K widest flips", "K");
   args.AddFlag("format", "text|csv|json (default text)", "NAME");
   args.AddFlag("out", "write patterns to a file instead of stdout",
@@ -257,6 +267,20 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
     config.enable_segment_skipping = false;
   } else if (skipping != "on") {
     err << "error: --segment-skipping must be on|off\n";
+    return 2;
+  }
+  const std::string flat_trie = args.GetString("flat-trie", "on");
+  if (flat_trie == "off") {
+    config.enable_flat_trie = false;
+  } else if (flat_trie != "on") {
+    err << "error: --flat-trie must be on|off\n";
+    return 2;
+  }
+  const std::string txn_prefilter = args.GetString("txn-prefilter", "on");
+  if (txn_prefilter == "off") {
+    config.enable_txn_prefilter = false;
+  } else if (txn_prefilter != "on") {
+    err << "error: --txn-prefilter must be on|off\n";
     return 2;
   }
 

@@ -22,8 +22,12 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
        config_.enable_scan_cells);
   FLIPPER_ASSIGN_OR_RETURN(
       views_, LevelViews::Build(db, tax_, pool_.get(), view_options));
-  counter_ = MakeCounter(config_.counter, pool_.get(),
-                         config_.enable_segment_skipping);
+  CounterOptions counter_options;
+  counter_options.enable_segment_skipping =
+      config_.enable_segment_skipping;
+  counter_options.trie.flat = config_.enable_flat_trie;
+  counter_options.trie.prefilter = config_.enable_txn_prefilter;
+  counter_ = MakeCounter(config_.counter, pool_.get(), counter_options);
   pipelining_ = config_.enable_pipelining;
 
   WallTimer total_timer;
@@ -176,6 +180,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
   // Counter scans + scan-driven cell scans + the initial singleton scan.
   stats_.db_scans += counter_->num_db_scans() + 1;
   stats_.segments_skipped += counter_->segments_skipped();
+  stats_.txns_prefiltered += counter_->txns_prefiltered();
   stats_.peak_candidate_bytes = tracker_.peak_bytes();
   stats_.total_seconds = total_timer.ElapsedSeconds();
   result.stats = std::move(stats_);
@@ -227,7 +232,7 @@ Status CellPipeline::BeginVerticalCell(int h, int k, const Cell* parent,
     FLIPPER_RETURN_IF_ERROR(FillCellByScan(
         views_, tax_, config_, h, k, *parent, prev_in_row, banned,
         freq_items_[static_cast<size_t>(h)], &work->candidates,
-        &work->supports, &work->cs, &stats_));
+        &work->supports, &work->cs, &stats_, &scan_scratch_));
     work->counted_by_scan = true;
     work->cs.counted = work->candidates.size();
     return Status::OK();

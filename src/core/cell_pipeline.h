@@ -41,6 +41,7 @@
 #include "core/config.h"
 #include "core/level_views.h"
 #include "core/mining_result.h"
+#include "core/scan_cell.h"
 #include "core/support_counting.h"
 #include "data/transaction_db.h"
 #include "taxonomy/taxonomy.h"
@@ -111,6 +112,9 @@ class CellPipeline {
   std::unique_ptr<CellEvaluator> evaluator_;
   MemoryTracker tracker_;
   MiningStats stats_;
+  /// Shard buffers of the scan-driven cells, reused across cells (the
+  /// scan-cell analogue of the counter's trie-reuse scratch).
+  ScanCellScratch scan_scratch_;
 
   uint32_t num_txns_ = 0;
   int height_ = 0;

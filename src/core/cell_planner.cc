@@ -70,11 +70,30 @@ CellPlan CellPlanner::PlanVertical(
     cartesian_total += product;
     if (cartesian_total > 1e15) break;
   }
-  const double scan_cost = ScanEnumerationCost(views_, h, k);
   if (config_.enable_scan_cells && !parents.empty() &&
-      cartesian_total > 65536 && scan_cost < cartesian_total) {
-    plan.strategy = CellStrategy::kScan;
-    return plan;
+      cartesian_total > 65536) {
+    // The scan cell enumerates k-subsets of *filtered* transactions
+    // (participating items only), so the raw width histogram
+    // overestimates its cost. Scale widths by the participating
+    // fraction of the level's occurring vocabulary — the prefilter /
+    // ok[] hit rate — before the C(w, k) estimate. Strategy selection
+    // never changes mined output (both routes are exact), only cost.
+    size_t vocab = 0;
+    size_t live = 0;
+    for (ItemId node : tax_.NodesAtLevel(h)) {
+      if (views_.ItemSupport(h, node) == 0) continue;
+      ++vocab;
+      if (child_ok(node)) ++live;
+    }
+    const double live_fraction =
+        vocab > 0
+            ? static_cast<double>(live) / static_cast<double>(vocab)
+            : 1.0;
+    if (ScanEnumerationCost(views_, h, k, live_fraction) <
+        cartesian_total) {
+      plan.strategy = CellStrategy::kScan;
+      return plan;
+    }
   }
 
   plan.strategy = CellStrategy::kVerticalExpand;

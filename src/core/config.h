@@ -99,6 +99,21 @@ struct MiningConfig {
   /// stays 0).
   bool enable_segment_skipping = true;
 
+  /// Use the flat SoA candidate-trie layout (single arena, packed /
+  /// galloping probe kernels, iterative walk) in the horizontal
+  /// counting scans. Off falls back to the legacy per-layer AoS trie.
+  /// Supports and mining output are bit-identical either way — the
+  /// layouts only differ in memory traversal order.
+  bool enable_flat_trie = true;
+
+  /// Reject/compact transactions through a per-batch candidate-item
+  /// prefilter (min/max id + 512-bit presence bitset) before the trie
+  /// walk, and pre-screen the scan-driven cell's per-transaction item
+  /// filter the same way. The filter is one-sided (a collision only
+  /// costs a missed reject), so supports and mining output are
+  /// bit-identical with it on or off.
+  bool enable_txn_prefilter = true;
+
   /// Checks gamma/epsilon ordering, threshold monotonicity and ranges.
   Status Validate() const;
 

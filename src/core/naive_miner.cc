@@ -36,8 +36,12 @@ Result<MiningResult> NaiveMiner::Run(const TransactionDb& db,
   FLIPPER_ASSIGN_OR_RETURN(
       LevelViews views, LevelViews::Build(db, taxonomy, &pool,
                                           view_options));
+  CounterOptions counter_options;
+  counter_options.enable_segment_skipping = config.enable_segment_skipping;
+  counter_options.trie.flat = config.enable_flat_trie;
+  counter_options.trie.prefilter = config.enable_txn_prefilter;
   std::unique_ptr<SupportCounter> counter =
-      MakeCounter(config.counter, &pool, config.enable_segment_skipping);
+      MakeCounter(config.counter, &pool, counter_options);
 
   MiningResult result;
   MemoryTracker tracker;
@@ -171,6 +175,7 @@ Result<MiningResult> NaiveMiner::Run(const TransactionDb& db,
 
   result.stats.db_scans = counter->num_db_scans();
   result.stats.segments_skipped = counter->segments_skipped();
+  result.stats.txns_prefiltered = counter->txns_prefiltered();
   result.stats.peak_candidate_bytes = tracker.peak_bytes();
   result.stats.total_seconds = total_timer.ElapsedSeconds();
   return result;

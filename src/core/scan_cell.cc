@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <string>
-#include <unordered_map>
 #include <utility>
 
+#include "core/candidate_trie.h"
 #include "core/cell_planner.h"
 #include "core/support_counting.h"
 
@@ -16,19 +16,23 @@ namespace {
 /// the merge pass cost more than the parallelism buys.
 constexpr size_t kMinTxnsPerScanShard = 512;
 
-using CountMap = std::unordered_map<Itemset, uint32_t, ItemsetHash>;
+using CountMap = ScanCellScratch::CountMap;
 
 }  // namespace
 
-double ScanEnumerationCost(const LevelViews& views, int h, int k) {
+double ScanEnumerationCost(const LevelViews& views, int h, int k,
+                           double live_fraction) {
   const std::vector<uint32_t>& hist = views.Level(h).width_hist;
+  const double rate = std::clamp(live_fraction, 0.0, 1.0);
   double total = 0.0;
   for (size_t w = static_cast<size_t>(k); w < hist.size(); ++w) {
     if (hist[w] == 0) continue;
-    // C(w, k), capped.
+    // C(ew, k) with the expected filtered width ew = w * rate, capped.
+    const double ew = static_cast<double>(w) * rate;
+    if (ew < static_cast<double>(k)) continue;
     double combos = 1.0;
     for (int i = 0; i < k; ++i) {
-      combos *= static_cast<double>(w - static_cast<size_t>(i)) /
+      combos *= (ew - static_cast<double>(i)) /
                 static_cast<double>(k - i);
       if (combos > 1e15) break;
     }
@@ -45,16 +49,31 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
                       std::span<const ItemId> freq_items,
                       std::vector<Itemset>* candidates,
                       std::vector<uint32_t>* supports, CellStats* cs,
-                      MiningStats* stats) {
+                      MiningStats* stats, ScanCellScratch* scratch) {
+  ScanCellScratch local;
+  ScanCellScratch* s = scratch != nullptr ? scratch : &local;
+
   // Participating items: frequent at level h and not SIBP-banned.
   const LevelData& level = views.Level(h);
-  std::vector<char> ok(level.item_support.size(), 0);
-  std::vector<ItemId> live_items;
+  s->ok.assign(level.item_support.size(), 0);
+  s->live_items.clear();
   for (ItemId item : freq_items) {
     if (banned.find(item) == banned.end()) {
-      ok[item] = 1;
-      live_items.push_back(item);
+      s->ok[item] = 1;
+      s->live_items.push_back(item);
     }
+  }
+  const std::vector<char>& ok = s->ok;
+  const std::vector<ItemId>& live_items = s->live_items;
+
+  // Cheap pre-screen in front of the ok[] confirm pass: min/max id
+  // plus a 512-bit presence bitset over the participating items. The
+  // bitset is one-sided, so it can only reject items ok[] would
+  // reject too — cell contents are identical with it on or off.
+  ItemPrefilter prefilter;
+  const bool use_prefilter = config.enable_txn_prefilter;
+  if (use_prefilter) {
+    for (ItemId item : live_items) prefilter.Add(item);
   }
 
   // Segment skipping: a transaction can only contribute a k-subset if
@@ -62,7 +81,7 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   // segment whose catalog proves fewer possible live items is skipped
   // outright. The rule is exact — MayContain() is one-sided — so cell
   // contents are identical with skipping on or off.
-  std::vector<char> scan_flags;
+  s->scan_flags.clear();
   std::span<const uint64_t> seg_boundaries;
   const SegmentCatalog* catalog =
       config.enable_segment_skipping
@@ -70,7 +89,7 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
           : nullptr;
   if (catalog != nullptr) {
     seg_boundaries = catalog->boundaries();
-    scan_flags.assign(catalog->num_segments(), 1);
+    s->scan_flags.assign(catalog->num_segments(), 1);
     for (size_t seg = 0; seg < catalog->num_segments(); ++seg) {
       size_t possible = 0;
       for (ItemId item : live_items) {
@@ -80,33 +99,49 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
         }
       }
       if (possible < static_cast<size_t>(k)) {
-        scan_flags[seg] = 0;
+        s->scan_flags[seg] = 0;
         ++stats->segments_skipped;
       }
     }
   }
+  const std::vector<char>& scan_flags = s->scan_flags;
 
   // Phase 1: count every k-subset of participating items that occurs,
   // sharded over transaction ranges with one private hash counter per
   // shard. A shard whose own map exceeds the candidate cap stops early
   // and flags exhaustion: its local count already lower-bounds the
-  // merged count, so the run is doomed either way.
+  // merged count, so the run is doomed either way. The shard maps and
+  // item buffers come from the scratch, so a warm cell allocates
+  // nothing per transaction (clear() keeps map buckets and vector
+  // capacity).
   const int num_shards = views.NumScanShards(h, kMinTxnsPerScanShard);
-  std::vector<CountMap> shard_counts(static_cast<size_t>(num_shards));
+  if (s->shard_counts.size() < static_cast<size_t>(num_shards)) {
+    s->shard_counts.resize(static_cast<size_t>(num_shards));
+  }
+  if (s->shard_buf.size() < static_cast<size_t>(num_shards)) {
+    s->shard_buf.resize(static_cast<size_t>(num_shards));
+  }
+  for (int i = 0; i < num_shards; ++i) {
+    s->shard_counts[static_cast<size_t>(i)].clear();
+    auto& buf = s->shard_buf[static_cast<size_t>(i)];
+    buf.clear();
+    buf.reserve(level.db.max_width());
+  }
   std::atomic<bool> exhausted{false};
   views.ScanShards(h, num_shards, [&](int shard, size_t lo, size_t hi) {
-    CountMap& counts = shard_counts[static_cast<size_t>(shard)];
-    std::vector<ItemId> buf;
-    Itemset scratch;
+    CountMap& counts = s->shard_counts[static_cast<size_t>(shard)];
+    std::vector<ItemId>& buf = s->shard_buf[static_cast<size_t>(shard)];
+    Itemset combo_scratch;
     const auto scan_range = [&](size_t range_lo, size_t range_hi) {
       for (size_t t = range_lo; t < range_hi; ++t) {
         if (exhausted.load(std::memory_order_relaxed)) return;
         buf.clear();
         for (ItemId item : level.db.Get(static_cast<TxnId>(t))) {
+          if (use_prefilter && !prefilter.MayContain(item)) continue;
           if (item < ok.size() && ok[item]) buf.push_back(item);
         }
         if (buf.size() < static_cast<size_t>(k)) continue;
-        ForEachCombination(buf, k, &scratch,
+        ForEachCombination(buf, k, &combo_scratch,
                            [&](const Itemset& combo) { ++counts[combo]; });
         if (counts.size() > config.max_candidates_per_cell) {
           exhausted.store(true, std::memory_order_relaxed);
@@ -131,12 +166,16 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   // merged map is re-checked against the cap per shard so it never
   // grows much past it; the per-shard maps themselves are each
   // bounded by the cap above (a tighter cap / num_shards bound would
-  // flag cells the serial path accepts, since shards overlap).
+  // flag cells the serial path accepts, since shards overlap). Shard
+  // 0's map doubles as the merge target for the single-shard case —
+  // iterated in place, not moved, so its buckets survive for reuse.
   CountMap merged;
+  const CountMap* merged_view = &merged;
   if (num_shards == 1) {
-    merged = std::move(shard_counts[0]);
+    merged_view = &s->shard_counts[0];
   } else {
-    for (CountMap& counts : shard_counts) {
+    for (int i = 0; i < num_shards; ++i) {
+      CountMap& counts = s->shard_counts[static_cast<size_t>(i)];
       for (const auto& [combo, count] : counts) {
         merged[combo] += count;
       }
@@ -146,16 +185,18 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
       }
     }
   }
-  if (merged.size() > config.max_candidates_per_cell) return overflow;
-  cs->generated = merged.size();
+  if (merged_view->size() > config.max_candidates_per_cell) {
+    return overflow;
+  }
+  cs->generated = merged_view->size();
 
   // Phase 2: keep combinations growable from an eligible parent that
   // pass the known-infrequent subset filter. (Combinations whose items
   // share a level-1 root generalize to fewer than k items and find no
   // parent record, so they drop out here.) Sorted emission keeps the
   // cell contents reproducible across thread counts and platforms.
-  std::vector<std::pair<Itemset, uint32_t>> entries(merged.begin(),
-                                                    merged.end());
+  std::vector<std::pair<Itemset, uint32_t>> entries(merged_view->begin(),
+                                                    merged_view->end());
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   candidates->clear();

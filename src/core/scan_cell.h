@@ -16,6 +16,7 @@
 
 #include <array>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -30,9 +31,29 @@
 namespace flipper {
 
 /// Expected number of k-subset probes of a level-h database scan,
-/// from the level's transaction-width histogram. The planner compares
-/// this against the cartesian children product to pick the strategy.
-double ScanEnumerationCost(const LevelViews& views, int h, int k);
+/// from the level's transaction-width histogram. `live_fraction` is
+/// the expected rate at which the per-transaction item filter keeps
+/// an item (participating items / level vocabulary): the enumeration
+/// runs over filtered transactions, so widths scale by it before the
+/// C(w, k) estimate. 1.0 reproduces the unfiltered upper bound. The
+/// planner compares this against the cartesian children product to
+/// pick the strategy.
+double ScanEnumerationCost(const LevelViews& views, int h, int k,
+                           double live_fraction = 1.0);
+
+/// Reusable state of the scan-driven cell: per-shard hash counters and
+/// item buffers, plus the flag vectors of the filtering passes. The
+/// pipeline keeps one instance alive across a run's scan cells, so a
+/// warm cell re-counts without reallocating its maps (unordered_map
+/// clear() keeps the bucket arrays).
+struct ScanCellScratch {
+  using CountMap = std::unordered_map<Itemset, uint32_t, ItemsetHash>;
+  std::vector<CountMap> shard_counts;
+  std::vector<std::vector<ItemId>> shard_buf;
+  std::vector<char> ok;
+  std::vector<char> scan_flags;
+  std::vector<ItemId> live_items;
+};
 
 /// Calls `fn(itemset)` for every k-combination of `items` (sorted
 /// ascending, duplicate-free), in lexicographic order. Iterative —
@@ -82,7 +103,11 @@ void ForEachCombination(std::span<const ItemId> items, int k,
 /// (sorted) with their exact `supports`; sets cs->generated and
 /// increments stats->db_scans / stats->scan_cell_scans — even when the
 /// scan bails mid-way with ResourceExhausted, since the I/O happened
-/// either way.
+/// either way. With config.enable_txn_prefilter the per-item filter is
+/// pre-screened through an ItemPrefilter over the participating items
+/// (exact: the bitset pass only rejects items the ok[] confirm pass
+/// would reject too). `scratch` (may be null for a one-shot call)
+/// carries the reusable shard buffers across cells.
 Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
                       const MiningConfig& config, int h, int k,
                       const Cell& parent_cell, const Cell* prev_in_row,
@@ -90,7 +115,8 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
                       std::span<const ItemId> freq_items,
                       std::vector<Itemset>* candidates,
                       std::vector<uint32_t>* supports, CellStats* cs,
-                      MiningStats* stats);
+                      MiningStats* stats,
+                      ScanCellScratch* scratch = nullptr);
 
 }  // namespace flipper
 

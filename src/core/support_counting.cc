@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -19,8 +20,8 @@ constexpr size_t kMinCandidatesPerShard = 64;
 
 class HorizontalCounter final : public SupportCounter {
  public:
-  HorizontalCounter(ThreadPool* pool, bool enable_segment_skipping)
-      : pool_(pool), skipping_(enable_segment_skipping) {}
+  HorizontalCounter(ThreadPool* pool, const CounterOptions& options)
+      : pool_(pool), options_(options) {}
 
   Status Count(LevelViews* views, int h,
                std::span<const Itemset> candidates,
@@ -29,8 +30,13 @@ class HorizontalCounter final : public SupportCounter {
     if (candidates.empty()) return Status::OK();
     const LevelData& level = views->Level(h);
     const SegmentCatalog* catalog =
-        skipping_ ? UsableCatalog(level.catalog.get(), level.db)
-                  : nullptr;
+        options_.enable_segment_skipping
+            ? UsableCatalog(level.catalog.get(), level.db)
+            : nullptr;
+    CountBatchOptions batch_options;
+    batch_options.trie = options_.trie;
+    batch_options.scratch = &scratch_;
+    batch_options.txns_prefiltered = &txns_prefiltered_;
 
     // The trie requires uniform arity. The mining engines always send
     // one arity, so the common path feeds the candidate span straight
@@ -42,7 +48,7 @@ class HorizontalCounter final : public SupportCounter {
                     });
     if (uniform) {
       CountBatchWithTrie(level.db, candidates, pool_, *supports, catalog,
-                         &segments_skipped_);
+                         &segments_skipped_, batch_options);
       ++num_db_scans_;
       return Status::OK();
     }
@@ -61,7 +67,7 @@ class HorizontalCounter final : public SupportCounter {
       for (uint32_t idx : group) batch.push_back(candidates[idx]);
       batch_supports.resize(batch.size());
       CountBatchWithTrie(level.db, batch, pool_, batch_supports, catalog,
-                         &segments_skipped_);
+                         &segments_skipped_, batch_options);
       ++num_db_scans_;
       for (size_t j = 0; j < group.size(); ++j) {
         (*supports)[group[j]] = batch_supports[j];
@@ -93,7 +99,9 @@ class HorizontalCounter final : public SupportCounter {
     // shards launch (the accounting stays single-threaded; the shards
     // only read the flags).
     const SegmentCatalog* catalog =
-        skipping_ ? UsableCatalog(level.catalog.get(), db) : nullptr;
+        options_.enable_segment_skipping
+            ? UsableCatalog(level.catalog.get(), db)
+            : nullptr;
     std::vector<char> scan_flags;
     std::span<const uint64_t> boundaries;
     if (catalog != nullptr) {
@@ -103,17 +111,36 @@ class HorizontalCounter final : public SupportCounter {
     }
 
     // Shared shard state: the trie is built here (read-only for the
-    // shards), each shard owns one private counter buffer.
+    // shards), each shard owns one private counter buffer and one
+    // counting scratch. The buffers are drawn from the counter's
+    // pooled scratch and returned by the finalize step, so
+    // consecutive counts of a row rebuild into warm arenas instead of
+    // allocating. Both moves run on the caller thread (StartCount /
+    // Join), so the pooling itself needs no synchronization; the
+    // workers only ever touch the state while SubmitBatch..Wait
+    // brackets them.
     struct ScanState {
-      explicit ScanState(std::span<const Itemset> batch) : trie(batch) {}
       CandidateTrie trie;
       std::vector<std::vector<uint32_t>> partial;
+      std::vector<CandidateTrie::CountScratch> per_shard;
       std::vector<char> scan_flags;
     };
-    auto state = std::make_shared<ScanState>(candidates);
+    auto state = std::make_shared<ScanState>();
+    state->trie = std::move(scratch_.trie);
+    state->partial = std::move(scratch_.partial);
+    state->per_shard = std::move(scratch_.per_shard);
+    state->trie.Build(candidates, options_.trie);
     state->scan_flags = std::move(scan_flags);
     const int num_shards = ShardCount(db.size(), pool_, kMinTxnsPerShard);
-    state->partial.resize(static_cast<size_t>(num_shards));
+    if (state->partial.size() < static_cast<size_t>(num_shards)) {
+      state->partial.resize(static_cast<size_t>(num_shards));
+    }
+    if (state->per_shard.size() < static_cast<size_t>(num_shards)) {
+      state->per_shard.resize(static_cast<size_t>(num_shards));
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      state->per_shard[static_cast<size_t>(s)].Reserve(db.max_width());
+    }
 
     std::vector<std::function<void()>> tasks;
     tasks.reserve(static_cast<size_t>(num_shards));
@@ -123,34 +150,50 @@ class HorizontalCounter final : public SupportCounter {
       tasks.push_back([state, &db, s, lo = lo, hi = hi, boundaries,
                        num_candidates] {
         auto& counts = state->partial[static_cast<size_t>(s)];
+        auto& cs = state->per_shard[static_cast<size_t>(s)];
         counts.assign(num_candidates, 0);
+        cs.txns_prefiltered = 0;
         ForEachScannableRange(
             boundaries, state->scan_flags, lo, hi,
             [&](size_t range_lo, size_t range_hi) {
               for (size_t t = range_lo; t < range_hi; ++t) {
                 state->trie.CountTransaction(
-                    db.Get(static_cast<TxnId>(t)), counts);
+                    db.Get(static_cast<TxnId>(t)), counts, &cs);
               }
             });
+        assert(cs.grow_events == 0 &&
+               "per-transaction allocation in the counting hot loop");
       });
     }
     ThreadPool::Completion completion = pool_->SubmitBatch(std::move(tasks));
-    return CountFuture(std::move(completion), [state, supports] {
-      std::fill(supports->begin(), supports->end(), 0u);
-      for (const auto& counts : state->partial) {
-        for (size_t i = 0; i < supports->size(); ++i) {
-          (*supports)[i] += counts[i];
-        }
-      }
-      return Status::OK();
-    });
+    return CountFuture(
+        std::move(completion), [this, state, supports, num_shards] {
+          std::fill(supports->begin(), supports->end(), 0u);
+          for (int s = 0; s < num_shards; ++s) {
+            const auto& counts = state->partial[static_cast<size_t>(s)];
+            for (size_t i = 0; i < supports->size(); ++i) {
+              (*supports)[i] += counts[i];
+            }
+            txns_prefiltered_ +=
+                state->per_shard[static_cast<size_t>(s)].txns_prefiltered;
+          }
+          // Return the warm buffers to the pool for the next count.
+          scratch_.trie = std::move(state->trie);
+          scratch_.partial = std::move(state->partial);
+          scratch_.per_shard = std::move(state->per_shard);
+          return Status::OK();
+        });
   }
 
   const char* name() const override { return "horizontal"; }
 
  private:
   ThreadPool* pool_;
-  bool skipping_;
+  CounterOptions options_;
+  /// Pooled trie arena + shard buffers, reused across counts (the
+  /// row-level reuse seam). Only touched from the thread driving
+  /// Count/StartCount/Join.
+  CountBatchScratch scratch_;
 };
 
 class VerticalCounter final : public SupportCounter {
@@ -286,7 +329,8 @@ void CountBatchWithTrie(const TransactionDb& db,
                         ThreadPool* pool,
                         std::span<uint32_t> supports,
                         const SegmentCatalog* catalog,
-                        uint64_t* segments_skipped) {
+                        uint64_t* segments_skipped,
+                        const CountBatchOptions& options) {
   std::fill(supports.begin(), supports.end(), 0u);
   catalog = UsableCatalog(catalog, db);
   std::vector<char> scan_flags;
@@ -296,48 +340,73 @@ void CountBatchWithTrie(const TransactionDb& db,
     boundaries = catalog->boundaries();
   }
 
-  const CandidateTrie trie(candidates);
-  const auto count_range = [&](std::span<uint32_t> counts, size_t lo,
+  CountBatchScratch local;
+  CountBatchScratch* s =
+      options.scratch != nullptr ? options.scratch : &local;
+  s->trie.Build(candidates, options.trie);
+  const int num_shards = ShardCount(db.size(), pool, kMinTxnsPerShard);
+  if (s->per_shard.size() < static_cast<size_t>(num_shards)) {
+    s->per_shard.resize(static_cast<size_t>(num_shards));
+  }
+  for (int i = 0; i < num_shards; ++i) {
+    auto& cs = s->per_shard[static_cast<size_t>(i)];
+    cs.Reserve(db.max_width());
+    cs.txns_prefiltered = 0;
+  }
+  const CandidateTrie& trie = s->trie;
+  const auto count_range = [&](std::span<uint32_t> counts,
+                               CandidateTrie::CountScratch* cs, size_t lo,
                                size_t hi) {
     ForEachScannableRange(
         boundaries, scan_flags, lo, hi,
         [&](size_t range_lo, size_t range_hi) {
           for (size_t t = range_lo; t < range_hi; ++t) {
-            trie.CountTransaction(db.Get(static_cast<TxnId>(t)), counts);
+            trie.CountTransaction(db.Get(static_cast<TxnId>(t)), counts,
+                                  cs);
           }
         });
   };
 
-  const int num_shards = ShardCount(db.size(), pool, kMinTxnsPerShard);
   if (num_shards <= 1) {
-    count_range(supports, 0, db.size());
-    return;
+    count_range(supports, &s->per_shard[0], 0, db.size());
+  } else {
+    // Private per-shard counters, merged in shard order. Addition is
+    // commutative, so the merge order only matters for determinism of
+    // overflow behaviour — cheap insurance either way.
+    if (s->partial.size() < static_cast<size_t>(num_shards)) {
+      s->partial.resize(static_cast<size_t>(num_shards));
+    }
+    ParallelFor(pool, 0, db.size(), num_shards,
+                [&](int shard, size_t lo, size_t hi) {
+                  auto& counts = s->partial[static_cast<size_t>(shard)];
+                  counts.assign(candidates.size(), 0);
+                  count_range(counts,
+                              &s->per_shard[static_cast<size_t>(shard)],
+                              lo, hi);
+                });
+    for (int shard = 0; shard < num_shards; ++shard) {
+      const auto& counts = s->partial[static_cast<size_t>(shard)];
+      for (size_t i = 0; i < supports.size(); ++i) {
+        supports[i] += counts[i];
+      }
+    }
   }
-  // Private per-shard counters, merged in shard order. Addition is
-  // commutative, so the merge order only matters for determinism of
-  // overflow behaviour — cheap insurance either way.
-  std::vector<std::vector<uint32_t>> partial(
-      static_cast<size_t>(num_shards));
-  ParallelFor(pool, 0, db.size(), num_shards,
-              [&](int shard, size_t lo, size_t hi) {
-                auto& counts = partial[static_cast<size_t>(shard)];
-                counts.assign(candidates.size(), 0);
-                count_range(counts, lo, hi);
-              });
-  for (const auto& counts : partial) {
-    for (size_t i = 0; i < supports.size(); ++i) {
-      supports[i] += counts[i];
+  for (int i = 0; i < num_shards; ++i) {
+    const auto& cs = s->per_shard[static_cast<size_t>(i)];
+    assert(cs.grow_events == 0 &&
+           "per-transaction allocation in the counting hot loop");
+    if (options.txns_prefiltered != nullptr) {
+      *options.txns_prefiltered += cs.txns_prefiltered;
     }
   }
 }
 
 std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
                                             ThreadPool* pool,
-                                            bool enable_segment_skipping) {
+                                            const CounterOptions& options) {
   switch (kind) {
     case CounterKind::kHorizontal:
-      return std::make_unique<HorizontalCounter>(pool,
-                                                 enable_segment_skipping);
+      return std::make_unique<HorizontalCounter>(pool, options);
     case CounterKind::kVertical:
       return std::make_unique<VerticalCounter>(pool);
   }

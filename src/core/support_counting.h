@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/candidate_trie.h"
 #include "core/config.h"
 #include "core/level_views.h"
 #include "data/itemset.h"
@@ -92,19 +93,47 @@ class SupportCounter {
   /// only; always 0 otherwise).
   uint64_t segments_skipped() const { return segments_skipped_; }
 
+  /// Transactions the candidate prefilter rejected before any trie
+  /// walk (horizontal counting with the txn prefilter enabled only;
+  /// always 0 otherwise). Sharding-independent: every transaction is
+  /// evaluated exactly once per scan.
+  uint64_t txns_prefiltered() const { return txns_prefiltered_; }
+
  protected:
   uint64_t num_db_scans_ = 0;
   uint64_t segments_skipped_ = 0;
+  uint64_t txns_prefiltered_ = 0;
+};
+
+/// Engine knobs beyond the kind itself.
+struct CounterOptions {
+  /// Consult level SegmentCatalogs to skip candidate-free segments
+  /// (horizontal only; exact either way).
+  bool enable_segment_skipping = false;
+  /// Trie layout / prefilter selection for the horizontal scans.
+  CandidateTrie::Options trie;
 };
 
 /// `pool` (optional, not owned, must outlive the counter) parallelizes
-/// each Count() call. With `enable_segment_skipping` the horizontal
-/// engine consults each level's SegmentCatalog to skip segments that
-/// cannot contain any candidate of the batch; supports are identical
-/// either way (the skip rule is exact).
+/// each Count() call. With `options.enable_segment_skipping` the
+/// horizontal engine consults each level's SegmentCatalog to skip
+/// segments that cannot contain any candidate of the batch; supports
+/// are identical either way (the skip rule is exact). The horizontal
+/// engine keeps one trie arena plus per-shard counter/scratch buffers
+/// alive across calls (the row-level reuse seam), which requires its
+/// StartCount futures to be joined one at a time — exactly the cell
+/// pipeline's sequential begin/finish discipline.
 std::unique_ptr<SupportCounter> MakeCounter(
+    CounterKind kind, ThreadPool* pool, const CounterOptions& options);
+
+/// Back-compat convenience overload.
+inline std::unique_ptr<SupportCounter> MakeCounter(
     CounterKind kind, ThreadPool* pool = nullptr,
-    bool enable_segment_skipping = false);
+    bool enable_segment_skipping = false) {
+  CounterOptions options;
+  options.enable_segment_skipping = enable_segment_skipping;
+  return MakeCounter(kind, pool, options);
+}
 
 /// `catalog` when it is usable for skipping over `db` — non-empty and
 /// with boundaries spanning exactly db.size() transactions — else
@@ -122,6 +151,32 @@ std::vector<char> SegmentScanFlags(const SegmentCatalog& catalog,
                                    std::span<const Itemset> candidates,
                                    uint64_t* skipped);
 
+/// Reusable state of one batch scan: the trie arena, the per-shard
+/// private counter buffers, and the per-shard counting scratches. A
+/// caller that keeps one instance across CountBatchWithTrie calls
+/// (e.g. across a row's cells) re-counts with zero hot-loop
+/// allocations once the buffers are warm.
+struct CountBatchScratch {
+  CandidateTrie trie;
+  /// Per-shard private counters (sharded scans only).
+  std::vector<std::vector<uint32_t>> partial;
+  /// Per-shard counting scratch (prefilter compaction buffers).
+  std::vector<CandidateTrie::CountScratch> per_shard;
+};
+
+/// Per-call knobs of CountBatchWithTrie beyond the positional
+/// arguments.
+struct CountBatchOptions {
+  /// Trie layout / prefilter selection for this scan.
+  CandidateTrie::Options trie;
+  /// Reused across calls when non-null (row-level trie reuse); a
+  /// private scratch is used otherwise. Must not be shared between
+  /// concurrent scans.
+  CountBatchScratch* scratch = nullptr;
+  /// Adds the number of prefilter-rejected transactions when non-null.
+  uint64_t* txns_prefiltered = nullptr;
+};
+
 /// One sharded trie-counting scan of `db` for a uniform-arity batch
 /// (all candidates the same size, distinct). Fills `supports[i]` with
 /// sup(candidates[i]). This is the horizontal engine's inner scan,
@@ -134,7 +189,8 @@ void CountBatchWithTrie(const TransactionDb& db,
                         ThreadPool* pool,
                         std::span<uint32_t> supports,
                         const SegmentCatalog* catalog = nullptr,
-                        uint64_t* segments_skipped = nullptr);
+                        uint64_t* segments_skipped = nullptr,
+                        const CountBatchOptions& options = {});
 
 }  // namespace flipper
 

@@ -1,0 +1,368 @@
+// CandidateTrie layouts and probe kernels: the flat SoA arena must
+// count exactly like the legacy layer layout (and like brute force)
+// for every option combination, including adversarial shapes — k = 1,
+// a single candidate, transactions shorter than k, duplicate-free
+// max-width transactions, and item ids >= 512 that alias in the
+// prefilter bitset. Plus: probe-kernel agreement with std::lower_bound,
+// exact memory accounting across layouts, scratch growth accounting,
+// and Build() arena reuse.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/candidate_trie.h"
+#include "core/support_counting.h"
+#include "data/transaction_db.h"
+#include "test_util.h"
+
+namespace flipper {
+namespace {
+
+const CandidateTrie::Options kOptionGrid[] = {
+    {/*flat=*/true, /*prefilter=*/true},
+    {/*flat=*/true, /*prefilter=*/false},
+    {/*flat=*/false, /*prefilter=*/true},
+    {/*flat=*/false, /*prefilter=*/false},
+};
+
+std::string OptionTag(const CandidateTrie::Options& options) {
+  return std::string(options.flat ? "flat" : "legacy") +
+         (options.prefilter ? "+prefilter" : "");
+}
+
+/// Counts `db` through a trie built with `options` and compares every
+/// candidate's support against the brute-force scan.
+void ExpectCountsMatchBruteForce(
+    const TransactionDb& db, const std::vector<Itemset>& candidates,
+    const CandidateTrie::Options& options) {
+  CandidateTrie trie(candidates, options);
+  CandidateTrie::CountScratch scratch;
+  scratch.Reserve(db.max_width());
+  std::vector<uint32_t> counts(candidates.size(), 0);
+  for (TxnId t = 0; t < db.size(); ++t) {
+    trie.CountTransaction(db.Get(t), counts, &scratch);
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(counts[i], db.CountSupport(candidates[i]))
+        << OptionTag(options) << " diverged on " << candidates[i].ToString();
+  }
+  EXPECT_EQ(scratch.grow_events, 0u);
+}
+
+class TrieLayoutProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrieLayoutProperty, AllLayoutsMatchBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 12; ++trial) {
+    TransactionDb db;
+    std::vector<ItemId> txn;
+    // Alphabet beyond the 512-bit prefilter width so bitset aliasing
+    // (ids that differ by a multiple of 512 share a bit) is routinely
+    // in play.
+    const ItemId alphabet = 700 + static_cast<ItemId>(rng.Below(600));
+    for (int t = 0; t < 250; ++t) {
+      txn.clear();
+      const int width = 1 + static_cast<int>(rng.Below(11));
+      for (int i = 0; i < width; ++i) {
+        txn.push_back(static_cast<ItemId>(rng.Below(alphabet)));
+      }
+      db.Add(txn);
+    }
+    const int k = 1 + static_cast<int>(rng.Below(5));
+    std::vector<Itemset> candidates;
+    std::unordered_set<Itemset, ItemsetHash> seen;
+    for (int c = 0; c < 80; ++c) {
+      Itemset s;
+      while (s.size() < k) {
+        // Half the candidates cluster on a narrow band so the
+        // prefilter actually rejects transactions.
+        const ItemId item =
+            c % 2 == 0 ? static_cast<ItemId>(rng.Below(alphabet))
+                       : static_cast<ItemId>(rng.Below(64));
+        s.Insert(item);
+      }
+      if (seen.insert(s).second) candidates.push_back(s);
+    }
+    for (const CandidateTrie::Options& options : kOptionGrid) {
+      ExpectCountsMatchBruteForce(db, candidates, options);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieLayoutProperty,
+                         ::testing::Values(11, 22, 33));
+
+TEST(CandidateTrie, EmptyCandidatesAllLayouts) {
+  for (const CandidateTrie::Options& options : kOptionGrid) {
+    CandidateTrie trie(std::span<const Itemset>{}, options);
+    EXPECT_EQ(trie.num_candidates(), 0u);
+    EXPECT_EQ(trie.num_nodes(), 0u);
+    const ItemId txn[] = {1, 2, 3};
+    trie.CountTransaction(txn);  // must not crash
+  }
+}
+
+TEST(CandidateTrie, SingleItemCandidates) {
+  // k = 1: the root layer doubles as the leaf layer.
+  std::vector<Itemset> candidates = {Itemset{3}, Itemset{1},
+                                     Itemset{600}};
+  const ItemId txn[] = {1, 2, 3, 600};
+  const ItemId missing[] = {0, 2, 4};
+  for (const CandidateTrie::Options& options : kOptionGrid) {
+    CandidateTrie trie(candidates, options);
+    EXPECT_EQ(trie.k(), 1);
+    EXPECT_EQ(trie.num_nodes(), 3u);
+    trie.CountTransaction(txn);
+    trie.CountTransaction(missing);
+    EXPECT_EQ(trie.CountOf(0), 1u) << OptionTag(options);
+    EXPECT_EQ(trie.CountOf(1), 1u) << OptionTag(options);
+    EXPECT_EQ(trie.CountOf(2), 1u) << OptionTag(options);
+  }
+}
+
+TEST(CandidateTrie, SingleCandidateAndShortTransactions) {
+  std::vector<Itemset> candidates = {Itemset{4, 9, 17}};
+  for (const CandidateTrie::Options& options : kOptionGrid) {
+    CandidateTrie trie(candidates, options);
+    const ItemId shorter[] = {4, 9};     // txn.size() < k
+    const ItemId exact[] = {4, 9, 17};   // the candidate itself
+    const ItemId super[] = {1, 4, 9, 12, 17, 30};
+    const ItemId wrong[] = {4, 9, 18};
+    trie.CountTransaction(shorter);
+    EXPECT_EQ(trie.CountOf(0), 0u) << OptionTag(options);
+    trie.CountTransaction(exact);
+    trie.CountTransaction(super);
+    trie.CountTransaction(wrong);
+    EXPECT_EQ(trie.CountOf(0), 2u) << OptionTag(options);
+  }
+}
+
+TEST(CandidateTrie, MaxWidthDuplicateFreeTransactions) {
+  // Candidates at the arity cap counted inside wide, duplicate-free
+  // transactions (every item distinct, k = kMaxItemsetSize).
+  Itemset full;
+  for (int i = 0; i < kMaxItemsetSize; ++i) {
+    full.PushBack(static_cast<ItemId>(i * 7));
+  }
+  std::vector<Itemset> candidates = {full, full.WithoutIndex(0)
+                                               .WithItem(1000)};
+  std::vector<ItemId> wide;
+  for (ItemId item = 0; item < 1200; ++item) wide.push_back(item);
+  // `wide` contains every multiple of 7 below 1200 plus 1000, so it
+  // covers both candidates.
+  for (const CandidateTrie::Options& options : kOptionGrid) {
+    CandidateTrie trie(candidates, options);
+    trie.CountTransaction(wide);
+    EXPECT_EQ(trie.CountOf(0), 1u) << OptionTag(options);
+    EXPECT_EQ(trie.CountOf(1), 1u) << OptionTag(options);
+  }
+}
+
+TEST(CandidateTrie, PrefilterBitsetAliasingIsExact) {
+  // Ids that differ by a multiple of 512 hash to the same prefilter
+  // bit (the multiplier is odd): 1000 = 488 + 512 aliases 488. A
+  // colliding non-candidate transaction item survives the bitset, is
+  // inside [min, max], and must then be rejected by the walk — never
+  // miscounted, never crashing.
+  std::vector<Itemset> candidates = {Itemset{488}, Itemset{2000}};
+  CandidateTrie::Options options;  // flat + prefilter
+  CandidateTrie trie(candidates, options);
+  ASSERT_TRUE(trie.options().prefilter);
+
+  const ItemId both[] = {488, 2000};
+  const ItemId collider[] = {1000};       // aliases 488, not a candidate
+  const ItemId out_of_range[] = {2512};   // aliases 2000, above max
+  trie.CountTransaction(both);
+  trie.CountTransaction(collider);
+  trie.CountTransaction(out_of_range);
+  EXPECT_EQ(trie.CountOf(0), 1u);
+  EXPECT_EQ(trie.CountOf(1), 1u);
+
+  // The same inputs through the unfiltered legacy trie agree.
+  CandidateTrie legacy(candidates, {/*flat=*/false, /*prefilter=*/false});
+  legacy.CountTransaction(both);
+  legacy.CountTransaction(collider);
+  legacy.CountTransaction(out_of_range);
+  EXPECT_EQ(legacy.CountOf(0), 1u);
+  EXPECT_EQ(legacy.CountOf(1), 1u);
+}
+
+TEST(CandidateTrie, PrefilterRejectionIsCountedAndExact) {
+  // Candidates on a narrow band; transactions mostly outside it.
+  std::vector<Itemset> candidates = {Itemset{10, 11}, Itemset{12, 13}};
+  CandidateTrie trie(candidates, {/*flat=*/true, /*prefilter=*/true});
+  CandidateTrie::CountScratch scratch;
+  scratch.Reserve(8);
+  std::vector<uint32_t> counts(candidates.size(), 0);
+  const ItemId far_away[] = {900, 901, 902};  // all outside [10, 13]
+  const ItemId partial[] = {10, 900, 901};    // 1 live item < k
+  const ItemId hit[] = {10, 11, 900};
+  trie.CountTransaction(far_away, counts, &scratch);
+  trie.CountTransaction(partial, counts, &scratch);
+  trie.CountTransaction(hit, counts, &scratch);
+  EXPECT_EQ(scratch.txns_prefiltered, 2u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(scratch.grow_events, 0u);
+}
+
+TEST(CandidateTrie, ScratchGrowthIsCountedOnce) {
+  std::vector<Itemset> candidates = {Itemset{1, 2}};
+  CandidateTrie trie(candidates, {/*flat=*/true, /*prefilter=*/true});
+  CandidateTrie::CountScratch scratch;  // deliberately not reserved
+  std::vector<uint32_t> counts(1, 0);
+  std::vector<ItemId> wide;
+  for (ItemId i = 0; i < 64; ++i) wide.push_back(i);
+  trie.CountTransaction(wide, counts, &scratch);
+  EXPECT_GT(scratch.grow_events, 0u);  // the un-warmed call grew
+  const uint64_t after_first = scratch.grow_events;
+  for (int round = 0; round < 100; ++round) {
+    trie.CountTransaction(wide, counts, &scratch);
+  }
+  // Warm scratch: no further per-transaction allocation.
+  EXPECT_EQ(scratch.grow_events, after_first);
+}
+
+TEST(CandidateTrie, MemoryAccountingIsExactAcrossLayouts) {
+  Rng rng(77);
+  std::vector<Itemset> candidates;
+  std::unordered_set<Itemset, ItemsetHash> seen;
+  while (candidates.size() < 200) {
+    Itemset s;
+    while (s.size() < 3) {
+      s.Insert(static_cast<ItemId>(rng.Below(60)));
+    }
+    if (seen.insert(s).second) candidates.push_back(s);
+  }
+
+  const CandidateTrie flat(candidates, {true, false});
+  const CandidateTrie flat_pf(candidates, {true, true});
+  const CandidateTrie legacy(candidates, {false, false});
+  ASSERT_EQ(flat.num_nodes(), legacy.num_nodes());
+  const auto nodes = static_cast<int64_t>(flat.num_nodes());
+  const auto leaves = static_cast<int64_t>(candidates.size());
+  const auto internal = nodes - leaves;
+  const int64_t counters = leaves * static_cast<int64_t>(sizeof(uint32_t));
+
+  // Flat: items column (4B/node) + child ranges (8B/internal) +
+  // leaf indexes (4B/leaf) + k+1 layer offsets + counters. Exact —
+  // the builder reserves precise sizes.
+  const int64_t expected_flat =
+      counters + nodes * 4 + internal * 8 + leaves * 4 + (3 + 1) * 4;
+  EXPECT_EQ(flat.MemoryBytes(), expected_flat);
+
+  // The prefilter adds exactly its bitset block.
+  EXPECT_EQ(flat_pf.MemoryBytes(),
+            expected_flat + CandidateTrie::PrefilterMemoryBytes());
+
+  // Legacy: 16B AoS nodes + counters, also reserved exactly; the two
+  // accountings must agree modulo the per-node layout delta.
+  const int64_t expected_legacy = counters + nodes * 16;
+  EXPECT_EQ(legacy.MemoryBytes(), expected_legacy);
+  EXPECT_EQ(legacy.MemoryBytes() - flat.MemoryBytes(),
+            nodes * 16 - (nodes * 4 + internal * 8 + leaves * 4 + 16));
+}
+
+TEST(CandidateTrie, BuildReusesArenaAndStaysCorrect) {
+  Rng rng(99);
+  CandidateTrie reused;  // rebuilt in place across "cells"
+  for (int round = 0; round < 6; ++round) {
+    const int k = 1 + round % 4;
+    std::vector<Itemset> candidates;
+    std::unordered_set<Itemset, ItemsetHash> seen;
+    // Stay well below C(50, k) so the distinct-candidate collection
+    // loop always terminates (50 possible singletons at k = 1).
+    const size_t want = k == 1 ? 35 : 150 - static_cast<size_t>(round) * 20;
+    while (candidates.size() < want) {
+      Itemset s;
+      while (s.size() < k) {
+        s.Insert(static_cast<ItemId>(rng.Below(50)));
+      }
+      if (seen.insert(s).second) candidates.push_back(s);
+    }
+    TransactionDb db;
+    std::vector<ItemId> txn;
+    for (int t = 0; t < 120; ++t) {
+      txn.clear();
+      for (int i = 0; i < 8; ++i) {
+        txn.push_back(static_cast<ItemId>(rng.Below(50)));
+      }
+      db.Add(txn);
+    }
+
+    reused.Build(candidates, CandidateTrie::Options{});
+    const CandidateTrie fresh(candidates);
+    std::vector<uint32_t> reused_counts(candidates.size(), 0);
+    std::vector<uint32_t> fresh_counts(candidates.size(), 0);
+    CandidateTrie::CountScratch scratch;
+    scratch.Reserve(db.max_width());
+    for (TxnId t = 0; t < db.size(); ++t) {
+      reused.CountTransaction(db.Get(t), reused_counts, &scratch);
+      fresh.CountTransaction(db.Get(t), fresh_counts);
+    }
+    EXPECT_EQ(reused_counts, fresh_counts) << "round " << round;
+    // Rebuilding keeps capacity, so accounting never shrinks below
+    // the fresh trie's exact footprint.
+    EXPECT_GE(reused.MemoryBytes(), fresh.MemoryBytes());
+  }
+}
+
+TEST(ProbeKernels, AgreeWithStdLowerBound) {
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.Below(300));
+    std::vector<ItemId> items(n);
+    ItemId next = static_cast<ItemId>(rng.Below(16));
+    for (auto& item : items) {
+      next += static_cast<ItemId>(rng.Below(6));  // dups allowed
+      item = next;
+    }
+    const auto lo = static_cast<uint32_t>(rng.Below(n));
+    const ItemId target = static_cast<ItemId>(rng.Below(next + 10));
+    const auto expected = static_cast<uint32_t>(
+        std::lower_bound(items.begin() + lo, items.end(), target) -
+        items.begin());
+    EXPECT_EQ(trie_probe::LowerBoundScalar(items.data(), lo, n, target),
+              expected);
+    EXPECT_EQ(trie_probe::LowerBoundPackedPortable(items.data(), lo, n,
+                                                   target),
+              expected);
+    EXPECT_EQ(trie_probe::LowerBoundPacked(items.data(), lo, n, target),
+              expected);
+    EXPECT_EQ(trie_probe::LowerBoundGallop(items.data(), lo, n, target),
+              expected);
+  }
+  EXPECT_NE(trie_probe::PackedKernelName(), nullptr);
+}
+
+TEST(ProbeKernels, LargeIdsUseUnsignedOrdering) {
+  // Ids above 2^31 would invert under a naive signed SIMD compare;
+  // the kernels bias them back to unsigned order.
+  std::vector<ItemId> items = {1,          5,          100,
+                               0x7fffffff, 0x80000001, 0xfffffffe};
+  const auto n = static_cast<uint32_t>(items.size());
+  for (const ItemId target :
+       {ItemId{0}, ItemId{6}, ItemId{0x7fffffff}, ItemId{0x80000000},
+        ItemId{0xfffffffe}, ItemId{0xffffffff}}) {
+    const auto expected = static_cast<uint32_t>(
+        std::lower_bound(items.begin(), items.end(), target) -
+        items.begin());
+    EXPECT_EQ(trie_probe::LowerBoundScalar(items.data(), 0, n, target),
+              expected);
+    EXPECT_EQ(trie_probe::LowerBoundPackedPortable(items.data(), 0, n,
+                                                   target),
+              expected);
+    EXPECT_EQ(trie_probe::LowerBoundPacked(items.data(), 0, n, target),
+              expected)
+        << "target " << target;
+    EXPECT_EQ(trie_probe::LowerBoundGallop(items.data(), 0, n, target),
+              expected);
+  }
+}
+
+}  // namespace
+}  // namespace flipper

@@ -114,6 +114,8 @@ MiningConfig RandomConfig(Rng* rng) {
   config.enable_scan_cells = rng->Bernoulli(0.7);
   config.enable_pipelining = rng->Bernoulli(0.7);
   config.enable_segment_skipping = rng->Bernoulli(0.75);
+  config.enable_flat_trie = rng->Bernoulli(0.7);
+  config.enable_txn_prefilter = rng->Bernoulli(0.7);
   return config;
 }
 
@@ -134,7 +136,9 @@ std::string DescribeConfig(const MiningConfig& config) {
          " scan_cells=" + std::to_string(config.enable_scan_cells) +
          " pipelining=" + std::to_string(config.enable_pipelining) +
          " skipping=" +
-         std::to_string(config.enable_segment_skipping);
+         std::to_string(config.enable_segment_skipping) +
+         " flat_trie=" + std::to_string(config.enable_flat_trie) +
+         " prefilter=" + std::to_string(config.enable_txn_prefilter);
 }
 
 /// Runs one round; returns the oracle's pattern count so the suite
@@ -214,6 +218,11 @@ size_t RunRound(uint64_t seed) {
       if (!run_config.enable_segment_skipping) {
         EXPECT_EQ(run->stats.segments_skipped, 0u)
             << source.name << " skipped segments with skipping disabled";
+      }
+      if (!run_config.enable_txn_prefilter) {
+        EXPECT_EQ(run->stats.txns_prefiltered, 0u)
+            << source.name
+            << " prefiltered transactions with the prefilter disabled";
       }
     }
   }

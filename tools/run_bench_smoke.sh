@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Bench smoke: build Release (unless handed an already-built binary via
+# --bench, as the `bench_smoke` CTest does), run bench_micro at a small
+# scale, and validate that bench_results/bench_micro.json parses and
+# contains the perf-trajectory cases this repo tracks — in particular
+# the trie_flat_vs_legacy, txn_prefilter, trie_probe_kernels and
+# row_trie_reuse series with non-zero measurements.
+#
+# Usage:
+#   tools/run_bench_smoke.sh                 # configure+build, then run
+#   tools/run_bench_smoke.sh --bench <path>  # run this binary directly
+#
+# FLIPPER_BENCH_SCALE (default 0.05 here) shrinks the workloads so the
+# smoke stays CI-sized; rerun without it for real numbers.
+set -euo pipefail
+
+BENCH_BIN=""
+if [[ "${1:-}" == "--bench" ]]; then
+  BENCH_BIN="${2:?--bench needs a path}"
+fi
+
+export FLIPPER_BENCH_SCALE="${FLIPPER_BENCH_SCALE:-0.05}"
+
+if [[ -z "$BENCH_BIN" ]]; then
+  cd "$(dirname "$0")/.."
+  BUILD_DIR=build
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro
+  cd "$BUILD_DIR"
+  BENCH_BIN=./bench_micro
+fi
+
+"$BENCH_BIN"
+
+JSON=bench_results/bench_micro.json
+if [[ ! -f "$JSON" ]]; then
+  echo "bench smoke FAILED: $JSON was not written" >&2
+  exit 1
+fi
+
+# Validation: parse the JSON and check the tracked cases exist with
+# non-zero measurements. python3 when available, a grep fallback
+# otherwise (the repo vendors no JSON parser).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$JSON" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+cases = {c["name"]: c for c in doc["cases"]}
+required_prefixes = [
+    "trie_flat_vs_legacy",
+    "txn_prefilter",
+    "trie_probe_kernels",
+    "row_trie_reuse",
+    "horizontal_scan_threads_1",
+]
+failures = []
+for prefix in required_prefixes:
+    hits = [c for name, c in cases.items() if name.startswith(prefix)]
+    if not hits:
+        failures.append(f"no case named {prefix}*")
+        continue
+    if all(c.get("median_ms", 0) <= 0 or c.get("rows_per_sec", 0) <= 0
+           for c in hits):
+        failures.append(f"{prefix}*: every case measured zero")
+
+pf = [c for name, c in cases.items() if name == "txn_prefilter_on"]
+if pf and pf[0].get("txns_prefiltered", 0) <= 0:
+    failures.append("txn_prefilter_on: txns_prefiltered is zero")
+
+if failures:
+    print("bench smoke FAILED:")
+    for f in failures:
+        print(" -", f)
+    sys.exit(1)
+print(f"bench smoke OK: {len(cases)} cases validated")
+EOF
+else
+  echo "python3 unavailable; falling back to grep validation" >&2
+  for prefix in trie_flat_vs_legacy txn_prefilter trie_probe_kernels \
+                row_trie_reuse; do
+    if ! grep -q "\"name\": \"$prefix" "$JSON"; then
+      echo "bench smoke FAILED: no case named $prefix*" >&2
+      exit 1
+    fi
+  done
+  echo "bench smoke OK (grep validation)"
+fi

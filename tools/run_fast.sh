@@ -2,10 +2,13 @@
 # Developer inner loop: build and run every suite except the
 # randomized fuzz harnesses (`ctest -LE fuzz`). The fuzz label stays in
 # the full `ctest` run and in CI; this script is for quick iteration.
+# New suites are picked up automatically (tests/*_test.cc are globbed
+# into ctest); the `bench` label (the bench_micro smoke) stays in this
+# run too — it is CI-sized via FLIPPER_BENCH_SCALE.
 #
 # Usage: tools/run_fast.sh [label]
 #   label — optional ctest label to restrict to (unit, storage,
-#           parallel, e2e); default runs everything but fuzz.
+#           parallel, e2e, bench); default runs everything but fuzz.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -10,10 +10,13 @@ BUILD_DIR=build-tsan
 
 # The parallel suites (storage_test mines borrowed mmap views at 4
 # threads; segment_skipping_test and the fuzz harness drive the
-# catalog-guided sharded scans); everything else is single-threaded
-# and only slows the instrumented run down.
+# catalog-guided sharded scans; trie_invariance_test exercises the
+# flat-trie/prefilter grid and the counter's pooled trie reuse across
+# async counts); everything else is single-threaded and only slows
+# the instrumented run down.
 SUITES=(thread_pool_test parallel_counting_test cell_pipeline_test
-        storage_test segment_skipping_test fuzz_differential_test)
+        storage_test segment_skipping_test fuzz_differential_test
+        trie_invariance_test)
 
 # Instrumented fuzz rounds are ~20x slower; a few are enough to race-
 # check the catalog paths (override by exporting FLIPPER_FUZZ_ITERS).
