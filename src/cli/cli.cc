@@ -18,6 +18,7 @@
 #include "datagen/quest_gen.h"
 #include "datagen/taxonomy_gen.h"
 #include "flipper.h"
+#include "storage/recovery.h"
 #include "storage/store_reader.h"
 #include "storage/store_writer.h"
 
@@ -544,6 +545,154 @@ int ConvertCommand(const std::vector<const char*>& argv,
   return 0;
 }
 
+// --- validate / repair ------------------------------------------------
+
+/// Renders a diagnosis finding list as aligned, offset-bearing lines.
+void PrintFindings(const storage::Diagnosis& diagnosis,
+                   std::ostream& out) {
+  for (const storage::Finding& f : diagnosis.findings) {
+    out << "  " << (f.ok ? "ok  " : "BAD ") << f.section << " @ ["
+        << f.offset << ", " << f.offset + f.size << "): " << f.detail
+        << "\n";
+  }
+}
+
+/// Maps a repair plan to the `validate` exit code contract:
+/// 0 = valid, 1 = corrupt but repairable, 3 = unrecoverable.
+int ValidateExitCode(const storage::RepairPlan& plan) {
+  switch (plan.action) {
+    case storage::RepairPlan::Action::kNone:
+      return 0;
+    case storage::RepairPlan::Action::kTruncateTail:
+    case storage::RepairPlan::Action::kRewriteFrontHeader:
+      return 1;
+    case storage::RepairPlan::Action::kUnrecoverable:
+      return 3;
+  }
+  return 3;
+}
+
+int ValidateCommand(const std::vector<const char*>& argv,
+                    std::ostream& out, std::ostream& err) {
+  ArgParser args(
+      "flipper_cli validate",
+      "Deep-check a FlipperStore (.fdb) file: headers, commit trailer, "
+      "section table, per-section checksums and payload validation, "
+      "with byte offsets for every problem found.\n"
+      "\n"
+      "exit codes: 0 = valid, 1 = corrupt but repairable (see "
+      "`flipper_cli repair`), 2 = usage or I/O error, 3 = corrupt and "
+      "unrecoverable.");
+  args.AddPositional("store", "the .fdb file to validate");
+  args.AddSwitch("quiet", "suppress the per-region findings, print only "
+                          "the verdict");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+
+  const std::string& path = args.GetPositional("store");
+  auto diagnosis = storage::DiagnoseStore(path);
+  if (!diagnosis.ok()) {
+    err << "error: " << diagnosis.status() << "\n";
+    return 2;
+  }
+  const storage::RepairPlan& plan = diagnosis->plan;
+  if (diagnosis->valid) {
+    out << path << ": valid (" << plan.physical_size
+        << " bytes, all checksums and payload validation pass)\n";
+  } else if (plan.action ==
+             storage::RepairPlan::Action::kUnrecoverable) {
+    out << path << ": UNRECOVERABLE — " << plan.detail << "\n";
+  } else {
+    out << path << ": corrupt but repairable — " << plan.detail
+        << " (" << plan.committed_size << " of " << plan.physical_size
+        << " bytes committed; run `flipper_cli repair " << path
+        << " --apply`)\n";
+  }
+  if (!args.GetSwitch("quiet")) PrintFindings(*diagnosis, out);
+  return ValidateExitCode(plan);
+}
+
+int RepairCommand(const std::vector<const char*>& argv, std::ostream& out,
+                  std::ostream& err) {
+  ArgParser args(
+      "flipper_cli repair",
+      "Restore a crash-torn FlipperStore (.fdb) to its last committed "
+      "state: truncate a torn append tail, or redo a front-header "
+      "rewrite from the commit trailer. Dry-run by default — nothing "
+      "is modified unless --apply is given. Repair never invents "
+      "data; a file with no committed state is refused.");
+  args.AddPositional("store", "the .fdb file to repair");
+  args.AddSwitch("apply", "perform the repair (default: dry run, "
+                          "print what would be done)");
+  args.AddSwitch("dry-run",
+                 "explicitly request the default dry-run behavior");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+  if (args.GetSwitch("apply") && args.GetSwitch("dry-run")) {
+    err << "error: --apply and --dry-run are mutually exclusive\n";
+    return 2;
+  }
+
+  const std::string& path = args.GetPositional("store");
+  auto plan = storage::AnalyzeStore(path);
+  if (!plan.ok()) {
+    err << "error: " << plan.status() << "\n";
+    return 2;
+  }
+  switch (plan->action) {
+    case storage::RepairPlan::Action::kNone:
+      out << path << ": already clean (" << plan->committed_size
+          << " bytes committed); nothing to do\n";
+      return 0;
+    case storage::RepairPlan::Action::kUnrecoverable:
+      err << "error: " << path << " is unrecoverable: " << plan->detail
+          << "\n";
+      return 3;
+    case storage::RepairPlan::Action::kTruncateTail:
+      out << path << ": " << plan->detail << "\n  "
+          << (args.GetSwitch("apply") ? "truncating" : "would truncate")
+          << " " << plan->torn_bytes << " torn bytes, keeping the "
+          << plan->committed_size << " committed bytes\n";
+      break;
+    case storage::RepairPlan::Action::kRewriteFrontHeader:
+      out << path << ": " << plan->detail << "\n  "
+          << (args.GetSwitch("apply") ? "rewriting" : "would rewrite")
+          << " the front header from the commit trailer ("
+          << plan->committed_size << " bytes committed)\n";
+      break;
+  }
+  if (!args.GetSwitch("apply")) {
+    out << "  dry run: nothing modified (pass --apply to repair)\n";
+    return 0;
+  }
+  Status applied = storage::ApplyRepair(path, *plan);
+  if (!applied.ok()) {
+    err << "error: " << applied << "\n";
+    return 1;
+  }
+  out << "  repaired: " << path << " now opens clean ("
+      << plan->committed_size << " bytes)\n";
+  return 0;
+}
+
 // --- inspect ----------------------------------------------------------
 
 int InspectCommand(const std::vector<const char*>& argv,
@@ -568,6 +717,22 @@ int InspectCommand(const std::vector<const char*>& argv,
   auto reader = storage::StoreReader::Open(path);
   if (!reader.ok()) {
     err << "error: " << reader.status() << "\n";
+    // A failed open is where a diagnosis is most useful: say *which*
+    // region is bad and whether repair can help, not just that the
+    // open failed.
+    auto diagnosis = storage::DiagnoseStore(path);
+    if (diagnosis.ok()) {
+      err << "diagnosis:\n";
+      PrintFindings(*diagnosis, err);
+      const storage::RepairPlan& plan = diagnosis->plan;
+      if (plan.action == storage::RepairPlan::Action::kTruncateTail ||
+          plan.action ==
+              storage::RepairPlan::Action::kRewriteFrontHeader) {
+        err << "the last committed state (" << plan.committed_size
+            << " bytes) is intact: run `flipper_cli repair " << path
+            << " --apply` to restore it\n";
+      }
+    }
     return 1;
   }
   const storage::FileHeader& h = reader->header();
@@ -759,6 +924,8 @@ constexpr char kTopLevelHelp[] =
     "  flipper_cli convert --from-fdb <in.fdb> <out.fdb> "
     "[--store-version N]\n"
     "  flipper_cli inspect <data.fdb>\n"
+    "  flipper_cli validate <data.fdb>\n"
+    "  flipper_cli repair <data.fdb> [--apply]\n"
     "  flipper_cli datagen <scenario> <out.fdb>\n"
     "  flipper_cli <basket> <taxonomy> [flags]   (legacy: mine)\n"
     "\n"
@@ -784,6 +951,12 @@ int RunFlipperCli(int argc, const char* const* argv, std::ostream& out,
     }
     if (command == "inspect") {
       return InspectCommand(sub_argv("flipper_cli inspect"), out, err);
+    }
+    if (command == "validate") {
+      return ValidateCommand(sub_argv("flipper_cli validate"), out, err);
+    }
+    if (command == "repair") {
+      return RepairCommand(sub_argv("flipper_cli repair"), out, err);
     }
     if (command == "datagen") {
       return DatagenCommand(sub_argv("flipper_cli datagen"), out, err);

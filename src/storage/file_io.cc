@@ -1,0 +1,363 @@
+#include "storage/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FLIPPER_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <filesystem>
+#endif
+
+namespace flipper {
+namespace storage {
+
+Status IoErrnoError(const std::string& what, const std::string& path) {
+  const int err = errno;
+  std::string msg = what + ": " + path;
+  if (err != 0) {
+    msg += " (";
+    msg += std::strerror(err);
+    msg += ", errno ";
+    msg += std::to_string(err);
+    msg += ")";
+  }
+  return Status::IoError(std::move(msg));
+}
+
+namespace {
+
+/// Directory component of `path` ("." when there is none), for
+/// SyncDir.
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// --- POSIX implementation (stdio buffering + fsync). ---
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(const void* data, size_t size) override {
+    if (size == 0) return Status::OK();
+    if (std::fwrite(data, 1, size, file_) != size) {
+      return IoErrnoError("write failed", path_);
+    }
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t size) override {
+    // Flush around the seek so buffered appends land before the
+    // overwrite and the append position is restored afterwards.
+    if (std::fflush(file_) != 0) {
+      return IoErrnoError("flush failed", path_);
+    }
+    const auto saved = FileTell();
+    if (saved < 0) return IoErrnoError("tell failed", path_);
+    if (FileSeek(static_cast<int64_t>(offset)) != 0) {
+      return IoErrnoError("seek failed", path_);
+    }
+    if (size > 0 && std::fwrite(data, 1, size, file_) != size) {
+      return IoErrnoError("write failed", path_);
+    }
+    if (std::fflush(file_) != 0) {
+      return IoErrnoError("flush failed", path_);
+    }
+    if (FileSeek(saved) != 0) {
+      return IoErrnoError("seek failed", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (std::fflush(file_) != 0) {
+      return IoErrnoError("flush failed", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    FLIPPER_RETURN_IF_ERROR(Flush());
+#if FLIPPER_HAVE_POSIX_IO
+    if (::fsync(fileno(file_)) != 0) {
+      return IoErrnoError("fsync failed", path_);
+    }
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) {
+      return IoErrnoError("close failed", path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int64_t FileTell() {
+#if FLIPPER_HAVE_POSIX_IO
+    return static_cast<int64_t>(::ftello(file_));
+#else
+    return static_cast<int64_t>(std::ftell(file_));
+#endif
+  }
+  int FileSeek(int64_t offset) {
+#if FLIPPER_HAVE_POSIX_IO
+    return ::fseeko(file_, static_cast<off_t>(offset), SEEK_SET);
+#else
+    return std::fseek(file_, static_cast<long>(offset), SEEK_SET);
+#endif
+  }
+
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) override {
+    // "r+b" (append mode starts at the existing end, but never
+    // creates) keeps accidental creation of a store we meant to
+    // append to an explicit error.
+    std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "r+b");
+    if (f == nullptr) {
+      return IoErrnoError("cannot open for writing", path);
+    }
+#if FLIPPER_HAVE_POSIX_IO
+    const bool seek_failed = !truncate && ::fseeko(f, 0, SEEK_END) != 0;
+#else
+    const bool seek_failed = !truncate && std::fseek(f, 0, SEEK_END) != 0;
+#endif
+    if (seek_failed) {
+      Status seek = IoErrnoError("seek failed", path);
+      std::fclose(f);
+      return seek;
+    }
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(f, path));
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+#if FLIPPER_HAVE_POSIX_IO
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return IoErrnoError("cannot stat", path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+#else
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status::IoError("cannot stat: " + path + " (" +
+                             ec.message() + ")");
+    }
+    return static_cast<uint64_t>(size);
+#endif
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return IoErrnoError("rename to " + to + " failed", from);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return IoErrnoError("remove failed", path);
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+#if FLIPPER_HAVE_POSIX_IO
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return IoErrnoError(
+          "truncate to " + std::to_string(size) + " bytes failed", path);
+    }
+    return Status::OK();
+#else
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    if (ec) {
+      return Status::IoError("truncate to " + std::to_string(size) +
+                             " bytes failed: " + path + " (" +
+                             ec.message() + ")");
+    }
+    return Status::OK();
+#endif
+  }
+
+  Status SyncDir(const std::string& path) override {
+#if FLIPPER_HAVE_POSIX_IO
+    const std::string dir = DirnameOf(path);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return IoErrnoError("cannot open directory", dir);
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    // Some filesystems refuse to fsync a directory handle; the rename
+    // is still ordered by the later data fsyncs there.
+    if (rc != 0 && err != EINVAL && err != EBADF) {
+      errno = err;
+      return IoErrnoError("fsync of directory failed", dir);
+    }
+#else
+    (void)path;
+#endif
+    return Status::OK();
+  }
+};
+
+Status InjectedFault(const std::string& what, const std::string& path) {
+  return Status::IoError("injected fault: " + what + ": " + path);
+}
+
+}  // namespace
+
+/// The WritableFile decorator behind FaultInjectingFileSystem. Every
+/// admitted byte is flushed through to the base file immediately, so
+/// the on-disk prefix equals bytes_written() even when the fault
+/// model forbids a clean Close().
+class FaultFile : public WritableFile {
+ public:
+  FaultFile(FaultInjectingFileSystem* fs,
+            std::unique_ptr<WritableFile> base, std::string path)
+      : fs_(fs), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(const void* data, size_t size) override {
+    return Admit(data, size, /*positioned=*/false, 0);
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t size) override {
+    return Admit(data, size, /*positioned=*/true, offset);
+  }
+
+  Status Flush() override {
+    FLIPPER_RETURN_IF_ERROR(WriteGuard());
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    FLIPPER_RETURN_IF_ERROR(WriteGuard());
+    const uint64_t index = fs_->syncs_++;
+    if (index == fs_->plan_.sync_budget) {
+      fs_->triggered_ = true;
+      return InjectedFault("fsync failed", path_);
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    FLIPPER_RETURN_IF_ERROR(fs_->CrashGuard());
+    return base_->Close();
+  }
+
+ private:
+  /// Writes fail once the fault has triggered, in either mode.
+  Status WriteGuard() const {
+    FLIPPER_RETURN_IF_ERROR(fs_->CrashGuard());
+    if (fs_->triggered_) return InjectedFault("write stream dead", path_);
+    return Status::OK();
+  }
+
+  Status Admit(const void* data, size_t size, bool positioned,
+               uint64_t offset) {
+    FLIPPER_RETURN_IF_ERROR(WriteGuard());
+    const uint64_t budget = fs_->plan_.write_budget;
+    const uint64_t room =
+        budget > fs_->bytes_written_ ? budget - fs_->bytes_written_ : 0;
+    const uint64_t admitted = size <= room ? size : room;
+    if (admitted > 0) {
+      FLIPPER_RETURN_IF_ERROR(
+          positioned ? base_->WriteAt(offset, data, admitted)
+                     : base_->Append(data, admitted));
+      // Push the admitted prefix to the OS now; after a trigger no
+      // clean Close() will run to do it.
+      FLIPPER_RETURN_IF_ERROR(base_->Flush());
+      fs_->bytes_written_ += admitted;
+    }
+    if (admitted < size) {
+      fs_->triggered_ = true;
+      return InjectedFault(
+          "write stream killed after " +
+              std::to_string(fs_->bytes_written_) + " bytes",
+          path_);
+    }
+    return Status::OK();
+  }
+
+  FaultInjectingFileSystem* fs_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+FileSystem* FileSystem::Default() {
+  static PosixFileSystem* fs = new PosixFileSystem();
+  return fs;
+}
+
+Status FaultInjectingFileSystem::CrashGuard() const {
+  if (triggered_ && plan_.mode == FaultMode::kCrash) {
+    return Status::IoError(
+        "injected fault: filesystem dead (simulated crash)");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>>
+FaultInjectingFileSystem::OpenWritable(const std::string& path,
+                                       bool truncate) {
+  FLIPPER_RETURN_IF_ERROR(CrashGuard());
+  FLIPPER_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                           base_->OpenWritable(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      new FaultFile(this, std::move(base), path));
+}
+
+Result<uint64_t> FaultInjectingFileSystem::FileSize(
+    const std::string& path) {
+  FLIPPER_RETURN_IF_ERROR(CrashGuard());
+  return base_->FileSize(path);
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  FLIPPER_RETURN_IF_ERROR(CrashGuard());
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFileSystem::Remove(const std::string& path) {
+  FLIPPER_RETURN_IF_ERROR(CrashGuard());
+  return base_->Remove(path);
+}
+
+Status FaultInjectingFileSystem::Truncate(const std::string& path,
+                                          uint64_t size) {
+  FLIPPER_RETURN_IF_ERROR(CrashGuard());
+  return base_->Truncate(path, size);
+}
+
+Status FaultInjectingFileSystem::SyncDir(const std::string& path) {
+  FLIPPER_RETURN_IF_ERROR(CrashGuard());
+  return base_->SyncDir(path);
+}
+
+}  // namespace storage
+}  // namespace flipper

@@ -1,0 +1,163 @@
+// file_io: the seam between the store write path and the operating
+// system. Everything that mutates a .fdb on disk — StoreWriter,
+// repair — goes through a FileSystem, so tests can substitute
+// FaultInjectingFileSystem and kill the write stream at any byte
+// offset (crash_recovery_test sweeps every offset of a commit).
+//
+// WritableFile models a buffered sequential writer with one random
+// write primitive (WriteAt, used for the front-header rewrite of the
+// commit protocol) and an explicit durability point (Sync -> fsync).
+// FileSystem adds the metadata operations a crash-safe commit needs:
+// atomic Rename (temp file -> final path), Remove (error-path
+// cleanup), Truncate (repair / append rollback) and SyncDir (making a
+// rename durable).
+//
+// Error Statuses from the POSIX implementation always carry the errno
+// text and the path ("cannot open for writing: /x/y.fdb (No such
+// file or directory, errno 2)"), so a failed ingest names the actual
+// file and cause.
+
+#ifndef FLIPPER_STORAGE_FILE_IO_H_
+#define FLIPPER_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace flipper {
+namespace storage {
+
+/// Builds an IoError Status as "<what>: <path> (<strerror>, errno N)"
+/// from the current `errno` (omits the parenthetical when errno is 0).
+/// Call immediately after the failing syscall, before anything else
+/// can clobber errno.
+Status IoErrnoError(const std::string& what, const std::string& path);
+
+/// A file open for writing. Append() adds bytes at the end of the
+/// stream; WriteAt() overwrites in place without moving the append
+/// position. Writes may be buffered: nothing is guaranteed on disk
+/// until Sync() returns OK. Close() flushes; destruction without
+/// Close() abandons the handle (best-effort close, errors ignored).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const void* data, size_t size) = 0;
+  virtual Status WriteAt(uint64_t offset, const void* data,
+                         size_t size) = 0;
+  /// Pushes buffered bytes to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+  /// Flush + fsync: bytes written so far survive a crash after OK.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The filesystem operations the write path needs. `Default()` is the
+/// process-wide POSIX implementation; tests inject faults by passing
+/// their own instance wherever a `FileSystem*` is accepted (everywhere
+/// a null pointer means Default()).
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for writing. With `truncate` the file is created or
+  /// emptied; without it the file must exist and the append position
+  /// starts at its current end.
+  virtual Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  /// fsyncs the directory containing `path`, making a completed
+  /// Rename/Remove of that entry durable. No-op where unsupported.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  static FileSystem* Default();
+};
+
+/// Resolves the convention used across the write path: a null
+/// FileSystem pointer means the real one.
+inline FileSystem* ResolveFileSystem(FileSystem* fs) {
+  return fs != nullptr ? fs : FileSystem::Default();
+}
+
+/// What a FaultInjectingFileSystem does once its fault triggers.
+///
+///  - kCrash models the process dying mid-write: after the trigger
+///    every operation on the filesystem fails, including Remove,
+///    Rename and Truncate — cleanup code cannot run, exactly like a
+///    real crash. What remains on disk is the byte-exact prefix the
+///    OS had received.
+///  - kFailOp models a recoverable I/O error (disk full, EIO): write
+///    operations keep failing but metadata operations (Remove,
+///    Truncate, Rename) still succeed, so error-path cleanup runs.
+enum class FaultMode { kCrash, kFailOp };
+
+/// Fault plan: the write stream dies after `write_budget` bytes have
+/// reached the underlying file (a write that straddles the budget is
+/// split: the leading bytes are written, then the fault triggers —
+/// a short write). Independently, the `sync_budget`-th Sync() call
+/// fails (counting from 0; ~0 disables). See FaultMode for what
+/// happens after the trigger.
+struct FaultPlan {
+  uint64_t write_budget = ~uint64_t{0};
+  uint64_t sync_budget = ~uint64_t{0};
+  FaultMode mode = FaultMode::kCrash;
+};
+
+/// A FileSystem decorator that injects the faults described by a
+/// FaultPlan while counting traffic. Every byte that the plan admits
+/// is flushed straight through to the base filesystem, so the on-disk
+/// state after a triggered fault is exactly the admitted prefix even
+/// though the handle is never cleanly closed (the crash model).
+/// Single-threaded, like the writers it wraps.
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  /// Wraps `base` (null = FileSystem::Default()).
+  explicit FaultInjectingFileSystem(FileSystem* base = nullptr)
+      : base_(ResolveFileSystem(base)) {}
+
+  /// Installs a plan and resets counters and the triggered state.
+  void set_plan(const FaultPlan& plan) {
+    plan_ = plan;
+    triggered_ = false;
+    bytes_written_ = 0;
+    syncs_ = 0;
+  }
+
+  /// Total bytes admitted to the base filesystem since set_plan().
+  uint64_t bytes_written() const { return bytes_written_; }
+  /// Sync() calls observed since set_plan() (successful or not).
+  uint64_t syncs() const { return syncs_; }
+  /// Whether the fault has triggered.
+  bool triggered() const { return triggered_; }
+
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultFile;
+
+  /// Non-OK once a kCrash fault has triggered.
+  Status CrashGuard() const;
+
+  FileSystem* base_;
+  FaultPlan plan_;
+  bool triggered_ = false;
+  uint64_t bytes_written_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace storage
+}  // namespace flipper
+
+#endif  // FLIPPER_STORAGE_FILE_IO_H_

@@ -6,7 +6,10 @@
 // Layout (all integers little-endian, fixed width unless marked):
 //
 //   [FileHeader]      104 bytes, checksummed (FNV-1a 64)
-//   [SectionTable]    section_count x SectionEntry (32 bytes each)
+//   [SectionTable]    section_count x SectionEntry (32 bytes each),
+//                     located by header.table_offset (0 = directly
+//                     after the header — every fresh file; appended
+//                     files keep theirs in the commit trailer)
 //   [section payloads ...]  each 8-byte aligned, padded with zeros
 //
 // Version-1 sections (exactly these seven, in any physical order; the
@@ -47,10 +50,45 @@
 // sharded scans — LevelViews::ScanShards and future distributed
 // readers — can split the file without touching the offsets section.
 //
+// Append sessions (v2 only): StoreWriter::OpenAppend extends a
+// committed v2 store without rewriting it. Each session appends, past
+// the committed end of the file,
+//
+//   [new kTxnItems block]     the session's transactions, same varint
+//   [new kTxnOffsets block]   encoding as a fresh store
+//   [kSegments, kDictOffsets, kDictBlob, kTaxParents, kTaxRoots,
+//    kSegCatalog]             small sections, rewritten in full
+//   [commit trailer]          section table + FileHeader copy (below)
+//
+// so an appended store carries one kTxnOffsets/kTxnItems block pair
+// per session; readers treat the blocks, concatenated in section-table
+// order, as one logical column (blocks end on transaction boundaries —
+// a varint never straddles two blocks). section_count therefore grows
+// by 2 per session: a v2 file holds >= 8 sections, always 6 singletons
+// plus equally many offsets and items blocks. The superseded copies of
+// the small sections become dead bytes (reclaimed by
+// `flipper_cli convert --from-fdb`, which compacts). v1 files are
+// read-only: no append, ever.
+//
+// Commit protocol: the trailer is [section table][FileHeader] with
+// header.table_offset pointing at that trailing table and
+// header.file_size covering the whole file, so the header copy sits
+// exactly at file_size - 104 and is self-validating (magic + checksum
+// + file_size == physical size). The writer fsyncs the data, fsyncs
+// the trailer (THE commit point), and only then rewrites the header at
+// offset 0 with the same bytes. A crash at any byte offset leaves
+// either (a) a torn tail after a valid front header — recovery
+// truncates to the front header's file_size — or (b) a valid trailer
+// with a stale/torn front header — recovery rewrites the front header
+// from the trailer. Either way the last committed state survives
+// byte-exactly; `flipper_cli repair` applies exactly these two rules.
+//
 // Versioning rules: readers accept exactly the versions they know
 // (currently 1 and 2); any other layout or semantic change bumps the
 // version. Reserved fields are written as zero and ignored on read, so
-// compatible additions can reuse them without a bump.
+// compatible additions can reuse them without a bump (table_offset
+// reused one such field: old readers would reject appended files on
+// section_count, not misread them).
 
 #ifndef FLIPPER_STORAGE_FORMAT_H_
 #define FLIPPER_STORAGE_FORMAT_H_
@@ -85,13 +123,19 @@ enum class SectionId : uint32_t {
 inline constexpr uint32_t kNumSectionsV1 = 7;
 inline constexpr uint32_t kNumSectionsV2 = 8;
 
-/// Section count a file of `version` must carry (0 for unknown
-/// versions).
+/// Section count a fresh file of `version` carries (0 for unknown
+/// versions). v1 files hold exactly this many; v2 files hold at least
+/// this many — each append session adds one kTxnOffsets and one
+/// kTxnItems block.
 inline constexpr uint32_t SectionCountForVersion(uint32_t version) {
   if (version == kFormatVersionV1) return kNumSectionsV1;
   if (version == kFormatVersionV2) return kNumSectionsV2;
   return 0;
 }
+
+/// Sanity bound on section_count before the reader sizes its table
+/// buffer (2 blocks per append session: this admits ~32k sessions).
+inline constexpr uint32_t kMaxSectionCount = 1u << 16;
 
 /// Human-readable section name ("txn_offsets", ...); "unknown" for ids
 /// outside the known set.
@@ -123,8 +167,14 @@ struct FileHeader {
   uint32_t dict_size = 0;          // number of interned names
   uint32_t taxonomy_id_space = 0;  // length of the parent array
   uint32_t taxonomy_num_roots = 0;
-  uint32_t flags = 0;          // reserved, zero
-  uint64_t reserved[2] = {};   // zero
+  uint32_t flags = 0;  // reserved, zero
+  /// Absolute byte offset of the section table; 0 means "immediately
+  /// after this header" (the only layout v1 and fresh v2 files use, so
+  /// their bytes are unchanged from when this field was reserved).
+  /// Append sessions point it at the commit trailer near the end of
+  /// the file.
+  uint64_t table_offset = 0;
+  uint64_t reserved = 0;        // zero
   uint64_t table_checksum = 0;  // FNV-1a 64 of the section table bytes
   uint64_t header_checksum = 0;  // FNV-1a 64 of this struct with
                                  // header_checksum itself zeroed

@@ -1,8 +1,11 @@
 #include "storage/mmap_file.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <utility>
+
+#include "storage/file_io.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define FLIPPER_HAVE_MMAP 1
@@ -22,10 +25,11 @@ struct HeapFile {
 };
 
 Result<HeapFile> ReadWholeFile(const std::string& path) {
+  errno = 0;
   std::ifstream f(path, std::ios::binary | std::ios::ate);
-  if (!f) return Status::IoError("cannot open store file: " + path);
+  if (!f) return IoErrnoError("cannot open store file", path);
   const std::streamoff end = f.tellg();
-  if (end < 0) return Status::IoError("cannot stat store file: " + path);
+  if (end < 0) return IoErrnoError("cannot stat store file", path);
   HeapFile out;
   out.size = static_cast<uint64_t>(end);
   out.bytes = std::make_unique<uint64_t[]>((out.size + 7) / 8);
@@ -53,11 +57,12 @@ Result<MmapFile> MmapFile::Open(const std::string& path, bool force_heap) {
 #if FLIPPER_HAVE_MMAP
   if (!force_heap) {
     const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) return Status::IoError("cannot open store file: " + path);
+    if (fd < 0) return IoErrnoError("cannot open store file", path);
     struct stat st;
     if (::fstat(fd, &st) != 0) {
+      const Status status = IoErrnoError("cannot stat store file", path);
       ::close(fd);
-      return Status::IoError("cannot stat store file: " + path);
+      return status;
     }
     const auto size = static_cast<uint64_t>(st.st_size);
     if (size == 0) {

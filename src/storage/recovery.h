@@ -1,0 +1,94 @@
+// Crash recovery for FlipperStore files: analysis of what a physical
+// .fdb holds, the repair actions that restore the last committed
+// state, and a byte-offset diagnosis report for `flipper_cli validate`
+// and `inspect`.
+//
+// The commit protocol (format.h) guarantees a crashed write leaves one
+// of two recoverable shapes — a torn tail after a valid front header,
+// or a complete commit trailer whose front-header rewrite never
+// landed. AnalyzeStore() classifies the file; ApplyRepair() performs
+// the one in-place action the plan prescribes (truncate, or rewrite
+// the front header from the trailer) and verifies the result with a
+// strict reopen. Repair never invents data: every byte it keeps was
+// already committed.
+
+#ifndef FLIPPER_STORAGE_RECOVERY_H_
+#define FLIPPER_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/file_io.h"
+#include "storage/format.h"
+#include "storage/store_reader.h"
+
+namespace flipper {
+namespace storage {
+
+/// What ApplyRepair would do to make StoreReader::Open succeed.
+struct RepairPlan {
+  enum class Action {
+    kNone,                // already clean; nothing to do
+    kTruncateTail,        // drop torn bytes after the committed state
+    kRewriteFrontHeader,  // redo the front header from the trailer
+    kUnrecoverable,       // no committed state survives in the file
+  };
+  Action action = Action::kNone;
+  uint64_t physical_size = 0;
+  /// Bytes of committed state (== physical_size when clean; 0 when
+  /// unrecoverable).
+  uint64_t committed_size = 0;
+  /// Torn bytes past the committed state that kTruncateTail drops.
+  uint64_t torn_bytes = 0;
+  /// Header of the committed state (what kRewriteFrontHeader writes to
+  /// offset 0). Valid whenever committed_size > 0 — including an
+  /// unrecoverable file whose committed *payload* is corrupt, so
+  /// diagnosis can still walk its section table.
+  FileHeader header;
+  std::string detail;  // human-readable classification
+};
+
+/// Classifies `path` without modifying it. Returns a plan even for
+/// unrecoverable files (action kUnrecoverable + detail); only I/O
+/// failures (unreadable file) surface as errors. A kNone/kTruncateTail
+/// /kRewriteFrontHeader plan additionally proves the committed payload
+/// itself opens and validates.
+Result<RepairPlan> AnalyzeStore(const std::string& path);
+
+/// Executes `plan` on `path` (in place, then fsync) and verifies the
+/// repaired file with a strict validated StoreReader::Open. kNone is a
+/// no-op; kUnrecoverable is an error — repair never deletes data it
+/// cannot restore.
+Status ApplyRepair(const std::string& path, const RepairPlan& plan,
+                   FileSystem* fs = nullptr);
+
+/// One observation of the diagnosis pass, anchored to a byte range of
+/// the physical file.
+struct Finding {
+  std::string section;  // "front_header", "section_table", "txn_items", ...
+  uint64_t offset = 0;  // byte offset of the inspected region
+  uint64_t size = 0;    // bytes inspected
+  bool ok = true;
+  std::string detail;
+};
+
+/// Full diagnosis for tooling: the strict-open verdict, the repair
+/// plan, and per-region findings with byte offsets (header, commit
+/// trailer, section table, every section's bounds and checksum,
+/// payload validation).
+struct Diagnosis {
+  bool valid = false;       // strict Open + checksums + validation pass
+  RepairPlan plan;          // how to recover if !valid
+  std::vector<Finding> findings;
+};
+
+/// Inspects every layer of `path` and reports findings even when the
+/// file is badly corrupt (errors only for unreadable files).
+Result<Diagnosis> DiagnoseStore(const std::string& path);
+
+}  // namespace storage
+}  // namespace flipper
+
+#endif  // FLIPPER_STORAGE_RECOVERY_H_

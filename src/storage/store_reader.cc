@@ -41,23 +41,90 @@ Status CheckElementCount(const SectionEntry& e, uint64_t count,
   return Status::OK();
 }
 
+/// Parses and checks a FileHeader at `at` (magic, version, checksum —
+/// everything that can be judged from the 104 bytes alone).
+Result<FileHeader> ParseHeaderAt(const std::byte* at, uint64_t avail,
+                                 const std::string& path) {
+  if (avail < sizeof(FileHeader)) {
+    return Corrupt("truncated header (" + std::to_string(avail) +
+                   " bytes, need " + std::to_string(sizeof(FileHeader)) +
+                   "): " + path);
+  }
+  FileHeader h;
+  std::memcpy(&h, at, sizeof(h));
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic, not a FlipperStore file: " + path);
+  }
+  if (SectionCountForVersion(h.version) == 0) {
+    return Status::InvalidArgument(
+        "unsupported store version " + std::to_string(h.version) +
+        " (this build reads versions " +
+        std::to_string(kFormatVersionV1) + " and " +
+        std::to_string(kFormatVersionV2) + "): " + path);
+  }
+  if (HeaderChecksum(h) != h.header_checksum) {
+    return Corrupt("header checksum mismatch: " + path);
+  }
+  return h;
+}
+
+/// Sequential varint reader over a chain of column blocks (table
+/// order). Blocks end on transaction boundaries, so a varint that
+/// would straddle two blocks is corruption and decodes as truncated.
+class BlockCursor {
+ public:
+  BlockCursor(const std::byte* base,
+              std::span<const SectionEntry* const> blocks)
+      : base_(base), blocks_(blocks) {}
+
+  bool Get(uint64_t* value) {
+    SkipExhausted();
+    return GetVarint(&pos_, end_, value);
+  }
+
+  /// True when every block's bytes have been consumed.
+  bool Exhausted() {
+    SkipExhausted();
+    return pos_ == end_;
+  }
+
+ private:
+  void SkipExhausted() {
+    while (pos_ == end_ && idx_ < blocks_.size()) {
+      const SectionEntry& e = *blocks_[idx_++];
+      pos_ = reinterpret_cast<const uint8_t*>(base_ + e.offset);
+      end_ = pos_ + e.size;
+    }
+  }
+
+  const std::byte* base_;
+  std::span<const SectionEntry* const> blocks_;
+  size_t idx_ = 0;
+  const uint8_t* pos_ = nullptr;
+  const uint8_t* end_ = nullptr;
+};
+
 }  // namespace
 
-Status StoreReader::DecodeColumnsV2(const std::byte* base,
-                                    const SectionEntry& offsets_entry,
-                                    const SectionEntry& items_entry,
-                                    bool validate) {
+Status StoreReader::DecodeColumnsV2(
+    const std::byte* base,
+    std::span<const SectionEntry* const> offsets_blocks,
+    std::span<const SectionEntry* const> items_blocks, bool validate) {
   const FileHeader& h = header_;
 
   // Every varint occupies at least one byte, so the header counts are
   // bounded by the section sizes. Checking first keeps the reserve()
   // calls below from ballooning on a corrupt header (allocation
   // failure would escape as bad_alloc, not a Status).
-  if (h.num_transactions > offsets_entry.size) {
+  uint64_t offsets_bytes = 0;
+  for (const SectionEntry* e : offsets_blocks) offsets_bytes += e->size;
+  uint64_t items_bytes = 0;
+  for (const SectionEntry* e : items_blocks) items_bytes += e->size;
+  if (h.num_transactions > offsets_bytes) {
     return Corrupt("txn_offsets section is too small for " +
                    std::to_string(h.num_transactions) + " transactions");
   }
-  if (h.num_items > items_entry.size) {
+  if (h.num_items > items_bytes) {
     return Corrupt("txn_items section is too small for " +
                    std::to_string(h.num_items) + " items");
   }
@@ -67,13 +134,11 @@ Status StoreReader::DecodeColumnsV2(const std::byte* base,
   decoded_offsets_.reserve(h.num_transactions + 1);
   decoded_offsets_.push_back(0);
   {
-    const auto* pos =
-        reinterpret_cast<const uint8_t*>(base + offsets_entry.offset);
-    const uint8_t* end = pos + offsets_entry.size;
+    BlockCursor cursor(base, offsets_blocks);
     uint32_t max_width = 0;
     for (uint64_t t = 0; t < h.num_transactions; ++t) {
       uint64_t width = 0;
-      if (!GetVarint(&pos, end, &width)) {
+      if (!cursor.Get(&width)) {
         return Corrupt("truncated varint in txn_offsets at txn " +
                        std::to_string(t));
       }
@@ -84,7 +149,7 @@ Status StoreReader::DecodeColumnsV2(const std::byte* base,
       decoded_offsets_.push_back(decoded_offsets_.back() + width);
       max_width = std::max(max_width, static_cast<uint32_t>(width));
     }
-    if (pos != end) {
+    if (!cursor.Exhausted()) {
       return Corrupt("txn_offsets section has trailing bytes");
     }
     if (decoded_offsets_.back() != h.num_items) {
@@ -101,9 +166,7 @@ Status StoreReader::DecodeColumnsV2(const std::byte* base,
   decoded_items_.clear();
   decoded_items_.reserve(h.num_items);
   {
-    const auto* pos =
-        reinterpret_cast<const uint8_t*>(base + items_entry.offset);
-    const uint8_t* end = pos + items_entry.size;
+    BlockCursor cursor(base, items_blocks);
     uint64_t max_item = 0;
     bool any_item = false;
     for (uint64_t t = 0; t < h.num_transactions; ++t) {
@@ -112,7 +175,7 @@ Status StoreReader::DecodeColumnsV2(const std::byte* base,
       uint64_t item = 0;
       for (uint64_t i = 0; i < width; ++i) {
         uint64_t delta = 0;
-        if (!GetVarint(&pos, end, &delta)) {
+        if (!cursor.Get(&delta)) {
           return Corrupt("truncated varint in txn_items at txn " +
                          std::to_string(t));
         }
@@ -142,7 +205,7 @@ Status StoreReader::DecodeColumnsV2(const std::byte* base,
         any_item = true;
       }
     }
-    if (pos != end) {
+    if (!cursor.Exhausted()) {
       return Corrupt("txn_items section has trailing bytes");
     }
     const uint64_t actual_alphabet = any_item ? max_item + 1 : 0;
@@ -292,39 +355,124 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
     return Status::Internal(
         "FlipperStore requires a little-endian host (fixed LE format)");
   }
-  StoreReader reader;
-  FLIPPER_ASSIGN_OR_RETURN(reader.file_,
-                           MmapFile::Open(path, options.force_heap));
-  const std::byte* base = reader.file_.data();
-  const uint64_t file_size = reader.file_.size();
-
-  // --- Header. ---
-  if (file_size < sizeof(FileHeader)) {
-    return Corrupt("truncated header (" + std::to_string(file_size) +
-                   " bytes, need " + std::to_string(sizeof(FileHeader)) +
-                   "): " + path);
-  }
-  FileHeader& h = reader.header_;
-  std::memcpy(&h, base, sizeof(h));
-  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
-    return Corrupt("bad magic, not a FlipperStore file: " + path);
-  }
-  const uint32_t expected_sections = SectionCountForVersion(h.version);
-  if (expected_sections == 0) {
-    return Status::InvalidArgument(
-        "unsupported store version " + std::to_string(h.version) +
-        " (this build reads versions " +
-        std::to_string(kFormatVersionV1) + " and " +
-        std::to_string(kFormatVersionV2) + "): " + path);
-  }
-  if (HeaderChecksum(h) != h.header_checksum) {
-    return Corrupt("header checksum mismatch: " + path);
-  }
-  if (h.file_size != file_size) {
+  MmapFile file;
+  FLIPPER_ASSIGN_OR_RETURN(file, MmapFile::Open(path, options.force_heap));
+  FLIPPER_ASSIGN_OR_RETURN(
+      FileHeader h, ParseHeaderAt(file.data(), file.size(), path));
+  if (h.file_size > file.size()) {
     return Corrupt("file size mismatch (truncated?): header records " +
                    std::to_string(h.file_size) + " bytes, file has " +
-                   std::to_string(file_size));
+                   std::to_string(file.size()));
   }
+  if (h.file_size < file.size()) {
+    return Corrupt(
+        "file has " + std::to_string(file.size() - h.file_size) +
+        " trailing bytes past the committed store (torn append "
+        "session?): header records " + std::to_string(h.file_size) +
+        " bytes, file has " + std::to_string(file.size()) +
+        " — run `flipper_cli repair` to truncate the torn tail");
+  }
+  return OpenParsed(std::move(file), h, options, path);
+}
+
+Result<StoreReader> StoreReader::OpenPrefix(const std::string& path,
+                                            PrefixInfo* info,
+                                            const OpenOptions& options) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal(
+        "FlipperStore requires a little-endian host (fixed LE format)");
+  }
+  MmapFile file;
+  FLIPPER_ASSIGN_OR_RETURN(file, MmapFile::Open(path, options.force_heap));
+  const std::byte* base = file.data();
+  const uint64_t physical = file.size();
+
+  PrefixInfo local;
+  PrefixInfo& out = info != nullptr ? *info : local;
+  out = PrefixInfo{};
+  out.physical_size = physical;
+
+  const Result<FileHeader> front = ParseHeaderAt(base, physical, path);
+
+  // A commit trailer ends with a header copy whose file_size equals
+  // the physical size — self-validating, so a partial trailer (or the
+  // tail of an ordinary fresh store) never masquerades as one.
+  bool tail_valid = false;
+  FileHeader tail;
+  if (physical >= sizeof(FileHeader)) {
+    const Result<FileHeader> t = ParseHeaderAt(
+        base + (physical - sizeof(FileHeader)), sizeof(FileHeader), path);
+    if (t.ok() && t->file_size == physical) {
+      tail = *t;
+      tail_valid = true;
+    }
+  }
+
+  if (tail_valid) {
+    const bool front_matches =
+        front.ok() &&
+        std::memcmp(base, base + (physical - sizeof(FileHeader)),
+                    sizeof(FileHeader)) == 0;
+    out.committed_size = physical;
+    out.committed_header = tail;
+    if (front_matches) {
+      out.recovery = PrefixInfo::Recovery::kClean;
+      out.detail = "front header and commit trailer agree";
+    } else {
+      // The commit point was reached; only the front-header rewrite is
+      // missing (or tore). Redo it from the trailer.
+      out.recovery = PrefixInfo::Recovery::kRewriteFrontHeader;
+      out.detail = front.ok()
+                       ? "front header is stale (crash between the "
+                         "commit trailer and the front-header rewrite)"
+                       : "front header is torn but the commit trailer "
+                         "is intact";
+    }
+    return OpenParsed(std::move(file), tail, options, path);
+  }
+
+  if (front.ok()) {
+    const FileHeader& h = *front;
+    out.committed_size = h.file_size;
+    out.committed_header = h;
+    if (h.file_size == physical) {
+      out.recovery = PrefixInfo::Recovery::kClean;
+      out.detail = "header spans the file exactly";
+      return OpenParsed(std::move(file), h, options, path);
+    }
+    if (h.file_size < physical) {
+      out.recovery = PrefixInfo::Recovery::kTruncateTail;
+      out.detail = std::to_string(physical - h.file_size) +
+                   " torn bytes past the committed store "
+                   "(crashed append session)";
+      return OpenParsed(std::move(file), h, options, path);
+    }
+    out.committed_size = 0;
+    return Corrupt("header records " + std::to_string(h.file_size) +
+                   " bytes but the file holds only " +
+                   std::to_string(physical) +
+                   " — the committed data itself is incomplete: " + path);
+  }
+
+  return Status(front.status().code(),
+                "no committed state found (front header: " +
+                    front.status().message() +
+                    "; no valid commit trailer)");
+}
+
+Result<StoreReader> StoreReader::OpenParsed(MmapFile file,
+                                            const FileHeader& header,
+                                            const OpenOptions& options,
+                                            const std::string& path) {
+  StoreReader reader;
+  reader.file_ = std::move(file);
+  reader.header_ = header;
+  const std::byte* base = reader.file_.data();
+  const FileHeader& h = reader.header_;
+  // Everything the header describes must live inside [0, limit);
+  // OpenPrefix may map torn bytes past it.
+  const uint64_t limit = h.file_size;
+
   if (h.num_transactions >
       static_cast<uint64_t>(std::numeric_limits<TxnId>::max())) {
     return Corrupt("transaction count exceeds the TxnId range");
@@ -332,43 +480,93 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
   const bool v2 = h.version == kFormatVersionV2;
 
   // --- Section table. ---
-  if (h.section_count != expected_sections) {
+  const uint32_t fresh_sections = SectionCountForVersion(h.version);
+  if (!v2 && h.section_count != fresh_sections) {
     return Corrupt("version-" + std::to_string(h.version) +
-                   " files carry " + std::to_string(expected_sections) +
+                   " files carry " + std::to_string(fresh_sections) +
                    " sections, found " + std::to_string(h.section_count));
+  }
+  if (v2 && h.section_count < fresh_sections) {
+    return Corrupt("version-2 files carry at least " +
+                   std::to_string(fresh_sections) + " sections, found " +
+                   std::to_string(h.section_count));
+  }
+  if (h.section_count > kMaxSectionCount) {
+    return Corrupt("section count " + std::to_string(h.section_count) +
+                   " is implausibly large");
   }
   const uint64_t table_bytes =
       uint64_t{h.section_count} * sizeof(SectionEntry);
-  if (file_size - sizeof(FileHeader) < table_bytes) {
+  const uint64_t table_offset =
+      h.table_offset == 0 ? sizeof(FileHeader) : h.table_offset;
+  if (table_offset % kSectionAlignment != 0 ||
+      table_offset < sizeof(FileHeader) || table_offset > limit) {
+    return Corrupt("section table offset " +
+                   std::to_string(h.table_offset) + " is invalid");
+  }
+  if (limit - table_offset < table_bytes) {
     return Corrupt("truncated section table");
   }
   reader.sections_.resize(h.section_count);
-  std::memcpy(reader.sections_.data(), base + sizeof(FileHeader),
-              table_bytes);
+  std::memcpy(reader.sections_.data(), base + table_offset, table_bytes);
   if (Fnv1a64(reader.sections_.data(), table_bytes) != h.table_checksum) {
     return Corrupt("section table checksum mismatch");
   }
 
+  // Singleton sections are unique; the two transaction columns may
+  // appear as several blocks (one pair per append session).
+  const uint32_t max_id = v2 ? kNumSectionsV2 : kNumSectionsV1;
   const SectionEntry* by_id[kNumSectionsV2] = {};
+  std::vector<const SectionEntry*> offsets_blocks;
+  std::vector<const SectionEntry*> items_blocks;
   for (const SectionEntry& e : reader.sections_) {
-    if (e.id < 1 || e.id > expected_sections) {
+    if (e.id < 1 || e.id > max_id) {
       return Corrupt("unknown section id " + std::to_string(e.id) +
                      " for a version-" + std::to_string(h.version) +
                      " file");
-    }
-    if (by_id[e.id - 1] != nullptr) {
-      return Corrupt(std::string("duplicate section ") +
-                     SectionIdName(SectionId(e.id)));
     }
     if (e.offset % kSectionAlignment != 0) {
       return Corrupt(std::string(SectionIdName(SectionId(e.id))) +
                      " section is misaligned");
     }
-    if (e.offset > file_size || file_size - e.offset < e.size) {
+    if (e.offset > limit || limit - e.offset < e.size) {
       return Corrupt(std::string(SectionIdName(SectionId(e.id))) +
                      " section extends past end of file");
     }
+    const bool column = v2 && (e.id == static_cast<uint32_t>(
+                                           SectionId::kTxnOffsets) ||
+                               e.id == static_cast<uint32_t>(
+                                           SectionId::kTxnItems));
+    if (column) {
+      (e.id == static_cast<uint32_t>(SectionId::kTxnOffsets)
+           ? offsets_blocks
+           : items_blocks)
+          .push_back(&e);
+      continue;
+    }
+    if (by_id[e.id - 1] != nullptr) {
+      return Corrupt(std::string("duplicate section ") +
+                     SectionIdName(SectionId(e.id)));
+    }
     by_id[e.id - 1] = &e;
+  }
+  for (uint32_t id = 1; id <= max_id; ++id) {
+    const bool column = v2 && (id == static_cast<uint32_t>(
+                                         SectionId::kTxnOffsets) ||
+                               id == static_cast<uint32_t>(
+                                         SectionId::kTxnItems));
+    if (!column && by_id[id - 1] == nullptr) {
+      return Corrupt(std::string("missing section ") +
+                     SectionIdName(SectionId(id)));
+    }
+  }
+  if (v2 && (offsets_blocks.empty() ||
+             offsets_blocks.size() != items_blocks.size())) {
+    return Corrupt("column blocks are unpaired: " +
+                   std::to_string(offsets_blocks.size()) +
+                   " txn_offsets vs " +
+                   std::to_string(items_blocks.size()) +
+                   " txn_items blocks");
   }
   const auto section = [&](SectionId id) -> const SectionEntry& {
     return *by_id[static_cast<uint32_t>(id) - 1];
@@ -507,8 +705,7 @@ Result<StoreReader> StoreReader::Open(const std::string& path,
     }
   } else {
     FLIPPER_RETURN_IF_ERROR(reader.DecodeColumnsV2(
-        base, section(SectionId::kTxnOffsets),
-        section(SectionId::kTxnItems), options.validate));
+        base, offsets_blocks, items_blocks, options.validate));
     offsets = reader.decoded_offsets_;
     items = reader.decoded_items_;
   }

@@ -16,6 +16,12 @@
 // is read into one aligned heap buffer instead, with identical
 // semantics.
 //
+// Appended v2 stores (StoreWriter::OpenAppend) carry one
+// kTxnOffsets/kTxnItems block pair per session; the decode treats the
+// blocks, in section-table order, as one logical column. For files
+// torn by a crash mid-append, OpenPrefix() recovers the last committed
+// state (see PrefixInfo); Open() itself stays strict.
+//
 // Open() hard-validates the header checksum, the section table, and
 // every section's bounds before handing out a single pointer; with
 // OpenOptions::validate (the default) it additionally scans the
@@ -47,6 +53,25 @@
 namespace flipper {
 namespace storage {
 
+/// What StoreReader::OpenPrefix discovered about the physical file —
+/// the input to repair (storage/recovery.h).
+struct PrefixInfo {
+  enum class Recovery {
+    kClean,               // committed state == physical file
+    kTruncateTail,        // torn append tail after a valid front header
+    kRewriteFrontHeader,  // valid commit trailer, stale/torn front header
+  };
+  Recovery recovery = Recovery::kClean;
+  uint64_t physical_size = 0;
+  /// file_size of the chosen (committed) header; for kTruncateTail the
+  /// bytes past this offset are torn.
+  uint64_t committed_size = 0;
+  /// The header describing the committed state (for kRewriteFrontHeader
+  /// this is the trailer copy repair writes back to offset 0).
+  FileHeader committed_header;
+  std::string detail;  // human-readable reason for the verdict
+};
+
 struct OpenOptions {
   /// Scan section payloads (O(num_items)) so that every offset and
   /// item id is proven in-bounds before use. Disable only for trusted
@@ -64,6 +89,20 @@ class StoreReader {
  public:
   static Result<StoreReader> Open(const std::string& path,
                                   const OpenOptions& options = {});
+
+  /// Best-effort open of the last *committed* state of a possibly torn
+  /// file: where Open() requires the front header to describe the
+  /// whole file byte-for-byte, OpenPrefix also accepts (a) a valid
+  /// front header followed by torn trailing bytes — a crashed append
+  /// session — and (b) a valid commit trailer whose front header
+  /// rewrite never landed. `info` (optional) receives what was found
+  /// and which repair action would make Open() succeed; it is filled
+  /// whenever a committed header was identified, even if the committed
+  /// payload then fails validation and an error is returned. Repair
+  /// (storage/recovery.h) is built on this.
+  static Result<StoreReader> OpenPrefix(const std::string& path,
+                                        PrefixInfo* info,
+                                        const OpenOptions& options = {});
 
   StoreReader(StoreReader&&) = default;
   StoreReader& operator=(StoreReader&&) = default;
@@ -97,12 +136,23 @@ class StoreReader {
  private:
   StoreReader() = default;
 
+  /// Shared tail of Open/OpenPrefix: parses and validates everything
+  /// the chosen `header` describes. The header's file_size may be
+  /// smaller than the mapping (trailing torn bytes are ignored) but
+  /// never larger.
+  static Result<StoreReader> OpenParsed(MmapFile file,
+                                        const FileHeader& header,
+                                        const OpenOptions& options,
+                                        const std::string& path);
+
   /// Decodes the v2 varint columns into decoded_offsets_ /
   /// decoded_items_ (always bounds-checked; `validate` adds the
-  /// header-consistency cross-checks).
+  /// header-consistency cross-checks). Appended stores carry one block
+  /// pair per session; blocks are concatenated in table order.
   Status DecodeColumnsV2(const std::byte* base,
-                         const SectionEntry& offsets_entry,
-                         const SectionEntry& items_entry, bool validate);
+                         std::span<const SectionEntry* const> offsets_blocks,
+                         std::span<const SectionEntry* const> items_blocks,
+                         bool validate);
   /// Decodes and validates the v2 segment catalog section.
   Status DecodeCatalogV2(const std::byte* base, const SectionEntry& entry,
                          bool validate);

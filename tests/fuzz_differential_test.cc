@@ -5,14 +5,19 @@
 // cells, pipelining, segment skipping), then requires that
 //
 //   - FlipperMiner over the text-loaded inputs,
-//   - FlipperMiner over a v1 FlipperStore round trip, and
+//   - FlipperMiner over a v1 FlipperStore round trip,
 //   - FlipperMiner over a v2 FlipperStore round trip (varint columns
-//     + segment catalog, small segments so skipping has bite)
+//     + segment catalog, small segments so skipping has bite), and
+//   - FlipperMiner over a v2 store grown with 1-3 random append
+//     sessions (base prefix + OpenAppend batches, commit trailer in
+//     play)
 //
 // are all byte-identical to the NaiveMiner oracle's CSV export, at 1
 // and 4 threads. This is the guard rail for the v2 scan-skipping
 // machinery: a single wrongly skipped segment shows up as a support
-// (and usually a pattern-set) difference against the oracle.
+// (and usually a pattern-set) difference against the oracle — and for
+// the append path, where a mis-encoded block pair or stale catalog
+// would diverge the same way.
 //
 // Reproducing a failure: every round prints its seed into the assert
 // message; rerun that exact round with
@@ -91,6 +96,44 @@ RoundInputs MakeRoundInputs(uint64_t seed, const testutil::Dataset& data,
   return inputs;
 }
 
+/// Writes `inputs.db` as a v2 store grown incrementally: a base prefix
+/// via Create() plus `num_batches` OpenAppend() sessions over random
+/// split points. The result must mine exactly like the bulk-written
+/// store.
+std::string WriteAppendedStore(const RoundInputs& inputs,
+                               const std::string& tag,
+                               uint32_t segment_txns,
+                               uint32_t num_batches, Rng* rng) {
+  const std::string path = TempPath(tag + "_v2_appended.fdb");
+  const uint64_t total = inputs.db.size();
+  std::vector<uint64_t> cuts = {0, total};
+  for (uint32_t b = 0; b < num_batches; ++b) {
+    cuts.push_back(rng->Below(total + 1));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  {
+    storage::StoreWriter::Options options;
+    options.segment_txns = segment_txns;
+    auto writer = storage::StoreWriter::Create(path, options);
+    EXPECT_TRUE(writer.ok()) << writer.status();
+    for (uint64_t t = 0; t < cuts[1]; ++t) {
+      EXPECT_TRUE(writer->Append(inputs.db.Get(t)).ok());
+    }
+    EXPECT_TRUE(writer->Finish(inputs.dict, inputs.taxonomy).ok());
+  }
+  // Each batch is one commit (empty batches exercise the zero-size
+  // block pair).
+  for (size_t cut = 1; cut + 1 < cuts.size(); ++cut) {
+    auto writer = storage::StoreWriter::OpenAppend(path);
+    EXPECT_TRUE(writer.ok()) << writer.status();
+    for (uint64_t t = cuts[cut]; t < cuts[cut + 1]; ++t) {
+      EXPECT_TRUE(writer->Append(inputs.db.Get(t)).ok());
+    }
+    EXPECT_TRUE(writer->Finish(inputs.dict, inputs.taxonomy).ok());
+  }
+  return path;
+}
+
 /// Random but valid mining configuration; the whole pruning stack and
 /// both counters are in play because every layer must preserve the
 /// answer set.
@@ -160,6 +203,7 @@ size_t RunRound(uint64_t seed) {
       seed, num_roots, fanout, depth, num_txns, max_width);
   RoundInputs inputs = MakeRoundInputs(seed, data, segment_txns);
   const MiningConfig config = RandomConfig(&rng);
+  const auto num_batches = static_cast<uint32_t>(1 + rng.Below(3));
 
   const std::string repro =
       "seed=" + std::to_string(seed) +
@@ -169,9 +213,14 @@ size_t RunRound(uint64_t seed) {
       " fanout=" + std::to_string(fanout) +
       " depth=" + std::to_string(depth) +
       " txns=" + std::to_string(num_txns) +
-      " segment_txns=" + std::to_string(segment_txns) + "\n  config: " +
-      DescribeConfig(config);
+      " segment_txns=" + std::to_string(segment_txns) +
+      " append_batches=" + std::to_string(num_batches) +
+      "\n  config: " + DescribeConfig(config);
   SCOPED_TRACE(repro);
+
+  const std::string appended_path = WriteAppendedStore(
+      inputs, "fuzz_" + std::to_string(seed), segment_txns, num_batches,
+      &rng);
 
   // The oracle: support-only Apriori over every level, patterns
   // extracted post hoc.
@@ -185,11 +234,17 @@ size_t RunRound(uint64_t seed) {
 
   auto v1 = storage::StoreReader::Open(inputs.v1_path);
   auto v2 = storage::StoreReader::Open(inputs.v2_path);
+  auto appended = storage::StoreReader::Open(appended_path);
   EXPECT_TRUE(v1.ok()) << v1.status();
   EXPECT_TRUE(v2.ok()) << v2.status();
-  if (!v1.ok() || !v2.ok()) return 0;
+  EXPECT_TRUE(appended.ok()) << appended.status();
+  if (!v1.ok() || !v2.ok() || !appended.ok()) return 0;
   EXPECT_NE(v2->catalog(), nullptr);
   EXPECT_LE(v2->file_size(), v1->file_size());
+  EXPECT_TRUE(appended->VerifyChecksums().ok());
+  EXPECT_EQ(appended->header().section_count,
+            storage::kNumSectionsV2 + 2 * num_batches);
+  EXPECT_EQ(appended->db().size(), inputs.db.size());
 
   struct Source {
     const char* name;
@@ -201,6 +256,8 @@ size_t RunRound(uint64_t seed) {
       {"text", &inputs.db, &inputs.taxonomy, &inputs.dict},
       {"v1-store", &v1->db(), &v1->taxonomy(), &v1->dict()},
       {"v2-store", &v2->db(), &v2->taxonomy(), &v2->dict()},
+      {"v2-appended", &appended->db(), &appended->taxonomy(),
+       &appended->dict()},
   };
   for (const int threads : {1, 4}) {
     for (const Source& source : sources) {

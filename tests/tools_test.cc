@@ -386,6 +386,94 @@ TEST_F(FlipperCliEndToEnd, MineRejectsACorruptStore) {
   EXPECT_NE(err_.find("error:"), std::string::npos);
   EXPECT_EQ(RunCli({"inspect", store_}, &out_, &err_), 1);
   EXPECT_NE(err_.find("error:"), std::string::npos);
+  // A failed inspect explains itself with the per-section diagnosis
+  // rather than a bare open error.
+  EXPECT_NE(err_.find("diagnosis:"), std::string::npos);
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+void DumpFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(FlipperCliEndToEnd, ValidateAndRepairRecoverATornStore) {
+  ASSERT_EQ(RunCli({"convert", basket_, taxonomy_, store_}, &out_, &err_),
+            0)
+      << err_;
+  ASSERT_EQ(RunCli({"validate", store_}, &out_, &err_), 0) << out_;
+  EXPECT_NE(out_.find(": valid ("), std::string::npos);
+  EXPECT_NE(out_.find("front_header"), std::string::npos);
+  EXPECT_NE(out_.find("section_table"), std::string::npos);
+
+  // Tear the file the way a crashed append session would: committed
+  // bytes plus an uncommitted tail.
+  const std::string base_bytes = SlurpFile(store_);
+  DumpFile(store_, base_bytes + std::string(41, '\x7f'));
+
+  EXPECT_EQ(RunCli({"validate", store_}, &out_, &err_), 1);
+  EXPECT_NE(out_.find("corrupt but repairable"), std::string::npos);
+  EXPECT_NE(out_.find("torn_tail"), std::string::npos);
+  // --quiet keeps the verdict but drops the finding lines (they carry
+  // "@ [offset, offset+size)" ranges).
+  EXPECT_EQ(RunCli({"validate", store_, "--quiet"}, &out_, &err_), 1);
+  EXPECT_NE(out_.find("corrupt but repairable"), std::string::npos);
+  EXPECT_EQ(out_.find("@ ["), std::string::npos);
+
+  // Inspect refuses the torn file but says why and how to fix it.
+  EXPECT_EQ(RunCli({"inspect", store_}, &out_, &err_), 1);
+  EXPECT_NE(err_.find("diagnosis:"), std::string::npos);
+  EXPECT_NE(err_.find("torn_tail"), std::string::npos);
+  EXPECT_NE(err_.find("repair"), std::string::npos);
+
+  // Dry run (the default) plans the truncation but modifies nothing.
+  EXPECT_EQ(RunCli({"repair", store_}, &out_, &err_), 0) << err_;
+  EXPECT_NE(out_.find("would truncate 41 torn bytes"), std::string::npos);
+  EXPECT_NE(out_.find("dry run: nothing modified"), std::string::npos);
+  EXPECT_EQ(SlurpFile(store_), base_bytes + std::string(41, '\x7f'));
+  EXPECT_EQ(RunCli({"repair", store_, "--apply", "--dry-run"},
+                   &out_, &err_),
+            2);
+  EXPECT_NE(err_.find("mutually exclusive"), std::string::npos);
+
+  // --apply restores the committed bytes exactly.
+  EXPECT_EQ(RunCli({"repair", store_, "--apply"}, &out_, &err_), 0)
+      << err_;
+  EXPECT_NE(out_.find("repaired:"), std::string::npos);
+  EXPECT_EQ(SlurpFile(store_), base_bytes);
+  EXPECT_EQ(RunCli({"validate", store_}, &out_, &err_), 0) << out_;
+  EXPECT_EQ(RunCli({"mine", "--input", store_, "--gamma=0.6",
+                    "--epsilon=0.35", "--minsup=0.1,0.1,0.1"},
+                   &out_, &err_),
+            0)
+      << err_;
+
+  // Repairing a clean store is a no-op.
+  EXPECT_EQ(RunCli({"repair", store_, "--apply"}, &out_, &err_), 0);
+  EXPECT_NE(out_.find("already clean"), std::string::npos);
+  EXPECT_EQ(SlurpFile(store_), base_bytes);
+}
+
+TEST_F(FlipperCliEndToEnd, ValidateAndRepairRefuseGarbage) {
+  const std::string garbage = ::testing::TempDir() + "cli_garbage.fdb";
+  DumpFile(garbage, std::string(4096, '\x5a'));
+  EXPECT_EQ(RunCli({"validate", garbage}, &out_, &err_), 3);
+  EXPECT_NE(out_.find("UNRECOVERABLE"), std::string::npos);
+  EXPECT_EQ(RunCli({"repair", garbage, "--apply"}, &out_, &err_), 3);
+  EXPECT_NE(err_.find("unrecoverable"), std::string::npos);
+  // Refusal never modifies the file.
+  EXPECT_EQ(SlurpFile(garbage), std::string(4096, '\x5a'));
+
+  EXPECT_EQ(RunCli({"validate", ::testing::TempDir() + "missing.fdb"},
+                   &out_, &err_),
+            2);
+  EXPECT_NE(err_.find("error:"), std::string::npos);
 }
 
 TEST_F(FlipperCliEndToEnd, DatagenWritesAMineableStore) {
