@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/memory_tracker.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -26,6 +27,8 @@
 #include "common/timer.h"
 #include "core/candidate_trie.h"
 #include "core/flipper_miner.h"
+#include "core/scan_cell.h"
+#include "core/scan_counter.h"
 #include "core/support_counting.h"
 #include "data/db_io.h"
 #include "data/item_dictionary.h"
@@ -50,6 +53,14 @@ struct CaseResult {
   int threads = 1;
   int reps = 0;
   double median_ms = 0.0;
+  /// Upper-tail repetition (p95 over the timed reps; the max at the
+  /// smoke rep counts) — recorded so the trajectory file can catch
+  /// variance regressions that leave the median flat.
+  double p95_ms = 0.0;
+  /// Process high-water RSS after this case ran (getrusage; monotone
+  /// across cases, so the trajectory shows which case first reached
+  /// each plateau).
+  int64_t peak_rss_bytes = 0;
   /// Case-defined work items per second (transactions for scans,
   /// evaluations for the arithmetic kernels).
   double rows_per_sec = 0.0;
@@ -87,6 +98,8 @@ CaseResult RunCase(const std::string& name, int threads,
   }
   std::sort(ms.begin(), ms.end());
   out.median_ms = ms[ms.size() / 2];
+  out.p95_ms = ms[(ms.size() * 95 + 99) / 100 - 1];
+  out.peak_rss_bytes = PeakRssBytes();
   if (out.median_ms > 0.0) {
     out.rows_per_sec = rows_per_rep / (out.median_ms / 1e3);
   }
@@ -95,13 +108,15 @@ CaseResult RunCase(const std::string& name, int threads,
 
 void EmitResults(const std::vector<CaseResult>& results,
                  const std::string& extra_blocks) {
-  TablePrinter table(
-      {"case", "threads", "reps", "median_ms", "rows/s", "speedup"});
+  TablePrinter table({"case", "threads", "reps", "median_ms", "p95_ms",
+                      "rows/s", "speedup", "peak_rss"});
   for (const CaseResult& r : results) {
     table.AddRow({r.name, std::to_string(r.threads),
                   std::to_string(r.reps), FormatDouble(r.median_ms, 3),
+                  FormatDouble(r.p95_ms, 3),
                   FormatDouble(r.rows_per_sec, 0),
-                  r.speedup > 0.0 ? FormatDouble(r.speedup, 2) : "-"});
+                  r.speedup > 0.0 ? FormatDouble(r.speedup, 2) : "-",
+                  FormatBytes(r.peak_rss_bytes)});
   }
   table.Print(std::cout);
 
@@ -116,6 +131,8 @@ void EmitResults(const std::vector<CaseResult>& results,
             "\", \"threads\": " + std::to_string(r.threads) +
             ", \"reps\": " + std::to_string(r.reps) +
             ", \"median_ms\": " + FormatDouble(r.median_ms, 4) +
+            ", \"p95_ms\": " + FormatDouble(r.p95_ms, 4) +
+            ", \"peak_rss_bytes\": " + std::to_string(r.peak_rss_bytes) +
             ", \"rows_per_sec\": " + FormatDouble(r.rows_per_sec, 1);
     if (r.speedup > 0.0) {
       json += ", \"" + std::string(r.speedup_key) +
@@ -535,6 +552,72 @@ void BenchRowTrieReuse(std::vector<CaseResult>* results) {
   }
 }
 
+/// Scan-cell counter shoot-out: the exact hot loop of the scan-driven
+/// cell (every 3-subset of each filtered transaction bumped into a
+/// counter) against the unordered_map baseline and the open-addressed
+/// bump-arena table, both warm across reps as in the pipeline's steady
+/// state. The arena case reports speedup_vs_map plus its warm-rep grow
+/// events — which must be zero: a warm table recounting the same data
+/// performs no allocation at all.
+void BenchScanCounters(std::vector<CaseResult>* results) {
+  Rng rng(17);
+  const auto num_txns =
+      static_cast<uint32_t>(8'000 * std::max(0.25, BenchScale()));
+  const ItemId alphabet = 600;
+  TransactionDb db;
+  std::vector<ItemId> txn;
+  for (uint32_t t = 0; t < num_txns; ++t) {
+    txn.clear();
+    for (int i = 0; i < 10; ++i) {
+      txn.push_back(static_cast<ItemId>(rng.Below(alphabet)));
+    }
+    std::sort(txn.begin(), txn.end());
+    txn.erase(std::unique(txn.begin(), txn.end()), txn.end());
+    db.Add(txn);
+  }
+  constexpr int kSubset = 3;
+  Itemset combo;
+  const auto scan_into = [&](auto&& bump) {
+    for (TxnId t = 0; t < db.size(); ++t) {
+      const auto items = db.Get(t);
+      if (items.size() < static_cast<size_t>(kSubset)) continue;
+      ForEachCombination(items, kSubset, &combo, bump);
+    }
+  };
+
+  ScanCellScratch::CountMap map_counts;
+  const CaseResult map_case =
+      RunCase("scan_counter_map", 1, db.size(), [&] {
+        map_counts.clear();
+        scan_into([&](const Itemset& c) { ++map_counts[c]; });
+      });
+  results->push_back(map_case);
+
+  ScanCounterTable table;
+  uint64_t warm_grow_events = 0;
+  CaseResult arena_case =
+      RunCase("scan_counter_arena", 1, db.size(), [&] {
+        const uint64_t before = table.grow_events();
+        table.Reset(kSubset);
+        scan_into([&](const Itemset& c) { table.Increment(c); });
+        warm_grow_events = table.grow_events() - before;
+      });
+  // Every timed rep ran after RunCase's warm-up pass, so the table's
+  // capacity was already sized for this workload: any growth here
+  // means the warm path allocates, which it must not.
+  if (warm_grow_events != 0) std::abort();
+  if (table.size() != map_counts.size()) std::abort();
+  if (map_case.median_ms > 0.0 && arena_case.median_ms > 0.0) {
+    arena_case.speedup = map_case.median_ms / arena_case.median_ms;
+    arena_case.speedup_key = "speedup_vs_map";
+  }
+  arena_case.extra_json =
+      "\"warm_grow_events\": " + std::to_string(warm_grow_events) +
+      ", \"distinct_combos\": " + std::to_string(table.size()) +
+      ", \"counter_bytes\": " + std::to_string(table.MemoryBytes());
+  results->push_back(arena_case);
+}
+
 /// Thread-scaling series: the sharded horizontal counting scan on a
 /// fixed synthetic DB at 1..N threads. The JSON records speedup_vs_1t
 /// so cross-PR runs can track the scaling curve.
@@ -593,9 +676,11 @@ void BenchThreadScaling(std::vector<CaseResult>* results) {
 
 /// Staged-serial vs pipelined cell execution on a multi-cell quest
 /// workload (several rows and columns stay alive, so the driver has
-/// planning work to overlap with the pool's support scans). The
-/// pipelined case reports its speedup over the staged-serial median
-/// at the same thread count in the speedup column/JSON field.
+/// planning work to overlap with the pool's support scans). Three
+/// rungs: staged serial, intra-row pipelining only, and the full
+/// config with cross-row overlap; the pipelined cases report their
+/// speedup over the staged-serial median at the same thread count in
+/// the speedup column/JSON field.
 void BenchMinerPipeline(std::vector<CaseResult>* results) {
   ItemDictionary dict;
   TaxonomyGenParams tax_params;  // the paper's 10 roots x fanout 5, H=4
@@ -615,16 +700,25 @@ void BenchMinerPipeline(std::vector<CaseResult>* results) {
   config.min_support = {0.01, 0.001, 0.0005, 0.0001};
   config.num_threads = 0;
   const int hw = ThreadPool::ResolveThreadCount(0);
+  struct Mode {
+    const char* name;
+    bool pipelining;
+    bool row_overlap;
+  };
+  constexpr Mode kModes[] = {
+      {"miner_staged_serial", false, false},
+      {"miner_pipelined_no_row_overlap", true, false},
+      {"miner_pipelined", true, true},
+  };
   double serial_ms = 0.0;
-  for (bool pipelining : {false, true}) {
-    config.enable_pipelining = pipelining;
-    CaseResult r = RunCase(
-        pipelining ? "miner_pipelined" : "miner_staged_serial", hw,
-        db->size(), [&] {
-          auto result = FlipperMiner::Run(*db, *taxonomy, config);
-          if (!result.ok()) std::abort();
-        });
-    if (!pipelining) {
+  for (const Mode& mode : kModes) {
+    config.enable_pipelining = mode.pipelining;
+    config.enable_row_overlap = mode.row_overlap;
+    CaseResult r = RunCase(mode.name, hw, db->size(), [&] {
+      auto result = FlipperMiner::Run(*db, *taxonomy, config);
+      if (!result.ok()) std::abort();
+    });
+    if (!mode.pipelining) {
       serial_ms = r.median_ms;
     } else if (serial_ms > 0.0 && r.median_ms > 0.0) {
       r.speedup = serial_ms / r.median_ms;
@@ -907,6 +1001,7 @@ int main() {
   BenchTxnPrefilter(&results);
   BenchProbeKernels(&results);
   BenchRowTrieReuse(&results);
+  BenchScanCounters(&results);
   BenchThreadScaling(&results);
   BenchMinerPipeline(&results);
   BenchStorage(&results);

@@ -135,6 +135,19 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
                "previous cell's support scan (default on; results "
                "are identical either way)",
                "MODE");
+  args.AddFlag("row-overlap",
+               "on|off — extend the pipeline's speculation window "
+               "across taxonomy rows (plan and start the next row's "
+               "first cell while the current row's last cell counts; "
+               "default on; only effective with --pipeline on; results "
+               "are identical either way)",
+               "MODE");
+  args.AddFlag("arena-counters",
+               "on|off — count scan-driven cells in the open-addressed "
+               "bump-arena counter table instead of the hash-map "
+               "baseline (default on; results are identical either "
+               "way)",
+               "MODE");
   args.AddFlag("segment-skipping",
                "on|off — let segment catalogs skip candidate-free "
                "segments during counting scans (default on; results "
@@ -261,6 +274,21 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
     config.enable_pipelining = false;
   } else if (pipeline != "on") {
     err << "error: --pipeline must be on|off\n";
+    return 2;
+  }
+  const std::string row_overlap = args.GetString("row-overlap", "on");
+  if (row_overlap == "off") {
+    config.enable_row_overlap = false;
+  } else if (row_overlap != "on") {
+    err << "error: --row-overlap must be on|off\n";
+    return 2;
+  }
+  const std::string arena_counters =
+      args.GetString("arena-counters", "on");
+  if (arena_counters == "off") {
+    config.enable_arena_scan_counters = false;
+  } else if (arena_counters != "on") {
+    err << "error: --arena-counters must be on|off\n";
     return 2;
   }
   const std::string skipping = args.GetString("segment-skipping", "on");

@@ -31,4 +31,8 @@ double BenchScale() {
   return std::clamp(s, 0.05, 100.0);
 }
 
+std::string ForcedProbeKernel() {
+  return GetEnvString("FLIPPER_FORCE_PROBE_KERNEL", "");
+}
+
 }  // namespace flipper

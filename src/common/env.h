@@ -19,6 +19,12 @@ std::string GetEnvString(const char* name, const std::string& fallback);
 /// paper's sizes.
 double BenchScale();
 
+/// FLIPPER_FORCE_PROBE_KERNEL: pins the candidate-trie packed probe
+/// kernel ("avx2", "sse2", "portable" or "scalar") instead of the
+/// cpuid auto-dispatch; empty = unset. An unknown or CPU-unsupported
+/// name is a hard error at first dispatch — never a silent fallback.
+std::string ForcedProbeKernel();
+
 }  // namespace flipper
 
 #endif  // FLIPPER_COMMON_ENV_H_

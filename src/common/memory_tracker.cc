@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace flipper {
 
 MemoryTracker& GlobalCandidateMemory() {
@@ -18,6 +22,20 @@ int64_t CurrentRssBytes() {
   std::fclose(f);
   if (n != 2) return 0;
   return static_cast<int64_t>(rss_pages) * 4096;
+}
+
+int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace flipper

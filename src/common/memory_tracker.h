@@ -73,6 +73,12 @@ class ScopedTrackedBytes {
 /// Figure-9(b) numbers come from MemoryTracker.
 int64_t CurrentRssBytes();
 
+/// High-water resident-set size of the process in bytes
+/// (getrusage ru_maxrss), or 0 when unavailable. Monotone over the
+/// process lifetime — bench cases record it per case so the trajectory
+/// file tracks which workload first reached each plateau.
+int64_t PeakRssBytes();
+
 }  // namespace flipper
 
 #endif  // FLIPPER_COMMON_MEMORY_TRACKER_H_

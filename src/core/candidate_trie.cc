@@ -1,15 +1,19 @@
 #include "core/candidate_trie.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <numeric>
+#include <string>
 
-#if defined(FLIPPER_TRIE_AVX2)
+#if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
-#elif defined(__SSE2__)
-#include <emmintrin.h>
+#define FLIPPER_TRIE_X86 1
 #endif
+
+#include "common/env.h"
+#include "common/logging.h"
 
 namespace flipper {
 namespace trie_probe {
@@ -35,37 +39,14 @@ uint32_t LowerBoundPackedPortable(const ItemId* items, uint32_t lo,
   return LowerBoundScalar(items, lo, hi, target);
 }
 
-#if defined(FLIPPER_TRIE_AVX2)
+namespace {
 
-uint32_t LowerBoundPacked(const ItemId* items, uint32_t lo, uint32_t hi,
-                          ItemId target) {
+#if defined(FLIPPER_TRIE_X86)
+
+uint32_t LowerBoundPackedSse2(const ItemId* items, uint32_t lo,
+                              uint32_t hi, ItemId target) {
   // ItemIds are unsigned; bias both sides by 2^31 so the signed
   // compare instruction orders them correctly.
-  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
-  const __m256i t = _mm256_xor_si256(
-      _mm256_set1_epi32(static_cast<int>(target)), bias);
-  while (lo + 8 <= hi) {
-    const __m256i v = _mm256_xor_si256(
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + lo)),
-        bias);
-    // lanes with item < target.
-    const __m256i lt = _mm256_cmpgt_epi32(t, v);
-    const auto mask = static_cast<uint32_t>(_mm256_movemask_ps(
-        _mm256_castsi256_ps(lt)));
-    if (mask != 0xffu) {
-      return lo + static_cast<uint32_t>(std::countr_one(mask));
-    }
-    lo += 8;
-  }
-  return LowerBoundScalar(items, lo, hi, target);
-}
-
-const char* PackedKernelName() { return "avx2"; }
-
-#elif defined(__SSE2__)
-
-uint32_t LowerBoundPacked(const ItemId* items, uint32_t lo, uint32_t hi,
-                          ItemId target) {
   const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
   const __m128i t =
       _mm_xor_si128(_mm_set1_epi32(static_cast<int>(target)), bias);
@@ -73,6 +54,7 @@ uint32_t LowerBoundPacked(const ItemId* items, uint32_t lo, uint32_t hi,
     const __m128i v = _mm_xor_si128(
         _mm_loadu_si128(reinterpret_cast<const __m128i*>(items + lo)),
         bias);
+    // lanes with item < target.
     const __m128i lt = _mm_cmpgt_epi32(t, v);
     const auto mask =
         static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(lt)));
@@ -84,18 +66,147 @@ uint32_t LowerBoundPacked(const ItemId* items, uint32_t lo, uint32_t hi,
   return LowerBoundScalar(items, lo, hi, target);
 }
 
-const char* PackedKernelName() { return "sse2"; }
+// Compiled with per-function AVX2 codegen so the containing binary
+// stays runnable on any x86-64 host; only the dispatcher may call it,
+// and only after cpuid confirms AVX2.
+__attribute__((target("avx2"))) uint32_t LowerBoundPackedAvx2(
+    const ItemId* items, uint32_t lo, uint32_t hi, ItemId target) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i t = _mm256_xor_si256(
+      _mm256_set1_epi32(static_cast<int>(target)), bias);
+  while (lo + 8 <= hi) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + lo)),
+        bias);
+    const __m256i lt = _mm256_cmpgt_epi32(t, v);
+    const auto mask = static_cast<uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(lt)));
+    if (mask != 0xffu) {
+      return lo + static_cast<uint32_t>(std::countr_one(mask));
+    }
+    lo += 8;
+  }
+  return LowerBoundScalar(items, lo, hi, target);
+}
 
-#else
+bool HostHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // FLIPPER_TRIE_X86
+
+bool AlwaysAvailable() { return true; }
+
+struct KernelEntry {
+  const char* name;
+  ProbeFn fn;
+  bool (*available)();
+};
+
+// Dispatch preference order: auto-resolution picks the first entry
+// whose availability check passes. "scalar" is never auto-picked — it
+// exists so tests/benches can force the baseline.
+constexpr KernelEntry kKernels[] = {
+#if defined(FLIPPER_TRIE_X86)
+    {"avx2", &LowerBoundPackedAvx2, &HostHasAvx2},
+    {"sse2", &LowerBoundPackedSse2, &AlwaysAvailable},
+#endif
+    {"portable", &LowerBoundPackedPortable, &AlwaysAvailable},
+    {"scalar", &LowerBoundScalar, &AlwaysAvailable},
+};
+
+const KernelEntry* FindKernel(std::string_view name) {
+  for (const KernelEntry& kernel : kKernels) {
+    if (name == kernel.name) return &kernel;
+  }
+  return nullptr;
+}
+
+std::string KnownKernelNames() {
+  std::string out;
+  for (const KernelEntry& kernel : kKernels) {
+    if (!out.empty()) out += ", ";
+    out += kernel.name;
+  }
+  return out;
+}
+
+// The resolved dispatch target; nullptr until the first probe (or
+// after ResetPackedKernel). Concurrent first probes race benignly:
+// both resolve to the same entry.
+std::atomic<const KernelEntry*> g_packed_kernel{nullptr};
+
+const KernelEntry* ResolvePackedKernel() {
+  const std::string forced = ForcedProbeKernel();
+  if (!forced.empty()) {
+    const KernelEntry* kernel = FindKernel(forced);
+    FLIPPER_CHECK(kernel != nullptr)
+        << "FLIPPER_FORCE_PROBE_KERNEL names unknown probe kernel '"
+        << forced << "' (known kernels: " << KnownKernelNames() << ")";
+    FLIPPER_CHECK(kernel->available())
+        << "FLIPPER_FORCE_PROBE_KERNEL='" << forced
+        << "' is not supported by this CPU";
+    return kernel;
+  }
+  for (const KernelEntry& kernel : kKernels) {
+    if (kernel.available()) return &kernel;
+  }
+  FLIPPER_CHECK(false) << "no probe kernel available";
+  return nullptr;
+}
+
+const KernelEntry* DispatchedKernel() {
+  const KernelEntry* kernel =
+      g_packed_kernel.load(std::memory_order_acquire);
+  if (kernel == nullptr) {
+    kernel = ResolvePackedKernel();
+    g_packed_kernel.store(kernel, std::memory_order_release);
+  }
+  return kernel;
+}
+
+}  // namespace
 
 uint32_t LowerBoundPacked(const ItemId* items, uint32_t lo, uint32_t hi,
                           ItemId target) {
-  return LowerBoundPackedPortable(items, lo, hi, target);
+  return DispatchedKernel()->fn(items, lo, hi, target);
 }
 
-const char* PackedKernelName() { return "portable"; }
+ProbeFn ResolvedPackedKernel() { return DispatchedKernel()->fn; }
 
-#endif
+const char* PackedKernelName() { return DispatchedKernel()->name; }
+
+std::vector<const char*> AvailableKernelNames() {
+  std::vector<const char*> names;
+  for (const KernelEntry& kernel : kKernels) {
+    if (kernel.available()) names.push_back(kernel.name);
+  }
+  return names;
+}
+
+ProbeFn KernelByName(std::string_view name) {
+  const KernelEntry* kernel = FindKernel(name);
+  if (kernel == nullptr || !kernel->available()) return nullptr;
+  return kernel->fn;
+}
+
+Status ForcePackedKernel(std::string_view name) {
+  const KernelEntry* kernel = FindKernel(name);
+  if (kernel == nullptr) {
+    return Status::InvalidArgument(
+        "unknown probe kernel '" + std::string(name) +
+        "' (known kernels: " + KnownKernelNames() + ")");
+  }
+  if (!kernel->available()) {
+    return Status::FailedPrecondition(
+        "probe kernel '" + std::string(name) +
+        "' is not supported by this CPU");
+  }
+  g_packed_kernel.store(kernel, std::memory_order_release);
+  return Status::OK();
+}
+
+void ResetPackedKernel() {
+  g_packed_kernel.store(nullptr, std::memory_order_release);
+}
 
 uint32_t LowerBoundGallop(const ItemId* items, uint32_t lo, uint32_t hi,
                           ItemId target) {
@@ -411,6 +522,8 @@ void CandidateTrie::CountFlat(std::span<const ItemId> txn,
     uint32_t ti;  // next transaction position
   };
   std::array<Frame, kMaxItemsetSize> stack;
+  // One dispatch load per transaction, not per probe.
+  const trie_probe::ProbeFn packed = trie_probe::ResolvedPackedKernel();
   const ItemId* items = items_.data();
   const ItemId* txn_items = txn.data();
   const auto tn = static_cast<uint32_t>(txn.size());
@@ -438,7 +551,7 @@ void CandidateTrie::CountFlat(std::span<const ItemId> txn,
       if (have < want) {
         ni = gallop
                  ? trie_probe::LowerBoundGallop(items, ni, f.ne, want)
-                 : trie_probe::LowerBoundPacked(items, ni, f.ne, want);
+                 : packed(items, ni, f.ne, want);
         if (ni >= f.ne) break;
         have = items[ni];
       }

@@ -9,10 +9,11 @@
 //     (items[] / child_begin[] / child_end[] / leaf_index[]), walked
 //     iteratively with an explicit frame stack. The txn∩children
 //     merge-walk runs over the dense items[] stream with a packed
-//     lower-bound probe (SSE2/AVX2 when the build enables them, a
-//     64-bit mask + std::countr_zero word kernel otherwise) and
-//     switches to a galloping probe when the sibling list is long
-//     relative to the remaining transaction suffix;
+//     lower-bound probe — selected at *runtime* from one binary:
+//     AVX2 when cpuid reports it, SSE2 on x86-64, a 64-bit mask +
+//     std::countr_zero word kernel otherwise — and switches to a
+//     galloping probe when the sibling list is long relative to the
+//     remaining transaction suffix;
 //   legacy — the original per-layer vector<Node> AoS layout with the
 //     recursive merge-walk, kept behind Options::flat = false as the
 //     A/B baseline for benchmarks and differential tests.
@@ -35,8 +36,10 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "data/itemset.h"
 #include "data/segment_catalog.h"
 #include "data/types.h"
@@ -49,6 +52,10 @@ namespace flipper {
 /// trie walk dispatches between them internally.
 namespace trie_probe {
 
+/// Signature shared by every lower-bound kernel.
+using ProbeFn = uint32_t (*)(const ItemId* items, uint32_t lo,
+                             uint32_t hi, ItemId target);
+
 /// Baseline: one compare per element.
 uint32_t LowerBoundScalar(const ItemId* items, uint32_t lo, uint32_t hi,
                           ItemId target);
@@ -59,19 +66,45 @@ uint32_t LowerBoundScalar(const ItemId* items, uint32_t lo, uint32_t hi,
 uint32_t LowerBoundPackedPortable(const ItemId* items, uint32_t lo,
                                   uint32_t hi, ItemId target);
 
-/// Best packed probe the build supports: AVX2 (8 lanes) when compiled
-/// in via FLIPPER_TRIE_AVX2, SSE2 (4 lanes) on x86-64, the portable
-/// word kernel otherwise.
+/// Runtime-dispatched packed probe. One binary carries every kernel;
+/// the first call resolves the best one the host CPU supports (AVX2
+/// via cpuid, else SSE2 on x86-64, else the portable word kernel),
+/// honouring the FLIPPER_FORCE_PROBE_KERNEL override — an unknown or
+/// unsupported forced name aborts with an explicit message rather
+/// than silently falling back. Hot loops should hoist
+/// ResolvedPackedKernel() once instead of paying the dispatch load
+/// per probe.
 uint32_t LowerBoundPacked(const ItemId* items, uint32_t lo, uint32_t hi,
                           ItemId target);
+
+/// The function pointer LowerBoundPacked dispatches through,
+/// resolving it first if needed.
+ProbeFn ResolvedPackedKernel();
 
 /// Galloping (exponential + binary) probe for long streams.
 uint32_t LowerBoundGallop(const ItemId* items, uint32_t lo, uint32_t hi,
                           ItemId target);
 
-/// Name of the instruction set LowerBoundPacked was compiled with
-/// ("avx2", "sse2" or "portable") — reported by the bench JSON.
+/// Name of the kernel LowerBoundPacked currently resolves to ("avx2",
+/// "sse2", "portable" or "scalar") — reported by the bench JSON.
 const char* PackedKernelName();
+
+/// Kernel names this host can run, dispatch-preferred first.
+std::vector<const char*> AvailableKernelNames();
+
+/// The kernel registered under `name`, independent of the dispatch
+/// state; nullptr when the name is unknown or the host CPU cannot run
+/// it. For the kernel-agreement tests.
+ProbeFn KernelByName(std::string_view name);
+
+/// Pins LowerBoundPacked to the named kernel (tests/benches — the env
+/// override is the production path). InvalidArgument on unknown
+/// names, FailedPrecondition when the host CPU lacks the kernel.
+Status ForcePackedKernel(std::string_view name);
+
+/// Restores cpuid auto-dispatch; FLIPPER_FORCE_PROBE_KERNEL is
+/// re-read at the next resolution.
+void ResetPackedKernel();
 
 }  // namespace trie_probe
 

@@ -29,6 +29,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
   counter_options.trie.prefilter = config_.enable_txn_prefilter;
   counter_ = MakeCounter(config_.counter, pool_.get(), counter_options);
   pipelining_ = config_.enable_pipelining;
+  row_overlap_ = pipelining_ && config_.enable_row_overlap;
 
   WallTimer total_timer;
   MiningResult result;
@@ -68,6 +69,11 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
     return result;
   }
 
+  // Cross-row speculation handed from one row's last column to the
+  // next row's first cell (enable_row_overlap). Declared ahead of both
+  // phases: phase 1's last column seeds row 3.
+  CrossRowState cross;
+
   // --- Phase 1: the two ceiling rows, zigzag (lines 2-7). ---
   Row row1;
   Row row2;
@@ -103,7 +109,15 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
     if (pipelining_ && k < max_k_ && !work2.counted_by_scan) {
       spec = planner_->PlanRow1(k + 1, &parent);
     }
-    FLIPPER_ASSIGN_OR_RETURN(Cell q2, FinishCell(&work2, &parent));
+    // Row overlap: at the last column, plan (and start counting)
+    // Q(3,2) from the completed Q(2,2) while Q(2,max_k) finishes.
+    const Cell* cross_parent =
+        row_overlap_ && k == max_k_ && height_ >= 3 && !row2.empty()
+            ? &row2[0]
+            : nullptr;
+    FLIPPER_RETURN_IF_ERROR(
+        JoinWithCrossStart(&work2, 3, cross_parent, &cross));
+    FLIPPER_ASSIGN_OR_RETURN(Cell q2, EvaluateCell(&work2, &parent));
     row2.push_back(std::move(q2));
 
     evaluator_->SibpUpdate(1, k, row1[static_cast<size_t>(k - 2)]);
@@ -129,6 +143,12 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
   for (int h = 3; h <= height_; ++h) {
     Row cur_row;
     std::optional<CellPlan> vspec;
+    // A carried cross-row plan (scan route / truncated) becomes the
+    // row's first spec, so its scan or error lands in serial position.
+    if (cross.carried.has_value()) {
+      vspec = std::move(cross.carried);
+      cross.carried.reset();
+    }
     for (int k = 2; k <= max_k_; ++k) {
       const Cell* parent =
           static_cast<size_t>(k - 2) < prev_row.size()
@@ -136,15 +156,30 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
               : nullptr;
       const Cell* prev_in_row =
           k == 2 ? nullptr : &cur_row[static_cast<size_t>(k - 3)];
-      CellWork work;
-      FLIPPER_RETURN_IF_ERROR(BeginVerticalCell(
-          h, k, parent, prev_in_row, std::move(vspec), &work));
+      std::unique_ptr<CellWork> work;
+      if (k == 2 && cross.started != nullptr) {
+        std::unique_ptr<CellWork> started = std::move(cross.started);
+        if (evaluator_->banned(h).size() == cross.ban_version) {
+          // Adopt the cross-row count already in flight. Provably
+          // always taken — SibpBan(h-1,·) bans only level-(h-1) items,
+          // so banned(h) cannot have grown since the plan read it.
+          work = std::move(started);
+        } else {
+          // Defensive stale path: join, discard, replan serially.
+          FLIPPER_RETURN_IF_ERROR(started->future.Join());
+        }
+      }
+      if (work == nullptr) {
+        work = std::make_unique<CellWork>();
+        FLIPPER_RETURN_IF_ERROR(BeginVerticalCell(
+            h, k, parent, prev_in_row, std::move(vspec), work.get()));
+      }
       vspec.reset();
       // Overlap: while Q(h,k)'s scan counts on the pool, the driver
       // plans Q(h,k+1) from the completed parent row. The plan records
       // the SIBP ban version it read; if evaluating Q(h,k) bans more
       // items, BeginVerticalCell discards it and replans.
-      if (pipelining_ && k < max_k_ && !work.counted_by_scan) {
+      if (pipelining_ && k < max_k_ && !work->counted_by_scan) {
         const Cell* next_parent =
             static_cast<size_t>(k - 1) < prev_row.size()
                 ? &prev_row[static_cast<size_t>(k - 1)]
@@ -154,7 +189,16 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
                                          evaluator_->banned(h));
         }
       }
-      FLIPPER_ASSIGN_OR_RETURN(Cell cell, FinishCell(&work, parent));
+      // Row overlap at the last column: plan and start Q(h+1,2) from
+      // the completed Q(h,2) while Q(h,max_k)'s count drains.
+      const Cell* cross_parent =
+          row_overlap_ && k == max_k_ && h < height_ && !cur_row.empty()
+              ? &cur_row[0]
+              : nullptr;
+      FLIPPER_RETURN_IF_ERROR(
+          JoinWithCrossStart(work.get(), h + 1, cross_parent, &cross));
+      FLIPPER_ASSIGN_OR_RETURN(Cell cell,
+                               EvaluateCell(work.get(), parent));
       cur_row.push_back(std::move(cell));
 
       evaluator_->SibpUpdate(h, k, cur_row[static_cast<size_t>(k - 2)]);
@@ -252,12 +296,52 @@ Status CellPipeline::BeginVerticalCell(int h, int k, const Cell* parent,
 
 Result<Cell> CellPipeline::FinishCell(CellWork* work, const Cell* parent) {
   FLIPPER_RETURN_IF_ERROR(work->future.Join());
+  return EvaluateCell(work, parent);
+}
+
+Result<Cell> CellPipeline::EvaluateCell(CellWork* work,
+                                        const Cell* parent) {
   Cell cell =
       evaluator_->Evaluate(work->cs.h, work->cs.k, work->candidates,
                            work->supports, parent, &work->cs, &stats_);
   work->cs.seconds = work->timer.ElapsedSeconds();
   stats_.AddCell(work->cs);
   return cell;
+}
+
+Status CellPipeline::JoinWithCrossStart(CellWork* work, int next_h,
+                                        const Cell* cross_parent,
+                                        CrossRowState* cross) {
+  if (cross_parent == nullptr) return work->future.Join();
+  // Plan Q(next_h,2) while this cell's count is still in flight. The
+  // plan reads only the completed cross parent (Q(next_h-1,2)) and
+  // level next_h's SIBP ban set — evaluating the in-flight cell bans
+  // level-(next_h-1) items only, so the plan cannot go stale before
+  // row next_h adopts it (the version is still revalidated there).
+  CellPlan plan = planner_->PlanVertical(next_h, 2, *cross_parent,
+                                         evaluator_->banned(next_h));
+  FLIPPER_RETURN_IF_ERROR(work->future.Join());
+  if (plan.strategy == CellStrategy::kScan || plan.truncated) {
+    // The scan route counts inline on the driver thread and truncation
+    // must raise its error in serial position — carry the plan to the
+    // next row's first spec instead of starting anything here.
+    cross->carried = std::move(plan);
+    return Status::OK();
+  }
+  auto started = std::make_unique<CellWork>();
+  started->cs.h = next_h;
+  started->cs.k = 2;
+  started->cs.generated = plan.candidates.size();
+  started->candidates = std::move(plan.candidates);
+  started->cs.counted = started->candidates.size();
+  cross->ban_version = plan.ban_version;
+  // The previous count is joined, so the counter's pooled scratch is
+  // free: begin the cross count before the row tail evaluates.
+  started->future = counter_->StartCount(&views_, next_h,
+                                         started->candidates,
+                                         &started->supports);
+  cross->started = std::move(started);
+  return Status::OK();
 }
 
 Status CellPipeline::TruncatedError(int h, int k) const {

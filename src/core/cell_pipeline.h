@@ -19,6 +19,22 @@
 // to the staged-serial order for any thread count
 // (MiningConfig::enable_pipelining toggles the overlap).
 //
+// With MiningConfig::enable_row_overlap the speculation window also
+// spans row boundaries — the pool's idle gap at every level
+// transition. At a row's last column the driver plans Q(h+1,2) from
+// the completed Q(h,2) while Q(h,max_k) still counts, then starts
+// Q(h+1,2)'s scan the moment Q(h,max_k) joins, so the pool counts
+// Q(h+1,2) while the driver evaluates the row tail, runs the SIBP/TPG
+// bookkeeping, and evicts the finished row. This preserves both
+// invariants the intra-row speculation relies on: counts begin/join
+// strictly one at a time (the counter's pooled-scratch discipline),
+// and the plan is revalidated against level h+1's SIBP ban version at
+// adoption — that set cannot change before row h+1 starts (SibpBan(h)
+// only bans level-h items), and eviction retains exactly the
+// ParentEligible records planning reads, so output stays
+// bit-identical. Scan-strategy and truncated cross plans are carried
+// un-started and consumed in exact serial position instead.
+//
 // Processing order, pruning semantics and memory policy are unchanged
 // from the paper: the two ceiling rows zigzag so TPG always sees two
 // vertically consecutive cells, rows 3..H run left to right, only two
@@ -61,7 +77,10 @@ class CellPipeline {
   using Row = std::vector<Cell>;
 
   /// One cell travelling through the stages. Candidates and supports
-  /// must stay put while the count future is in flight.
+  /// must stay put while the count future is in flight, so cross-row
+  /// works live behind unique_ptr; the destructor joins any still
+  /// in-flight count (idempotent) so an error-path unwind can never
+  /// free buffers a pool task is writing.
   struct CellWork {
     CellStats cs;
     WallTimer timer;
@@ -71,6 +90,26 @@ class CellPipeline {
     /// The scan-driven route counted during generation; no count
     /// stage remains and therefore nothing overlaps this cell.
     bool counted_by_scan = false;
+
+    CellWork() = default;
+    ~CellWork() { future.Join(); }
+    CellWork(const CellWork&) = delete;
+    CellWork& operator=(const CellWork&) = delete;
+  };
+
+  /// Cross-row speculation in flight between a row's last column and
+  /// the next row's first. Exactly one of the members is set: a
+  /// started count for the in-memory strategies, or a carried
+  /// (un-started) plan for the scan/truncated routes.
+  struct CrossRowState {
+    /// Q(h+1,2) with its count already dispatched.
+    std::unique_ptr<CellWork> started;
+    /// banned(h+1) size the started plan read, revalidated at
+    /// adoption.
+    size_t ban_version = 0;
+    /// Scan-strategy or truncated plan, consumed as the next row's
+    /// first spec so errors and scans happen in serial position.
+    std::optional<CellPlan> carried;
   };
 
   /// Stage 1 (+ count dispatch) for a vertical cell Q(h,k), h >= 2:
@@ -89,6 +128,18 @@ class CellPipeline {
 
   /// Joins the count, runs evaluation, commits the cell's stats.
   Result<Cell> FinishCell(CellWork* work, const Cell* parent);
+
+  /// Evaluation half of FinishCell: requires the count joined.
+  Result<Cell> EvaluateCell(CellWork* work, const Cell* parent);
+
+  /// Row-overlap join: plans Q(next_h,2) from `cross_parent` while
+  /// `work`'s count is still in flight, joins `work`, then dispatches
+  /// the cross count (in-memory strategies) or stows the plan
+  /// (scan/truncated) into `cross`. With a null `cross_parent` this
+  /// degenerates to a plain join.
+  Status JoinWithCrossStart(CellWork* work, int next_h,
+                            const Cell* cross_parent,
+                            CrossRowState* cross);
 
   Status TruncatedError(int h, int k) const;
 
@@ -120,6 +171,7 @@ class CellPipeline {
   int height_ = 0;
   int max_k_ = 0;  // current column cap; TPG shrinks it
   bool pipelining_ = true;
+  bool row_overlap_ = true;  // cross-row speculation (needs pipelining_)
 
   /// Frequent single items per level (index h), sorted by id.
   std::vector<std::vector<ItemId>> freq_items_;

@@ -18,6 +18,15 @@ constexpr size_t kMinTxnsPerScanShard = 512;
 
 using CountMap = ScanCellScratch::CountMap;
 
+/// Uniform counter access so the scan loop is written once over both
+/// counter families (map baseline / arena table).
+inline void BumpCount(CountMap& counts, const Itemset& combo) {
+  ++counts[combo];
+}
+inline void BumpCount(ScanCounterTable& counts, const Itemset& combo) {
+  counts.Increment(combo);
+}
+
 }  // namespace
 
 double ScanEnumerationCost(const LevelViews& views, int h, int k,
@@ -114,25 +123,37 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   // item buffers come from the scratch, so a warm cell allocates
   // nothing per transaction (clear() keeps map buckets and vector
   // capacity).
+  const bool arena_counters = config.enable_arena_scan_counters;
   const int num_shards = views.NumScanShards(h, kMinTxnsPerScanShard);
-  if (s->shard_counts.size() < static_cast<size_t>(num_shards)) {
-    s->shard_counts.resize(static_cast<size_t>(num_shards));
+  if (arena_counters) {
+    if (s->shard_tables.size() < static_cast<size_t>(num_shards)) {
+      s->shard_tables.resize(static_cast<size_t>(num_shards));
+    }
+    for (int i = 0; i < num_shards; ++i) {
+      s->shard_tables[static_cast<size_t>(i)].Reset(k);
+    }
+  } else {
+    if (s->shard_counts.size() < static_cast<size_t>(num_shards)) {
+      s->shard_counts.resize(static_cast<size_t>(num_shards));
+    }
+    for (int i = 0; i < num_shards; ++i) {
+      s->shard_counts[static_cast<size_t>(i)].clear();
+    }
   }
   if (s->shard_buf.size() < static_cast<size_t>(num_shards)) {
     s->shard_buf.resize(static_cast<size_t>(num_shards));
   }
   for (int i = 0; i < num_shards; ++i) {
-    s->shard_counts[static_cast<size_t>(i)].clear();
     auto& buf = s->shard_buf[static_cast<size_t>(i)];
     buf.clear();
     buf.reserve(level.db.max_width());
   }
   std::atomic<bool> exhausted{false};
   views.ScanShards(h, num_shards, [&](int shard, size_t lo, size_t hi) {
-    CountMap& counts = s->shard_counts[static_cast<size_t>(shard)];
     std::vector<ItemId>& buf = s->shard_buf[static_cast<size_t>(shard)];
     Itemset combo_scratch;
-    const auto scan_range = [&](size_t range_lo, size_t range_hi) {
+    const auto scan_range_into = [&](auto& counts, size_t range_lo,
+                                     size_t range_hi) {
       for (size_t t = range_lo; t < range_hi; ++t) {
         if (exhausted.load(std::memory_order_relaxed)) return;
         buf.clear();
@@ -141,12 +162,22 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
           if (item < ok.size() && ok[item]) buf.push_back(item);
         }
         if (buf.size() < static_cast<size_t>(k)) continue;
-        ForEachCombination(buf, k, &combo_scratch,
-                           [&](const Itemset& combo) { ++counts[combo]; });
+        ForEachCombination(
+            buf, k, &combo_scratch,
+            [&](const Itemset& combo) { BumpCount(counts, combo); });
         if (counts.size() > config.max_candidates_per_cell) {
           exhausted.store(true, std::memory_order_relaxed);
           return;
         }
+      }
+    };
+    const auto scan_range = [&](size_t range_lo, size_t range_hi) {
+      if (arena_counters) {
+        scan_range_into(s->shard_tables[static_cast<size_t>(shard)],
+                        range_lo, range_hi);
+      } else {
+        scan_range_into(s->shard_counts[static_cast<size_t>(shard)],
+                        range_lo, range_hi);
       }
     };
     ForEachScannableRange(seg_boundaries, scan_flags, lo, hi,
@@ -163,40 +194,64 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   if (exhausted.load(std::memory_order_relaxed)) return overflow;
 
   // Deterministic shard-order merge of the private counters. The
-  // merged map is re-checked against the cap per shard so it never
-  // grows much past it; the per-shard maps themselves are each
+  // merged counter is re-checked against the cap per shard so it never
+  // grows much past it; the per-shard counters themselves are each
   // bounded by the cap above (a tighter cap / num_shards bound would
   // flag cells the serial path accepts, since shards overlap). Shard
-  // 0's map doubles as the merge target for the single-shard case —
-  // iterated in place, not moved, so its buckets survive for reuse.
-  CountMap merged;
-  const CountMap* merged_view = &merged;
-  if (num_shards == 1) {
-    merged_view = &s->shard_counts[0];
-  } else {
-    for (int i = 0; i < num_shards; ++i) {
-      CountMap& counts = s->shard_counts[static_cast<size_t>(i)];
-      for (const auto& [combo, count] : counts) {
-        merged[combo] += count;
+  // 0's counter doubles as the merge target — iterated in place, not
+  // moved, so its storage survives for reuse. (Counts are additive, so
+  // the merged totals are shard-order independent; emission is sorted
+  // below either way.)
+  std::vector<std::pair<Itemset, uint32_t>> entries;
+  if (arena_counters) {
+    ScanCounterTable& merged = s->shard_tables[0];
+    for (int i = 1; i < num_shards; ++i) {
+      const ScanCounterTable& table =
+          s->shard_tables[static_cast<size_t>(i)];
+      for (const ScanCounterTable::Entry& entry : table.entries()) {
+        merged.Increment(table.KeyOf(entry).data(), entry.count);
       }
-      counts.clear();
       if (merged.size() > config.max_candidates_per_cell) {
         return overflow;
       }
     }
+    if (merged.size() > config.max_candidates_per_cell) {
+      return overflow;
+    }
+    cs->generated = merged.size();
+    entries.reserve(merged.size());
+    for (const ScanCounterTable::Entry& entry : merged.entries()) {
+      entries.emplace_back(merged.ItemsetOf(entry), entry.count);
+    }
+  } else {
+    CountMap merged;
+    const CountMap* merged_view = &merged;
+    if (num_shards == 1) {
+      merged_view = &s->shard_counts[0];
+    } else {
+      for (int i = 0; i < num_shards; ++i) {
+        CountMap& counts = s->shard_counts[static_cast<size_t>(i)];
+        for (const auto& [combo, count] : counts) {
+          merged[combo] += count;
+        }
+        counts.clear();
+        if (merged.size() > config.max_candidates_per_cell) {
+          return overflow;
+        }
+      }
+    }
+    if (merged_view->size() > config.max_candidates_per_cell) {
+      return overflow;
+    }
+    cs->generated = merged_view->size();
+    entries.assign(merged_view->begin(), merged_view->end());
   }
-  if (merged_view->size() > config.max_candidates_per_cell) {
-    return overflow;
-  }
-  cs->generated = merged_view->size();
 
   // Phase 2: keep combinations growable from an eligible parent that
   // pass the known-infrequent subset filter. (Combinations whose items
   // share a level-1 root generalize to fewer than k items and find no
   // parent record, so they drop out here.) Sorted emission keeps the
   // cell contents reproducible across thread counts and platforms.
-  std::vector<std::pair<Itemset, uint32_t>> entries(merged_view->begin(),
-                                                    merged_view->end());
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   candidates->clear();

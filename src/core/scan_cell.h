@@ -24,6 +24,7 @@
 #include "core/cell.h"
 #include "core/config.h"
 #include "core/level_views.h"
+#include "core/scan_counter.h"
 #include "core/stats.h"
 #include "data/itemset.h"
 #include "taxonomy/taxonomy.h"
@@ -41,14 +42,18 @@ namespace flipper {
 double ScanEnumerationCost(const LevelViews& views, int h, int k,
                            double live_fraction = 1.0);
 
-/// Reusable state of the scan-driven cell: per-shard hash counters and
+/// Reusable state of the scan-driven cell: per-shard counters and
 /// item buffers, plus the flag vectors of the filtering passes. The
 /// pipeline keeps one instance alive across a run's scan cells, so a
-/// warm cell re-counts without reallocating its maps (unordered_map
-/// clear() keeps the bucket arrays).
+/// warm cell re-counts without reallocating — unordered_map clear()
+/// keeps the bucket arrays, and the arena tables' Reset() keeps their
+/// slot/entry/key storage. Which counter family a scan fills is
+/// MiningConfig::enable_arena_scan_counters; both live here so an A/B
+/// flip mid-run reuses whichever is warm.
 struct ScanCellScratch {
   using CountMap = std::unordered_map<Itemset, uint32_t, ItemsetHash>;
   std::vector<CountMap> shard_counts;
+  std::vector<ScanCounterTable> shard_tables;
   std::vector<std::vector<ItemId>> shard_buf;
   std::vector<char> ok;
   std::vector<char> scan_flags;

@@ -1,0 +1,79 @@
+#include "core/scan_counter.h"
+
+#include <algorithm>
+
+namespace flipper {
+namespace {
+
+/// Slots a fresh table starts with; small enough to stay L1-resident
+/// for narrow cells, large enough that typical cells never rehash more
+/// than a few times before the scratch is warm.
+constexpr size_t kInitialSlots = 1024;
+
+/// 64-bit mix over the k key items. Shared by Itemset and raw-key
+/// increments so both probe identically.
+inline uint64_t HashKey(const ItemId* key, int k) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (int i = 0; i < k; ++i) {
+    h ^= key[i];
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace
+
+void ScanCounterTable::Reset(int k) {
+  assert(k >= 1 && k <= kMaxItemsetSize);
+  k_ = k;
+  entries_.clear();
+  arena_.clear();
+  if (slots_.empty()) {
+    // The one allocation outside Increment(): a cold table's initial
+    // slot array, paid per pooled instance, not per transaction.
+    slots_.assign(kInitialSlots, 0);
+  } else {
+    std::fill(slots_.begin(), slots_.end(), 0);
+  }
+  mask_ = static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void ScanCounterTable::Increment(const ItemId* key, uint32_t delta) {
+  assert(!slots_.empty() && "Reset() before counting");
+  const size_t key_bytes = sizeof(ItemId) * static_cast<size_t>(k_);
+  uint32_t slot = static_cast<uint32_t>(HashKey(key, k_)) & mask_;
+  for (uint32_t ref = slots_[slot]; ref != 0;
+       ref = slots_[slot = (slot + 1) & mask_]) {
+    Entry& entry = entries_[ref - 1];
+    if (std::memcmp(arena_.data() + entry.key_pos, key, key_bytes) == 0) {
+      entry.count += delta;
+      return;
+    }
+  }
+  if (arena_.size() + static_cast<size_t>(k_) > arena_.capacity()) {
+    ++grow_events_;
+  }
+  const auto key_pos = static_cast<uint32_t>(arena_.size());
+  arena_.insert(arena_.end(), key, key + k_);
+  if (entries_.size() == entries_.capacity()) ++grow_events_;
+  entries_.push_back({key_pos, delta});
+  slots_[slot] = static_cast<uint32_t>(entries_.size());
+  // Keep the load factor below 1/2 so probe runs stay short.
+  if (entries_.size() * 2 >= slots_.size()) Rehash(slots_.size() * 2);
+}
+
+void ScanCounterTable::Rehash(size_t new_slot_count) {
+  ++grow_events_;
+  slots_.assign(new_slot_count, 0);
+  mask_ = static_cast<uint32_t>(new_slot_count - 1);
+  for (uint32_t i = 0; i < entries_.size(); ++i) {
+    uint32_t slot = static_cast<uint32_t>(
+                        HashKey(arena_.data() + entries_[i].key_pos, k_)) &
+                    mask_;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask_;
+    slots_[slot] = i + 1;
+  }
+}
+
+}  // namespace flipper

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -362,6 +364,102 @@ TEST(ProbeKernels, LargeIdsUseUnsignedOrdering) {
     EXPECT_EQ(trie_probe::LowerBoundGallop(items.data(), 0, n, target),
               expected);
   }
+}
+
+TEST(ProbeKernels, DispatchAgreementOnAdversarialShapes) {
+  // Every kernel the host can run — whatever cpuid dispatch would pick
+  // plus every forcible fallback — must agree with std::lower_bound on
+  // the shapes that break SIMD lower bounds: empty ranges, runs of
+  // equal ids, lengths straddling the 4/8-lane vector widths, targets
+  // outside the id range, and ids crossing the 2^31 sign boundary.
+  const std::vector<const char*> kernels =
+      trie_probe::AvailableKernelNames();
+  ASSERT_FALSE(kernels.empty());
+  struct Shape {
+    const char* tag;
+    std::vector<ItemId> items;
+  };
+  std::vector<Shape> shapes = {
+      {"single", {7}},
+      {"all_equal", {5, 5, 5, 5, 5, 5, 5, 5, 5}},
+      {"sign_boundary",
+       {1, 2, 0x7ffffffe, 0x7fffffff, 0x80000000, 0x80000001,
+        0xfffffffe, 0xffffffff}},
+  };
+  // Lengths around the SSE (4-lane) and AVX2 (8-lane) widths, with
+  // duplicate runs mixed in.
+  Rng rng(321);
+  for (const uint32_t n : {2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u,
+                           31u, 33u, 64u, 100u}) {
+    Shape shape;
+    shape.tag = "len";
+    ItemId next = static_cast<ItemId>(rng.Below(4));
+    for (uint32_t i = 0; i < n; ++i) {
+      shape.items.push_back(next);
+      next += static_cast<ItemId>(rng.Below(3));  // frequent dups
+    }
+    shapes.push_back(std::move(shape));
+  }
+  for (const Shape& shape : shapes) {
+    const auto n = static_cast<uint32_t>(shape.items.size());
+    std::vector<ItemId> targets = {0, shape.items.front(),
+                                   shape.items.back(), 0xffffffff};
+    for (int i = 0; i < 32; ++i) {
+      targets.push_back(static_cast<ItemId>(
+          rng.Below(static_cast<uint64_t>(shape.items.back()) + 3)));
+    }
+    for (uint32_t lo = 0; lo <= n; ++lo) {
+      for (const ItemId target : targets) {
+        const auto expected = static_cast<uint32_t>(
+            std::lower_bound(shape.items.begin() + lo,
+                             shape.items.end(), target) -
+            shape.items.begin());
+        for (const char* name : kernels) {
+          const trie_probe::ProbeFn fn = trie_probe::KernelByName(name);
+          ASSERT_NE(fn, nullptr) << name;
+          EXPECT_EQ(fn(shape.items.data(), lo, n, target), expected)
+              << shape.tag << " kernel=" << name << " lo=" << lo
+              << " target=" << target;
+        }
+      }
+    }
+  }
+}
+
+TEST(ProbeKernels, ForcePackedKernelPinsAndErrors) {
+  // Pinning any available kernel redirects the dispatched entry point
+  // and is reported by name; unknown names are InvalidArgument (the
+  // env-override path turns the same condition into a hard abort, so
+  // a typo can never silently fall back).
+  for (const char* name : trie_probe::AvailableKernelNames()) {
+    ASSERT_TRUE(trie_probe::ForcePackedKernel(name).ok()) << name;
+    EXPECT_STREQ(trie_probe::PackedKernelName(), name);
+    EXPECT_EQ(trie_probe::ResolvedPackedKernel(),
+              trie_probe::KernelByName(name));
+    const ItemId items[] = {2, 4, 6};
+    EXPECT_EQ(trie_probe::LowerBoundPacked(items, 0, 3, 5), 2u);
+  }
+  const Status unknown = trie_probe::ForcePackedKernel("avx512");
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.ToString().find("avx512"), std::string::npos);
+  EXPECT_EQ(trie_probe::KernelByName("avx512"), nullptr);
+
+  // A host without AVX2 must refuse to force it rather than run an
+  // illegal instruction (FailedPrecondition, not a crash).
+  const std::vector<const char*> available =
+      trie_probe::AvailableKernelNames();
+  const bool has_avx2 =
+      std::find_if(available.begin(), available.end(), [](const char* n) {
+        return std::string_view(n) == "avx2";
+      }) != available.end();
+  if (!has_avx2) {
+    EXPECT_EQ(trie_probe::ForcePackedKernel("avx2").code(),
+              StatusCode::kFailedPrecondition);
+  }
+
+  trie_probe::ResetPackedKernel();
+  // Auto-dispatch resolves to the preferred available kernel again.
+  EXPECT_STREQ(trie_probe::PackedKernelName(), available.front());
 }
 
 }  // namespace

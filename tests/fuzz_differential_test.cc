@@ -156,6 +156,8 @@ MiningConfig RandomConfig(Rng* rng) {
   config.pruning = kPruning[rng->Below(4)];
   config.enable_scan_cells = rng->Bernoulli(0.7);
   config.enable_pipelining = rng->Bernoulli(0.7);
+  config.enable_row_overlap = rng->Bernoulli(0.7);
+  config.enable_arena_scan_counters = rng->Bernoulli(0.7);
   config.enable_segment_skipping = rng->Bernoulli(0.75);
   config.enable_flat_trie = rng->Bernoulli(0.7);
   config.enable_txn_prefilter = rng->Bernoulli(0.7);
@@ -178,6 +180,9 @@ std::string DescribeConfig(const MiningConfig& config) {
          " pruning=" + config.pruning.ToString() +
          " scan_cells=" + std::to_string(config.enable_scan_cells) +
          " pipelining=" + std::to_string(config.enable_pipelining) +
+         " row_overlap=" + std::to_string(config.enable_row_overlap) +
+         " arena_counters=" +
+         std::to_string(config.enable_arena_scan_counters) +
          " skipping=" +
          std::to_string(config.enable_segment_skipping) +
          " flat_trie=" + std::to_string(config.enable_flat_trie) +

@@ -1,8 +1,10 @@
-// Dedicated invariance grid for the PR-5 counting fast paths: mined
-// output must be byte-identical across {flat trie, txn prefilter} ×
-// {on, off} × {1, 4 threads} × {text, v1 store, v2 store} inputs, and
-// the horizontal counter's trie/buffer reuse across consecutive counts
-// (the row seam) must reproduce fresh-counter supports exactly.
+// Dedicated invariance grid for the counting fast paths: mined output
+// must be byte-identical across {flat trie, txn prefilter, row
+// overlap} × {on, off} × {1, 4 threads} × {text, v1 store, v2 store}
+// inputs, across every probe kernel the host can force
+// (avx2/sse2/portable/scalar), and the horizontal counter's
+// trie/buffer reuse across consecutive counts (the row seam) must
+// reproduce fresh-counter supports exactly.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/candidate_trie.h"
 #include "core/flipper_miner.h"
 #include "core/pattern_io.h"
 #include "core/support_counting.h"
@@ -97,26 +100,49 @@ TEST(TrieInvariance, MinedOutputIdenticalAcrossTrieModes) {
   };
   for (const bool flat : {true, false}) {
     for (const bool prefilter : {true, false}) {
-      for (const int threads : {1, 4}) {
-        for (const Source& source : sources) {
-          MiningConfig run_config = config;
-          run_config.enable_flat_trie = flat;
-          run_config.enable_txn_prefilter = prefilter;
-          run_config.num_threads = threads;
-          auto run = FlipperMiner::Run(*source.db, *source.taxonomy,
-                                       run_config);
-          ASSERT_TRUE(run.ok()) << run.status();
-          EXPECT_EQ(ToCsv(run->patterns, *source.dict), expected)
-              << source.name << " flat=" << flat
-              << " prefilter=" << prefilter << " threads=" << threads;
-          if (!prefilter) {
-            EXPECT_EQ(run->stats.txns_prefiltered, 0u)
-                << "prefilter disabled but transactions were rejected";
+      for (const bool row_overlap : {true, false}) {
+        for (const int threads : {1, 4}) {
+          for (const Source& source : sources) {
+            MiningConfig run_config = config;
+            run_config.enable_flat_trie = flat;
+            run_config.enable_txn_prefilter = prefilter;
+            run_config.enable_row_overlap = row_overlap;
+            run_config.num_threads = threads;
+            auto run = FlipperMiner::Run(*source.db, *source.taxonomy,
+                                         run_config);
+            ASSERT_TRUE(run.ok()) << run.status();
+            EXPECT_EQ(ToCsv(run->patterns, *source.dict), expected)
+                << source.name << " flat=" << flat
+                << " prefilter=" << prefilter
+                << " row_overlap=" << row_overlap
+                << " threads=" << threads;
+            if (!prefilter) {
+              EXPECT_EQ(run->stats.txns_prefiltered, 0u)
+                  << "prefilter disabled but transactions were "
+                     "rejected";
+            }
           }
         }
       }
     }
   }
+
+  // Every probe kernel the host can run must mine the same bytes: the
+  // runtime dispatch may pick any of them depending on the CPU, so a
+  // divergence here is a silent wrong-count on other hardware.
+  for (const char* kernel : trie_probe::AvailableKernelNames()) {
+    ASSERT_TRUE(trie_probe::ForcePackedKernel(kernel).ok()) << kernel;
+    EXPECT_STREQ(trie_probe::PackedKernelName(), kernel);
+    for (const int threads : {1, 4}) {
+      MiningConfig run_config = config;
+      run_config.num_threads = threads;
+      auto run = FlipperMiner::Run(*db, *taxonomy, run_config);
+      ASSERT_TRUE(run.ok()) << run.status();
+      EXPECT_EQ(ToCsv(run->patterns, dict), expected)
+          << "kernel=" << kernel << " threads=" << threads;
+    }
+  }
+  trie_probe::ResetPackedKernel();
 }
 
 TEST(TrieInvariance, CounterReuseMatchesFreshCounters) {

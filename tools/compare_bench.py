@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Perf-trajectory tooling for the bench_micro JSON output.
+
+Two modes:
+
+  record   Distill bench_results/bench_micro.json into a committed,
+           schema-versioned trajectory snapshot (BENCH_<pr>.json): per
+           case the median and p95 wall-clock plus the process peak
+           RSS, alongside a host fingerprint so numbers from a
+           different machine are never silently compared.
+
+             tools/compare_bench.py record \
+                 --source bench_results/bench_micro.json \
+                 --out BENCH_7.json
+
+  compare  Gate a fresh run against a committed snapshot: any case
+           whose current median exceeds the baseline median by more
+           than --threshold (default 10%) fails the gate (exit 1).
+           Sub-floor baselines (--min-ms, default 0.25 ms) are
+           reported but never gate — at that scale the median is
+           timer noise, not a trajectory.
+
+             tools/compare_bench.py compare BENCH_7.json \
+                 bench_results/bench_micro.json
+
+           Comparing a snapshot against itself always passes — the
+           self-check CI uses after recording.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
+def case_key(case):
+    return (case["name"], int(case.get("threads", 1)))
+
+
+def distill(case):
+    return {
+        "name": case["name"],
+        "threads": int(case.get("threads", 1)),
+        "median_ms": float(case["median_ms"]),
+        "p95_ms": float(case.get("p95_ms", case["median_ms"])),
+        "peak_rss_bytes": int(case.get("peak_rss_bytes", 0)),
+    }
+
+
+def cmd_record(args):
+    doc = load(args.source)
+    cases = [distill(c) for c in doc.get("cases", [])]
+    if len(cases) < args.min_cases:
+        print(
+            f"record FAILED: only {len(cases)} cases in {args.source}, "
+            f"need >= {args.min_cases}",
+            file=sys.stderr,
+        )
+        return 1
+    threads_seen = {c["threads"] for c in cases}
+    for required in (1, 4):
+        if required not in threads_seen:
+            print(
+                f"record FAILED: no case ran at {required} threads "
+                f"(saw {sorted(threads_seen)})",
+                file=sys.stderr,
+            )
+            return 1
+    packed_kernel = next(
+        (
+            c.get("packed_kernel")
+            for c in doc.get("cases", [])
+            if c.get("packed_kernel")
+        ),
+        "unknown",
+    )
+    snapshot = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": doc.get("bench", "bench_micro"),
+        "scale": doc.get("scale", 1.0),
+        "host": {
+            "platform": platform.platform(),
+            "cpu_model": cpu_model(),
+            "hardware_threads": os.cpu_count(),
+            "packed_kernel": packed_kernel,
+        },
+        "cases": cases,
+    }
+    with open(args.out, "w") as f:
+        json.dump(snapshot, f, indent=2)
+        f.write("\n")
+    print(f"recorded {len(cases)} cases -> {args.out}")
+    return 0
+
+
+def median_of(doc):
+    return {case_key(c): distill(c) for c in doc.get("cases", [])}
+
+
+def cmd_compare(args):
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    base_schema = base_doc.get("schema_version")
+    if base_schema is not None and base_schema != SCHEMA_VERSION:
+        print(
+            f"compare FAILED: baseline schema_version {base_schema} != "
+            f"{SCHEMA_VERSION}; re-record the snapshot",
+            file=sys.stderr,
+        )
+        return 1
+    base_scale = base_doc.get("scale")
+    cur_scale = cur_doc.get("scale")
+    if base_scale is not None and cur_scale is not None and \
+            float(base_scale) != float(cur_scale):
+        print(
+            f"compare FAILED: scale mismatch (baseline {base_scale}, "
+            f"current {cur_scale}) — medians are not comparable",
+            file=sys.stderr,
+        )
+        return 1
+
+    base = median_of(base_doc)
+    cur = median_of(cur_doc)
+    matched = sorted(set(base) & set(cur))
+    if not matched:
+        print("compare FAILED: no cases in common", file=sys.stderr)
+        return 1
+
+    regressions = []
+    noisy = []
+    improved = 0
+    for key in matched:
+        b, c = base[key], cur[key]
+        if b["median_ms"] <= 0.0:
+            continue
+        ratio = c["median_ms"] / b["median_ms"]
+        if ratio > 1.0 + args.threshold:
+            if b["median_ms"] < args.min_ms:
+                noisy.append((key, b["median_ms"], c["median_ms"], ratio))
+            else:
+                regressions.append(
+                    (key, b["median_ms"], c["median_ms"], ratio)
+                )
+        elif ratio < 1.0 - args.threshold:
+            improved += 1
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    print(
+        f"compared {len(matched)} cases "
+        f"(baseline-only {len(only_base)}, current-only {len(only_cur)}, "
+        f"improved >{args.threshold:.0%}: {improved})"
+    )
+    for key, b_ms, c_ms, ratio in noisy:
+        print(
+            f"  noise (sub-{args.min_ms}ms baseline, not gating): "
+            f"{key[0]} @{key[1]}t {b_ms:.4f} -> {c_ms:.4f} ms "
+            f"({ratio - 1.0:+.1%})"
+        )
+    if regressions:
+        print(
+            f"compare FAILED: {len(regressions)} median regression(s) "
+            f"beyond {args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for key, b_ms, c_ms, ratio in regressions:
+            print(
+                f"  {key[0]} @{key[1]}t: {b_ms:.4f} -> {c_ms:.4f} ms "
+                f"({ratio - 1.0:+.1%})",
+                file=sys.stderr,
+            )
+        return 1
+    print("compare OK: no median regression beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    rec = sub.add_parser("record", help="distill a trajectory snapshot")
+    rec.add_argument("--source", default="bench_results/bench_micro.json")
+    rec.add_argument("--out", required=True)
+    rec.add_argument("--min-cases", type=int, default=8)
+    rec.set_defaults(fn=cmd_record)
+
+    cmp_ = sub.add_parser("compare", help="gate a run against a snapshot")
+    cmp_.add_argument("baseline")
+    cmp_.add_argument("current")
+    cmp_.add_argument("--threshold", type=float, default=0.10)
+    cmp_.add_argument("--min-ms", type=float, default=0.25)
+    cmp_.set_defaults(fn=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,26 +3,54 @@
 # --bench, as the `bench_smoke` CTest does), run bench_micro at a small
 # scale, and validate that bench_results/bench_micro.json parses and
 # contains the perf-trajectory cases this repo tracks — in particular
-# the trie_flat_vs_legacy, txn_prefilter, trie_probe_kernels and
-# row_trie_reuse series with non-zero measurements.
+# the trie_flat_vs_legacy, txn_prefilter, trie_probe_kernels,
+# row_trie_reuse and scan_counter series with non-zero measurements.
+#
+# With --record the validated run is additionally distilled into a
+# committed trajectory snapshot (median/p95 wall + peak RSS per case,
+# host fingerprint; see tools/compare_bench.py) and self-compared
+# through the regression gate, so the recorded file is known-good.
 #
 # Usage:
-#   tools/run_bench_smoke.sh                 # configure+build, then run
-#   tools/run_bench_smoke.sh --bench <path>  # run this binary directly
+#   tools/run_bench_smoke.sh                  # configure+build, run
+#   tools/run_bench_smoke.sh --bench <path>   # run this binary directly
+#   tools/run_bench_smoke.sh --record [<out>] # ... + snapshot (default
+#                                             #     <repo>/BENCH_7.json)
 #
 # FLIPPER_BENCH_SCALE (default 0.05 here) shrinks the workloads so the
 # smoke stays CI-sized; rerun without it for real numbers.
 set -euo pipefail
 
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
 BENCH_BIN=""
-if [[ "${1:-}" == "--bench" ]]; then
-  BENCH_BIN="${2:?--bench needs a path}"
-fi
+RECORD_OUT=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bench)
+      BENCH_BIN="${2:?--bench needs a path}"
+      shift 2
+      ;;
+    --record)
+      if [[ $# -gt 1 && "${2:0:2}" != "--" ]]; then
+        RECORD_OUT="$2"
+        shift 2
+      else
+        RECORD_OUT="$REPO_ROOT/BENCH_7.json"
+        shift
+      fi
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
 
 export FLIPPER_BENCH_SCALE="${FLIPPER_BENCH_SCALE:-0.05}"
 
 if [[ -z "$BENCH_BIN" ]]; then
-  cd "$(dirname "$0")/.."
+  cd "$REPO_ROOT"
   BUILD_DIR=build
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_micro
@@ -55,6 +83,9 @@ required_prefixes = [
     "txn_prefilter",
     "trie_probe_kernels",
     "row_trie_reuse",
+    "scan_counter_map",
+    "scan_counter_arena",
+    "miner_pipelined",
     "horizontal_scan_threads_1",
 ]
 failures = []
@@ -66,10 +97,16 @@ for prefix in required_prefixes:
     if all(c.get("median_ms", 0) <= 0 or c.get("rows_per_sec", 0) <= 0
            for c in hits):
         failures.append(f"{prefix}*: every case measured zero")
+    if any("p95_ms" not in c or "peak_rss_bytes" not in c for c in hits):
+        failures.append(f"{prefix}*: missing p95_ms/peak_rss_bytes")
 
 pf = [c for name, c in cases.items() if name == "txn_prefilter_on"]
 if pf and pf[0].get("txns_prefiltered", 0) <= 0:
     failures.append("txn_prefilter_on: txns_prefiltered is zero")
+
+arena = cases.get("scan_counter_arena")
+if arena is not None and arena.get("warm_grow_events", -1) != 0:
+    failures.append("scan_counter_arena: warm reps allocated")
 
 if failures:
     print("bench smoke FAILED:")
@@ -81,11 +118,24 @@ EOF
 else
   echo "python3 unavailable; falling back to grep validation" >&2
   for prefix in trie_flat_vs_legacy txn_prefilter trie_probe_kernels \
-                row_trie_reuse; do
+                row_trie_reuse scan_counter; do
     if ! grep -q "\"name\": \"$prefix" "$JSON"; then
       echo "bench smoke FAILED: no case named $prefix*" >&2
       exit 1
     fi
   done
   echo "bench smoke OK (grep validation)"
+fi
+
+if [[ -n "$RECORD_OUT" ]]; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "bench record FAILED: python3 required for --record" >&2
+    exit 1
+  fi
+  python3 "$REPO_ROOT/tools/compare_bench.py" record \
+    --source "$JSON" --out "$RECORD_OUT"
+  # A snapshot must pass its own gate before it is worth committing.
+  python3 "$REPO_ROOT/tools/compare_bench.py" compare \
+    "$RECORD_OUT" "$RECORD_OUT"
+  echo "bench record OK: $RECORD_OUT"
 fi

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Race-checks the parallel paths (thread pool, sharded counting, the
-# cell pipeline's cross-cell overlap) under ThreadSanitizer. Uses the
+# cell pipeline's cross-cell overlap and cross-row overlap — the
+# early-started Q(h+1,2) scan racing Q(h,max_k)'s evaluation is
+# exactly the shape TSan is for) under ThreadSanitizer. Uses the
 # `tsan` CMake preset when available, falling back to explicit -D
 # flags on older CMake.
 set -euo pipefail
@@ -8,12 +10,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-tsan
 
-# The parallel suites (storage_test mines borrowed mmap views at 4
-# threads; segment_skipping_test and the fuzz harness drive the
-# catalog-guided sharded scans; trie_invariance_test exercises the
-# flat-trie/prefilter grid and the counter's pooled trie reuse across
-# async counts); everything else is single-threaded and only slows
-# the instrumented run down.
+# The parallel suites (cell_pipeline_test sweeps serial/pipelined/
+# row-overlap/map-counter modes at 1/2/4/hw threads — row overlap and
+# arena counters are on by default everywhere else too; storage_test
+# mines borrowed mmap views at 4 threads; segment_skipping_test and
+# the fuzz harness drive the catalog-guided sharded scans;
+# trie_invariance_test exercises the flat-trie/prefilter/row-overlap
+# grid, every forced probe kernel, and the counter's pooled trie
+# reuse across async counts); everything else is single-threaded and
+# only slows the instrumented run down.
 SUITES=(thread_pool_test parallel_counting_test cell_pipeline_test
         storage_test segment_skipping_test fuzz_differential_test
         trie_invariance_test)
