@@ -10,6 +10,7 @@
 // trajectory to compare against.
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -25,8 +26,10 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/candidate_trie.h"
 #include "core/flipper_miner.h"
+#include "core/pipeline_metrics.h"
 #include "core/scan_cell.h"
 #include "core/scan_counter.h"
 #include "core/support_counting.h"
@@ -674,6 +677,39 @@ void BenchThreadScaling(std::vector<CaseResult>* results) {
   }
 }
 
+/// Per-stage wall-clock sums from a run's metrics snapshot as a
+/// `"stages": {...}` JSON object (stage.<name>_ms histograms only; the
+/// _cpu_ms twins are omitted — the trajectory cares about where the
+/// wall time went).
+std::string StagesJson(const MetricsRegistry::Snapshot& snap) {
+  std::string out = "\"stages\": {";
+  bool first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    constexpr const char kPrefix[] = "stage.";
+    constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+    constexpr const char kSuffix[] = "_ms";
+    constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() <= kPrefixLen + kSuffixLen ||
+        name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) !=
+            0) {
+      continue;
+    }
+    if (name.size() >= 7 &&
+        name.compare(name.size() - 7, 7, "_cpu_ms") == 0) {
+      continue;
+    }
+    const std::string stage = name.substr(
+        kPrefixLen, name.size() - kPrefixLen - kSuffixLen);
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(stage) +
+           "\": " + FormatDouble(hist.sum_ms, 3);
+  }
+  out += "}";
+  return out;
+}
+
 /// Staged-serial vs pipelined cell execution on a multi-cell quest
 /// workload (several rows and columns stay alive, so the driver has
 /// planning work to overlap with the pool's support scans). Three
@@ -714,15 +750,67 @@ void BenchMinerPipeline(std::vector<CaseResult>* results) {
   for (const Mode& mode : kModes) {
     config.enable_pipelining = mode.pipelining;
     config.enable_row_overlap = mode.row_overlap;
+    // Every mode mines with a registry attached (a fresh one per rep,
+    // so stage sums describe one run, not the series); the recorded
+    // snapshot is the last timed rep's. The registry's cost is part of
+    // what the miner cases measure — the dedicated A/B pair below
+    // bounds it.
+    MetricsRegistry::Snapshot snap;
+    double utilization = 0.0;
     CaseResult r = RunCase(mode.name, hw, db->size(), [&] {
-      auto result = FlipperMiner::Run(*db, *taxonomy, config);
+      MetricsRegistry metrics;
+      MiningConfig run_config = config;
+      run_config.metrics = &metrics;
+      auto result = FlipperMiner::Run(*db, *taxonomy, run_config);
       if (!result.ok()) std::abort();
+      utilization = metrics.gauge("pool.utilization");
+      snap = metrics.Snap();
     });
     if (!mode.pipelining) {
       serial_ms = r.median_ms;
     } else if (serial_ms > 0.0 && r.median_ms > 0.0) {
       r.speedup = serial_ms / r.median_ms;
       r.speedup_key = "speedup_vs_serial";
+    }
+    r.extra_json = "\"pool_utilization\": " + FormatDouble(utilization, 4) +
+                   ", \"packed_kernel\": \"" +
+                   JsonEscape(trie_probe::PackedKernelName()) + "\", " +
+                   StagesJson(snap);
+    results->push_back(r);
+  }
+
+  // Observability overhead A/B on the same workload: the full
+  // pipelined configuration with tracing + metrics completely off vs
+  // both on (span recording AND the registry). The on-case records
+  // overhead_pct so the trajectory catches instrumentation creep; the
+  // acceptance bar is < 2% on the median.
+  config.enable_pipelining = true;
+  config.enable_row_overlap = true;
+  double obs_off_ms = 0.0;
+  for (const bool obs : {false, true}) {
+    CaseResult r = RunCase(
+        obs ? "miner_observability_on" : "miner_observability_off", hw,
+        db->size(), [&] {
+          MetricsRegistry metrics;
+          MiningConfig run_config = config;
+          run_config.metrics = obs ? &metrics : nullptr;
+          if (obs) trace::SetEnabled(true);
+          auto result = FlipperMiner::Run(*db, *taxonomy, run_config);
+          if (obs) {
+            trace::SetEnabled(false);
+            trace::Clear();  // bound span memory across reps
+          }
+          if (!result.ok()) std::abort();
+        });
+    if (!obs) {
+      obs_off_ms = r.median_ms;
+    } else if (obs_off_ms > 0.0 && r.median_ms > 0.0) {
+      const double overhead_pct =
+          (r.median_ms / obs_off_ms - 1.0) * 100.0;
+      r.extra_json =
+          "\"overhead_pct\": " + FormatDouble(overhead_pct, 2);
+      std::cout << "observability: tracing+metrics overhead "
+                << FormatDouble(overhead_pct, 2) << "% of median\n";
     }
     results->push_back(r);
   }
@@ -734,6 +822,17 @@ void BenchMinerPipeline(std::vector<CaseResult>* results) {
 /// with and without the payload validation scan. The fdb cases report
 /// their speedup over the parse baseline in the speedup column/JSON
 /// field.
+/// Scratch dir unique to this process: ctest runs bench_smoke and
+/// bench_record_smoke concurrently, and a shared fixed path would let
+/// one process rewrite a store while the other mmaps it.
+std::filesystem::path UniqueScratchDir(const char* tag,
+                                       std::error_code& ec) {
+  static const auto nonce =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  return std::filesystem::temp_directory_path(ec) /
+         (std::string(tag) + "_" + std::to_string(nonce));
+}
+
 void BenchStorage(std::vector<CaseResult>* results) {
   GroceriesParams params;
   params.num_transactions =
@@ -743,8 +842,7 @@ void BenchStorage(std::vector<CaseResult>* results) {
 
   namespace fs = std::filesystem;
   std::error_code ec;
-  const fs::path dir =
-      fs::temp_directory_path(ec) / "flipper_bench_storage";
+  const fs::path dir = UniqueScratchDir("flipper_bench_storage", ec);
   fs::create_directories(dir, ec);
   if (ec) {
     std::cout << "[storage] skipped: cannot create " << dir << "\n";
@@ -806,7 +904,7 @@ void BenchStorage(std::vector<CaseResult>* results) {
 std::string BenchStoreSizes() {
   namespace fs = std::filesystem;
   std::error_code ec;
-  const fs::path dir = fs::temp_directory_path(ec) / "flipper_bench_sizes";
+  const fs::path dir = UniqueScratchDir("flipper_bench_sizes", ec);
   fs::create_directories(dir, ec);
   if (ec) {
     std::cout << "[store_sizes] skipped: cannot create " << dir << "\n";
@@ -916,7 +1014,7 @@ std::string BenchStoreSizes() {
 void BenchScanSkip(std::vector<CaseResult>* results) {
   namespace fs = std::filesystem;
   std::error_code ec;
-  const fs::path dir = fs::temp_directory_path(ec) / "flipper_bench_skip";
+  const fs::path dir = UniqueScratchDir("flipper_bench_skip", ec);
   fs::create_directories(dir, ec);
   if (ec) {
     std::cout << "[scan_skip] skipped: cannot create " << dir << "\n";

@@ -12,6 +12,8 @@
 #include "common/arg_parser.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
+#include "core/pipeline_metrics.h"
 #include "datagen/census_sim.h"
 #include "datagen/groceries_sim.h"
 #include "datagen/medline_sim.h"
@@ -170,6 +172,16 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
   args.AddSwitch("baseline",
                  "run the per-level Apriori baseline (NaiveMiner)");
   args.AddSwitch("stats", "print mining statistics to stderr");
+  args.AddFlag("trace-out",
+               "record pipeline spans during the run and write Chrome "
+               "trace-event JSON (load in chrome://tracing or "
+               "ui.perfetto.dev) to PATH",
+               "PATH");
+  args.AddFlag("metrics-json",
+               "write the machine-readable run report (counters, "
+               "per-stage latency histograms, pool utilization) to "
+               "PATH, or '-' for stdout",
+               "PATH");
 
   Status parse_status =
       args.Parse(static_cast<int>(argv.size()), argv.data());
@@ -313,13 +325,60 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
     return 2;
   }
 
+  // --- Observability sinks. ---
+  const std::string trace_path = args.GetString("trace-out", "");
+  const std::string metrics_path = args.GetString("metrics-json", "");
+  MetricsRegistry metrics;
+  if (!metrics_path.empty()) config.metrics = &metrics;
+  const bool tracing = !trace_path.empty();
+  if (tracing) {
+    // In-process callers (tests) may mine repeatedly; start from an
+    // empty span store so the export covers exactly this run.
+    trace::Clear();
+    trace::SetEnabled(true);
+  }
+
   // --- Mine. ---
   auto result = args.GetSwitch("baseline")
                     ? NaiveMiner::Run(*db, *taxonomy, config)
                     : FlipperMiner::Run(*db, *taxonomy, config);
+  // The miner (and its pool) is gone here, so every span is closed
+  // and published; stop recording before touching the buffers.
+  if (tracing) trace::SetEnabled(false);
   if (!result.ok()) {
     err << "error: " << result.status() << "\n";
     return 1;
+  }
+  if (tracing) {
+    std::ofstream trace_file(trace_path, std::ios::trunc);
+    if (!trace_file) {
+      err << "error: cannot open for writing: " << trace_path << "\n";
+      return 1;
+    }
+    trace::ExportChromeJson(trace_file);
+    trace_file.flush();
+    if (!trace_file) {
+      err << "error: write failed: " << trace_path << "\n";
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (metrics_path == "-") {
+      metrics.WriteJson(out);
+    } else {
+      std::ofstream metrics_file(metrics_path, std::ios::trunc);
+      if (!metrics_file) {
+        err << "error: cannot open for writing: " << metrics_path
+            << "\n";
+        return 1;
+      }
+      metrics.WriteJson(metrics_file);
+      metrics_file.flush();
+      if (!metrics_file) {
+        err << "error: write failed: " << metrics_path << "\n";
+        return 1;
+      }
+    }
   }
   std::vector<FlippingPattern> patterns = std::move(result->patterns);
   auto topk = args.GetInt("topk", 0);

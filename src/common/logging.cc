@@ -1,9 +1,13 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+#include <thread>
 
 namespace flipper {
 namespace {
@@ -15,6 +19,38 @@ std::mutex g_log_mutex;
 std::ostream& Sink() {
   std::ostream* s = g_log_sink.load(std::memory_order_acquire);
   return s != nullptr ? *s : std::cerr;
+}
+
+/// ISO-8601 UTC wall time with millisecond precision, e.g.
+/// "2026-08-08T14:03:09.123Z".
+void AppendTimestamp(std::ostream& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &secs);
+#else
+  gmtime_r(&secs, &tm_utc);
+#endif
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ms));
+  out << buf;
+}
+
+/// Small per-process thread id (registration order), so log lines are
+/// grep-able without 16-hex-digit native ids.
+int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 }  // namespace
@@ -56,13 +92,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LogLevelToString(level_) << " " << base << ":" << line
-          << "] ";
+  stream_ << "[";
+  AppendTimestamp(stream_);
+  stream_ << " " << LogLevelToString(level_) << " T" << LogThreadId()
+          << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
+  // The newline joins the message before the single sink write:
+  // concurrent writers (even through sinks that ignore g_log_mutex)
+  // then cannot interleave a partial line.
+  stream_ << "\n";
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  Sink() << stream_.str() << "\n";
+  Sink() << stream_.str();
 }
 
 CheckFailure::CheckFailure(const char* cond, const char* file, int line) {

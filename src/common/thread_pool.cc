@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace flipper {
 
 int ThreadPool::ResolveThreadCount(int requested) {
@@ -27,25 +29,52 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::set_observer(PoolTaskObserver* observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = observer;
+}
+
 void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    Task task{std::move(fn), 0};
+    // Only pay the clock read when someone consumes the timing.
+    if (observer_ != nullptr || trace::Enabled()) {
+      task.submit_ns = trace::NowNanos();
+    }
+    queue_.push_back(std::move(task));
   }
   work_ready_.notify_one();
 }
 
 bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>* lock) {
   if (queue_.empty()) return false;
-  std::function<void()> task = std::move(queue_.front());
+  Task task = std::move(queue_.front());
   queue_.pop_front();
+  PoolTaskObserver* observer = observer_;
   ++in_flight_;
   lock->unlock();
+  const uint64_t start_ns = task.submit_ns != 0 ? trace::NowNanos() : 0;
   std::exception_ptr error;
   try {
-    task();
+    task.fn();
   } catch (...) {
     error = std::current_exception();
+  }
+  if (task.submit_ns != 0) {
+    const uint64_t end_ns = trace::NowNanos();
+    const uint64_t queue_ns = start_ns - task.submit_ns;
+    if (observer != nullptr) observer->OnPoolTask(queue_ns, end_ns - start_ns);
+    if (trace::Enabled()) {
+      trace::Span span;
+      span.name = "pool_task";
+      span.cat = "pool";
+      span.start_ns = start_ns;
+      span.dur_ns = end_ns - start_ns;
+      span.arg_kind = trace::Span::ArgKind::kWaitNs;
+      span.arg0 = static_cast<int64_t>(queue_ns);
+      trace::RecordSpan(span);
+    }
   }
   lock->lock();
   if (error != nullptr && first_error_ == nullptr) first_error_ = error;
@@ -55,6 +84,10 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>* lock) {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Registering the thread-local trace buffer is skipped entirely when
+  // tracing is off (short-lived pools in benches would otherwise grow
+  // the trace registry for nothing).
+  if (trace::Enabled()) trace::SetThreadName("pool-worker");
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_ready_.wait(lock,

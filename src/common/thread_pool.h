@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -18,6 +19,18 @@
 #include <vector>
 
 namespace flipper {
+
+/// Observes every task the pool runs: `queue_ns` is the submit→start
+/// latency, `run_ns` the task's execution time. Implementations must
+/// be thread-safe (workers call concurrently) and must not call back
+/// into the pool. MetricsRegistry (core/pipeline_metrics.h) is the
+/// production implementation; the interface lives here so common/
+/// needs no dependency on core/.
+class PoolTaskObserver {
+ public:
+  virtual ~PoolTaskObserver() = default;
+  virtual void OnPoolTask(uint64_t queue_ns, uint64_t run_ns) = 0;
+};
 
 class ThreadPool {
  public:
@@ -73,7 +86,20 @@ class ThreadPool {
   /// Overlapping batches are allowed; each joins only its own tasks.
   Completion SubmitBatch(std::vector<std::function<void()>> tasks);
 
+  /// Attaches/detaches a task observer. Must be called while no task
+  /// is queued or in flight (typically right after construction /
+  /// right before destruction); the pool's queue mutex publishes the
+  /// pointer to workers. Pass nullptr to detach.
+  void set_observer(PoolTaskObserver* observer);
+
  private:
+  /// A queued task plus its submit timestamp (trace::NowNanos clock;
+  /// 0 when neither tracing nor an observer needs timing).
+  struct Task {
+    std::function<void()> fn;
+    uint64_t submit_ns = 0;
+  };
+
   void WorkerLoop();
   /// Pops and runs one task; returns false if the queue was empty.
   bool RunOneTask(std::unique_lock<std::mutex>* lock);
@@ -84,7 +110,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_ready_;   // workers wait here
   std::condition_variable batch_done_;   // Wait() waits here
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
+  PoolTaskObserver* observer_ = nullptr;
   int in_flight_ = 0;
   std::exception_ptr first_error_;
   bool shutdown_ = false;

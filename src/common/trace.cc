@@ -1,0 +1,259 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace flipper {
+namespace trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+constexpr size_t kChunkSpans = 4096;
+
+// Per-thread span storage. Appends happen only from the owning thread;
+// `count_` is the publication point: the owner release-stores it after
+// writing a span, readers acquire-load it and may then read the first
+// `count_` spans. Chunks are never reallocated (the chunk vector holds
+// unique_ptrs to fixed arrays), so published spans stay at stable
+// addresses. `mu_` guards the chunk vector's growth and Clear()
+// against concurrent export walks.
+class ThreadBuffer {
+ public:
+  explicit ThreadBuffer(int tid) : tid_(tid) {}
+
+  void Append(const Span& span) {
+    size_t n = count_.load(std::memory_order_relaxed);
+    size_t chunk = n / kChunkSpans;
+    if (chunk >= num_chunks_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      chunks_.push_back(std::make_unique<Span[]>(kChunkSpans));
+      num_chunks_ = chunks_.size();
+    }
+    chunks_[chunk][n % kChunkSpans] = span;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  void SetName(const char* name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    name_ = name;
+  }
+
+  // Owner-thread only. Allocating (and zeroing) the first ~200KB chunk
+  // lazily would land between the first two spans and show up as an
+  // untraced gap; naming a thread is the natural point to pay it.
+  void Prewarm() {
+    if (num_chunks_ > 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    chunks_.push_back(std::make_unique<Span[]>(kChunkSpans));
+    num_chunks_ = chunks_.size();
+  }
+
+  int tid() const { return tid_; }
+
+  size_t Count() const { return count_.load(std::memory_order_acquire); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    size_t n = Count();
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      name = name_;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      // Chunk pointers are stable once published; reading under the
+      // lock each iteration would serialize exports for no benefit.
+      fn(tid_, name, chunks_[i / kChunkSpans][i % kChunkSpans]);
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_.store(0, std::memory_order_release);
+  }
+
+ private:
+  const int tid_;
+  mutable std::mutex mu_;
+  std::string name_;
+  std::vector<std::unique_ptr<Span[]>> chunks_;
+  // Owner-thread cache of chunks_.size(); only the owner appends, so
+  // no other thread ever grows the vector.
+  size_t num_chunks_ = 0;
+  std::atomic<size_t> count_{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives TLS dtors
+  return *registry;
+}
+
+std::shared_ptr<ThreadBuffer> RegisterThread() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto buf = std::make_shared<ThreadBuffer>(static_cast<int>(reg.buffers.size()));
+  reg.buffers.push_back(buf);
+  return buf;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = RegisterThread();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void AppendJsonEscaped(std::ostream& out, const char* s) {
+  for (; *s; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool SetEnabled(bool enabled) {
+  if (enabled) Epoch();  // pin the epoch before the first span
+  return internal::g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch())
+          .count());
+}
+
+int CurrentThreadId() { return LocalBuffer().tid(); }
+
+void SetThreadName(const char* name) {
+  ThreadBuffer& buf = LocalBuffer();
+  buf.SetName(name);
+  buf.Prewarm();
+}
+
+void RecordSpan(const Span& span) {
+  if (!Enabled()) return;
+  LocalBuffer().Append(span);
+}
+
+size_t SpanCount() {
+  Registry& reg = GetRegistry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  size_t total = 0;
+  for (const auto& buf : buffers) total += buf->Count();
+  return total;
+}
+
+void Clear() {
+  Registry& reg = GetRegistry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  for (const auto& buf : buffers) buf->Clear();
+}
+
+void ForEachSpan(
+    const std::function<void(int, const std::string&, const Span&)>& fn) {
+  Registry& reg = GetRegistry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  for (const auto& buf : buffers) buf->ForEach(fn);
+}
+
+void ExportChromeJson(std::ostream& out) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  Registry& reg = GetRegistry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  // Thread-name metadata events first, then one complete ("X") event
+  // per span. One event per line: downstream structural checks parse
+  // line-by-line instead of needing a JSON parser.
+  for (const auto& buf : buffers) {
+    bool named = false;
+    buf->ForEach([&](int tid, const std::string& name, const Span&) {
+      if (named) return;
+      named = true;
+      if (!first) out << ",\n";
+      first = false;
+      out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      AppendJsonEscaped(out, name.empty() ? "thread" : name.c_str());
+      out << "\"}}";
+    });
+  }
+  for (const auto& buf : buffers) {
+    buf->ForEach([&](int tid, const std::string&, const Span& span) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"name\":\"";
+      AppendJsonEscaped(out, span.name);
+      out << "\",\"cat\":\"";
+      AppendJsonEscaped(out, span.cat);
+      // Chrome-trace timestamps are microseconds; keep sub-us tails by
+      // rendering three decimal places.
+      uint64_t ts_int = span.start_ns / 1000;
+      uint64_t ts_frac = span.start_ns % 1000;
+      uint64_t dur_int = span.dur_ns / 1000;
+      uint64_t dur_frac = span.dur_ns % 1000;
+      char frac[8];
+      std::snprintf(frac, sizeof(frac), "%03llu",
+                    static_cast<unsigned long long>(ts_frac));
+      out << "\",\"ts\":" << ts_int << "." << frac;
+      std::snprintf(frac, sizeof(frac), "%03llu",
+                    static_cast<unsigned long long>(dur_frac));
+      out << ",\"dur\":" << dur_int << "." << frac;
+      switch (span.arg_kind) {
+        case Span::ArgKind::kCell:
+          out << ",\"args\":{\"h\":" << span.arg0 << ",\"k\":" << span.arg1
+              << "}";
+          break;
+        case Span::ArgKind::kWaitNs:
+          out << ",\"args\":{\"queue_wait_us\":" << (span.arg0 / 1000) << "}";
+          break;
+        case Span::ArgKind::kNone:
+          break;
+      }
+      out << "}";
+    });
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace trace
+}  // namespace flipper

@@ -1,0 +1,159 @@
+// Low-overhead pipeline tracing: RAII spans recorded into per-thread
+// buffers and exported as Chrome trace-event JSON (chrome://tracing /
+// ui.perfetto.dev).
+//
+// Design constraints, in order:
+//   - near-zero cost when disabled: every span site is one relaxed
+//     atomic load and a branch, no clock reads, no stores;
+//   - no cross-thread contention when enabled: each thread appends to
+//     its own buffer (chunked arrays, so recording never moves spans);
+//     the only locks are per-buffer chunk rollover (every 4096 spans)
+//     and thread registration (once per thread);
+//   - no heap allocation per span: names and categories must be string
+//     literals (the buffer stores the pointers), arguments are two
+//     plain integers.
+//
+// Recording is process-global so the mining stages, the thread pool
+// and the CLI need no plumbing: enable with SetEnabled(true), run,
+// then ExportChromeJson(). Export is safe while recording continues
+// (it reads each buffer up to its published span count), but the
+// usual discipline is enable -> run -> disable -> export. Clear()
+// must only be called while no thread is recording.
+
+#ifndef FLIPPER_COMMON_TRACE_H_
+#define FLIPPER_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace flipper {
+namespace trace {
+
+/// One closed span. `name` and `cat` must point at string literals
+/// (or otherwise outlive the trace buffer).
+struct Span {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  /// Argument payload, interpreted per `arg_kind`.
+  int64_t arg0 = 0;
+  int64_t arg1 = 0;
+  enum class ArgKind : uint8_t {
+    kNone,   // no args emitted
+    kCell,   // arg0 = h, arg1 = k (cell coordinates)
+    kWaitNs  // arg0 = submit->start queue latency in ns
+  };
+  ArgKind arg_kind = ArgKind::kNone;
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// Whether span sites record. The single check every disabled span
+/// site pays.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on/off. Returns the previous state. Enabling is
+/// cheap; buffers persist across enable/disable cycles until Clear().
+bool SetEnabled(bool enabled);
+
+/// Monotonic nanoseconds since the process trace epoch.
+uint64_t NowNanos();
+
+/// Stable, small id of the calling thread (assigned on first use, in
+/// registration order; the exporter uses it as the Chrome `tid`).
+int CurrentThreadId();
+
+/// Labels the calling thread in the exported trace ("driver",
+/// "pool-worker", ...). Idempotent; last writer wins.
+void SetThreadName(const char* name);
+
+/// Appends one closed span to the calling thread's buffer. No-op when
+/// disabled. `name`/`cat` must be string literals.
+void RecordSpan(const Span& span);
+
+/// Total spans currently recorded across all threads.
+size_t SpanCount();
+
+/// Drops all recorded spans (buffers stay registered and keep their
+/// chunk storage). Only call while no thread is recording.
+void Clear();
+
+/// Writes every recorded span as Chrome trace-event JSON
+/// ({"traceEvents": [...]}): one "X" (complete) event per span plus
+/// one thread-name metadata event per thread, timestamps in
+/// microseconds relative to the trace epoch, one event per line (the
+/// structural validators rely on that). Safe to call with recording
+/// still enabled; spans published after the call started may be
+/// missed.
+void ExportChromeJson(std::ostream& out);
+
+/// Invokes `fn(tid, thread_name, span)` for every recorded span, in
+/// per-thread recording order (threads in registration order). The
+/// coverage checks and tests use this instead of re-parsing JSON.
+void ForEachSpan(
+    const std::function<void(int, const std::string&, const Span&)>& fn);
+
+/// RAII span: captures the start time if tracing was enabled at
+/// construction and records on destruction. Cheap to construct when
+/// disabled (one relaxed load).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat) {
+    if (Enabled()) Arm(name, cat);
+  }
+  ScopedSpan(const char* name, const char* cat, int h, int k) {
+    if (Enabled()) {
+      Arm(name, cat);
+      span_.arg_kind = Span::ArgKind::kCell;
+      span_.arg0 = h;
+      span_.arg1 = k;
+    }
+  }
+  ~ScopedSpan() {
+    if (span_.name != nullptr) {
+      span_.dur_ns = NowNanos() - span_.start_ns;
+      RecordSpan(span_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Arm(const char* name, const char* cat) {
+    span_.name = name;
+    span_.cat = cat;
+    span_.start_ns = NowNanos();
+  }
+  Span span_;
+};
+
+}  // namespace trace
+}  // namespace flipper
+
+// Span-site macros. `cat` conventions used by the mining pipeline:
+//   "run"    the per-run root span ("mine");
+//   "stage"  non-overlapping driver-thread stages (plan, count_wait,
+//            evaluate, ...) — the coverage checks sum these;
+//   "detail" nested refinements (trie_build, shard_merge, ...);
+//   "task"   spans executing on pool workers (count_shard, ...);
+//   "pool"   the thread pool's own task envelopes.
+#define FLIPPER_TRACE_CONCAT_(a, b) a##b
+#define FLIPPER_TRACE_CONCAT(a, b) FLIPPER_TRACE_CONCAT_(a, b)
+#define FLIPPER_TRACE_SPAN(name, cat)                       \
+  ::flipper::trace::ScopedSpan FLIPPER_TRACE_CONCAT(        \
+      flipper_trace_span_, __LINE__)(name, cat)
+#define FLIPPER_TRACE_SPAN_HK(name, cat, h, k)              \
+  ::flipper::trace::ScopedSpan FLIPPER_TRACE_CONCAT(        \
+      flipper_trace_span_, __LINE__)(name, cat, (h), (k))
+
+#endif  // FLIPPER_COMMON_TRACE_H_

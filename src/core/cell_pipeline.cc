@@ -4,24 +4,61 @@
 #include <string>
 #include <utility>
 
+#include "common/trace.h"
 #include "core/candidate_gen.h"
+#include "core/pipeline_metrics.h"
 #include "core/scan_cell.h"
 
 namespace flipper {
+namespace {
+
+// One pipeline stage on the driver thread: a cat="stage" trace span
+// plus (when a registry is attached) "stage.<name>_ms" /
+// "stage.<name>_cpu_ms" histogram samples. Stage scopes are laid out
+// so they never nest — the trace coverage check sums them against the
+// root "mine" span.
+class StageScope {
+ public:
+  StageScope(MetricsRegistry* metrics, const char* name)
+      : timer_(metrics, name), span_(name, "stage") {}
+  StageScope(MetricsRegistry* metrics, const char* name, int h, int k)
+      : timer_(metrics, name), span_(name, "stage", h, k) {}
+
+ private:
+  ScopedStageTimer timer_;
+  trace::ScopedSpan span_;
+};
+
+}  // namespace
 
 Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
   FLIPPER_RETURN_IF_ERROR(config_.Validate());
-  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
-  LevelViews::BuildOptions view_options;
-  // Catalogs have exactly two consumers — the horizontal counting
-  // scan and the scan-driven cell — so skip the per-level build pass
-  // when neither can run.
-  view_options.build_catalogs =
-      config_.enable_segment_skipping &&
-      (config_.counter == CounterKind::kHorizontal ||
-       config_.enable_scan_cells);
-  FLIPPER_ASSIGN_OR_RETURN(
-      views_, LevelViews::Build(db, tax_, pool_.get(), view_options));
+  metrics_ = config_.metrics;
+  if (trace::Enabled()) trace::SetThreadName("driver");
+  // Root span of the run; every driver-side stage scope below lands
+  // strictly inside it and the coverage check compares against it.
+  FLIPPER_TRACE_SPAN("mine", "run");
+  WallTimer total_timer;
+  {
+    StageScope stage(metrics_, "pool_start");
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    // Before the first Submit — the pool's queue mutex publishes the
+    // observer to the workers.
+    if (metrics_ != nullptr) pool_->set_observer(metrics_);
+  }
+  {
+    StageScope stage(metrics_, "views_build");
+    LevelViews::BuildOptions view_options;
+    // Catalogs have exactly two consumers — the horizontal counting
+    // scan and the scan-driven cell — so skip the per-level build pass
+    // when neither can run.
+    view_options.build_catalogs =
+        config_.enable_segment_skipping &&
+        (config_.counter == CounterKind::kHorizontal ||
+         config_.enable_scan_cells);
+    FLIPPER_ASSIGN_OR_RETURN(
+        views_, LevelViews::Build(db, tax_, pool_.get(), view_options));
+  }
   CounterOptions counter_options;
   counter_options.enable_segment_skipping =
       config_.enable_segment_skipping;
@@ -31,7 +68,6 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
   pipelining_ = config_.enable_pipelining;
   row_overlap_ = pipelining_ && config_.enable_row_overlap;
 
-  WallTimer total_timer;
   MiningResult result;
   height_ = tax_.height();
   num_txns_ = views_.num_transactions();
@@ -46,26 +82,30 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
     max_k_ = std::min(max_k_, config_.max_itemset_size);
   }
 
-  // Scan 1 (line 1 of Algorithm 1): frequent single items per level.
-  freq_items_.assign(static_cast<size_t>(height_) + 1, {});
-  for (int h = 1; h <= height_; ++h) {
-    const uint32_t min_count = config_.MinCount(h, num_txns_);
-    auto& items = freq_items_[static_cast<size_t>(h)];
-    for (ItemId item : tax_.NodesAtLevel(h)) {
-      if (views_.ItemSupport(h, item) >= min_count) {
-        items.push_back(item);
+  {
+    StageScope stage(metrics_, "singletons");
+    // Scan 1 (line 1 of Algorithm 1): frequent single items per level.
+    freq_items_.assign(static_cast<size_t>(height_) + 1, {});
+    for (int h = 1; h <= height_; ++h) {
+      const uint32_t min_count = config_.MinCount(h, num_txns_);
+      auto& items = freq_items_[static_cast<size_t>(h)];
+      for (ItemId item : tax_.NodesAtLevel(h)) {
+        if (views_.ItemSupport(h, item) >= min_count) {
+          items.push_back(item);
+        }
       }
     }
+    planner_ = std::make_unique<CellPlanner>(tax_, config_, views_,
+                                             freq_items_, num_txns_);
+    evaluator_ = std::make_unique<CellEvaluator>(
+        tax_, config_, views_, &tracker_, freq_items_, num_txns_);
   }
-  planner_ = std::make_unique<CellPlanner>(tax_, config_, views_,
-                                           freq_items_, num_txns_);
-  evaluator_ = std::make_unique<CellEvaluator>(
-      tax_, config_, views_, &tracker_, freq_items_, num_txns_);
 
   if (height_ < 2 || max_k_ < 2) {
     // No flipping is possible with a single abstraction level, and no
     // correlation is defined for single items.
     result.stats.total_seconds = total_timer.ElapsedSeconds();
+    RecordRunMetrics(result.stats, total_timer.ElapsedSeconds() * 1e3);
     return result;
   }
 
@@ -107,6 +147,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
     // Overlap: while Q(2,k) counts on the pool, the driver plans
     // Q(1,k+1) — the prefix join reads only the completed Q(1,k).
     if (pipelining_ && k < max_k_ && !work2.counted_by_scan) {
+      StageScope stage(metrics_, "plan", 1, k + 1);
       spec = planner_->PlanRow1(k + 1, &parent);
     }
     // Row overlap: at the last column, plan (and start counting)
@@ -120,9 +161,12 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
     FLIPPER_ASSIGN_OR_RETURN(Cell q2, EvaluateCell(&work2, &parent));
     row2.push_back(std::move(q2));
 
-    evaluator_->SibpUpdate(1, k, row1[static_cast<size_t>(k - 2)]);
-    evaluator_->SibpUpdate(2, k, row2[static_cast<size_t>(k - 2)]);
-    evaluator_->SibpBan(2, k, &stats_);
+    {
+      StageScope stage(metrics_, "sibp", 2, k);
+      evaluator_->SibpUpdate(1, k, row1[static_cast<size_t>(k - 2)]);
+      evaluator_->SibpUpdate(2, k, row2[static_cast<size_t>(k - 2)]);
+      evaluator_->SibpBan(2, k, &stats_);
+    }
 
     if (TpgFires(row1[static_cast<size_t>(k - 2)],
                  row2[static_cast<size_t>(k - 2)])) {
@@ -132,11 +176,14 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
     }
   }
   spec.reset();
-  // Line 7: eliminate non-flipping patterns in rows 1 and 2. Row 1 is
-  // no longer needed at all (chains carry its data forward).
-  row1.clear();
-  evaluator_->ReleaseChains(1);
-  EvictCompletedRow(&row2);
+  {
+    StageScope stage(metrics_, "evict");
+    // Line 7: eliminate non-flipping patterns in rows 1 and 2. Row 1
+    // is no longer needed at all (chains carry its data forward).
+    row1.clear();
+    evaluator_->ReleaseChains(1);
+    EvictCompletedRow(&row2);
+  }
 
   // --- Phase 2: rows 3..H, row-wise (lines 8-15). ---
   Row prev_row = std::move(row2);
@@ -146,6 +193,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
     // A carried cross-row plan (scan route / truncated) becomes the
     // row's first spec, so its scan or error lands in serial position.
     if (cross.carried.has_value()) {
+      ++cross_carried_;
       vspec = std::move(cross.carried);
       cross.carried.reset();
     }
@@ -158,14 +206,17 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
           k == 2 ? nullptr : &cur_row[static_cast<size_t>(k - 3)];
       std::unique_ptr<CellWork> work;
       if (k == 2 && cross.started != nullptr) {
+        StageScope stage(metrics_, "cross_adopt", h, k);
         std::unique_ptr<CellWork> started = std::move(cross.started);
         if (evaluator_->banned(h).size() == cross.ban_version) {
           // Adopt the cross-row count already in flight. Provably
           // always taken — SibpBan(h-1,·) bans only level-(h-1) items,
           // so banned(h) cannot have grown since the plan read it.
+          ++cross_adopted_;
           work = std::move(started);
         } else {
           // Defensive stale path: join, discard, replan serially.
+          ++cross_discarded_;
           FLIPPER_RETURN_IF_ERROR(started->future.Join());
         }
       }
@@ -185,6 +236,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
                 ? &prev_row[static_cast<size_t>(k - 1)]
                 : nullptr;
         if (next_parent != nullptr) {
+          StageScope stage(metrics_, "plan", h, k + 1);
           vspec = planner_->PlanVertical(h, k + 1, *next_parent,
                                          evaluator_->banned(h));
         }
@@ -201,8 +253,11 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
                                EvaluateCell(work.get(), parent));
       cur_row.push_back(std::move(cell));
 
-      evaluator_->SibpUpdate(h, k, cur_row[static_cast<size_t>(k - 2)]);
-      evaluator_->SibpBan(h, k, &stats_);
+      {
+        StageScope stage(metrics_, "sibp", h, k);
+        evaluator_->SibpUpdate(h, k, cur_row[static_cast<size_t>(k - 2)]);
+        evaluator_->SibpBan(h, k, &stats_);
+      }
 
       if (parent != nullptr &&
           TpgFires(*parent, cur_row[static_cast<size_t>(k - 2)])) {
@@ -212,23 +267,91 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
       }
     }
     // Line 14: eliminate non-flipping patterns; row h-1 retires.
+    StageScope stage(metrics_, "evict");
     prev_row.clear();
     evaluator_->ReleaseChains(h - 1);
     EvictCompletedRow(&cur_row);
     prev_row = std::move(cur_row);
   }
 
-  // Line 16: report the alive itemsets of the deepest row.
-  evaluator_->AssemblePatterns(prev_row, &result);
+  {
+    StageScope stage(metrics_, "assemble");
+    // Line 16: report the alive itemsets of the deepest row.
+    evaluator_->AssemblePatterns(prev_row, &result);
 
-  // Counter scans + scan-driven cell scans + the initial singleton scan.
-  stats_.db_scans += counter_->num_db_scans() + 1;
-  stats_.segments_skipped += counter_->segments_skipped();
-  stats_.txns_prefiltered += counter_->txns_prefiltered();
-  stats_.peak_candidate_bytes = tracker_.peak_bytes();
-  stats_.total_seconds = total_timer.ElapsedSeconds();
-  result.stats = std::move(stats_);
+    // Counter scans + scan-driven cell scans + the initial singleton
+    // scan.
+    stats_.db_scans += counter_->num_db_scans() + 1;
+    stats_.segments_skipped += counter_->segments_skipped();
+    stats_.txns_prefiltered += counter_->txns_prefiltered();
+    stats_.peak_candidate_bytes = tracker_.peak_bytes();
+    stats_.total_seconds = total_timer.ElapsedSeconds();
+    result.stats = std::move(stats_);
+  }
+  RecordRunMetrics(result.stats, total_timer.ElapsedSeconds() * 1e3);
   return result;
+}
+
+void CellPipeline::RecordRunMetrics(const MiningStats& stats,
+                                    double wall_ms) {
+  if (metrics_ == nullptr) return;
+  MetricsRegistry& m = *metrics_;
+  m.AddCounter("mine.cells", static_cast<int64_t>(stats.cells.size()));
+  m.AddCounter("mine.candidates_generated",
+               static_cast<int64_t>(stats.total_generated));
+  m.AddCounter("mine.candidates_counted",
+               static_cast<int64_t>(stats.total_counted));
+  m.AddCounter("mine.db_scans", static_cast<int64_t>(stats.db_scans));
+  m.AddCounter("mine.scan_cell_scans",
+               static_cast<int64_t>(stats.scan_cell_scans));
+  m.AddCounter("mine.segments_skipped",
+               static_cast<int64_t>(stats.segments_skipped));
+  m.AddCounter("mine.txns_prefiltered",
+               static_cast<int64_t>(stats.txns_prefiltered));
+  m.AddCounter("mine.positive_itemsets",
+               static_cast<int64_t>(stats.num_positive));
+  m.AddCounter("mine.negative_itemsets",
+               static_cast<int64_t>(stats.num_negative));
+  m.AddCounter("mine.sibp_banned_items",
+               static_cast<int64_t>(stats.sibp_banned_items));
+  m.AddCounter("mine.tpg_stop_column",
+               static_cast<int64_t>(stats.tpg_stopped_at));
+  m.AddCounter("mine.peak_candidate_bytes",
+               static_cast<int64_t>(stats.peak_candidate_bytes));
+  m.SetGauge("mine.total_ms", wall_ms);
+
+  m.AddCounter("pipeline.spec_used", static_cast<int64_t>(spec_used_));
+  m.AddCounter("pipeline.spec_discarded",
+               static_cast<int64_t>(spec_discarded_));
+  m.AddCounter("pipeline.cross_row_adopted",
+               static_cast<int64_t>(cross_adopted_));
+  m.AddCounter("pipeline.cross_row_discarded",
+               static_cast<int64_t>(cross_discarded_));
+  m.AddCounter("pipeline.cross_row_carried",
+               static_cast<int64_t>(cross_carried_));
+  const uint64_t spec_total = spec_used_ + spec_discarded_;
+  if (spec_total > 0) {
+    m.SetGauge("pipeline.spec_adoption_rate",
+               static_cast<double>(spec_used_) /
+                   static_cast<double>(spec_total));
+  }
+  const uint64_t cross_total = cross_adopted_ + cross_discarded_;
+  if (cross_total > 0) {
+    m.SetGauge("pipeline.cross_adoption_rate",
+               static_cast<double>(cross_adopted_) /
+                   static_cast<double>(cross_total));
+  }
+
+  uint64_t arena_grow = 0;
+  for (const ScanCounterTable& table : scan_scratch_.shard_tables) {
+    arena_grow += table.grow_events();
+  }
+  m.AddCounter("scan.arena_grow_events", static_cast<int64_t>(arena_grow));
+
+  // The pool is quiet here: every count future joined before this.
+  if (pool_ != nullptr) {
+    m.FinalizePool(wall_ms, pool_->num_threads());
+  }
 }
 
 Status CellPipeline::BeginRow1Cell(int k, const Cell* prev_in_row,
@@ -238,14 +361,18 @@ Status CellPipeline::BeginRow1Cell(int k, const Cell* prev_in_row,
   work->cs.k = k;
   CellPlan plan;
   if (spec.has_value() && spec->k == k) {
+    ++spec_used_;
     plan = std::move(*spec);
   } else {
+    if (spec.has_value()) ++spec_discarded_;
+    StageScope stage(metrics_, "plan", 1, k);
     plan = planner_->PlanRow1(k, prev_in_row);
   }
   if (plan.truncated) return TruncatedError(1, k);
   work->cs.generated = plan.candidates.size();
   work->candidates = std::move(plan.candidates);
   work->cs.counted = work->candidates.size();
+  StageScope stage(metrics_, "count_start", 1, k);
   work->future =
       counter_->StartCount(&views_, 1, work->candidates, &work->supports);
   return Status::OK();
@@ -268,11 +395,15 @@ Status CellPipeline::BeginVerticalCell(int h, int k, const Cell* parent,
   CellPlan plan;
   if (spec.has_value() && spec->h == h && spec->k == k &&
       CellPlanner::PlanValid(*spec, banned)) {
+    ++spec_used_;
     plan = std::move(*spec);
   } else {
+    if (spec.has_value()) ++spec_discarded_;
+    StageScope stage(metrics_, "plan", h, k);
     plan = planner_->PlanVertical(h, k, *parent, banned);
   }
   if (plan.strategy == CellStrategy::kScan) {
+    StageScope stage(metrics_, "scan_cell", h, k);
     FLIPPER_RETURN_IF_ERROR(FillCellByScan(
         views_, tax_, config_, h, k, *parent, prev_in_row, banned,
         freq_items_[static_cast<size_t>(h)], &work->candidates,
@@ -284,23 +415,29 @@ Status CellPipeline::BeginVerticalCell(int h, int k, const Cell* parent,
   work->cs.generated = plan.candidates.size();
   work->candidates = std::move(plan.candidates);
   if (prev_in_row != nullptr) {
+    StageScope stage(metrics_, "subset_filter", h, k);
     work->candidates = FilterKnownInfrequentSubsets(
         std::move(work->candidates), *prev_in_row);
   }
   if (plan.truncated) return TruncatedError(h, k);
   work->cs.counted = work->candidates.size();
+  StageScope stage(metrics_, "count_start", h, k);
   work->future =
       counter_->StartCount(&views_, h, work->candidates, &work->supports);
   return Status::OK();
 }
 
 Result<Cell> CellPipeline::FinishCell(CellWork* work, const Cell* parent) {
-  FLIPPER_RETURN_IF_ERROR(work->future.Join());
+  {
+    StageScope stage(metrics_, "count_wait", work->cs.h, work->cs.k);
+    FLIPPER_RETURN_IF_ERROR(work->future.Join());
+  }
   return EvaluateCell(work, parent);
 }
 
 Result<Cell> CellPipeline::EvaluateCell(CellWork* work,
                                         const Cell* parent) {
+  StageScope stage(metrics_, "evaluate", work->cs.h, work->cs.k);
   Cell cell =
       evaluator_->Evaluate(work->cs.h, work->cs.k, work->candidates,
                            work->supports, parent, &work->cs, &stats_);
@@ -312,15 +449,25 @@ Result<Cell> CellPipeline::EvaluateCell(CellWork* work,
 Status CellPipeline::JoinWithCrossStart(CellWork* work, int next_h,
                                         const Cell* cross_parent,
                                         CrossRowState* cross) {
-  if (cross_parent == nullptr) return work->future.Join();
+  if (cross_parent == nullptr) {
+    StageScope stage(metrics_, "count_wait", work->cs.h, work->cs.k);
+    return work->future.Join();
+  }
   // Plan Q(next_h,2) while this cell's count is still in flight. The
   // plan reads only the completed cross parent (Q(next_h-1,2)) and
   // level next_h's SIBP ban set — evaluating the in-flight cell bans
   // level-(next_h-1) items only, so the plan cannot go stale before
   // row next_h adopts it (the version is still revalidated there).
-  CellPlan plan = planner_->PlanVertical(next_h, 2, *cross_parent,
-                                         evaluator_->banned(next_h));
-  FLIPPER_RETURN_IF_ERROR(work->future.Join());
+  CellPlan plan;
+  {
+    StageScope stage(metrics_, "plan", next_h, 2);
+    plan = planner_->PlanVertical(next_h, 2, *cross_parent,
+                                  evaluator_->banned(next_h));
+  }
+  {
+    StageScope stage(metrics_, "count_wait", work->cs.h, work->cs.k);
+    FLIPPER_RETURN_IF_ERROR(work->future.Join());
+  }
   if (plan.strategy == CellStrategy::kScan || plan.truncated) {
     // The scan route counts inline on the driver thread and truncation
     // must raise its error in serial position — carry the plan to the
@@ -337,6 +484,7 @@ Status CellPipeline::JoinWithCrossStart(CellWork* work, int next_h,
   cross->ban_version = plan.ban_version;
   // The previous count is joined, so the counter's pooled scratch is
   // free: begin the cross count before the row tail evaluates.
+  StageScope stage(metrics_, "count_start", next_h, 2);
   started->future = counter_->StartCount(&views_, next_h,
                                          started->candidates,
                                          &started->supports);

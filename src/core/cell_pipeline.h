@@ -154,8 +154,15 @@ class CellPipeline {
   /// infrequent ones always.
   void EvictCompletedRow(Row* row);
 
+  /// Absorbs the run's counters, stage histograms, speculation rates
+  /// and pool utilization into config_.metrics (no-op when null).
+  void RecordRunMetrics(const MiningStats& stats, double wall_ms);
+
   const Taxonomy& tax_;
   const MiningConfig& config_;
+  /// == config_.metrics; cached so every stage scope is one member
+  /// read. Null means "record nothing".
+  MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   LevelViews views_;
   std::unique_ptr<SupportCounter> counter_;
@@ -172,6 +179,14 @@ class CellPipeline {
   int max_k_ = 0;  // current column cap; TPG shrinks it
   bool pipelining_ = true;
   bool row_overlap_ = true;  // cross-row speculation (needs pipelining_)
+
+  /// Speculation outcome tallies (always tracked — they are plain
+  /// increments — and exported via RecordRunMetrics).
+  uint64_t spec_used_ = 0;        // intra-row plan adopted as-is
+  uint64_t spec_discarded_ = 0;   // intra-row plan went stale, replanned
+  uint64_t cross_adopted_ = 0;    // cross-row count adopted in flight
+  uint64_t cross_discarded_ = 0;  // cross-row count joined + dropped
+  uint64_t cross_carried_ = 0;    // cross-row plan carried un-started
 
   /// Frequent single items per level (index h), sorted by id.
   std::vector<std::vector<ItemId>> freq_items_;

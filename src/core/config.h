@@ -13,6 +13,8 @@
 
 namespace flipper {
 
+class MetricsRegistry;
+
 /// Which support-counting engine evaluates candidates.
 enum class CounterKind {
   kHorizontal,  // database scan + candidate prefix trie (paper's model)
@@ -131,6 +133,13 @@ struct MiningConfig {
   /// costs a missed reject), so supports and mining output are
   /// bit-identical with it on or off.
   bool enable_txn_prefilter = true;
+
+  /// Optional metrics sink (core/pipeline_metrics.h). When set, the
+  /// pipeline records per-stage wall/CPU histograms, pool utilization
+  /// and the MiningStats counters into it; null (the default) records
+  /// nothing and costs nothing. Not owned; must outlive the run.
+  /// Mining output is byte-identical with or without it.
+  MetricsRegistry* metrics = nullptr;
 
   /// Checks gamma/epsilon ordering, threshold monotonicity and ranges.
   Status Validate() const;

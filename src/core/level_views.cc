@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/trace.h"
+
 namespace flipper {
 
 Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
@@ -52,6 +54,7 @@ Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
   }
 
   for (int h = 1; h <= height; ++h) {
+    FLIPPER_TRACE_SPAN_HK("level_build", "detail", h, 0);
     LevelData& data = views.levels_[static_cast<size_t>(h - 1)];
     data.level = h;
     const std::vector<ItemId> lut =

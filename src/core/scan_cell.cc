@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/trace.h"
 #include "core/candidate_trie.h"
 #include "core/cell_planner.h"
 #include "core/support_counting.h"
@@ -150,6 +151,7 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   }
   std::atomic<bool> exhausted{false};
   views.ScanShards(h, num_shards, [&](int shard, size_t lo, size_t hi) {
+    FLIPPER_TRACE_SPAN_HK("scan_shard", "task", h, k);
     std::vector<ItemId>& buf = s->shard_buf[static_cast<size_t>(shard)];
     Itemset combo_scratch;
     const auto scan_range_into = [&](auto& counts, size_t range_lo,
@@ -203,6 +205,7 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   // the merged totals are shard-order independent; emission is sorted
   // below either way.)
   std::vector<std::pair<Itemset, uint32_t>> entries;
+  FLIPPER_TRACE_SPAN_HK("scan_merge", "detail", h, k);
   if (arena_counters) {
     ScanCounterTable& merged = s->shard_tables[0];
     for (int i = 1; i < num_shards; ++i) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/trace.h"
 #include "core/candidate_trie.h"
 
 namespace flipper {
@@ -129,7 +130,11 @@ class HorizontalCounter final : public SupportCounter {
     state->trie = std::move(scratch_.trie);
     state->partial = std::move(scratch_.partial);
     state->per_shard = std::move(scratch_.per_shard);
-    state->trie.Build(candidates, options_.trie);
+    {
+      FLIPPER_TRACE_SPAN_HK("trie_build", "detail", h,
+                            static_cast<int>(candidates.front().size()));
+      state->trie.Build(candidates, options_.trie);
+    }
     state->scan_flags = std::move(scan_flags);
     const int num_shards = ShardCount(db.size(), pool_, kMinTxnsPerShard);
     if (state->partial.size() < static_cast<size_t>(num_shards)) {
@@ -145,10 +150,12 @@ class HorizontalCounter final : public SupportCounter {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(static_cast<size_t>(num_shards));
     const size_t num_candidates = candidates.size();
+    const int arity = static_cast<int>(candidates.front().size());
     for (int s = 0; s < num_shards; ++s) {
       const auto [lo, hi] = ShardRange(0, db.size(), num_shards, s);
       tasks.push_back([state, &db, s, lo = lo, hi = hi, boundaries,
-                       num_candidates] {
+                       num_candidates, h, arity] {
+        FLIPPER_TRACE_SPAN_HK("count_shard", "task", h, arity);
         auto& counts = state->partial[static_cast<size_t>(s)];
         auto& cs = state->per_shard[static_cast<size_t>(s)];
         counts.assign(num_candidates, 0);
@@ -167,7 +174,8 @@ class HorizontalCounter final : public SupportCounter {
     }
     ThreadPool::Completion completion = pool_->SubmitBatch(std::move(tasks));
     return CountFuture(
-        std::move(completion), [this, state, supports, num_shards] {
+        std::move(completion), [this, state, supports, num_shards, h, arity] {
+          FLIPPER_TRACE_SPAN_HK("shard_merge", "detail", h, arity);
           std::fill(supports->begin(), supports->end(), 0u);
           for (int s = 0; s < num_shards; ++s) {
             const auto& counts = state->partial[static_cast<size_t>(s)];
@@ -239,7 +247,8 @@ class VerticalCounter final : public SupportCounter {
       const auto [lo, hi] =
           ShardRange(0, candidates.size(), num_shards, s);
       // Each shard writes a disjoint slice of `supports`.
-      tasks.push_back([&index, candidates, supports, lo = lo, hi = hi] {
+      tasks.push_back([&index, candidates, supports, lo = lo, hi = hi, h] {
+        FLIPPER_TRACE_SPAN_HK("count_shard", "task", h, -1);
         TidSet::IntersectScratch scratch;
         for (size_t i = lo; i < hi; ++i) {
           (*supports)[i] = index.Support(candidates[i], &scratch);
@@ -343,7 +352,10 @@ void CountBatchWithTrie(const TransactionDb& db,
   CountBatchScratch local;
   CountBatchScratch* s =
       options.scratch != nullptr ? options.scratch : &local;
-  s->trie.Build(candidates, options.trie);
+  {
+    FLIPPER_TRACE_SPAN("trie_build", "detail");
+    s->trie.Build(candidates, options.trie);
+  }
   const int num_shards = ShardCount(db.size(), pool, kMinTxnsPerShard);
   if (s->per_shard.size() < static_cast<size_t>(num_shards)) {
     s->per_shard.resize(static_cast<size_t>(num_shards));
@@ -378,12 +390,14 @@ void CountBatchWithTrie(const TransactionDb& db,
     }
     ParallelFor(pool, 0, db.size(), num_shards,
                 [&](int shard, size_t lo, size_t hi) {
+                  FLIPPER_TRACE_SPAN("count_shard", "task");
                   auto& counts = s->partial[static_cast<size_t>(shard)];
                   counts.assign(candidates.size(), 0);
                   count_range(counts,
                               &s->per_shard[static_cast<size_t>(shard)],
                               lo, hi);
                 });
+    FLIPPER_TRACE_SPAN("shard_merge", "detail");
     for (int shard = 0; shard < num_shards; ++shard) {
       const auto& counts = s->partial[static_cast<size_t>(shard)];
       for (size_t i = 0; i < supports.size(); ++i) {

@@ -4,13 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/csv.h"
 #include "common/env.h"
+#include "common/logging.h"
 #include "common/memory_tracker.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -237,6 +240,86 @@ TEST(Timer, MeasuresElapsed) {
   EXPECT_GE(acc, 0.0);
   EXPECT_GE(timer.ElapsedSeconds(), acc);
   EXPECT_GE(timer.ElapsedMicros(), 0);
+}
+
+/// RAII guard: routes the log to `sink` and restores stderr on exit.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(std::ostream* sink) { SetLogSink(sink); }
+  ~ScopedLogSink() { SetLogSink(nullptr); }
+};
+
+TEST(Logging, LinesCarryIso8601TimestampAndThreadId) {
+  std::ostringstream sink;
+  ScopedLogSink guard(&sink);
+  FLIPPER_LOG(Info) << "hello";
+  const std::string line = sink.str();
+  // "[YYYY-MM-DDTHH:MM:SS.mmmZ LEVEL T<id> file:line] message\n"
+  ASSERT_GE(line.size(), 26u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[8], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[14], ':');
+  EXPECT_EQ(line[17], ':');
+  EXPECT_EQ(line[20], '.');
+  EXPECT_EQ(line[24], 'Z');
+  EXPECT_NE(line.find(" INFO T"), std::string::npos) << line;
+  EXPECT_NE(line.find("common_test.cc:"), std::string::npos) << line;
+  EXPECT_NE(line.find("] hello\n"), std::string::npos) << line;
+}
+
+// Four threads hammering one shared stringstream sink: every line must
+// arrive whole (the sink receives exactly one formatted `<<` per
+// message), with its own timestamp and thread id — no interleaved
+// fragments, no lost lines.
+TEST(Logging, ConcurrentWritersNeverInterleave) {
+  std::ostringstream sink;
+  ScopedLogSink guard(&sink);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        FLIPPER_LOG(Info) << "writer=" << t << " line=" << i << " tail";
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::istringstream in(sink.str());
+  std::string line;
+  int count = 0;
+  std::set<std::string> messages;
+  std::set<std::string> tids;
+  while (std::getline(in, line)) {
+    ++count;
+    // Structure: prefix with ISO-8601 timestamp, level, thread id.
+    ASSERT_EQ(line[0], '[') << line;
+    ASSERT_EQ(line[11], 'T') << line;
+    ASSERT_EQ(line[24], 'Z') << line;
+    const size_t tid_pos = line.find(" INFO T");
+    ASSERT_NE(tid_pos, std::string::npos) << line;
+    const size_t tid_end = line.find(' ', tid_pos + 7);
+    ASSERT_NE(tid_end, std::string::npos) << line;
+    tids.insert(line.substr(tid_pos + 6, tid_end - tid_pos - 6));
+    // An intact message: exactly one "writer=" and the " tail" marker
+    // at the very end — a torn or interleaved write would break this.
+    const size_t msg_pos = line.find("writer=");
+    ASSERT_NE(msg_pos, std::string::npos) << line;
+    EXPECT_EQ(line.find("writer=", msg_pos + 1), std::string::npos)
+        << line;
+    ASSERT_GE(line.size(), 5u);
+    EXPECT_EQ(line.substr(line.size() - 5), " tail") << line;
+    messages.insert(line.substr(msg_pos));
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+  // Every (writer, line) message arrived exactly once...
+  EXPECT_EQ(messages.size(),
+            static_cast<size_t>(kThreads) * kLines);
+  // ...and the four writers got four distinct thread ids.
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
 }
 
 }  // namespace

@@ -25,6 +25,21 @@ Two modes:
 
            Comparing a snapshot against itself always passes — the
            self-check CI uses after recording.
+
+  --self-test  Schema round-trip plus regression-detection fixtures
+           (runs record + compare against synthetic inputs in a temp
+           dir; exercises the observability fields and the per-stage
+           gate). Registered as a ctest so the tooling cannot rot.
+
+             tools/compare_bench.py --self-test
+
+Cases may additively carry observability fields from the run's
+metrics registry — "pool_utilization", "packed_kernel", a "stages"
+object of per-stage wall-clock sums, and "overhead_pct" — which are
+distilled into the snapshot when present and per-stage regressions
+gate like medians (with their own threshold, since stage sums are
+noisier). Snapshots without them (earlier PRs) remain valid:
+SCHEMA_VERSION stays 1 because every new field is optional.
 """
 
 import argparse
@@ -34,6 +49,10 @@ import platform
 import sys
 
 SCHEMA_VERSION = 1
+
+# Per-case observability fields distilled verbatim when present.
+OPTIONAL_CASE_FIELDS = ("pool_utilization", "packed_kernel",
+                        "overhead_pct")
 
 
 def load(path):
@@ -57,13 +76,20 @@ def case_key(case):
 
 
 def distill(case):
-    return {
+    out = {
         "name": case["name"],
         "threads": int(case.get("threads", 1)),
         "median_ms": float(case["median_ms"]),
         "p95_ms": float(case.get("p95_ms", case["median_ms"])),
         "peak_rss_bytes": int(case.get("peak_rss_bytes", 0)),
     }
+    for field in OPTIONAL_CASE_FIELDS:
+        if field in case:
+            out[field] = case[field]
+    stages = case.get("stages")
+    if isinstance(stages, dict) and stages:
+        out["stages"] = {k: float(v) for k, v in sorted(stages.items())}
+    return out
 
 
 def cmd_record(args):
@@ -163,6 +189,24 @@ def cmd_compare(args):
         elif ratio < 1.0 - args.threshold:
             improved += 1
 
+    # Per-stage gate: when both sides carry a "stages" object, each
+    # stage's wall-clock sum gates like a median, against the (looser)
+    # stage threshold — stage sums are one run, not a median of reps,
+    # so they are noisier. Stages absent on either side never gate;
+    # old snapshots without stages are unaffected.
+    stage_regressions = []
+    for key in matched:
+        b_stages = base[key].get("stages") or {}
+        c_stages = cur[key].get("stages") or {}
+        for stage in sorted(set(b_stages) & set(c_stages)):
+            b_ms = float(b_stages[stage])
+            c_ms = float(c_stages[stage])
+            if b_ms < args.min_ms or b_ms <= 0.0:
+                continue
+            ratio = c_ms / b_ms
+            if ratio > 1.0 + args.stage_threshold:
+                stage_regressions.append((key, stage, b_ms, c_ms, ratio))
+
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
     print(
@@ -176,7 +220,9 @@ def cmd_compare(args):
             f"{key[0]} @{key[1]}t {b_ms:.4f} -> {c_ms:.4f} ms "
             f"({ratio - 1.0:+.1%})"
         )
+    failed = False
     if regressions:
+        failed = True
         print(
             f"compare FAILED: {len(regressions)} median regression(s) "
             f"beyond {args.threshold:.0%}:",
@@ -188,15 +234,176 @@ def cmd_compare(args):
                 f"({ratio - 1.0:+.1%})",
                 file=sys.stderr,
             )
+    if stage_regressions:
+        failed = True
+        print(
+            f"compare FAILED: {len(stage_regressions)} stage "
+            f"regression(s) beyond {args.stage_threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for key, stage, b_ms, c_ms, ratio in stage_regressions:
+            print(
+                f"  {key[0]} @{key[1]}t stage {stage}: "
+                f"{b_ms:.4f} -> {c_ms:.4f} ms ({ratio - 1.0:+.1%})",
+                file=sys.stderr,
+            )
+    if failed:
         return 1
     print("compare OK: no median regression beyond "
           f"{args.threshold:.0%}")
     return 0
 
 
+def fixture_case(name, threads, median_ms, stages=None, **extra):
+    case = {
+        "name": name,
+        "threads": threads,
+        "reps": 5,
+        "median_ms": median_ms,
+        "p95_ms": median_ms * 1.1,
+        "peak_rss_bytes": 1 << 20,
+        "rows_per_sec": 1000.0,
+    }
+    if stages is not None:
+        case["stages"] = stages
+    case.update(extra)
+    return case
+
+
+def fixture_doc(cases):
+    return {
+        "bench": "bench_micro",
+        "scale": 1.0,
+        "hardware_threads": 4,
+        "cases": cases,
+    }
+
+
+def cmd_selftest(_args):
+    """Schema round-trip + regression-detection fixtures in a temp dir."""
+    import tempfile
+
+    failures = []
+
+    def check(label, cond):
+        print(f"  [{'ok' if cond else 'FAIL'}] {label}")
+        if not cond:
+            failures.append(label)
+
+    def run(argv):
+        return main(argv)
+
+    base_cases = [
+        fixture_case("kernel_a", 1, 10.0),
+        fixture_case("kernel_b", 1, 0.01),  # sub-floor: noise, not gate
+        fixture_case(
+            "miner_pipelined", 4, 50.0,
+            stages={"plan": 5.0, "count_wait": 20.0, "evaluate": 8.0},
+            pool_utilization=0.82, packed_kernel="sse2",
+        ),
+        fixture_case("miner_observability_on", 4, 51.0,
+                     overhead_pct=1.3),
+    ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def path(name):
+            return os.path.join(tmp, name)
+
+        def dump(name, doc):
+            with open(path(name), "w") as f:
+                json.dump(doc, f)
+            return path(name)
+
+        # --- record: schema round-trip incl. observability fields ---
+        src = dump("source.json", fixture_doc(base_cases))
+        snap_path = path("snap.json")
+        rc = run(["record", "--source", src, "--out", snap_path,
+                  "--min-cases", "4"])
+        check("record succeeds on fixture", rc == 0)
+        snap = load(snap_path)
+        check("snapshot schema_version matches",
+              snap.get("schema_version") == SCHEMA_VERSION)
+        by_name = {c["name"]: c for c in snap.get("cases", [])}
+        pipelined = by_name.get("miner_pipelined", {})
+        check("stages survive the distill",
+              pipelined.get("stages", {}).get("count_wait") == 20.0)
+        check("pool_utilization survives the distill",
+              pipelined.get("pool_utilization") == 0.82)
+        check("packed_kernel survives the distill",
+              pipelined.get("packed_kernel") == "sse2")
+        check("host packed_kernel picked up",
+              snap.get("host", {}).get("packed_kernel") == "sse2")
+        check("overhead_pct survives the distill",
+              by_name.get("miner_observability_on", {})
+              .get("overhead_pct") == 1.3)
+
+        # --- compare: self-comparison passes ---
+        rc = run(["compare", snap_path, src])
+        check("snapshot vs its own source passes", rc == 0)
+
+        # --- compare: median regression detected ---
+        regressed = [dict(c) for c in base_cases]
+        regressed[0] = fixture_case("kernel_a", 1, 13.0)  # +30%
+        cur = dump("regressed.json", fixture_doc(regressed))
+        rc = run(["compare", snap_path, cur])
+        check("median regression fails the gate", rc == 1)
+
+        # --- compare: sub-floor baseline never gates ---
+        noisy = [dict(c) for c in base_cases]
+        noisy[1] = fixture_case("kernel_b", 1, 0.05)  # 5x, but sub-floor
+        cur = dump("noisy.json", fixture_doc(noisy))
+        rc = run(["compare", snap_path, cur])
+        check("sub-floor regression is noise, not a failure", rc == 0)
+
+        # --- compare: per-stage regression detected ---
+        stage_reg = [dict(c) for c in base_cases]
+        stage_reg[2] = fixture_case(
+            "miner_pipelined", 4, 50.0,  # median flat...
+            stages={"plan": 5.0, "count_wait": 32.0,  # ...stage +60%
+                    "evaluate": 8.0},
+            pool_utilization=0.82, packed_kernel="sse2",
+        )
+        cur = dump("stage_reg.json", fixture_doc(stage_reg))
+        rc = run(["compare", snap_path, cur])
+        check("stage regression fails the gate", rc == 1)
+
+        # --- compare: baseline without stages ignores current stages ---
+        legacy_cases = [fixture_case("kernel_a", 1, 10.0),
+                        fixture_case("kernel_c", 4, 5.0)]
+        legacy = dump("legacy_snap.json", {
+            "schema_version": SCHEMA_VERSION,
+            "bench": "bench_micro",
+            "scale": 1.0,
+            "cases": [distill(c) for c in legacy_cases],
+        })
+        cur = dump("legacy_cur.json", fixture_doc(
+            [fixture_case("kernel_a", 1, 10.2,
+                          stages={"plan": 99.0}),
+             fixture_case("kernel_c", 4, 5.0)]))
+        rc = run(["compare", legacy, cur])
+        check("stage-less baseline still compares", rc == 0)
+
+        # --- compare: scale mismatch refuses ---
+        scaled = fixture_doc([dict(c) for c in base_cases])
+        scaled["scale"] = 0.25
+        cur = dump("scaled.json", scaled)
+        rc = run(["compare", snap_path, cur])
+        check("scale mismatch refuses to compare", rc == 1)
+
+    if failures:
+        print(f"self-test FAILED: {len(failures)} check(s)",
+              file=sys.stderr)
+        return 1
+    print("self-test OK")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
-    sub = parser.add_subparsers(dest="mode", required=True)
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run schema round-trip + regression-detection fixtures")
+    sub = parser.add_subparsers(dest="mode")
 
     rec = sub.add_parser("record", help="distill a trajectory snapshot")
     rec.add_argument("--source", default="bench_results/bench_micro.json")
@@ -209,9 +416,14 @@ def main(argv):
     cmp_.add_argument("current")
     cmp_.add_argument("--threshold", type=float, default=0.10)
     cmp_.add_argument("--min-ms", type=float, default=0.25)
+    cmp_.add_argument("--stage-threshold", type=float, default=0.25)
     cmp_.set_defaults(fn=cmd_compare)
 
     args = parser.parse_args(argv)
+    if args.self_test:
+        return cmd_selftest(args)
+    if args.mode is None:
+        parser.error("a mode (record/compare) or --self-test is required")
     return args.fn(args)
 
 

@@ -16,6 +16,13 @@
 #   tools/run_bench_smoke.sh --bench <path>   # run this binary directly
 #   tools/run_bench_smoke.sh --record [<out>] # ... + snapshot (default
 #                                             #     <repo>/BENCH_7.json)
+#   tools/run_bench_smoke.sh --record --force # overwrite an existing
+#                                             # snapshot deliberately
+#
+# --record refuses to overwrite an existing snapshot unless --force is
+# given: committed BENCH_<n>.json files are the perf trajectory, and
+# clobbering one by rerunning the smoke on a different machine would
+# silently rewrite history.
 #
 # FLIPPER_BENCH_SCALE (default 0.05 here) shrinks the workloads so the
 # smoke stays CI-sized; rerun without it for real numbers.
@@ -25,6 +32,7 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 BENCH_BIN=""
 RECORD_OUT=""
+FORCE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --bench)
@@ -40,12 +48,22 @@ while [[ $# -gt 0 ]]; do
         shift
       fi
       ;;
+    --force)
+      FORCE=1
+      shift
+      ;;
     *)
       echo "unknown argument: $1" >&2
       exit 2
       ;;
   esac
 done
+
+if [[ -n "$RECORD_OUT" && -e "$RECORD_OUT" && "$FORCE" -ne 1 ]]; then
+  echo "bench record FAILED: $RECORD_OUT already exists;" \
+       "pass --force to overwrite the committed snapshot" >&2
+  exit 1
+fi
 
 export FLIPPER_BENCH_SCALE="${FLIPPER_BENCH_SCALE:-0.05}"
 

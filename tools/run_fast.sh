@@ -3,8 +3,11 @@
 # randomized fuzz harnesses (`ctest -LE fuzz`). The fuzz label stays in
 # the full `ctest` run and in CI; this script is for quick iteration.
 # New suites are picked up automatically (tests/*_test.cc are globbed
-# into ctest); the `bench` label (the bench_micro smoke) stays in this
-# run too — it is CI-sized via FLIPPER_BENCH_SCALE.
+# into ctest — the observability suites trace_test,
+# pipeline_metrics_test and stats_test, plus the
+# compare_bench_selftest tooling fixtures, are all in this run); the
+# `bench` label (the bench_micro smoke) stays in this run too — it is
+# CI-sized via FLIPPER_BENCH_SCALE.
 #
 # Usage: tools/run_fast.sh [label]
 #   label — optional ctest label to restrict to (unit, storage,

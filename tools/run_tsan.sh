@@ -17,11 +17,14 @@ BUILD_DIR=build-tsan
 # the fuzz harness drive the catalog-guided sharded scans;
 # trie_invariance_test exercises the flat-trie/prefilter/row-overlap
 # grid, every forced probe kernel, and the counter's pooled trie
-# reuse across async counts); everything else is single-threaded and
-# only slows the instrumented run down.
+# reuse across async counts; trace_test and pipeline_metrics_test
+# hammer the observability layer's concurrent span recording and the
+# pool-task observer from many threads — the lock-free per-thread
+# buffers MUST go through TSan); everything else is single-threaded
+# and only slows the instrumented run down.
 SUITES=(thread_pool_test parallel_counting_test cell_pipeline_test
         storage_test segment_skipping_test fuzz_differential_test
-        trie_invariance_test)
+        trie_invariance_test trace_test pipeline_metrics_test)
 
 # Instrumented fuzz rounds are ~20x slower; a few are enough to race-
 # check the catalog paths (override by exporting FLIPPER_FUZZ_ITERS).
