@@ -1,12 +1,17 @@
 #include "cli/cli.h"
 
+#include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/arg_parser.h"
@@ -20,6 +25,9 @@
 #include "datagen/quest_gen.h"
 #include "datagen/taxonomy_gen.h"
 #include "flipper.h"
+#include "service/client.h"
+#include "service/mine_service.h"
+#include "service/server.h"
 #include "storage/recovery.h"
 #include "storage/store_reader.h"
 #include "storage/store_writer.h"
@@ -27,26 +35,30 @@
 namespace flipper {
 namespace {
 
-Result<std::vector<double>> ParseThresholds(const std::string& csv) {
-  std::vector<double> out;
-  for (const std::string& token : Split(csv, ',')) {
-    FLIPPER_ASSIGN_OR_RETURN(double v, ParseDouble(token));
-    out.push_back(v);
+/// The per-level Apriori baseline behind --baseline, producing the
+/// same outcome shape as service::ExecuteMineRequest so the emission
+/// tail is one code path.
+Result<service::MineOutcome> RunBaselineMine(
+    const TransactionDb& db, const Taxonomy& taxonomy,
+    const ItemDictionary* dict, const service::MineRequest& request,
+    MetricsRegistry* metrics) {
+  MiningConfig config = service::ToMiningConfig(request);
+  config.metrics = metrics;
+  FLIPPER_ASSIGN_OR_RETURN(MiningResult result,
+                           NaiveMiner::Run(db, taxonomy, config));
+  std::vector<FlippingPattern> patterns = std::move(result.patterns);
+  if (request.topk > 0) {
+    patterns = TopKMostFlipping(std::move(patterns),
+                                static_cast<size_t>(request.topk));
   }
-  if (out.empty()) {
-    return Status::InvalidArgument("--minsup needs at least one value");
-  }
-  return out;
-}
-
-Result<PruningOptions> ParsePruning(const std::string& name) {
-  if (name == "full") return PruningOptions::Full();
-  if (name == "tpg") return PruningOptions::FlippingTpg();
-  if (name == "flipping") return PruningOptions::FlippingOnly();
-  if (name == "support") return PruningOptions::Basic();
-  return Status::InvalidArgument(
-      "--pruning must be one of full|tpg|flipping|support, got '" +
-      name + "'");
+  std::ostringstream body;
+  FLIPPER_RETURN_IF_ERROR(service::RenderPatterns(
+      patterns, dict, request.format, body));
+  service::MineOutcome outcome;
+  outcome.body = std::move(body).str();
+  outcome.num_patterns = patterns.size();
+  outcome.stats_text = result.stats.ToString();
+  return outcome;
 }
 
 /// Writer options from --segment-txns and --store-version.
@@ -194,6 +206,50 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
     return 0;
   }
 
+  // --- Route every mining option through the one checked parser
+  // (service::ApplyMineOption): strict numeric syntax, range checks,
+  // and the offending token quoted in the error. Bad values are a
+  // usage error — exit 2 with the help text.
+  service::MineRequest request;
+  for (const std::string& key : service::MineOptionKeys()) {
+    if (!args.Has(key)) continue;
+    const Status applied = service::ApplyMineOption(
+        &request, key, args.GetString(key, ""));
+    if (!applied.ok()) {
+      err << "error: " << applied << "\n\n" << args.HelpText();
+      return 2;
+    }
+  }
+
+  // --- Open every output sink up front: an unwritable --out,
+  // --trace-out or --metrics-json path must fail before any mining
+  // work is spent, not after.
+  const std::string trace_path = args.GetString("trace-out", "");
+  const std::string metrics_path = args.GetString("metrics-json", "");
+  const std::string out_path = args.GetString("out", "");
+  const auto open_sink = [&err](const std::string& path,
+                                std::optional<std::ofstream>* file) {
+    file->emplace(path, std::ios::trunc);
+    if (!**file) {
+      err << "error: cannot open for writing: " << path << "\n";
+      return false;
+    }
+    return true;
+  };
+  std::optional<std::ofstream> trace_file;
+  std::optional<std::ofstream> metrics_file;
+  std::optional<std::ofstream> out_file;
+  if (!trace_path.empty() && !open_sink(trace_path, &trace_file)) {
+    return 1;
+  }
+  if (!metrics_path.empty() && metrics_path != "-" &&
+      !open_sink(metrics_path, &metrics_file)) {
+    return 1;
+  }
+  if (!out_path.empty() && !open_sink(out_path, &out_file)) {
+    return 1;
+  }
+
   // --- Load inputs: either the store's borrowed views or text. ---
   ItemDictionary text_dict;
   Taxonomy text_taxonomy;
@@ -232,132 +288,36 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
     text_db = std::move(loaded_db).value();
   }
 
-  // --- Assemble the config. ---
-  MiningConfig config;
-  auto gamma = args.GetDouble("gamma", 0.3);
-  auto epsilon = args.GetDouble("epsilon", 0.1);
-  if (!gamma.ok() || !epsilon.ok()) {
-    err << "error: " << (!gamma.ok() ? gamma.status() : epsilon.status())
-        << "\n";
-    return 2;
-  }
-  config.gamma = *gamma;
-  config.epsilon = *epsilon;
-  auto thresholds =
-      ParseThresholds(args.GetString("minsup", "0.01,0.001,0.0005"));
-  if (!thresholds.ok()) {
-    err << "error: " << thresholds.status() << "\n";
-    return 2;
-  }
-  config.min_support = *thresholds;
-  auto measure =
-      ParseMeasureKind(args.GetString("measure", "kulczynski"));
-  if (!measure.ok()) {
-    err << "error: " << measure.status() << "\n";
-    return 2;
-  }
-  config.measure = *measure;
-  auto pruning = ParsePruning(args.GetString("pruning", "full"));
-  if (!pruning.ok()) {
-    err << "error: " << pruning.status() << "\n";
-    return 2;
-  }
-  config.pruning = *pruning;
-  const std::string counter = args.GetString("counter", "horizontal");
-  if (counter == "vertical") {
-    config.counter = CounterKind::kVertical;
-  } else if (counter != "horizontal") {
-    err << "error: --counter must be horizontal|vertical\n";
-    return 2;
-  }
-  auto threads = args.GetInt("threads", 0);
-  if (!threads.ok()) {
-    err << "error: " << threads.status() << "\n";
-    return 2;
-  }
-  if (*threads < 0 || *threads > std::numeric_limits<int>::max()) {
-    err << "error: --threads must be in [0, "
-        << std::numeric_limits<int>::max() << "]\n";
-    return 2;
-  }
-  config.num_threads = static_cast<int>(*threads);
-  const std::string pipeline = args.GetString("pipeline", "on");
-  if (pipeline == "off") {
-    config.enable_pipelining = false;
-  } else if (pipeline != "on") {
-    err << "error: --pipeline must be on|off\n";
-    return 2;
-  }
-  const std::string row_overlap = args.GetString("row-overlap", "on");
-  if (row_overlap == "off") {
-    config.enable_row_overlap = false;
-  } else if (row_overlap != "on") {
-    err << "error: --row-overlap must be on|off\n";
-    return 2;
-  }
-  const std::string arena_counters =
-      args.GetString("arena-counters", "on");
-  if (arena_counters == "off") {
-    config.enable_arena_scan_counters = false;
-  } else if (arena_counters != "on") {
-    err << "error: --arena-counters must be on|off\n";
-    return 2;
-  }
-  const std::string skipping = args.GetString("segment-skipping", "on");
-  if (skipping == "off") {
-    config.enable_segment_skipping = false;
-  } else if (skipping != "on") {
-    err << "error: --segment-skipping must be on|off\n";
-    return 2;
-  }
-  const std::string flat_trie = args.GetString("flat-trie", "on");
-  if (flat_trie == "off") {
-    config.enable_flat_trie = false;
-  } else if (flat_trie != "on") {
-    err << "error: --flat-trie must be on|off\n";
-    return 2;
-  }
-  const std::string txn_prefilter = args.GetString("txn-prefilter", "on");
-  if (txn_prefilter == "off") {
-    config.enable_txn_prefilter = false;
-  } else if (txn_prefilter != "on") {
-    err << "error: --txn-prefilter must be on|off\n";
-    return 2;
-  }
-
-  // --- Observability sinks. ---
-  const std::string trace_path = args.GetString("trace-out", "");
-  const std::string metrics_path = args.GetString("metrics-json", "");
+  // --- Mine inside a per-query trace session. Spans land in this
+  // run's own session — never in the process-wide default — so
+  // concurrent in-process callers (the daemon, tests) can each trace
+  // without interleaving, and the global tracing state is untouched.
   MetricsRegistry metrics;
-  if (!metrics_path.empty()) config.metrics = &metrics;
+  MetricsRegistry* metrics_ptr =
+      metrics_path.empty() ? nullptr : &metrics;
+  trace::Session session;
   const bool tracing = !trace_path.empty();
-  if (tracing) {
-    // In-process callers (tests) may mine repeatedly; start from an
-    // empty span store so the export covers exactly this run.
-    trace::Clear();
-    trace::SetEnabled(true);
-  }
-
-  // --- Mine. ---
-  auto result = args.GetSwitch("baseline")
-                    ? NaiveMiner::Run(*db, *taxonomy, config)
-                    : FlipperMiner::Run(*db, *taxonomy, config);
+  if (tracing) session.SetEnabled(true);
+  auto outcome = [&]() -> Result<service::MineOutcome> {
+    trace::SessionScope scope(&session);
+    if (args.GetSwitch("baseline")) {
+      return RunBaselineMine(*db, *taxonomy, dict, request,
+                             metrics_ptr);
+    }
+    return service::ExecuteMineRequest(*db, *taxonomy, dict, nullptr,
+                                       request, metrics_ptr);
+  }();
   // The miner (and its pool) is gone here, so every span is closed
   // and published; stop recording before touching the buffers.
-  if (tracing) trace::SetEnabled(false);
-  if (!result.ok()) {
-    err << "error: " << result.status() << "\n";
+  if (tracing) session.SetEnabled(false);
+  if (!outcome.ok()) {
+    err << "error: " << outcome.status() << "\n";
     return 1;
   }
   if (tracing) {
-    std::ofstream trace_file(trace_path, std::ios::trunc);
-    if (!trace_file) {
-      err << "error: cannot open for writing: " << trace_path << "\n";
-      return 1;
-    }
-    trace::ExportChromeJson(trace_file);
-    trace_file.flush();
-    if (!trace_file) {
+    session.ExportChromeJson(*trace_file);
+    trace_file->flush();
+    if (!*trace_file) {
       err << "error: write failed: " << trace_path << "\n";
       return 1;
     }
@@ -366,74 +326,28 @@ int MineCommand(const std::vector<const char*>& argv, std::ostream& out,
     if (metrics_path == "-") {
       metrics.WriteJson(out);
     } else {
-      std::ofstream metrics_file(metrics_path, std::ios::trunc);
-      if (!metrics_file) {
-        err << "error: cannot open for writing: " << metrics_path
-            << "\n";
-        return 1;
-      }
-      metrics.WriteJson(metrics_file);
-      metrics_file.flush();
-      if (!metrics_file) {
+      metrics.WriteJson(*metrics_file);
+      metrics_file->flush();
+      if (!*metrics_file) {
         err << "error: write failed: " << metrics_path << "\n";
         return 1;
       }
     }
   }
-  std::vector<FlippingPattern> patterns = std::move(result->patterns);
-  auto topk = args.GetInt("topk", 0);
-  if (!topk.ok()) {
-    err << "error: " << topk.status() << "\n";
-    return 2;
-  }
-  if (*topk > 0) {
-    patterns = TopKMostFlipping(std::move(patterns),
-                                static_cast<size_t>(*topk));
-  }
 
-  // --- Emit. ---
-  const std::string format = args.GetString("format", "text");
-  const std::string out_path = args.GetString("out", "");
-  Status emit;
-  if (format == "csv") {
-    emit = out_path.empty()
-               ? WritePatternsCsv(patterns, dict, out)
-               : WritePatternsCsvFile(patterns, dict, out_path);
-  } else if (format == "json") {
-    emit = out_path.empty()
-               ? WritePatternsJson(patterns, dict, out)
-               : WritePatternsJsonFile(patterns, dict, out_path);
-  } else if (format == "text") {
-    std::ofstream file;
-    std::ostream* sink = &out;
-    if (!out_path.empty()) {
-      file.open(out_path, std::ios::trunc);
-      if (!file) {
-        emit = Status::IoError("cannot open for writing: " + out_path);
-      }
-      sink = &file;
+  // --- Emit (the body bytes are the shared RenderPatterns path, so
+  // a daemon response for the same options is byte-identical). ---
+  std::ostream* sink = out_file ? &*out_file : &out;
+  *sink << outcome->body;
+  if (out_file) {
+    out_file->flush();
+    if (!*out_file) {
+      err << "error: write failed: " << out_path << "\n";
+      return 1;
     }
-    if (emit.ok()) {
-      *sink << patterns.size() << " flipping patterns\n\n";
-      for (const FlippingPattern& p : patterns) {
-        *sink << dict->Render(p.leaf_itemset) << "  (flip gap "
-              << FormatDouble(p.FlipGap(), 4) << ")\n"
-              << p.ToString(dict) << "\n";
-      }
-      if (!out_path.empty() && !file) {
-        emit = Status::IoError("write failed: " + out_path);
-      }
-    }
-  } else {
-    err << "error: --format must be text|csv|json\n";
-    return 2;
-  }
-  if (!emit.ok()) {
-    err << "error: " << emit << "\n";
-    return 1;
   }
   if (args.GetSwitch("stats")) {
-    err << result->stats.ToString();
+    err << outcome->stats_text;
   }
   return 0;
 }
@@ -1001,6 +915,442 @@ int DatagenCommand(const std::vector<const char*>& argv,
   return 0;
 }
 
+// --- serve / query / loadgen ------------------------------------------
+
+/// Range-checked int flag for the service commands; usage errors quote
+/// the flag and land on exit 2 in the caller.
+Result<int64_t> GetCheckedInt(const ArgParser& args,
+                              const std::string& key, int64_t fallback,
+                              int64_t lo, int64_t hi) {
+  FLIPPER_ASSIGN_OR_RETURN(int64_t v, args.GetInt(key, fallback));
+  if (v < lo || v > hi) {
+    return Status::InvalidArgument(
+        "--" + key + " must be in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "], got '" + args.GetString(key, "") + "'");
+  }
+  return v;
+}
+
+int ServeCommand(const std::vector<const char*>& argv, std::ostream& out,
+                 std::ostream& err) {
+  ArgParser args(
+      "flipper_cli serve",
+      "Run the long-lived mining daemon: mmap the given FlipperStore "
+      "(.fdb) files once, pre-build their level views, and serve "
+      "framed `mine`/`stats`/`list`/`ping`/`shutdown` requests over a "
+      "unix-domain socket. Queries run through the re-entrant miner "
+      "over the shared store views behind FIFO admission control and "
+      "a result cache; per-query results are byte-identical to solo "
+      "`flipper_cli mine` runs with the same options.");
+  args.AddFlag("socket", "unix-domain socket path to listen on", "PATH");
+  args.AddFlag("stores",
+               "comma-separated NAME=PATH.fdb store registrations",
+               "NAME=PATH,...");
+  args.AddFlag("max-concurrent",
+               "mining queries executing at once (default 8)", "N");
+  args.AddFlag("max-queued",
+               "waiting-room size before `error overloaded` "
+               "(default 64)",
+               "N");
+  args.AddFlag("cache-mb",
+               "result-cache budget in MiB, 0 disables (default 64)",
+               "N");
+  args.AddSwitch("no-validate",
+                 "skip the stores' payload validation scan on open and "
+                 "reload (trusted files only)");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+
+  service::ServerOptions options;
+  options.socket_path = args.GetString("socket", "");
+  if (options.socket_path.empty()) {
+    err << "error: --socket is required\n\n" << args.HelpText();
+    return 2;
+  }
+  const auto max_concurrent =
+      GetCheckedInt(args, "max-concurrent", 8, 1, 1 << 16);
+  const auto max_queued = GetCheckedInt(args, "max-queued", 64, 0, 1 << 20);
+  const auto cache_mb = GetCheckedInt(args, "cache-mb", 64, 0, 1 << 20);
+  for (const auto* checked : {&max_concurrent, &max_queued, &cache_mb}) {
+    if (!checked->ok()) {
+      err << "error: " << checked->status() << "\n\n" << args.HelpText();
+      return 2;
+    }
+  }
+  options.max_concurrent = static_cast<int>(*max_concurrent);
+  options.max_queued = static_cast<int>(*max_queued);
+  options.cache_bytes = static_cast<size_t>(*cache_mb) << 20;
+  options.validate_stores = !args.GetSwitch("no-validate");
+
+  const std::string stores = args.GetString("stores", "");
+  if (stores.empty()) {
+    err << "error: --stores is required\n\n" << args.HelpText();
+    return 2;
+  }
+  service::Server server(options);
+  size_t num_stores = 0;
+  for (const std::string& spec : Split(stores, ',')) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      err << "error: --stores entries must be NAME=PATH, got '" << spec
+          << "'\n\n"
+          << args.HelpText();
+      return 2;
+    }
+    Status added =
+        server.AddStore(spec.substr(0, eq), spec.substr(eq + 1));
+    if (!added.ok()) {
+      err << "error: " << added << "\n";
+      return 1;
+    }
+    ++num_stores;
+  }
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    err << "error: " << started << "\n";
+    return 1;
+  }
+  // The readiness line: scripts wait for it (or ping) before sending
+  // queries. Flush so a pipe-captured stdout sees it immediately.
+  out << "serving " << num_stores << " store"
+      << (num_stores == 1 ? "" : "s") << " on " << server.socket_path()
+      << "\n";
+  out.flush();
+  server.Wait();
+
+  const MetricsRegistry::Snapshot summary = server.metrics().Snap();
+  const auto counter = [&summary](const std::string& name) -> int64_t {
+    const auto it = summary.counters.find(name);
+    return it == summary.counters.end() ? 0 : it->second;
+  };
+  out << "shutdown: " << counter("queries.total") << " queries ("
+      << counter("queries.ok") << " ok, " << counter("queries.rejected")
+      << " rejected), " << counter("cache.hits") << " cache hits\n";
+  return 0;
+}
+
+int QueryCommand(const std::vector<const char*>& argv, std::ostream& out,
+                 std::ostream& err) {
+  ArgParser args(
+      "flipper_cli query",
+      "Send one request to a running serve daemon. The response body "
+      "goes to stdout (for `mine` it is byte-identical to a solo "
+      "`flipper_cli mine` run with the same options); response meta "
+      "lines go to stderr as `# key value`.");
+  args.AddFlag("socket", "the daemon's unix-domain socket path", "PATH");
+  args.AddFlag("op", "mine|stats|list|ping|shutdown (default mine)",
+               "VERB");
+  args.AddFlag("store", "which registered store to mine", "NAME");
+  args.AddFlag("wait-ms",
+               "retry the connection until the daemon answers a ping "
+               "or this many ms elapse (default 0 = single attempt)",
+               "N");
+  args.AddSwitch("no-cache",
+                 "ask the daemon to bypass its result cache for this "
+                 "query");
+  args.AddFlag("gamma", "positive correlation threshold", "FLOAT");
+  args.AddFlag("epsilon", "negative correlation threshold", "FLOAT");
+  args.AddFlag("minsup", "comma-separated per-level minimum supports",
+               "F1,F2,...");
+  args.AddFlag("measure", "correlation measure name", "NAME");
+  args.AddFlag("pruning", "full|tpg|flipping|support", "NAME");
+  args.AddFlag("counter", "horizontal|vertical", "NAME");
+  args.AddFlag("threads", "worker threads for counting", "N");
+  args.AddFlag("pipeline", "on|off", "MODE");
+  args.AddFlag("row-overlap", "on|off", "MODE");
+  args.AddFlag("arena-counters", "on|off", "MODE");
+  args.AddFlag("segment-skipping", "on|off", "MODE");
+  args.AddFlag("flat-trie", "on|off", "MODE");
+  args.AddFlag("txn-prefilter", "on|off", "MODE");
+  args.AddFlag("topk", "keep only the K widest flips", "K");
+  args.AddFlag("format", "text|csv|json (default text)", "NAME");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+
+  const std::string socket_path = args.GetString("socket", "");
+  if (socket_path.empty()) {
+    err << "error: --socket is required\n\n" << args.HelpText();
+    return 2;
+  }
+  const std::string op = args.GetString("op", "mine");
+  if (op != "mine" && op != "stats" && op != "list" && op != "ping" &&
+      op != "shutdown") {
+    err << "error: --op must be mine|stats|list|ping|shutdown, got '"
+        << op << "'\n\n"
+        << args.HelpText();
+    return 2;
+  }
+  const auto wait_ms =
+      GetCheckedInt(args, "wait-ms", 0, 0, 10 * 60 * 1000);
+  if (!wait_ms.ok()) {
+    err << "error: " << wait_ms.status() << "\n\n" << args.HelpText();
+    return 2;
+  }
+
+  service::Request request;
+  request.verb = op;
+  if (op == "mine") {
+    const std::string store = args.GetString("store", "");
+    if (store.empty()) {
+      err << "error: --store is required for --op mine\n\n"
+          << args.HelpText();
+      return 2;
+    }
+    request.params.emplace_back("store", store);
+    // Validate every mine option client-side with the same checked
+    // parser the daemon runs, so a typo fails here as a usage error
+    // (exit 2) instead of a round trip.
+    service::MineRequest probe;
+    for (const std::string& key : service::MineOptionKeys()) {
+      if (!args.Has(key)) continue;
+      const std::string value = args.GetString(key, "");
+      const Status applied =
+          service::ApplyMineOption(&probe, key, value);
+      if (!applied.ok()) {
+        err << "error: " << applied << "\n\n" << args.HelpText();
+        return 2;
+      }
+      request.params.emplace_back(key, value);
+    }
+    if (args.GetSwitch("no-cache")) {
+      request.params.emplace_back("cache", "off");
+    }
+  }
+
+  auto client =
+      *wait_ms > 0
+          ? service::Client::ConnectWithRetry(socket_path,
+                                              static_cast<int>(*wait_ms))
+          : service::Client::Connect(socket_path);
+  if (!client.ok()) {
+    err << "error: " << client.status() << "\n";
+    return 1;
+  }
+  auto response = client->Call(request);
+  if (!response.ok()) {
+    err << "error: " << response.status() << "\n";
+    return 1;
+  }
+  for (const auto& [key, value] : response->meta) {
+    err << "# " << key << " " << value << "\n";
+  }
+  if (!response->ok) {
+    err << "error: " << response->error << "\n";
+    return 1;
+  }
+  out << response->body;
+  return 0;
+}
+
+/// The loadgen request mix: distinct output-affecting configs, so the
+/// daemon's cache cannot satisfy one variant from another, plus enough
+/// repetition per variant to guarantee cache hits.
+const std::vector<std::vector<std::pair<std::string, std::string>>>&
+LoadgenVariants() {
+  static const std::vector<
+      std::vector<std::pair<std::string, std::string>>>
+      kVariants = {
+          {{"format", "csv"}},
+          {{"format", "csv"}, {"counter", "vertical"}, {"topk", "5"}},
+          {{"format", "csv"}, {"gamma", "0.5"}, {"pipeline", "off"}},
+          {{"format", "json"}, {"epsilon", "0.05"}},
+      };
+  return kVariants;
+}
+
+int LoadgenCommand(const std::vector<const char*>& argv,
+                   std::ostream& out, std::ostream& err) {
+  ArgParser args(
+      "flipper_cli loadgen",
+      "Drive a running serve daemon with concurrent mining queries "
+      "cycling through a fixed grid of configurations, byte-verifying "
+      "every response against a solo in-process mine of the same "
+      "store (--expect-from) and reporting client-side latency "
+      "percentiles and cache hits. Exits non-zero on any failed "
+      "query or body mismatch.");
+  args.AddFlag("socket", "the daemon's unix-domain socket path", "PATH");
+  args.AddFlag("store", "which registered store to mine", "NAME");
+  args.AddFlag("requests", "total requests to send (default 32)", "N");
+  args.AddFlag("connections",
+               "concurrent client connections (default 8)", "N");
+  args.AddFlag("wait-ms",
+               "daemon readiness timeout per connection (default "
+               "10000)",
+               "N");
+  args.AddFlag("expect-from",
+               "the daemon's .fdb file for this store; loadgen mines "
+               "it solo per variant and byte-compares every response "
+               "body against that expectation",
+               "PATH");
+
+  Status parse_status =
+      args.Parse(static_cast<int>(argv.size()), argv.data());
+  if (!parse_status.ok()) {
+    err << "error: " << parse_status << "\n\n" << args.HelpText();
+    return 2;
+  }
+  if (args.help_requested()) {
+    out << args.HelpText();
+    return 0;
+  }
+
+  const std::string socket_path = args.GetString("socket", "");
+  const std::string store = args.GetString("store", "");
+  if (socket_path.empty() || store.empty()) {
+    err << "error: --socket and --store are required\n\n"
+        << args.HelpText();
+    return 2;
+  }
+  const auto requests = GetCheckedInt(args, "requests", 32, 1, 1 << 20);
+  const auto connections =
+      GetCheckedInt(args, "connections", 8, 1, 1 << 10);
+  const auto wait_ms =
+      GetCheckedInt(args, "wait-ms", 10000, 1, 10 * 60 * 1000);
+  for (const auto* checked : {&requests, &connections, &wait_ms}) {
+    if (!checked->ok()) {
+      err << "error: " << checked->status() << "\n\n" << args.HelpText();
+      return 2;
+    }
+  }
+
+  const auto& variants = LoadgenVariants();
+  // Solo expectations: mine the store in-process, one run per variant,
+  // through the same ExecuteMineRequest the daemon uses — the byte
+  // oracle for every response.
+  std::vector<std::string> expected;
+  const std::string expect_from = args.GetString("expect-from", "");
+  if (!expect_from.empty()) {
+    auto reader = storage::StoreReader::Open(expect_from);
+    if (!reader.ok()) {
+      err << "error: " << reader.status() << "\n";
+      return 1;
+    }
+    for (const auto& params : variants) {
+      auto mine = service::MineRequestFromParams(params);
+      if (!mine.ok()) {
+        err << "error: " << mine.status() << "\n";
+        return 1;
+      }
+      auto outcome = service::ExecuteMineRequest(
+          reader->db(), reader->taxonomy(), &reader->dict(), nullptr,
+          *mine, nullptr);
+      if (!outcome.ok()) {
+        err << "error: solo expectation mine failed: "
+            << outcome.status() << "\n";
+        return 1;
+      }
+      expected.push_back(std::move(outcome->body));
+    }
+  }
+
+  const int64_t total = *requests;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> failures{0};
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> cache_hits{0};
+  std::mutex report_mu;
+  std::vector<double> latencies_ms;
+  std::vector<std::string> error_lines;
+  const auto record_error = [&](std::string line) {
+    std::lock_guard<std::mutex> lock(report_mu);
+    if (error_lines.size() < 8) error_lines.push_back(std::move(line));
+  };
+
+  WallTimer wall;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(*connections));
+  for (int64_t c = 0; c < *connections; ++c) {
+    workers.emplace_back([&]() {
+      auto client = service::Client::ConnectWithRetry(
+          socket_path, static_cast<int>(*wait_ms));
+      if (!client.ok()) {
+        // Every request this worker would have taken counts as failed.
+        while (next.fetch_add(1) < total) failures.fetch_add(1);
+        record_error("connect: " + client.status().ToString());
+        return;
+      }
+      while (true) {
+        const int64_t r = next.fetch_add(1);
+        if (r >= total) break;
+        const size_t v = static_cast<size_t>(r) % variants.size();
+        service::Request request;
+        request.verb = "mine";
+        request.params.emplace_back("store", store);
+        for (const auto& [key, value] : variants[v]) {
+          request.params.emplace_back(key, value);
+        }
+        WallTimer timer;
+        auto response = client->Call(request);
+        const double ms = timer.ElapsedMillis();
+        if (!response.ok() || !response->ok) {
+          failures.fetch_add(1);
+          record_error("request " + std::to_string(r) + ": " +
+                       (response.ok() ? response->error
+                                      : response.status().ToString()));
+          continue;
+        }
+        if (response->Meta("cache") == "hit") cache_hits.fetch_add(1);
+        if (!expected.empty() && response->body != expected[v]) {
+          mismatches.fetch_add(1);
+          record_error("request " + std::to_string(r) + ": body of " +
+                       std::to_string(response->body.size()) +
+                       " bytes differs from the solo mine's " +
+                       std::to_string(expected[v].size()) + " bytes");
+        }
+        std::lock_guard<std::mutex> lock(report_mu);
+        latencies_ms.push_back(ms);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed_s = wall.ElapsedSeconds();
+
+  // Nearest-rank percentiles over the client-observed latencies.
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto percentile = [&latencies_ms](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    size_t rank = static_cast<size_t>(
+        p * static_cast<double>(latencies_ms.size()) / 100.0);
+    if (rank >= latencies_ms.size()) rank = latencies_ms.size() - 1;
+    return latencies_ms[rank];
+  };
+  out << "loadgen: " << total << " requests over " << *connections
+      << " connections in " << FormatDouble(elapsed_s, 2) << " s: "
+      << failures.load() << " failed, " << mismatches.load()
+      << " mismatched, " << cache_hits.load() << " cache hits"
+      << (expected.empty() ? " (no --expect-from; bodies unverified)"
+                           : "")
+      << "\n"
+      << "latency ms: p50 " << FormatDouble(percentile(50), 2)
+      << ", p95 " << FormatDouble(percentile(95), 2) << ", max "
+      << FormatDouble(latencies_ms.empty() ? 0.0 : latencies_ms.back(),
+                      2)
+      << "\n";
+  for (const std::string& line : error_lines) {
+    err << "error: " << line << "\n";
+  }
+  return failures.load() > 0 || mismatches.load() > 0 ? 1 : 0;
+}
+
 constexpr char kTopLevelHelp[] =
     "flipper_cli — flipping-correlation mining toolkit\n"
     "\n"
@@ -1014,6 +1364,11 @@ constexpr char kTopLevelHelp[] =
     "  flipper_cli validate <data.fdb>\n"
     "  flipper_cli repair <data.fdb> [--apply]\n"
     "  flipper_cli datagen <scenario> <out.fdb>\n"
+    "  flipper_cli serve --socket <sock> --stores NAME=PATH,...\n"
+    "  flipper_cli query --socket <sock> [--op mine] --store NAME "
+    "[flags]\n"
+    "  flipper_cli loadgen --socket <sock> --store NAME "
+    "[--expect-from <data.fdb>]\n"
     "  flipper_cli <basket> <taxonomy> [flags]   (legacy: mine)\n"
     "\n"
     "run `flipper_cli <command> --help` for the command's flags.\n";
@@ -1047,6 +1402,15 @@ int RunFlipperCli(int argc, const char* const* argv, std::ostream& out,
     }
     if (command == "datagen") {
       return DatagenCommand(sub_argv("flipper_cli datagen"), out, err);
+    }
+    if (command == "serve") {
+      return ServeCommand(sub_argv("flipper_cli serve"), out, err);
+    }
+    if (command == "query") {
+      return QueryCommand(sub_argv("flipper_cli query"), out, err);
+    }
+    if (command == "loadgen") {
+      return LoadgenCommand(sub_argv("flipper_cli loadgen"), out, err);
     }
     if (argc == 2 && (command == "--help" || command == "-h")) {
       out << kTopLevelHelp;

@@ -37,7 +37,7 @@ void ThreadPool::set_observer(PoolTaskObserver* observer) {
 void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    Task task{std::move(fn), 0};
+    Task task{std::move(fn), 0, trace::CurrentSession()};
     // Only pay the clock read when someone consumes the timing.
     if (observer_ != nullptr || trace::Enabled()) {
       task.submit_ns = trace::NowNanos();
@@ -54,6 +54,10 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>* lock) {
   PoolTaskObserver* observer = observer_;
   ++in_flight_;
   lock->unlock();
+  // Run under the submitter's trace session so the task's spans (and
+  // the pool_task envelope below) land in the right query even when
+  // the pool is shared across concurrent queries.
+  trace::SessionScope session_scope(task.session);
   const uint64_t start_ns = task.submit_ns != 0 ? trace::NowNanos() : 0;
   std::exception_ptr error;
   try {
@@ -84,10 +88,11 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>* lock) {
 }
 
 void ThreadPool::WorkerLoop() {
-  // Registering the thread-local trace buffer is skipped entirely when
-  // tracing is off (short-lived pools in benches would otherwise grow
-  // the trace registry for nothing).
-  if (trace::Enabled()) trace::SetThreadName("pool-worker");
+  // Stashes the display name (and registers with the current session
+  // only if it is already recording); sessions attached later register
+  // this thread lazily on its first span, picking the name up then —
+  // short-lived pools in benches don't grow any registry for nothing.
+  trace::SetThreadName("pool-worker");
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_ready_.wait(lock,

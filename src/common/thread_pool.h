@@ -20,6 +20,10 @@
 
 namespace flipper {
 
+namespace trace {
+class Session;
+}  // namespace trace
+
 /// Observes every task the pool runs: `queue_ns` is the submit→start
 /// latency, `run_ns` the task's execution time. Implementations must
 /// be thread-safe (workers call concurrently) and must not call back
@@ -94,10 +98,16 @@ class ThreadPool {
 
  private:
   /// A queued task plus its submit timestamp (trace::NowNanos clock;
-  /// 0 when neither tracing nor an observer needs timing).
+  /// 0 when neither tracing nor an observer needs timing) and the
+  /// submitter's trace session, re-attached around execution so a
+  /// task's spans land in the query that submitted it even when
+  /// several queries share the pool. The session must outlive the
+  /// task (guaranteed by the submitter joining via Wait/Completion
+  /// before its session dies).
   struct Task {
     std::function<void()> fn;
     uint64_t submit_ns = 0;
+    trace::Session* session = nullptr;
   };
 
   void WorkerLoop();

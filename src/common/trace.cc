@@ -2,18 +2,14 @@
 
 #include <chrono>
 #include <cstdio>
-#include <memory>
-#include <mutex>
-#include <vector>
 
 namespace flipper {
 namespace trace {
 
 namespace internal {
-std::atomic<bool> g_enabled{false};
-}  // namespace internal
 
-namespace {
+thread_local Session* g_current = nullptr;
+std::atomic<bool> g_default_enabled{false};
 
 constexpr size_t kChunkSpans = 4096;
 
@@ -26,7 +22,7 @@ constexpr size_t kChunkSpans = 4096;
 // against concurrent export walks.
 class ThreadBuffer {
  public:
-  explicit ThreadBuffer(int tid) : tid_(tid) {}
+  ThreadBuffer(int tid, int owner_key) : tid_(tid), owner_key_(owner_key) {}
 
   void Append(const Span& span) {
     size_t n = count_.load(std::memory_order_relaxed);
@@ -56,6 +52,7 @@ class ThreadBuffer {
   }
 
   int tid() const { return tid_; }
+  int owner_key() const { return owner_key_; }
 
   size_t Count() const { return count_.load(std::memory_order_acquire); }
 
@@ -63,14 +60,21 @@ class ThreadBuffer {
   void ForEach(Fn&& fn) const {
     size_t n = Count();
     std::string name;
+    // The chunk arrays themselves never move, but the pointer table
+    // (chunks_) reallocates when the owner appends past it — snapshot
+    // the raw chunk pointers under the lock, then walk lock-free. The
+    // acquire on count_ guarantees the chunks holding the first n
+    // spans are already in the table.
+    std::vector<const Span*> chunks;
     {
       std::lock_guard<std::mutex> lock(mu_);
       name = name_;
+      size_t want = (n + kChunkSpans - 1) / kChunkSpans;
+      chunks.reserve(want);
+      for (size_t i = 0; i < want; ++i) chunks.push_back(chunks_[i].get());
     }
     for (size_t i = 0; i < n; ++i) {
-      // Chunk pointers are stable once published; reading under the
-      // lock each iteration would serialize exports for no benefit.
-      fn(tid_, name, chunks_[i / kChunkSpans][i % kChunkSpans]);
+      fn(tid_, name, chunks[i / kChunkSpans][i % kChunkSpans]);
     }
   }
 
@@ -81,6 +85,9 @@ class ThreadBuffer {
 
  private:
   const int tid_;
+  // Process-wide id of the owning thread; sessions find a thread's
+  // existing buffer by it when the thread re-attaches.
+  const int owner_key_;
   mutable std::mutex mu_;
   std::string name_;
   std::vector<std::unique_ptr<Span[]>> chunks_;
@@ -90,27 +97,33 @@ class ThreadBuffer {
   std::atomic<size_t> count_{0};
 };
 
-struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-};
+}  // namespace internal
 
-Registry& GetRegistry() {
-  static Registry* registry = new Registry();  // leaked: outlives TLS dtors
-  return *registry;
+namespace {
+
+using internal::ThreadBuffer;
+
+// One-entry per-thread cache of the buffer lookup: valid only while
+// the cached session id matches, so a destroyed session (whose id
+// never recurs) can never be dereferenced through a stale entry.
+thread_local uint64_t t_cached_session_id = 0;
+thread_local ThreadBuffer* t_cached_buffer = nullptr;
+// Sticky per-thread display name, applied whenever this thread
+// registers with a session.
+thread_local const char* t_thread_name = nullptr;
+
+uint64_t NextSessionId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::shared_ptr<ThreadBuffer> RegisterThread() {
-  Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
-  auto buf = std::make_shared<ThreadBuffer>(static_cast<int>(reg.buffers.size()));
-  reg.buffers.push_back(buf);
-  return buf;
-}
-
-ThreadBuffer& LocalBuffer() {
-  thread_local std::shared_ptr<ThreadBuffer> buffer = RegisterThread();
-  return *buffer;
+// Small process-wide per-thread id, used only as the buffer ownership
+// key (the exported tid is per-session registration order instead, so
+// traces stay stable run-to-run).
+int ThisThreadKey() {
+  static std::atomic<int> next{0};
+  thread_local const int key = next.fetch_add(1, std::memory_order_relaxed);
+  return key;
 }
 
 std::chrono::steady_clock::time_point Epoch() {
@@ -134,73 +147,93 @@ void AppendJsonEscaped(std::ostream& out, const char* s) {
 
 }  // namespace
 
-bool SetEnabled(bool enabled) {
+Session::Session() : id_(NextSessionId()) {}
+
+Session::~Session() = default;
+
+bool Session::SetEnabled(bool enabled) {
   if (enabled) Epoch();  // pin the epoch before the first span
-  return internal::g_enabled.exchange(enabled, std::memory_order_relaxed);
-}
-
-uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Epoch())
-          .count());
-}
-
-int CurrentThreadId() { return LocalBuffer().tid(); }
-
-void SetThreadName(const char* name) {
-  ThreadBuffer& buf = LocalBuffer();
-  buf.SetName(name);
-  buf.Prewarm();
-}
-
-void RecordSpan(const Span& span) {
-  if (!Enabled()) return;
-  LocalBuffer().Append(span);
-}
-
-size_t SpanCount() {
-  Registry& reg = GetRegistry();
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  {
-    std::lock_guard<std::mutex> lock(reg.mu);
-    buffers = reg.buffers;
+  bool prev = enabled_.exchange(enabled, std::memory_order_relaxed);
+  if (this == &DefaultSession()) {
+    internal::g_default_enabled.store(enabled, std::memory_order_relaxed);
   }
+  return prev;
+}
+
+internal::ThreadBuffer* Session::BufferForThisThread() {
+  if (t_cached_session_id == id_) return t_cached_buffer;
+  const int key = ThisThreadKey();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    if (buf->owner_key() == key) {
+      t_cached_session_id = id_;
+      t_cached_buffer = buf.get();
+      return buf.get();
+    }
+  }
+  auto buf = std::make_shared<ThreadBuffer>(
+      static_cast<int>(buffers_.size()), key);
+  if (t_thread_name != nullptr) buf->SetName(t_thread_name);
+  buffers_.push_back(buf);
+  t_cached_session_id = id_;
+  t_cached_buffer = buf.get();
+  return buf.get();
+}
+
+std::vector<std::shared_ptr<internal::ThreadBuffer>>
+Session::SnapshotBuffers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_;
+}
+
+void Session::Append(const Span& span) {
+  BufferForThisThread()->Append(span);
+}
+
+void Session::RegisterThread(const char* name) {
+  if (name != nullptr) t_thread_name = name;
+  ThreadBuffer* buf = BufferForThisThread();
+  if (name != nullptr) buf->SetName(name);
+  buf->Prewarm();
+}
+
+int Session::ThreadId() { return BufferForThisThread()->tid(); }
+
+void Session::RenameThreadIfRegistered(const char* name) {
+  if (t_cached_session_id == id_ && t_cached_buffer != nullptr) {
+    t_cached_buffer->SetName(name);
+    return;
+  }
+  const int key = ThisThreadKey();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    if (buf->owner_key() == key) {
+      buf->SetName(name);
+      return;
+    }
+  }
+}
+
+size_t Session::SpanCount() const {
   size_t total = 0;
-  for (const auto& buf : buffers) total += buf->Count();
+  for (const auto& buf : SnapshotBuffers()) total += buf->Count();
   return total;
 }
 
-void Clear() {
-  Registry& reg = GetRegistry();
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  {
-    std::lock_guard<std::mutex> lock(reg.mu);
-    buffers = reg.buffers;
-  }
-  for (const auto& buf : buffers) buf->Clear();
+void Session::Clear() {
+  for (const auto& buf : SnapshotBuffers()) buf->Clear();
 }
 
-void ForEachSpan(
-    const std::function<void(int, const std::string&, const Span&)>& fn) {
-  Registry& reg = GetRegistry();
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  {
-    std::lock_guard<std::mutex> lock(reg.mu);
-    buffers = reg.buffers;
-  }
-  for (const auto& buf : buffers) buf->ForEach(fn);
+void Session::ForEachSpan(
+    const std::function<void(int, const std::string&, const Span&)>& fn)
+    const {
+  for (const auto& buf : SnapshotBuffers()) buf->ForEach(fn);
 }
 
-void ExportChromeJson(std::ostream& out) {
+void Session::ExportChromeJson(std::ostream& out) const {
   out << "{\"traceEvents\":[\n";
   bool first = true;
-  Registry& reg = GetRegistry();
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  {
-    std::lock_guard<std::mutex> lock(reg.mu);
-    buffers = reg.buffers;
-  }
+  auto buffers = SnapshotBuffers();
   // Thread-name metadata events first, then one complete ("X") event
   // per span. One event per line: downstream structural checks parse
   // line-by-line instead of needing a JSON parser.
@@ -253,6 +286,59 @@ void ExportChromeJson(std::ostream& out) {
     });
   }
   out << "\n]}\n";
+}
+
+Session& DefaultSession() {
+  static Session* session = new Session();  // leaked: outlives TLS dtors
+  return *session;
+}
+
+Session* CurrentSession() {
+  Session* s = internal::g_current;
+  return s != nullptr ? s : &DefaultSession();
+}
+
+bool SetEnabled(bool enabled) { return DefaultSession().SetEnabled(enabled); }
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch())
+          .count());
+}
+
+int CurrentThreadId() { return CurrentSession()->ThreadId(); }
+
+void SetThreadName(const char* name) {
+  t_thread_name = name;
+  Session* s = CurrentSession();
+  if (s->enabled()) {
+    // Register (and prewarm) eagerly so the allocation doesn't land
+    // between this thread's first two spans.
+    s->RegisterThread(name);
+  } else {
+    // Disabled: rename an already-registered buffer but don't grow the
+    // session's registry for a thread that may never record.
+    s->RenameThreadIfRegistered(name);
+  }
+}
+
+void RecordSpan(const Span& span) {
+  if (!Enabled()) return;
+  CurrentSession()->Append(span);
+}
+
+size_t SpanCount() { return CurrentSession()->SpanCount(); }
+
+void Clear() { CurrentSession()->Clear(); }
+
+void ForEachSpan(
+    const std::function<void(int, const std::string&, const Span&)>& fn) {
+  CurrentSession()->ForEachSpan(fn);
+}
+
+void ExportChromeJson(std::ostream& out) {
+  CurrentSession()->ExportChromeJson(out);
 }
 
 }  // namespace trace

@@ -1,24 +1,49 @@
 // Low-overhead pipeline tracing: RAII spans recorded into per-thread
-// buffers and exported as Chrome trace-event JSON (chrome://tracing /
-// ui.perfetto.dev).
+// buffers owned by a Session and exported as Chrome trace-event JSON
+// (chrome://tracing / ui.perfetto.dev).
 //
 // Design constraints, in order:
-//   - near-zero cost when disabled: every span site is one relaxed
-//     atomic load and a branch, no clock reads, no stores;
+//   - near-zero cost when disabled: every span site is one thread-local
+//     pointer read plus one relaxed atomic load, no clock reads, no
+//     stores;
 //   - no cross-thread contention when enabled: each thread appends to
 //     its own buffer (chunked arrays, so recording never moves spans);
 //     the only locks are per-buffer chunk rollover (every 4096 spans)
-//     and thread registration (once per thread);
+//     and per-session thread registration (once per thread/session);
 //   - no heap allocation per span: names and categories must be string
 //     literals (the buffer stores the pointers), arguments are two
-//     plain integers.
+//     plain integers;
+//   - no process-global mutable recording state: spans land in the
+//     Session attached to the recording thread, so concurrent queries
+//     with separate sessions never interleave and one query's export
+//     can never contain another's spans.
 //
-// Recording is process-global so the mining stages, the thread pool
-// and the CLI need no plumbing: enable with SetEnabled(true), run,
-// then ExportChromeJson(). Export is safe while recording continues
-// (it reads each buffer up to its published span count), but the
-// usual discipline is enable -> run -> disable -> export. Clear()
-// must only be called while no thread is recording.
+// A Session is the per-query (or per-run) recording context. Attach it
+// with SessionScope, enable it, run, export:
+//
+//   trace::Session session;
+//   session.SetEnabled(true);
+//   {
+//     trace::SessionScope scope(&session);
+//     ... FlipperMiner::Run(...) ...   // spans land in `session`
+//   }
+//   session.ExportChromeJson(out);
+//
+// ThreadPool propagates the submitter's attached session to its
+// workers for the duration of each task, so the mining stages and the
+// pool need no explicit plumbing. The session must outlive every task
+// submitted while it was attached (the pipeline joins all counting
+// futures before returning, so attaching around a miner call is safe).
+//
+// The free functions (SetEnabled, Clear, SpanCount, ExportChromeJson,
+// ForEachSpan, RecordSpan) operate on the calling thread's attached
+// session, falling back to a process-wide default session when none is
+// attached — the one-shot CLI and single-run tests keep working with
+// zero setup, while any code that needs isolation attaches its own
+// session. Export is safe while recording continues (it reads each
+// buffer up to its published span count), but the usual discipline is
+// enable -> run -> disable -> export. Session::Clear() must only be
+// called while no thread is recording into that session.
 
 #ifndef FLIPPER_COMMON_TRACE_H_
 #define FLIPPER_COMMON_TRACE_H_
@@ -27,8 +52,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace flipper {
 namespace trace {
@@ -52,59 +80,170 @@ struct Span {
 };
 
 namespace internal {
-extern std::atomic<bool> g_enabled;
+class ThreadBuffer;
 }  // namespace internal
 
-/// Whether span sites record. The single check every disabled span
-/// site pays.
+/// An isolated span store: per-thread chunked buffers plus its own
+/// enable flag. Every method is safe to call from any thread; Append
+/// (via RecordSpan) is contention-free across threads.
+class Session {
+ public:
+  Session();
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Turns recording into this session on/off. Returns the previous
+  /// state. Enabling is cheap; buffers persist across enable/disable
+  /// cycles until Clear().
+  bool SetEnabled(bool enabled);
+
+  /// Whether span sites attached to this session record.
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one closed span to the calling thread's buffer of this
+  /// session (registering the thread on first use). Records even when
+  /// the session is disabled — the enabled() check is the span site's
+  /// job (RecordSpan / ScopedSpan do it).
+  void Append(const Span& span);
+
+  /// Registers the calling thread now (buffer allocated and the first
+  /// chunk prewarmed, so no allocation lands between later spans) and
+  /// labels it in the export. Idempotent; last name wins.
+  void RegisterThread(const char* name);
+
+  /// Stable, small id of the calling thread within this session
+  /// (assigned on first use, in registration order; the exporter uses
+  /// it as the Chrome `tid`).
+  int ThreadId();
+
+  /// Applies `name` to the calling thread's buffer if (and only if) it
+  /// is already registered — unlike RegisterThread, never creates one.
+  void RenameThreadIfRegistered(const char* name);
+
+  /// Total spans currently recorded across all threads.
+  size_t SpanCount() const;
+
+  /// Drops all recorded spans (buffers stay registered and keep their
+  /// chunk storage). Only call while no thread is recording into this
+  /// session.
+  void Clear();
+
+  /// Writes every recorded span as Chrome trace-event JSON
+  /// ({"traceEvents": [...]}): one "X" (complete) event per span plus
+  /// one thread-name metadata event per thread, timestamps in
+  /// microseconds relative to the process trace epoch, one event per
+  /// line (the structural validators rely on that). Safe to call with
+  /// recording still enabled; spans published after the call started
+  /// may be missed.
+  void ExportChromeJson(std::ostream& out) const;
+
+  /// Invokes `fn(tid, thread_name, span)` for every recorded span, in
+  /// per-thread recording order (threads in registration order). The
+  /// coverage checks and tests use this instead of re-parsing JSON.
+  void ForEachSpan(const std::function<void(int, const std::string&,
+                                            const Span&)>& fn) const;
+
+ private:
+  internal::ThreadBuffer* BufferForThisThread();
+  std::vector<std::shared_ptr<internal::ThreadBuffer>> SnapshotBuffers()
+      const;
+
+  /// Process-unique session id; the per-thread buffer cache keys on it
+  /// so a recycled Session address can never alias a dead session.
+  const uint64_t id_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<internal::ThreadBuffer>> buffers_;
+};
+
+namespace internal {
+/// The calling thread's attached session (null = none; the free
+/// functions then fall back to the default session). Managed by
+/// SessionScope; read directly by the Enabled() fast path.
+extern thread_local Session* g_current;
+/// Mirror of the default session's enable flag, so the disabled fast
+/// path is one atomic load even without an attached session.
+extern std::atomic<bool> g_default_enabled;
+}  // namespace internal
+
+/// The process-wide fallback session the free functions use when the
+/// calling thread has none attached (one-shot CLI, simple tests).
+Session& DefaultSession();
+
+/// The session span sites on this thread record into: the attached
+/// one, else the default session. Never null.
+Session* CurrentSession();
+
+/// Attaches `session` to the calling thread for the scope's lifetime
+/// (restores the previous attachment on destruction). Pass nullptr to
+/// detach (span sites fall back to the default session).
+class SessionScope {
+ public:
+  explicit SessionScope(Session* session) : prev_(internal::g_current) {
+    internal::g_current = session;
+  }
+  ~SessionScope() { internal::g_current = prev_; }
+
+  SessionScope(const SessionScope&) = delete;
+  SessionScope& operator=(const SessionScope&) = delete;
+
+ private:
+  Session* prev_;
+};
+
+/// Whether span sites on the calling thread record. The single check
+/// every disabled span site pays.
 inline bool Enabled() {
-  return internal::g_enabled.load(std::memory_order_relaxed);
+  Session* s = internal::g_current;
+  return s != nullptr
+             ? s->enabled()
+             : internal::g_default_enabled.load(
+                   std::memory_order_relaxed);
 }
 
-/// Turns recording on/off. Returns the previous state. Enabling is
-/// cheap; buffers persist across enable/disable cycles until Clear().
+/// Turns the DEFAULT session's recording on/off (the free-function
+/// compatibility surface; attached sessions use Session::SetEnabled).
+/// Returns the previous state.
 bool SetEnabled(bool enabled);
 
 /// Monotonic nanoseconds since the process trace epoch.
 uint64_t NowNanos();
 
-/// Stable, small id of the calling thread (assigned on first use, in
-/// registration order; the exporter uses it as the Chrome `tid`).
+/// Stable, small id of the calling thread within the effective
+/// session (see Session::ThreadId).
 int CurrentThreadId();
 
-/// Labels the calling thread in the exported trace ("driver",
-/// "pool-worker", ...). Idempotent; last writer wins.
+/// Labels the calling thread in exported traces ("driver",
+/// "pool-worker", ...). The name is remembered thread-locally and
+/// applied to every session this thread later records into; when the
+/// effective session is enabled the thread is also registered (and its
+/// first chunk prewarmed) immediately. Idempotent; last writer wins.
 void SetThreadName(const char* name);
 
-/// Appends one closed span to the calling thread's buffer. No-op when
-/// disabled. `name`/`cat` must be string literals.
+/// Appends one closed span to the effective session's buffer for this
+/// thread. No-op when that session is disabled. `name`/`cat` must be
+/// string literals.
 void RecordSpan(const Span& span);
 
-/// Total spans currently recorded across all threads.
+/// Total spans recorded in the effective session.
 size_t SpanCount();
 
-/// Drops all recorded spans (buffers stay registered and keep their
-/// chunk storage). Only call while no thread is recording.
+/// Clears the effective session (see Session::Clear).
 void Clear();
 
-/// Writes every recorded span as Chrome trace-event JSON
-/// ({"traceEvents": [...]}): one "X" (complete) event per span plus
-/// one thread-name metadata event per thread, timestamps in
-/// microseconds relative to the trace epoch, one event per line (the
-/// structural validators rely on that). Safe to call with recording
-/// still enabled; spans published after the call started may be
-/// missed.
+/// Exports the effective session (see Session::ExportChromeJson).
 void ExportChromeJson(std::ostream& out);
 
-/// Invokes `fn(tid, thread_name, span)` for every recorded span, in
-/// per-thread recording order (threads in registration order). The
-/// coverage checks and tests use this instead of re-parsing JSON.
+/// Iterates the effective session (see Session::ForEachSpan).
 void ForEachSpan(
     const std::function<void(int, const std::string&, const Span&)>& fn);
 
 /// RAII span: captures the start time if tracing was enabled at
 /// construction and records on destruction. Cheap to construct when
-/// disabled (one relaxed load).
+/// disabled (one thread-local read + one relaxed load).
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* cat) {

@@ -31,7 +31,8 @@ class StageScope {
 
 }  // namespace
 
-Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
+Result<MiningResult> CellPipeline::Execute(const TransactionDb& db,
+                                           const LevelViews* shared_views) {
   FLIPPER_RETURN_IF_ERROR(config_.Validate());
   metrics_ = config_.metrics;
   if (trace::Enabled()) trace::SetThreadName("driver");
@@ -46,7 +47,13 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
     // observer to the workers.
     if (metrics_ != nullptr) pool_->set_observer(metrics_);
   }
-  {
+  if (shared_views != nullptr) {
+    // Borrowed store views (the serving path): read-only, possibly
+    // shared with concurrent pipelines. Extra catalogs they may carry
+    // are inert unless this config enables skipping, so results match
+    // the owned build bit for bit.
+    views_ = shared_views;
+  } else {
     StageScope stage(metrics_, "views_build");
     LevelViews::BuildOptions view_options;
     // Catalogs have exactly two consumers — the horizontal counting
@@ -57,7 +64,9 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
         (config_.counter == CounterKind::kHorizontal ||
          config_.enable_scan_cells);
     FLIPPER_ASSIGN_OR_RETURN(
-        views_, LevelViews::Build(db, tax_, pool_.get(), view_options));
+        owned_views_,
+        LevelViews::Build(db, tax_, pool_.get(), view_options));
+    views_ = &owned_views_;
   }
   CounterOptions counter_options;
   counter_options.enable_segment_skipping =
@@ -70,13 +79,13 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
 
   MiningResult result;
   height_ = tax_.height();
-  num_txns_ = views_.num_transactions();
+  num_txns_ = views_->num_transactions();
 
   // Column bound: itemsets are rooted in distinct level-1 nodes, and a
   // frequent (h,k)-itemset needs a transaction with k distinct level-h
   // items (paper §4.1).
-  max_k_ = static_cast<int>(
-      std::min<size_t>(tax_.Level1().size(), views_.MaxUniversalWidth()));
+  max_k_ = static_cast<int>(std::min<size_t>(
+      tax_.Level1().size(), views_->MaxUniversalWidth()));
   max_k_ = std::min(max_k_, kMaxItemsetSize);
   if (config_.max_itemset_size > 0) {
     max_k_ = std::min(max_k_, config_.max_itemset_size);
@@ -90,15 +99,15 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db) {
       const uint32_t min_count = config_.MinCount(h, num_txns_);
       auto& items = freq_items_[static_cast<size_t>(h)];
       for (ItemId item : tax_.NodesAtLevel(h)) {
-        if (views_.ItemSupport(h, item) >= min_count) {
+        if (views_->ItemSupport(h, item) >= min_count) {
           items.push_back(item);
         }
       }
     }
-    planner_ = std::make_unique<CellPlanner>(tax_, config_, views_,
+    planner_ = std::make_unique<CellPlanner>(tax_, config_, *views_,
                                              freq_items_, num_txns_);
     evaluator_ = std::make_unique<CellEvaluator>(
-        tax_, config_, views_, &tracker_, freq_items_, num_txns_);
+        tax_, config_, *views_, &tracker_, freq_items_, num_txns_);
   }
 
   if (height_ < 2 || max_k_ < 2) {
@@ -374,7 +383,7 @@ Status CellPipeline::BeginRow1Cell(int k, const Cell* prev_in_row,
   work->cs.counted = work->candidates.size();
   StageScope stage(metrics_, "count_start", 1, k);
   work->future =
-      counter_->StartCount(&views_, 1, work->candidates, &work->supports);
+      counter_->StartCount(views_, 1, work->candidates, &work->supports);
   return Status::OK();
 }
 
@@ -387,7 +396,7 @@ Status CellPipeline::BeginVerticalCell(int h, int k, const Cell* parent,
   if (parent == nullptr) {
     // No parent cell to grow from: the cell is empty (the ready future
     // leaves the supports empty without accounting a scan).
-    work->future = counter_->StartCount(&views_, h, work->candidates,
+    work->future = counter_->StartCount(views_, h, work->candidates,
                                         &work->supports);
     return Status::OK();
   }
@@ -405,9 +414,10 @@ Status CellPipeline::BeginVerticalCell(int h, int k, const Cell* parent,
   if (plan.strategy == CellStrategy::kScan) {
     StageScope stage(metrics_, "scan_cell", h, k);
     FLIPPER_RETURN_IF_ERROR(FillCellByScan(
-        views_, tax_, config_, h, k, *parent, prev_in_row, banned,
+        *views_, tax_, config_, h, k, *parent, prev_in_row, banned,
         freq_items_[static_cast<size_t>(h)], &work->candidates,
-        &work->supports, &work->cs, &stats_, &scan_scratch_));
+        &work->supports, &work->cs, &stats_, &scan_scratch_,
+        pool_.get()));
     work->counted_by_scan = true;
     work->cs.counted = work->candidates.size();
     return Status::OK();
@@ -423,7 +433,7 @@ Status CellPipeline::BeginVerticalCell(int h, int k, const Cell* parent,
   work->cs.counted = work->candidates.size();
   StageScope stage(metrics_, "count_start", h, k);
   work->future =
-      counter_->StartCount(&views_, h, work->candidates, &work->supports);
+      counter_->StartCount(views_, h, work->candidates, &work->supports);
   return Status::OK();
 }
 
@@ -485,7 +495,7 @@ Status CellPipeline::JoinWithCrossStart(CellWork* work, int next_h,
   // The previous count is joined, so the counter's pooled scratch is
   // free: begin the cross count before the row tail evaluates.
   StageScope stage(metrics_, "count_start", next_h, 2);
-  started->future = counter_->StartCount(&views_, next_h,
+  started->future = counter_->StartCount(views_, next_h,
                                          started->candidates,
                                          &started->supports);
   cross->started = std::move(started);

@@ -70,7 +70,20 @@ class CellPipeline {
       : tax_(taxonomy), config_(config) {}
 
   /// One full mining run over `db`.
-  Result<MiningResult> Execute(const TransactionDb& db);
+  Result<MiningResult> Execute(const TransactionDb& db) {
+    return Execute(db, nullptr);
+  }
+
+  /// Same run over pre-built (shared, read-only) level views of `db`.
+  /// A non-null `shared_views` skips the per-run views build: the
+  /// pipeline only reads them (their lazy vertical index goes through
+  /// its thread-safe seam), so any number of concurrent pipelines may
+  /// borrow one LevelViews instance, each with its own pool. Results
+  /// are bit-identical to the owned-views path — shard counts derive
+  /// from this run's pool, never from whoever built the views. The
+  /// views must describe exactly `db` and outlive the call.
+  Result<MiningResult> Execute(const TransactionDb& db,
+                               const LevelViews* shared_views);
 
  private:
   /// A row of the search-space table: row[k - 2] is Q(h, k).
@@ -164,7 +177,10 @@ class CellPipeline {
   /// read. Null means "record nothing".
   MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
-  LevelViews views_;
+  /// Built per run when Execute gets no shared views; unused otherwise.
+  LevelViews owned_views_;
+  /// The views this run reads: &owned_views_ or the borrowed instance.
+  const LevelViews* views_ = nullptr;
   std::unique_ptr<SupportCounter> counter_;
   std::unique_ptr<CellPlanner> planner_;
   std::unique_ptr<CellEvaluator> evaluator_;

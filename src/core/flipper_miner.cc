@@ -11,4 +11,12 @@ Result<MiningResult> FlipperMiner::Run(const TransactionDb& db,
   return pipeline.Execute(db);
 }
 
+Result<MiningResult> FlipperMiner::Run(const TransactionDb& db,
+                                       const Taxonomy& taxonomy,
+                                       const MiningConfig& config,
+                                       const LevelViews* shared_views) {
+  CellPipeline pipeline(taxonomy, config);
+  return pipeline.Execute(db, shared_views);
+}
+
 }  // namespace flipper

@@ -42,6 +42,7 @@
 
 #include "common/status.h"
 #include "core/config.h"
+#include "core/level_views.h"
 #include "core/mining_result.h"
 #include "data/transaction_db.h"
 #include "taxonomy/taxonomy.h"
@@ -55,6 +56,15 @@ class FlipperMiner {
   static Result<MiningResult> Run(const TransactionDb& db,
                                   const Taxonomy& taxonomy,
                                   const MiningConfig& config);
+
+  /// Re-entrant variant over pre-built level views of `db` (see
+  /// CellPipeline::Execute): the views are only read, so concurrent
+  /// runs — each with its own config and pool — may borrow the same
+  /// instance. Results are bit-identical to the plain Run.
+  static Result<MiningResult> Run(const TransactionDb& db,
+                                  const Taxonomy& taxonomy,
+                                  const MiningConfig& config,
+                                  const LevelViews* shared_views);
 };
 
 }  // namespace flipper

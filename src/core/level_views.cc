@@ -32,7 +32,6 @@ Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
   }
 
   LevelViews views;
-  views.pool_ = pool;
   views.num_txns_ = leaf_db.size();
   const int height = taxonomy.height();
   views.levels_.resize(static_cast<size_t>(height));
@@ -86,23 +85,29 @@ Result<LevelViews> LevelViews::Build(const TransactionDb& leaf_db,
   return views;
 }
 
-const VerticalIndex& LevelViews::EnsureVertical(int h) {
-  LevelData& data = levels_[static_cast<size_t>(h - 1)];
+const VerticalIndex& LevelViews::EnsureVertical(int h,
+                                                ThreadPool* pool) const {
+  const LevelData& data = levels_[static_cast<size_t>(h - 1)];
+  // Serialize the lazy build; losers of the race reuse the winner's
+  // index (whichever pool built it — the index content is
+  // pool-independent).
+  std::lock_guard<std::mutex> lock(*vertical_mu_);
   if (data.vertical == nullptr) {
-    data.vertical = std::make_unique<VerticalIndex>(data.db, pool_);
+    data.vertical = std::make_unique<VerticalIndex>(data.db, pool);
   }
   return *data.vertical;
 }
 
-int LevelViews::NumScanShards(int h, size_t min_txns_per_shard) const {
-  return ShardCount(Level(h).db.size(), pool_, min_txns_per_shard);
+int LevelViews::NumScanShards(int h, size_t min_txns_per_shard,
+                              const ThreadPool* pool) const {
+  return ShardCount(Level(h).db.size(), pool, min_txns_per_shard);
 }
 
 void LevelViews::ScanShards(
     int h, int num_shards,
-    const std::function<void(int shard, size_t lo, size_t hi)>& fn)
-    const {
-  ParallelFor(pool_, 0, Level(h).db.size(), num_shards, fn);
+    const std::function<void(int shard, size_t lo, size_t hi)>& fn,
+    ThreadPool* pool) const {
+  ParallelFor(pool, 0, Level(h).db.size(), num_shards, fn);
 }
 
 uint32_t LevelViews::MaxUniversalWidth() const {

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -27,8 +28,10 @@ struct LevelData {
   std::vector<uint32_t> item_support;
   /// width_hist[w] = number of transactions of generalized width w.
   std::vector<uint32_t> width_hist;
-  /// Built on demand (vertical counting only).
-  std::unique_ptr<VerticalIndex> vertical;
+  /// Built on demand (vertical counting only); mutable so the lazy
+  /// build stays available through the const (shared, read-only) view
+  /// the re-entrant miner borrows. Guarded by LevelViews::vertical_mu_.
+  mutable std::unique_ptr<VerticalIndex> vertical;
   /// Per-segment presence metadata of this level's generalized
   /// database (scan skipping); null when catalogs are disabled.
   std::shared_ptr<const SegmentCatalog> catalog;
@@ -53,8 +56,10 @@ class LevelViews {
   /// Materializes levels 1..taxonomy.height(). Fails if a transaction
   /// contains an item that is not a taxonomy node (every transaction
   /// item must map to a node at every level). A non-null `pool`
-  /// (which must outlive the views) parallelizes the per-level
-  /// generalization scans and later vertical-index builds.
+  /// parallelizes the per-level generalization scans; it is used only
+  /// for the duration of the call — the views keep no reference to it,
+  /// so they can outlive the build pool and be shared (read-only)
+  /// across concurrent queries that each bring their own pool.
   static Result<LevelViews> Build(const TransactionDb& leaf_db,
                                   const Taxonomy& taxonomy,
                                   ThreadPool* pool,
@@ -82,24 +87,29 @@ class LevelViews {
     return item < sup.size() ? sup[item] : 0;
   }
 
-  /// Ensures Level(h).vertical is built.
-  const VerticalIndex& EnsureVertical(int h);
+  /// Ensures Level(h).vertical is built (parallelized over `pool` when
+  /// non-null). Thread-safe: concurrent callers serialize on the build
+  /// and all observe the same index, so shared views stay usable from
+  /// concurrent queries (each passing its own pool).
+  const VerticalIndex& EnsureVertical(int h, ThreadPool* pool) const;
 
   /// Deterministic shard count for a sharded scan of level h's
-  /// generalized database on the build pool: one shard per pool
-  /// thread, reduced so every shard keeps `min_txns_per_shard`
-  /// transactions (1 when the pool is absent or single-threaded).
-  int NumScanShards(int h, size_t min_txns_per_shard) const;
+  /// generalized database on `pool`: one shard per pool thread,
+  /// reduced so every shard keeps `min_txns_per_shard` transactions
+  /// (1 when the pool is absent or single-threaded).
+  int NumScanShards(int h, size_t min_txns_per_shard,
+                    const ThreadPool* pool) const;
 
   /// Sharded scan of level h's generalized database: invokes
   /// fn(shard, lo, hi) for `num_shards` contiguous transaction ranges
   /// (half-open, statically split as in ShardRange), distributed over
-  /// the build pool and blocking until all shards complete. This is
-  /// the entry point the scan-driven cell uses; fn must confine
-  /// writes to per-shard state.
+  /// `pool` and blocking until all shards complete. This is the entry
+  /// point the scan-driven cell uses; fn must confine writes to
+  /// per-shard state.
   void ScanShards(int h, int num_shards,
                   const std::function<void(int shard, size_t lo,
-                                           size_t hi)>& fn) const;
+                                           size_t hi)>& fn,
+                  ThreadPool* pool) const;
 
   /// min over levels of the maximum generalized transaction width:
   /// no (h,k)-itemset with k beyond this bound can be frequent at
@@ -109,7 +119,10 @@ class LevelViews {
  private:
   uint32_t num_txns_ = 0;
   std::vector<LevelData> levels_;
-  ThreadPool* pool_ = nullptr;  // not owned
+  /// Serializes lazy vertical-index builds across sharing queries
+  /// (heap-held so the views stay movable while being built).
+  std::unique_ptr<std::mutex> vertical_mu_ =
+      std::make_unique<std::mutex>();
 };
 
 }  // namespace flipper

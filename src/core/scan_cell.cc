@@ -59,7 +59,8 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
                       std::span<const ItemId> freq_items,
                       std::vector<Itemset>* candidates,
                       std::vector<uint32_t>* supports, CellStats* cs,
-                      MiningStats* stats, ScanCellScratch* scratch) {
+                      MiningStats* stats, ScanCellScratch* scratch,
+                      ThreadPool* pool) {
   ScanCellScratch local;
   ScanCellScratch* s = scratch != nullptr ? scratch : &local;
 
@@ -125,7 +126,8 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   // nothing per transaction (clear() keeps map buckets and vector
   // capacity).
   const bool arena_counters = config.enable_arena_scan_counters;
-  const int num_shards = views.NumScanShards(h, kMinTxnsPerScanShard);
+  const int num_shards =
+      views.NumScanShards(h, kMinTxnsPerScanShard, pool);
   if (arena_counters) {
     if (s->shard_tables.size() < static_cast<size_t>(num_shards)) {
       s->shard_tables.resize(static_cast<size_t>(num_shards));
@@ -184,7 +186,7 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
     };
     ForEachScannableRange(seg_boundaries, scan_flags, lo, hi,
                           scan_range);
-  });
+  }, pool);
   // The scan I/O happened whether or not it completed — account it
   // before any bail-out.
   ++stats->db_scans;

@@ -112,7 +112,9 @@ void ForEachCombination(std::span<const ItemId> items, int k,
 /// pre-screened through an ItemPrefilter over the participating items
 /// (exact: the bitset pass only rejects items the ok[] confirm pass
 /// would reject too). `scratch` (may be null for a one-shot call)
-/// carries the reusable shard buffers across cells.
+/// carries the reusable shard buffers across cells. The scan is
+/// sharded over `pool` (null runs it inline); the views are only
+/// read, so concurrent queries may share them, each with its own pool.
 Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
                       const MiningConfig& config, int h, int k,
                       const Cell& parent_cell, const Cell* prev_in_row,
@@ -121,7 +123,8 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
                       std::vector<Itemset>* candidates,
                       std::vector<uint32_t>* supports, CellStats* cs,
                       MiningStats* stats,
-                      ScanCellScratch* scratch = nullptr);
+                      ScanCellScratch* scratch = nullptr,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace flipper
 

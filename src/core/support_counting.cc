@@ -24,7 +24,7 @@ class HorizontalCounter final : public SupportCounter {
   HorizontalCounter(ThreadPool* pool, const CounterOptions& options)
       : pool_(pool), options_(options) {}
 
-  Status Count(LevelViews* views, int h,
+  Status Count(const LevelViews* views, int h,
                std::span<const Itemset> candidates,
                std::vector<uint32_t>* supports) override {
     supports->resize(candidates.size());
@@ -77,7 +77,7 @@ class HorizontalCounter final : public SupportCounter {
     return Status::OK();
   }
 
-  CountFuture StartCount(LevelViews* views, int h,
+  CountFuture StartCount(const LevelViews* views, int h,
                          std::span<const Itemset> candidates,
                          std::vector<uint32_t>* supports) override {
     supports->resize(candidates.size());
@@ -208,12 +208,12 @@ class VerticalCounter final : public SupportCounter {
  public:
   explicit VerticalCounter(ThreadPool* pool) : pool_(pool) {}
 
-  Status Count(LevelViews* views, int h,
+  Status Count(const LevelViews* views, int h,
                std::span<const Itemset> candidates,
                std::vector<uint32_t>* supports) override {
     supports->assign(candidates.size(), 0);
     if (candidates.empty()) return Status::OK();
-    const VerticalIndex& index = views->EnsureVertical(h);
+    const VerticalIndex& index = views->EnsureVertical(h, pool_);
     // Each shard owns a disjoint slice of `supports`, with one
     // intersection scratch per shard.
     const int num_shards =
@@ -229,7 +229,7 @@ class VerticalCounter final : public SupportCounter {
     return Status::OK();
   }
 
-  CountFuture StartCount(LevelViews* views, int h,
+  CountFuture StartCount(const LevelViews* views, int h,
                          std::span<const Itemset> candidates,
                          std::vector<uint32_t>* supports) override {
     supports->assign(candidates.size(), 0);
@@ -237,8 +237,8 @@ class VerticalCounter final : public SupportCounter {
     if (pool_ == nullptr) {
       return CountFuture(Count(views, h, candidates, supports));
     }
-    // Index build mutates the views — do it before going async.
-    const VerticalIndex& index = views->EnsureVertical(h);
+    // Build the lazy index before going async (thread-safe seam).
+    const VerticalIndex& index = views->EnsureVertical(h, pool_);
     const int num_shards =
         ShardCount(candidates.size(), pool_, kMinCandidatesPerShard);
     std::vector<std::function<void()>> tasks;

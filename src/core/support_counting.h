@@ -64,8 +64,10 @@ class SupportCounter {
   virtual ~SupportCounter() = default;
 
   /// Fills `supports` (resized to candidates.size()) with sup of each
-  /// candidate in level `h`'s view.
-  virtual Status Count(LevelViews* views, int h,
+  /// candidate in level `h`'s view. The views are only read (the lazy
+  /// vertical index is built through its thread-safe seam), so several
+  /// counters — each with its own pool — may share one LevelViews.
+  virtual Status Count(const LevelViews* views, int h,
                        std::span<const Itemset> candidates,
                        std::vector<uint32_t>* supports) = 0;
 
@@ -76,7 +78,7 @@ class SupportCounter {
   /// asynchronous path (and pool-less counters) count synchronously
   /// and return a ready future; either way one db scan is accounted
   /// per non-empty batch, exactly as in Count().
-  virtual CountFuture StartCount(LevelViews* views, int h,
+  virtual CountFuture StartCount(const LevelViews* views, int h,
                                  std::span<const Itemset> candidates,
                                  std::vector<uint32_t>* supports) {
     return CountFuture(Count(views, h, candidates, supports));

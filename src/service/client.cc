@@ -1,0 +1,102 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace flipper {
+namespace service {
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+#ifdef _WIN32
+  (void)socket_path;
+  return Status::FailedPrecondition(
+      "the serve protocol requires POSIX unix-domain sockets");
+#else
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + socket_path +
+                                   "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(),
+              socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Status::IoError(
+        "connect(" + socket_path + ") failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+#endif
+}
+
+Result<Client> Client::ConnectWithRetry(const std::string& socket_path,
+                                        int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  Status last = Status::IoError("never attempted");
+  while (true) {
+    auto client = Connect(socket_path);
+    if (client.ok()) {
+      Request ping;
+      ping.verb = "ping";
+      auto pong = client->Call(ping);
+      if (pong.ok() && pong->ok) return client;
+      last = pong.ok() ? Status::IoError("ping rejected: " + pong->error)
+                       : pong.status();
+    } else {
+      last = client.status();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::IoError("daemon at " + socket_path +
+                             " not ready within " +
+                             std::to_string(timeout_ms) +
+                             " ms (last: " + last.ToString() + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+#ifndef _WIN32
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+#endif
+  return *this;
+}
+
+Client::~Client() {
+#ifndef _WIN32
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+Result<Response> Client::Call(const Request& request) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  FLIPPER_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  FLIPPER_ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_));
+  return DecodeResponse(payload);
+}
+
+}  // namespace service
+}  // namespace flipper

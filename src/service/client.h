@@ -1,0 +1,48 @@
+// Client: a blocking unix-socket connection to a serve daemon.
+// One Call() is one request/response frame exchange; a connection
+// serves calls serially (the daemon mirrors that), so N-way query
+// concurrency means N clients.
+
+#ifndef FLIPPER_SERVICE_CLIENT_H_
+#define FLIPPER_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "service/protocol.h"
+
+namespace flipper {
+namespace service {
+
+class Client {
+ public:
+  /// Connects to the daemon at `socket_path`.
+  static Result<Client> Connect(const std::string& socket_path);
+
+  /// Connect with retry until the daemon answers a ping or
+  /// `timeout_ms` elapses — startup synchronization for scripts and
+  /// tests that just launched the daemon.
+  static Result<Client> ConnectWithRetry(const std::string& socket_path,
+                                         int timeout_ms);
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round trip: sends the request frame, reads the response
+  /// frame. An `error ...` response decodes as ok here (the Response
+  /// carries it); only transport failures return a non-OK status.
+  Result<Response> Call(const Request& request);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace service
+}  // namespace flipper
+
+#endif  // FLIPPER_SERVICE_CLIENT_H_

@@ -1,0 +1,264 @@
+#include "service/mine_service.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/flipper_miner.h"
+#include "core/mining_result.h"
+#include "core/pattern_io.h"
+#include "core/topk.h"
+
+namespace flipper {
+namespace service {
+namespace {
+
+Status BadValue(std::string_view key, std::string_view value,
+                std::string_view expected) {
+  return Status::InvalidArgument("--" + std::string(key) + " must be " +
+                                 std::string(expected) + ", got '" +
+                                 std::string(value) + "'");
+}
+
+/// Strict double with a range check; quotes the token on any failure.
+Status ParseCheckedDouble(std::string_view key, std::string_view value,
+                          double lo, bool lo_open, double hi,
+                          bool hi_open, std::string_view expected,
+                          double* out) {
+  auto parsed = ParseDouble(value);
+  if (!parsed.ok()) return BadValue(key, value, expected);
+  const double v = *parsed;
+  const bool below = lo_open ? v <= lo : v < lo;
+  const bool above = hi_open ? v >= hi : v > hi;
+  if (below || above) return BadValue(key, value, expected);
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseOnOff(std::string_view key, std::string_view value,
+                  bool* out) {
+  if (value == "on") {
+    *out = true;
+  } else if (value == "off") {
+    *out = false;
+  } else {
+    return BadValue(key, value, "on|off");
+  }
+  return Status::OK();
+}
+
+/// %.17g — round-trips every double, so distinct thresholds can never
+/// collide into one cache key.
+std::string KeyDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<std::string>& MineOptionKeys() {
+  static const std::vector<std::string> kKeys = {
+      "gamma",        "epsilon",       "minsup",
+      "measure",      "pruning",       "counter",
+      "threads",      "pipeline",      "row-overlap",
+      "arena-counters", "segment-skipping", "flat-trie",
+      "txn-prefilter", "topk",         "format"};
+  return kKeys;
+}
+
+Status ApplyMineOption(MineRequest* request, std::string_view key,
+                       std::string_view value) {
+  if (key == "gamma") {
+    return ParseCheckedDouble(key, value, 0.0, true, 1.0, false,
+                              "a number in (0, 1]", &request->gamma);
+  }
+  if (key == "epsilon") {
+    return ParseCheckedDouble(key, value, 0.0, false, 1.0, true,
+                              "a number in [0, 1)", &request->epsilon);
+  }
+  if (key == "minsup") {
+    std::vector<double> thresholds;
+    for (const std::string& token : Split(value, ',')) {
+      double v = 0;
+      FLIPPER_RETURN_IF_ERROR(ParseCheckedDouble(
+          key, token, 0.0, true, 1.0, false,
+          "comma-separated fractions in (0, 1]", &v));
+      thresholds.push_back(v);
+    }
+    if (thresholds.empty()) {
+      return Status::InvalidArgument(
+          "--minsup needs at least one value");
+    }
+    request->min_support = std::move(thresholds);
+    return Status::OK();
+  }
+  if (key == "measure") {
+    FLIPPER_ASSIGN_OR_RETURN(request->measure,
+                             ParseMeasureKind(std::string(value)));
+    return Status::OK();
+  }
+  if (key == "pruning") {
+    if (value == "full") {
+      request->pruning = PruningOptions::Full();
+    } else if (value == "tpg") {
+      request->pruning = PruningOptions::FlippingTpg();
+    } else if (value == "flipping") {
+      request->pruning = PruningOptions::FlippingOnly();
+    } else if (value == "support") {
+      request->pruning = PruningOptions::Basic();
+    } else {
+      return BadValue(key, value, "one of full|tpg|flipping|support");
+    }
+    return Status::OK();
+  }
+  if (key == "counter") {
+    if (value == "horizontal") {
+      request->counter = CounterKind::kHorizontal;
+    } else if (value == "vertical") {
+      request->counter = CounterKind::kVertical;
+    } else {
+      return BadValue(key, value, "horizontal|vertical");
+    }
+    return Status::OK();
+  }
+  if (key == "threads") {
+    auto parsed = ParseInt(value);
+    if (!parsed.ok() || *parsed < 0 ||
+        *parsed > std::numeric_limits<int>::max()) {
+      return BadValue(key, value, "a non-negative thread count");
+    }
+    request->num_threads = static_cast<int>(*parsed);
+    return Status::OK();
+  }
+  if (key == "pipeline") {
+    return ParseOnOff(key, value, &request->enable_pipelining);
+  }
+  if (key == "row-overlap") {
+    return ParseOnOff(key, value, &request->enable_row_overlap);
+  }
+  if (key == "arena-counters") {
+    return ParseOnOff(key, value,
+                      &request->enable_arena_scan_counters);
+  }
+  if (key == "segment-skipping") {
+    return ParseOnOff(key, value, &request->enable_segment_skipping);
+  }
+  if (key == "flat-trie") {
+    return ParseOnOff(key, value, &request->enable_flat_trie);
+  }
+  if (key == "txn-prefilter") {
+    return ParseOnOff(key, value, &request->enable_txn_prefilter);
+  }
+  if (key == "topk") {
+    auto parsed = ParseInt(value);
+    if (!parsed.ok() || *parsed < 0) {
+      return BadValue(key, value, "a non-negative pattern count");
+    }
+    request->topk = *parsed;
+    return Status::OK();
+  }
+  if (key == "format") {
+    if (value != "text" && value != "csv" && value != "json") {
+      return BadValue(key, value, "text|csv|json");
+    }
+    request->format = std::string(value);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown mine option '" +
+                                 std::string(key) + "'");
+}
+
+Result<MineRequest> MineRequestFromParams(
+    const std::vector<std::pair<std::string, std::string>>& params) {
+  MineRequest request;
+  for (const auto& [key, value] : params) {
+    FLIPPER_RETURN_IF_ERROR(ApplyMineOption(&request, key, value));
+  }
+  return request;
+}
+
+MiningConfig ToMiningConfig(const MineRequest& request) {
+  MiningConfig config;
+  config.gamma = request.gamma;
+  config.epsilon = request.epsilon;
+  config.min_support = request.min_support;
+  config.measure = request.measure;
+  config.pruning = request.pruning;
+  config.counter = request.counter;
+  config.num_threads = request.num_threads;
+  config.enable_pipelining = request.enable_pipelining;
+  config.enable_row_overlap = request.enable_row_overlap;
+  config.enable_arena_scan_counters =
+      request.enable_arena_scan_counters;
+  config.enable_segment_skipping = request.enable_segment_skipping;
+  config.enable_flat_trie = request.enable_flat_trie;
+  config.enable_txn_prefilter = request.enable_txn_prefilter;
+  return config;
+}
+
+std::string CanonicalCacheKey(const MineRequest& request) {
+  std::string key = "gamma=" + KeyDouble(request.gamma) +
+                    ";epsilon=" + KeyDouble(request.epsilon) +
+                    ";minsup=";
+  for (size_t i = 0; i < request.min_support.size(); ++i) {
+    if (i > 0) key += ',';
+    key += KeyDouble(request.min_support[i]);
+  }
+  key += ";measure=";
+  key += MeasureKindToString(request.measure);
+  key += ";pruning=" + request.pruning.ToString();
+  key += ";topk=" + std::to_string(request.topk);
+  key += ";format=" + request.format;
+  return key;
+}
+
+Status RenderPatterns(const std::vector<FlippingPattern>& patterns,
+                      const ItemDictionary* dict,
+                      const std::string& format, std::ostream& out) {
+  if (format == "csv") return WritePatternsCsv(patterns, dict, out);
+  if (format == "json") return WritePatternsJson(patterns, dict, out);
+  if (format != "text") {
+    return Status::InvalidArgument("--format must be text|csv|json, got '" +
+                                   format + "'");
+  }
+  out << patterns.size() << " flipping patterns\n\n";
+  for (const FlippingPattern& p : patterns) {
+    out << dict->Render(p.leaf_itemset) << "  (flip gap "
+        << FormatDouble(p.FlipGap(), 4) << ")\n"
+        << p.ToString(dict) << "\n";
+  }
+  return Status::OK();
+}
+
+Result<MineOutcome> ExecuteMineRequest(const TransactionDb& db,
+                                       const Taxonomy& taxonomy,
+                                       const ItemDictionary* dict,
+                                       const LevelViews* shared_views,
+                                       const MineRequest& request,
+                                       MetricsRegistry* metrics) {
+  MiningConfig config = ToMiningConfig(request);
+  config.metrics = metrics;
+  FLIPPER_ASSIGN_OR_RETURN(
+      MiningResult result,
+      FlipperMiner::Run(db, taxonomy, config, shared_views));
+  std::vector<FlippingPattern> patterns = std::move(result.patterns);
+  if (request.topk > 0) {
+    patterns = TopKMostFlipping(std::move(patterns),
+                                static_cast<size_t>(request.topk));
+  }
+  std::ostringstream body;
+  FLIPPER_RETURN_IF_ERROR(
+      RenderPatterns(patterns, dict, request.format, body));
+  MineOutcome outcome;
+  outcome.body = std::move(body).str();
+  outcome.num_patterns = patterns.size();
+  outcome.stats_text = result.stats.ToString();
+  return outcome;
+}
+
+}  // namespace service
+}  // namespace flipper

@@ -1,0 +1,232 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace flipper {
+namespace service {
+namespace {
+
+#ifndef _WIN32
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket write failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes. `*eof` is set (and OK returned with zero
+/// bytes consumed) only when EOF lands before the first byte.
+Status ReadAll(int fd, char* data, size_t len, bool* eof) {
+  *eof = false;
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket read failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      if (done == 0) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::IoError("connection closed mid-frame");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+#endif  // !_WIN32
+
+/// One `key value` line; the value runs to end of line (values may
+/// contain spaces, keys may not).
+void SplitKeyValue(std::string_view line, std::string* key,
+                   std::string* value) {
+  const size_t space = line.find(' ');
+  if (space == std::string_view::npos) {
+    *key = std::string(line);
+    value->clear();
+  } else {
+    *key = std::string(line.substr(0, space));
+    *value = std::string(line.substr(space + 1));
+  }
+}
+
+/// Strips one trailing '\n' (lines in payloads are newline-terminated).
+std::string_view ChopLine(std::string_view payload, size_t* pos) {
+  const size_t eol = payload.find('\n', *pos);
+  if (eol == std::string_view::npos) {
+    std::string_view line = payload.substr(*pos);
+    *pos = payload.size();
+    return line;
+  }
+  std::string_view line = payload.substr(*pos, eol - *pos);
+  *pos = eol + 1;
+  return line;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+#ifdef _WIN32
+  (void)fd;
+  (void)payload;
+  return Status::FailedPrecondition(
+      "the serve protocol requires POSIX sockets");
+#else
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds " +
+                                   std::to_string(kMaxFrameBytes) +
+                                   " bytes");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  FLIPPER_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof(prefix)));
+  return WriteAll(fd, payload.data(), payload.size());
+#endif
+}
+
+Result<std::string> ReadFrame(int fd) {
+#ifdef _WIN32
+  (void)fd;
+  return Status::FailedPrecondition(
+      "the serve protocol requires POSIX sockets");
+#else
+  char prefix[4];
+  bool eof = false;
+  FLIPPER_RETURN_IF_ERROR(ReadAll(fd, prefix, sizeof(prefix), &eof));
+  if (eof) return Status::NotFound("connection closed");
+  const uint32_t len = static_cast<uint32_t>(
+      static_cast<uint8_t>(prefix[0]) |
+      (static_cast<uint8_t>(prefix[1]) << 8) |
+      (static_cast<uint8_t>(prefix[2]) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(prefix[3])) << 24));
+  if (len > kMaxFrameBytes) {
+    return Status::CorruptedData("frame length " + std::to_string(len) +
+                                 " exceeds the " +
+                                 std::to_string(kMaxFrameBytes) +
+                                 "-byte cap");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    FLIPPER_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len, &eof));
+    if (eof) return Status::IoError("connection closed mid-frame");
+  }
+  return payload;
+#endif
+}
+
+std::string Request::Param(std::string_view key,
+                           std::string_view fallback) const {
+  std::string out(fallback);
+  for (const auto& [k, v] : params) {
+    if (k == key) out = v;
+  }
+  return out;
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string payload = request.verb + "\n";
+  for (const auto& [key, value] : request.params) {
+    payload += key;
+    payload += ' ';
+    payload += value;
+    payload += '\n';
+  }
+  return payload;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  Request request;
+  size_t pos = 0;
+  request.verb = std::string(ChopLine(payload, &pos));
+  if (request.verb.empty()) {
+    return Status::InvalidArgument("request has no verb");
+  }
+  while (pos < payload.size()) {
+    const std::string_view line = ChopLine(payload, &pos);
+    if (line.empty()) continue;
+    std::string key, value;
+    SplitKeyValue(line, &key, &value);
+    request.params.emplace_back(std::move(key), std::move(value));
+  }
+  return request;
+}
+
+std::string Response::Meta(std::string_view key,
+                           std::string_view fallback) const {
+  std::string out(fallback);
+  for (const auto& [k, v] : meta) {
+    if (k == key) out = v;
+  }
+  return out;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string payload;
+  if (response.ok) {
+    payload = "ok\n";
+  } else {
+    // The status line must stay one line; fold any embedded newlines.
+    std::string message = response.error;
+    for (char& c : message) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    payload = "error " + message + "\n";
+  }
+  for (const auto& [key, value] : response.meta) {
+    payload += key;
+    payload += ' ';
+    payload += value;
+    payload += '\n';
+  }
+  payload += '\n';
+  payload += response.body;
+  return payload;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  Response response;
+  size_t pos = 0;
+  const std::string_view status_line = ChopLine(payload, &pos);
+  if (status_line == "ok") {
+    response.ok = true;
+  } else if (status_line.rfind("error", 0) == 0) {
+    response.ok = false;
+    response.error = std::string(
+        status_line.size() > 6 ? status_line.substr(6) : "");
+  } else {
+    return Status::CorruptedData(
+        "response does not start with ok/error");
+  }
+  while (pos < payload.size()) {
+    const std::string_view line = ChopLine(payload, &pos);
+    if (line.empty()) break;  // blank separator: body follows
+    std::string key, value;
+    SplitKeyValue(line, &key, &value);
+    response.meta.emplace_back(std::move(key), std::move(value));
+  }
+  response.body = std::string(payload.substr(pos));
+  return response;
+}
+
+}  // namespace service
+}  // namespace flipper

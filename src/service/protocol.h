@@ -1,0 +1,85 @@
+// The serve daemon's wire protocol over a unix-domain stream socket.
+//
+// Framing: every message — request or response — is one frame:
+//
+//   uint32 little-endian payload length | payload bytes
+//
+// Payloads are capped at kMaxFrameBytes; an oversized length prefix is
+// a protocol error and the connection is dropped.
+//
+// Request payload (text):
+//
+//   <verb>\n
+//   <key> <value>\n        (zero or more parameter lines)
+//
+// Verbs: `mine` (params: `store <name>` plus any mine option key from
+// service::MineOptionKeys(), and `cache on|off`), `stats`, `ping`,
+// `list`, `shutdown`.
+//
+// Response payload:
+//
+//   ok\n            or       error <single-line message>\n
+//   <key> <value>\n          (zero or more meta lines)
+//   \n
+//   <body bytes>             (raw; everything after the blank line)
+//
+// For `mine` the body is byte-identical to what a solo
+// `flipper_cli mine` run with the same options prints to stdout; meta
+// lines carry `cache hit|miss`, `patterns N` and `latency_ms X`. For
+// `stats` the body is the daemon's aggregate MetricsRegistry JSON.
+
+#ifndef FLIPPER_SERVICE_PROTOCOL_H_
+#define FLIPPER_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flipper {
+namespace service {
+
+/// Hard cap on one frame's payload (requests are tiny; responses carry
+/// pattern bodies, which stay far below this for any sane store).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one length-prefixed frame, handling short writes and EINTR.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame. A clean EOF at a frame boundary returns NotFound
+/// ("connection closed") so callers can tell an orderly hangup from a
+/// torn frame (IoError).
+Result<std::string> ReadFrame(int fd);
+
+struct Request {
+  std::string verb;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Last value of `key`, or `fallback` when absent.
+  std::string Param(std::string_view key,
+                    std::string_view fallback = "") const;
+};
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::string_view payload);
+
+struct Response {
+  bool ok = false;
+  std::string error;  // single line; set when !ok
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::string body;
+
+  std::string Meta(std::string_view key,
+                   std::string_view fallback = "") const;
+};
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view payload);
+
+}  // namespace service
+}  // namespace flipper
+
+#endif  // FLIPPER_SERVICE_PROTOCOL_H_

@@ -1,0 +1,56 @@
+#include "service/query_scheduler.h"
+
+namespace flipper {
+namespace service {
+
+Result<QueryScheduler::Ticket> QueryScheduler::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t waiting = enqueued_ - started_;
+  const bool must_wait = waiting > 0 || running_ >= max_concurrent_;
+  if (must_wait && waiting >= static_cast<uint64_t>(max_queued_)) {
+    ++rejected_total_;
+    return Status::ResourceExhausted(
+        "overloaded: " + std::to_string(running_) + " running, " +
+        std::to_string(waiting) + " queued (queue cap " +
+        std::to_string(max_queued_) + ")");
+  }
+  const uint64_t turn = enqueued_++;
+  cv_.wait(lock, [&] {
+    return started_ == turn && running_ < max_concurrent_;
+  });
+  ++started_;
+  ++running_;
+  ++admitted_total_;
+  // Starting this ticket may unblock the next-in-line waiter (its
+  // started_ == turn predicate just became true).
+  cv_.notify_all();
+  return Ticket(this);
+}
+
+void QueryScheduler::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_all();
+}
+
+void QueryScheduler::Ticket::Release() {
+  if (scheduler_ != nullptr) {
+    scheduler_->Release();
+    scheduler_ = nullptr;
+  }
+}
+
+QueryScheduler::Stats QueryScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.admitted = admitted_total_;
+  stats.rejected = rejected_total_;
+  stats.running = running_;
+  stats.waiting = static_cast<int>(enqueued_ - started_);
+  return stats;
+}
+
+}  // namespace service
+}  // namespace flipper

@@ -1,0 +1,90 @@
+// QueryScheduler: admission control for the serve daemon's mining
+// queries. At most `max_concurrent` queries execute at once; up to
+// `max_queued` more wait in strict FIFO ticket order (fairness: the
+// oldest waiter is always admitted next, so a stream of cheap queries
+// can never starve an expensive one). A query arriving with the
+// waiting room full is rejected immediately with ResourceExhausted —
+// the daemon turns that into an `error overloaded: ...` response
+// instead of letting connections pile up unboundedly.
+
+#ifndef FLIPPER_SERVICE_QUERY_SCHEDULER_H_
+#define FLIPPER_SERVICE_QUERY_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace flipper {
+namespace service {
+
+class QueryScheduler {
+ public:
+  QueryScheduler(int max_concurrent, int max_queued)
+      : max_concurrent_(max_concurrent > 0 ? max_concurrent : 1),
+        max_queued_(max_queued >= 0 ? max_queued : 0) {}
+
+  /// RAII admission slot; releases (and wakes the next waiter) on
+  /// destruction. Move-only.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept : scheduler_(other.scheduler_) {
+      other.scheduler_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        scheduler_ = other.scheduler_;
+        other.scheduler_ = nullptr;
+      }
+      return *this;
+    }
+    ~Ticket() { Release(); }
+
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+   private:
+    friend class QueryScheduler;
+    explicit Ticket(QueryScheduler* scheduler)
+        : scheduler_(scheduler) {}
+    void Release();
+    QueryScheduler* scheduler_ = nullptr;
+  };
+
+  /// Blocks until this caller's FIFO turn comes and a slot frees, then
+  /// returns the held slot. Fails with ResourceExhausted without
+  /// blocking when the waiting room is full.
+  Result<Ticket> Admit();
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    int running = 0;
+    int waiting = 0;
+  };
+  Stats stats() const;
+
+ private:
+  friend class Ticket;
+  void Release();
+
+  const int max_concurrent_;
+  const int max_queued_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// FIFO tickets: a waiter's turn is `enqueued` at arrival; it may
+  /// start once every earlier ticket has started and a slot is free.
+  uint64_t enqueued_ = 0;
+  uint64_t started_ = 0;
+  int running_ = 0;
+  uint64_t admitted_total_ = 0;
+  uint64_t rejected_total_ = 0;
+};
+
+}  // namespace service
+}  // namespace flipper
+
+#endif  // FLIPPER_SERVICE_QUERY_SCHEDULER_H_

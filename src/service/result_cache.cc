@@ -1,0 +1,57 @@
+#include "service/result_cache.h"
+
+namespace flipper {
+namespace service {
+
+std::optional<ResultCache::CachedResult> ResultCache::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->result;
+}
+
+void ResultCache::Put(const std::string& key, CachedResult result) {
+  const size_t size = result.body.size();
+  if (size > capacity_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->result.body.size();
+    bytes_ += size;
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(result)});
+    index_[key] = lru_.begin();
+    bytes_ += size;
+    ++insertions_;
+  }
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.result.body.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+}  // namespace service
+}  // namespace flipper

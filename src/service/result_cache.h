@@ -1,0 +1,75 @@
+// ResultCache: byte-capped LRU of rendered query bodies, keyed by
+// "<store fingerprint>|<canonical mine-request key>". The fingerprint
+// changes whenever the store file changes on disk (StoreRegistry), so
+// a reload invalidates every cached body of the old contents without
+// an explicit flush — stale keys simply never match again and age out
+// of the LRU. The canonical key covers only output-affecting options
+// (service::CanonicalCacheKey); execution knobs hit the same entry
+// because they are proven not to change the bytes.
+
+#ifndef FLIPPER_SERVICE_RESULT_CACHE_H_
+#define FLIPPER_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace flipper {
+namespace service {
+
+class ResultCache {
+ public:
+  struct CachedResult {
+    std::string body;
+    uint64_t num_patterns = 0;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+  };
+
+  /// `capacity_bytes` bounds the sum of cached body sizes; 0 disables
+  /// caching entirely (every Get misses, Put is a no-op).
+  explicit ResultCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns the cached result and marks it most-recently-used.
+  std::optional<CachedResult> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `result` under `key`, evicting
+  /// least-recently-used entries until the cache fits. A body larger
+  /// than the whole capacity is not cached.
+  void Put(const std::string& key, CachedResult result);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedResult result;
+  };
+
+  const size_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace service
+}  // namespace flipper
+
+#endif  // FLIPPER_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,117 @@
+// Server: the long-lived flipper mining daemon. Binds a unix-domain
+// stream socket, mmaps its configured stores once (StoreRegistry) and
+// serves framed requests (protocol.h): `mine` queries run through the
+// re-entrant miner over the shared store views, behind FIFO admission
+// control (QueryScheduler) and a fingerprint-keyed result cache
+// (ResultCache).
+//
+// Threading: one accept thread plus one thread per live connection; a
+// connection serves its requests serially, so query concurrency equals
+// client connection concurrency, capped by the scheduler. Each mine
+// query gets its own trace::Session (attached for the duration, so
+// concurrent traced queries can never interleave spans) and its own
+// MetricsRegistry; the daemon folds per-query latency and counters
+// into one aggregate registry whose JSON — p50/p95 latency histograms
+// included — answers the `stats` verb.
+//
+// Shutdown: a `shutdown` request (or Stop()) ends the accept loop,
+// unblocks every connection and joins all threads; Wait() returns once
+// a shutdown has been requested.
+
+#ifndef FLIPPER_SERVICE_SERVER_H_
+#define FLIPPER_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline_metrics.h"
+#include "service/protocol.h"
+#include "service/query_scheduler.h"
+#include "service/result_cache.h"
+#include "service/store_registry.h"
+
+namespace flipper {
+namespace service {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Mining queries executing at once; more wait FIFO.
+  int max_concurrent = 8;
+  /// Waiting-room size; arrivals beyond it get `error overloaded`.
+  int max_queued = 64;
+  /// Result-cache budget over rendered body bytes (0 disables).
+  size_t cache_bytes = 64u << 20;
+  /// Payload-validate stores on open/reload.
+  bool validate_stores = true;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a store before or after Start().
+  Status AddStore(const std::string& name, const std::string& path);
+
+  /// Binds + listens on the socket and spawns the accept loop.
+  Status Start();
+
+  /// Blocks until a shutdown has been requested (the `shutdown` verb
+  /// or Stop()), then tears the server down. Safe to call once.
+  void Wait();
+
+  /// Requests shutdown and tears everything down: closes the listen
+  /// socket, unblocks live connections, joins all threads. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+  /// The daemon's aggregate metrics (latency histogram, query/cache
+  /// counters) — also what `stats` serves.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Response Handle(const Request& request);
+  Response HandleMine(const Request& request);
+  Response HandleStats();
+  Response HandleList();
+
+  ServerOptions options_;
+  StoreRegistry registry_;
+  ResultCache cache_;
+  QueryScheduler scheduler_;
+  MetricsRegistry metrics_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::unordered_set<int> conn_fds_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool torn_down_ = false;
+};
+
+}  // namespace service
+}  // namespace flipper
+
+#endif  // FLIPPER_SERVICE_SERVER_H_

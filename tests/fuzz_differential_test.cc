@@ -32,11 +32,13 @@
 #include <algorithm>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.h"
 #include "common/rng.h"
 #include "core/flipper_miner.h"
+#include "core/level_views.h"
 #include "core/naive_miner.h"
 #include "core/pattern_io.h"
 #include "data/db_io.h"
@@ -286,6 +288,39 @@ size_t RunRound(uint64_t seed) {
             << source.name
             << " prefiltered transactions with the prefilter disabled";
       }
+    }
+  }
+
+  // Concurrency dimension: the daemon's serving shape. Several miners
+  // run AT ONCE over one shared, catalog-bearing LevelViews instance
+  // of the v2 store (each run brings its own pool), and every one must
+  // still match the oracle byte for byte.
+  {
+    LevelViews::BuildOptions view_options;
+    view_options.build_catalogs = true;
+    auto shared_views = LevelViews::Build(v2->db(), v2->taxonomy(),
+                                          nullptr, view_options);
+    EXPECT_TRUE(shared_views.ok()) << shared_views.status();
+    if (!shared_views.ok()) return 0;
+    constexpr int kConcurrent = 4;
+    std::vector<std::string> bodies(kConcurrent);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kConcurrent; ++i) {
+      threads.emplace_back([&, i]() {
+        MiningConfig run_config = config;
+        run_config.num_threads = 1 + i % 3;
+        auto run = FlipperMiner::Run(v2->db(), v2->taxonomy(),
+                                     run_config, &*shared_views);
+        ASSERT_TRUE(run.ok())
+            << "concurrent run " << i << ": " << run.status();
+        bodies[i] = ToCsv(run->patterns, v2->dict());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int i = 0; i < kConcurrent; ++i) {
+      EXPECT_EQ(bodies[i], expected)
+          << "concurrent shared-views run " << i
+          << " diverged from the naive oracle";
     }
   }
   return oracle->patterns.size();

@@ -13,6 +13,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -348,6 +349,55 @@ TEST_F(TraceTest, CliWritesTraceAndMetricsFilesAndLeavesTracingOff) {
   }
   EXPECT_TRUE(saw_mine);
   EXPECT_TRUE(saw_driver);
+}
+
+// The satellite-1 isolation proof: two miner runs traced CONCURRENTLY,
+// each into its own Session, must stay fully separate — every session
+// sees exactly one "mine" root span (its own run's), the span totals
+// account for both runs independently, and nothing leaks into the
+// process-default session. Before sessions existed this was impossible:
+// both runs' spans landed interleaved in one global buffer.
+TEST_F(TraceTest, ConcurrentSessionsIsolateTheirSpans) {
+  testutil::Dataset data = testutil::RandomDataset(77);
+  MiningConfig config;
+  config.gamma = 0.4;
+  config.epsilon = 0.2;
+  config.min_support = {0.05, 0.02, 0.02};
+  config.num_threads = 2;
+
+  auto solo = FlipperMiner::Run(data.db, data.taxonomy, config);
+  ASSERT_TRUE(solo.ok()) << solo.status();
+  const std::string expected = PatternsCsv(*solo);
+
+  constexpr int kRuns = 2;
+  trace::Session sessions[kRuns];
+  std::string bodies[kRuns];
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kRuns; ++i) {
+    sessions[i].SetEnabled(true);
+    threads.emplace_back([&, i]() {
+      trace::SessionScope scope(&sessions[i]);
+      auto result = FlipperMiner::Run(data.db, data.taxonomy, config);
+      ASSERT_TRUE(result.ok()) << result.status();
+      bodies[i] = PatternsCsv(*result);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kRuns; ++i) {
+    sessions[i].SetEnabled(false);
+    EXPECT_EQ(bodies[i], expected) << "run " << i;
+    EXPECT_GT(sessions[i].SpanCount(), 0u) << "run " << i;
+    size_t mine_roots = 0;
+    sessions[i].ForEachSpan(
+        [&](int, const std::string&, const trace::Span& span) {
+          if (std::string_view(span.name) == "mine") ++mine_roots;
+        });
+    EXPECT_EQ(mine_roots, 1u) << "run " << i
+                              << " must hold exactly its own root span";
+  }
+  // Nothing leaked into the process-default session.
+  EXPECT_EQ(trace::SpanCount(), 0u);
 }
 
 }  // namespace

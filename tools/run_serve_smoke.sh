@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Serve smoke: end-to-end daemon lifecycle check. Generates a store,
+# starts `flipper_cli serve` in the background, waits for readiness
+# via `query --op ping`, drives `loadgen` with byte-verification
+# against solo in-process mines (--expect-from), requires at least one
+# verified cache hit, parses the daemon's `stats` JSON (latency
+# percentiles included), asks for `shutdown` over the protocol and
+# asserts the daemon exits cleanly with zero failed queries.
+#
+# Usage:
+#   tools/run_serve_smoke.sh                # configure+build, then run
+#   tools/run_serve_smoke.sh --cli <path>   # use this binary directly
+#                                           # (what the ctest does)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+CLI_BIN=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --cli)
+      CLI_BIN="${2:?--cli needs a path}"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ -z "$CLI_BIN" ]]; then
+  BUILD_DIR="$REPO_ROOT/build"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target flipper_cli >/dev/null
+  CLI_BIN="$BUILD_DIR/flipper_cli"
+fi
+
+WORK_DIR="$(mktemp -d "${TMPDIR:-/tmp}/flipper_serve_smoke.XXXXXX")"
+SOCKET="$WORK_DIR/serve.sock"
+SERVE_PID=""
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+echo "== serve smoke: datagen =="
+"$CLI_BIN" datagen groceries "$WORK_DIR/g.fdb" --txns 3000
+
+echo "== serve smoke: start daemon =="
+"$CLI_BIN" serve --socket "$SOCKET" --stores "g=$WORK_DIR/g.fdb" \
+  >"$WORK_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Readiness: retry-connect until the daemon answers a ping.
+"$CLI_BIN" query --socket "$SOCKET" --op ping --wait-ms 30000
+
+echo "== serve smoke: loadgen (byte-verified against solo mines) =="
+LOADGEN_OUT="$("$CLI_BIN" loadgen --socket "$SOCKET" --store g \
+  --requests 48 --connections 8 --expect-from "$WORK_DIR/g.fdb")"
+echo "$LOADGEN_OUT"
+grep -q " 0 failed, 0 mismatched, " <<<"$LOADGEN_OUT" || {
+  echo "FAIL: loadgen reported failures or body mismatches" >&2
+  exit 1
+}
+CACHE_HITS="$(sed -n 's/.*mismatched, \([0-9]*\) cache hits.*/\1/p' \
+  <<<"$LOADGEN_OUT")"
+if [[ -z "$CACHE_HITS" || "$CACHE_HITS" -lt 1 ]]; then
+  echo "FAIL: expected at least one verified cache hit, got" \
+    "'${CACHE_HITS:-none}'" >&2
+  exit 1
+fi
+
+echo "== serve smoke: stats =="
+STATS_JSON="$WORK_DIR/stats.json"
+"$CLI_BIN" query --socket "$SOCKET" --op stats 2>/dev/null \
+  >"$STATS_JSON"
+python3 - "$STATS_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+assert stats["schema_version"] == 1, stats
+counters = stats["counters"]
+assert counters["queries.total"] >= 48, counters
+assert counters.get("queries.failed", 0) == 0, counters
+assert counters["cache.hits"] >= 1, counters
+latency = stats["histograms"]["query.latency_ms"]
+assert latency["count"] >= 48, latency
+assert 0 <= latency["p50_ms"] <= latency["p95_ms"] <= latency["max_ms"], \
+    latency
+print(f"stats ok: {counters['queries.total']} queries, "
+      f"{counters['cache.hits']} cache hits, latency p50 "
+      f"{latency['p50_ms']:.3f} ms / p95 {latency['p95_ms']:.3f} ms")
+EOF
+
+echo "== serve smoke: shutdown =="
+"$CLI_BIN" query --socket "$SOCKET" --op shutdown
+if ! wait "$SERVE_PID"; then
+  echo "FAIL: daemon exited non-zero" >&2
+  cat "$WORK_DIR/serve.log" >&2
+  exit 1
+fi
+SERVE_PID=""
+grep -q "^shutdown: " "$WORK_DIR/serve.log" || {
+  echo "FAIL: daemon wrote no shutdown summary" >&2
+  cat "$WORK_DIR/serve.log" >&2
+  exit 1
+}
+echo "serve smoke OK"
