@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -14,7 +15,13 @@
 #include <thread>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "common/arg_parser.h"
+#include "common/backoff.h"
+#include "common/rng.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -917,6 +924,26 @@ int DatagenCommand(const std::vector<const char*>& argv,
 
 // --- serve / query / loadgen ------------------------------------------
 
+#ifndef _WIN32
+
+/// Write end of the serve command's signal self-pipe. The handler may
+/// only do async-signal-safe work, so it writes one byte here; a
+/// helper thread blocked on the read end performs the actual graceful
+/// Stop(). -1 while no serve command is active.
+std::atomic<int> g_serve_signal_wfd{-1};
+
+void HandleServeSignal(int) {
+  const int wfd = g_serve_signal_wfd.load(std::memory_order_relaxed);
+  if (wfd >= 0) {
+    const char byte = 1;
+    // The pipe is never full (one byte per signal, drained promptly);
+    // a failed write just means we are already tearing down.
+    [[maybe_unused]] const ssize_t n = ::write(wfd, &byte, 1);
+  }
+}
+
+#endif  // !_WIN32
+
 /// Range-checked int flag for the service commands; usage errors quote
 /// the flag and land on exit 2 in the caller.
 Result<int64_t> GetCheckedInt(const ArgParser& args,
@@ -958,6 +985,26 @@ int ServeCommand(const std::vector<const char*>& argv, std::ostream& out,
   args.AddSwitch("no-validate",
                  "skip the stores' payload validation scan on open and "
                  "reload (trusted files only)");
+  args.AddFlag("default-deadline-ms",
+               "deadline applied to mine queries that send no "
+               "deadline_ms of their own (default 0 = none)",
+               "N");
+  args.AddFlag("max-deadline-ms",
+               "upper clamp on any query deadline; bounds even "
+               "queries that sent none (default 0 = unlimited)",
+               "N");
+  args.AddFlag("drain-grace-ms",
+               "how long shutdown lets in-flight queries finish "
+               "before cancelling them (default 5000)",
+               "N");
+  args.AddFlag("io-timeout-ms",
+               "per-call bound on socket reads/writes once a frame "
+               "has started, 0 = unbounded (default 30000)",
+               "N");
+  args.AddFlag("pidfile",
+               "write the daemon's pid here on startup, remove it on "
+               "exit",
+               "PATH");
 
   Status parse_status =
       args.Parse(static_cast<int>(argv.size()), argv.data());
@@ -980,7 +1027,17 @@ int ServeCommand(const std::vector<const char*>& argv, std::ostream& out,
       GetCheckedInt(args, "max-concurrent", 8, 1, 1 << 16);
   const auto max_queued = GetCheckedInt(args, "max-queued", 64, 0, 1 << 20);
   const auto cache_mb = GetCheckedInt(args, "cache-mb", 64, 0, 1 << 20);
-  for (const auto* checked : {&max_concurrent, &max_queued, &cache_mb}) {
+  const auto default_deadline_ms =
+      GetCheckedInt(args, "default-deadline-ms", 0, 0, 24 * 3600 * 1000);
+  const auto max_deadline_ms =
+      GetCheckedInt(args, "max-deadline-ms", 0, 0, 24 * 3600 * 1000);
+  const auto drain_grace_ms =
+      GetCheckedInt(args, "drain-grace-ms", 5000, 0, 10 * 60 * 1000);
+  const auto io_timeout_ms =
+      GetCheckedInt(args, "io-timeout-ms", 30000, 0, 10 * 60 * 1000);
+  for (const auto* checked :
+       {&max_concurrent, &max_queued, &cache_mb, &default_deadline_ms,
+        &max_deadline_ms, &drain_grace_ms, &io_timeout_ms}) {
     if (!checked->ok()) {
       err << "error: " << checked->status() << "\n\n" << args.HelpText();
       return 2;
@@ -990,6 +1047,10 @@ int ServeCommand(const std::vector<const char*>& argv, std::ostream& out,
   options.max_queued = static_cast<int>(*max_queued);
   options.cache_bytes = static_cast<size_t>(*cache_mb) << 20;
   options.validate_stores = !args.GetSwitch("no-validate");
+  options.default_deadline_ms = static_cast<int>(*default_deadline_ms);
+  options.max_deadline_ms = static_cast<int>(*max_deadline_ms);
+  options.drain_grace_ms = static_cast<int>(*drain_grace_ms);
+  options.io_timeout_ms = static_cast<int>(*io_timeout_ms);
 
   const std::string stores = args.GetString("stores", "");
   if (stores.empty()) {
@@ -1020,6 +1081,41 @@ int ServeCommand(const std::vector<const char*>& argv, std::ostream& out,
     err << "error: " << started << "\n";
     return 1;
   }
+#ifndef _WIN32
+  const std::string pidfile = args.GetString("pidfile", "");
+  if (!pidfile.empty()) {
+    std::ofstream pf(pidfile, std::ios::trunc);
+    pf << ::getpid() << "\n";
+    pf.flush();
+    if (!pf) {
+      err << "error: cannot write pidfile '" << pidfile << "'\n";
+      server.Stop();
+      return 1;
+    }
+  }
+  // SIGINT/SIGTERM request the same graceful drain as the `shutdown`
+  // verb. The handler only writes to a self-pipe; this helper thread
+  // does the real Stop() (which is idempotent against the shutdown
+  // verb racing it).
+  int sig_pipe[2] = {-1, -1};
+  std::thread signal_thread;
+  struct sigaction old_int {};
+  struct sigaction old_term {};
+  if (::pipe(sig_pipe) == 0) {
+    g_serve_signal_wfd.store(sig_pipe[1], std::memory_order_relaxed);
+    struct sigaction sa {};
+    sa.sa_handler = HandleServeSignal;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, &old_int);
+    ::sigaction(SIGTERM, &sa, &old_term);
+    signal_thread = std::thread([&server, rfd = sig_pipe[0]] {
+      char byte;
+      // Blocks until a signal writes a byte, or teardown closes the
+      // write end (read returns 0: exit without stopping again).
+      if (::read(rfd, &byte, 1) > 0) server.Stop();
+    });
+  }
+#endif
   // The readiness line: scripts wait for it (or ping) before sending
   // queries. Flush so a pipe-captured stdout sees it immediately.
   out << "serving " << num_stores << " store"
@@ -1027,6 +1123,17 @@ int ServeCommand(const std::vector<const char*>& argv, std::ostream& out,
       << "\n";
   out.flush();
   server.Wait();
+#ifndef _WIN32
+  if (sig_pipe[1] >= 0) {
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    g_serve_signal_wfd.store(-1, std::memory_order_relaxed);
+    ::close(sig_pipe[1]);  // wakes the helper if no signal ever came
+    if (signal_thread.joinable()) signal_thread.join();
+    ::close(sig_pipe[0]);
+  }
+  if (!pidfile.empty()) ::unlink(pidfile.c_str());
+#endif
 
   const MetricsRegistry::Snapshot summary = server.metrics().Snap();
   const auto counter = [&summary](const std::string& name) -> int64_t {
@@ -1054,6 +1161,11 @@ int QueryCommand(const std::vector<const char*>& argv, std::ostream& out,
   args.AddFlag("wait-ms",
                "retry the connection until the daemon answers a ping "
                "or this many ms elapse (default 0 = single attempt)",
+               "N");
+  args.AddFlag("deadline-ms",
+               "per-query deadline: sent to the daemon as the mine "
+               "deadline and, plus slack, bounding this client's "
+               "socket waits (default 0 = none)",
                "N");
   args.AddSwitch("no-cache",
                  "ask the daemon to bypass its result cache for this "
@@ -1101,9 +1213,13 @@ int QueryCommand(const std::vector<const char*>& argv, std::ostream& out,
   }
   const auto wait_ms =
       GetCheckedInt(args, "wait-ms", 0, 0, 10 * 60 * 1000);
-  if (!wait_ms.ok()) {
-    err << "error: " << wait_ms.status() << "\n\n" << args.HelpText();
-    return 2;
+  const auto deadline_ms =
+      GetCheckedInt(args, "deadline-ms", 0, 0, 10 * 60 * 1000);
+  for (const auto* checked : {&wait_ms, &deadline_ms}) {
+    if (!checked->ok()) {
+      err << "error: " << checked->status() << "\n\n" << args.HelpText();
+      return 2;
+    }
   }
 
   service::Request request;
@@ -1134,6 +1250,10 @@ int QueryCommand(const std::vector<const char*>& argv, std::ostream& out,
     if (args.GetSwitch("no-cache")) {
       request.params.emplace_back("cache", "off");
     }
+    if (*deadline_ms > 0) {
+      request.params.emplace_back("deadline_ms",
+                                  std::to_string(*deadline_ms));
+    }
   }
 
   auto client =
@@ -1145,7 +1265,12 @@ int QueryCommand(const std::vector<const char*>& argv, std::ostream& out,
     err << "error: " << client.status() << "\n";
     return 1;
   }
-  auto response = client->Call(request);
+  // The daemon answers a deadlined query within its deadline plus
+  // admission/render overhead; the slack keeps a healthy-but-busy
+  // daemon from tripping the client bound first.
+  const int io_timeout_ms =
+      *deadline_ms > 0 ? static_cast<int>(*deadline_ms) + 5000 : 0;
+  auto response = client->Call(request, io_timeout_ms);
   if (!response.ok()) {
     err << "error: " << response.status() << "\n";
     return 1;
@@ -1201,6 +1326,19 @@ int LoadgenCommand(const std::vector<const char*>& argv,
                "it solo per variant and byte-compares every response "
                "body against that expectation",
                "PATH");
+  args.AddFlag("deadline-ms",
+               "per-request deadline_ms param sent with every mine "
+               "(default 0 = none)",
+               "N");
+  args.AddFlag("chaos",
+               "after the main run, torture the daemon with this many "
+               "fault-injected connections (random mid-frame kills "
+               "and stalls in both directions), then verify it still "
+               "serves (default 0)",
+               "N");
+  args.AddFlag("chaos-seed",
+               "rng seed for the chaos fault offsets (default 1)",
+               "N");
 
   Status parse_status =
       args.Parse(static_cast<int>(argv.size()), argv.data());
@@ -1225,7 +1363,13 @@ int LoadgenCommand(const std::vector<const char*>& argv,
       GetCheckedInt(args, "connections", 8, 1, 1 << 10);
   const auto wait_ms =
       GetCheckedInt(args, "wait-ms", 10000, 1, 10 * 60 * 1000);
-  for (const auto* checked : {&requests, &connections, &wait_ms}) {
+  const auto deadline_ms =
+      GetCheckedInt(args, "deadline-ms", 0, 0, 10 * 60 * 1000);
+  const auto chaos = GetCheckedInt(args, "chaos", 0, 0, 1 << 20);
+  const auto chaos_seed = GetCheckedInt(
+      args, "chaos-seed", 1, 0, std::numeric_limits<int64_t>::max());
+  for (const auto* checked : {&requests, &connections, &wait_ms,
+                              &deadline_ms, &chaos, &chaos_seed}) {
     if (!checked->ok()) {
       err << "error: " << checked->status() << "\n\n" << args.HelpText();
       return 2;
@@ -1288,6 +1432,17 @@ int LoadgenCommand(const std::vector<const char*>& argv,
         record_error("connect: " + client.status().ToString());
         return;
       }
+      // Transient `error overloaded` responses (the waiting room
+      // momentarily full) are retried with jittered backoff instead
+      // of counting as failures; decorrelate workers by seed.
+      JitteredBackoff::Options retry_options;
+      retry_options.initial_ms = 5;
+      retry_options.max_ms = 200;
+      JitteredBackoff retry_backoff(
+          0x6c6f6164u ^ static_cast<uint64_t>(next.load()),
+          retry_options);
+      const int io_timeout_ms =
+          *deadline_ms > 0 ? static_cast<int>(*deadline_ms) + 5000 : 0;
       while (true) {
         const int64_t r = next.fetch_add(1);
         if (r >= total) break;
@@ -1298,8 +1453,21 @@ int LoadgenCommand(const std::vector<const char*>& argv,
         for (const auto& [key, value] : variants[v]) {
           request.params.emplace_back(key, value);
         }
+        if (*deadline_ms > 0) {
+          request.params.emplace_back("deadline_ms",
+                                      std::to_string(*deadline_ms));
+        }
         WallTimer timer;
-        auto response = client->Call(request);
+        auto response = client->Call(request, io_timeout_ms);
+        for (int attempt = 0;
+             attempt < 6 && response.ok() && !response->ok &&
+             response->error.find("overloaded") != std::string::npos;
+             ++attempt) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(retry_backoff.NextDelayMs()));
+          response = client->Call(request, io_timeout_ms);
+        }
+        retry_backoff.Reset();
         const double ms = timer.ElapsedMillis();
         if (!response.ok() || !response->ok) {
           failures.fetch_add(1);
@@ -1324,6 +1492,89 @@ int LoadgenCommand(const std::vector<const char*>& argv,
   for (std::thread& worker : workers) worker.join();
   const double elapsed_s = wall.ElapsedSeconds();
 
+  int64_t chaos_run = 0;
+  bool chaos_healthy = true;
+#ifndef _WIN32
+  if (*chaos > 0) {
+    // Chaos pass: fault-injected connections that kill or stall the
+    // socket at random byte offsets in both directions — mid-prefix,
+    // mid-payload, anywhere. Any client-side outcome is acceptable;
+    // what must hold is that the daemon still serves afterwards.
+    std::atomic<int64_t> chaos_next{0};
+    const int64_t chaos_total = *chaos;
+    const uint64_t seed = static_cast<uint64_t>(*chaos_seed);
+    std::vector<std::thread> chaos_workers;
+    const int64_t chaos_threads =
+        std::min<int64_t>(*connections, chaos_total);
+    for (int64_t t = 0; t < chaos_threads; ++t) {
+      chaos_workers.emplace_back([&]() {
+        while (true) {
+          const int64_t r = chaos_next.fetch_add(1);
+          if (r >= chaos_total) break;
+          Rng rng(seed +
+                  static_cast<uint64_t>(r) * 0x9e3779b97f4a7c15ull);
+          auto fd = service::Client::ConnectRawFd(socket_path);
+          if (!fd.ok()) continue;  // daemon momentarily busy: fine
+          service::Request request;
+          request.verb = "mine";
+          request.params.emplace_back("store", store);
+          for (const auto& [key, value] :
+               variants[static_cast<size_t>(r) % variants.size()]) {
+            request.params.emplace_back(key, value);
+          }
+          const std::string payload = service::EncodeRequest(request);
+          const uint64_t frame_bytes = payload.size() + 4;
+          service::StreamFaultPlan plan;
+          switch (rng.Below(4)) {
+            case 0:
+              plan.kill_after_write_bytes = rng.Below(frame_bytes + 1);
+              break;
+            case 1:
+              plan.kill_after_read_bytes = rng.Below(64);
+              break;
+            case 2:
+              plan.stall_before_write_byte = rng.Below(frame_bytes + 1);
+              plan.stall_ms = 10 + static_cast<int>(rng.Below(40));
+              break;
+            default:
+              plan.stall_before_read_byte = rng.Below(64);
+              plan.stall_ms = 10 + static_cast<int>(rng.Below(40));
+              break;
+          }
+          service::FaultInjectingStream stream(*fd, plan);
+          service::FrameIo io;
+          io.idle_timeout_ms = 2000;
+          io.io_timeout_ms = 2000;
+          if (service::WriteFrame(&stream, payload, io).ok()) {
+            (void)service::ReadFrame(&stream, io);
+          }
+          ::close(*fd);
+        }
+      });
+    }
+    for (std::thread& w : chaos_workers) w.join();
+    chaos_run = chaos_total;
+    // Post-storm health check: a fresh connection must complete a
+    // real mine (byte-verified when an oracle is available).
+    auto survivor = service::Client::ConnectWithRetry(
+        socket_path, static_cast<int>(*wait_ms));
+    bool healthy = false;
+    if (survivor.ok()) {
+      service::Request request;
+      request.verb = "mine";
+      request.params.emplace_back("store", store);
+      for (const auto& [key, value] : variants[0]) {
+        request.params.emplace_back(key, value);
+      }
+      auto response = survivor->Call(request, 60000);
+      healthy = response.ok() && response->ok &&
+                (expected.empty() || response->body == expected[0]);
+    }
+    chaos_healthy = healthy;
+    if (!healthy) record_error("daemon unhealthy after the chaos pass");
+  }
+#endif  // !_WIN32
+
   // Nearest-rank percentiles over the client-observed latencies.
   std::sort(latencies_ms.begin(), latencies_ms.end());
   const auto percentile = [&latencies_ms](double p) {
@@ -1345,10 +1596,16 @@ int LoadgenCommand(const std::vector<const char*>& argv,
       << FormatDouble(latencies_ms.empty() ? 0.0 : latencies_ms.back(),
                       2)
       << "\n";
+  if (chaos_run > 0) {
+    out << "chaos: " << chaos_run << " fault-injected requests, daemon "
+        << (chaos_healthy ? "healthy" : "UNHEALTHY") << "\n";
+  }
   for (const std::string& line : error_lines) {
     err << "error: " << line << "\n";
   }
-  return failures.load() > 0 || mismatches.load() > 0 ? 1 : 0;
+  return failures.load() > 0 || mismatches.load() > 0 || !chaos_healthy
+             ? 1
+             : 0;
 }
 
 constexpr char kTopLevelHelp[] =

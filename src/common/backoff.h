@@ -1,0 +1,56 @@
+// Exponential backoff with full jitter, shared by every client-side
+// retry loop (Client::ConnectWithRetry, the query/loadgen CLI retry
+// policy). Jitter decorrelates a herd of clients hammering a daemon
+// that just answered "overloaded": each delay is drawn uniformly from
+// [base/2, base] where base doubles per attempt up to a cap.
+//
+// The sequence is driven by the project's deterministic Rng; callers
+// pick the seed, so tests can replay a retry schedule exactly.
+
+#ifndef FLIPPER_COMMON_BACKOFF_H_
+#define FLIPPER_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace flipper {
+
+class JitteredBackoff {
+ public:
+  struct Options {
+    int initial_ms = 10;    // base delay of the first retry
+    int max_ms = 1000;      // cap on the (pre-jitter) base delay
+    double multiplier = 2.0;
+  };
+
+  JitteredBackoff(uint64_t seed, Options options)
+      : rng_(seed), options_(options), base_ms_(options.initial_ms) {}
+  explicit JitteredBackoff(uint64_t seed)
+      : JitteredBackoff(seed, Options{}) {}
+
+  /// Delay before the next attempt, in milliseconds: uniform in
+  /// [base/2, base], then base <- min(base * multiplier, max).
+  int NextDelayMs() {
+    const int base = base_ms_;
+    const int lo = base / 2;
+    const int delay =
+        lo + static_cast<int>(rng_.Below(static_cast<uint64_t>(base - lo + 1)));
+    double next = static_cast<double>(base_ms_) * options_.multiplier;
+    if (next > options_.max_ms) next = options_.max_ms;
+    base_ms_ = static_cast<int>(next);
+    return delay;
+  }
+
+  /// Resets the schedule to the first-attempt delay.
+  void Reset() { base_ms_ = options_.initial_ms; }
+
+ private:
+  Rng rng_;
+  Options options_;
+  int base_ms_;
+};
+
+}  // namespace flipper
+
+#endif  // FLIPPER_COMMON_BACKOFF_H_

@@ -1,0 +1,19 @@
+#include "common/cancellation.h"
+
+namespace flipper {
+
+Status CancelToken::ToStatus() const {
+  const bool explicit_cancel =
+      cancelled_.load(std::memory_order_relaxed) ||
+      (parent_ != nullptr && parent_->Fired());
+  if (explicit_cancel) {
+    return Status::Cancelled("cancelled: query abandoned");
+  }
+  if (has_deadline_ &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("deadline_exceeded: query deadline passed");
+  }
+  return Status::OK();
+}
+
+}  // namespace flipper

@@ -28,6 +28,8 @@ enum class StatusCode {
   kCorruptedData = 7,
   kResourceExhausted = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
 };
 
 /// Human-readable name of a status code ("InvalidArgument", ...).
@@ -68,6 +70,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

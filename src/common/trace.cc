@@ -8,7 +8,6 @@ namespace trace {
 
 namespace internal {
 
-thread_local Session* g_current = nullptr;
 std::atomic<bool> g_default_enabled{false};
 
 constexpr size_t kChunkSpans = 4096;

@@ -162,8 +162,11 @@ class Session {
 namespace internal {
 /// The calling thread's attached session (null = none; the free
 /// functions then fall back to the default session). Managed by
-/// SessionScope; read directly by the Enabled() fast path.
-extern thread_local Session* g_current;
+/// SessionScope; read directly by the Enabled() fast path. Defined
+/// inline (constant-initialized) so every TU sees the definition and
+/// no TLS init wrapper is emitted — the wrapper's extern-TLS load is
+/// exactly what UBSan's null check misfires on.
+inline thread_local Session* g_current = nullptr;
 /// Mirror of the default session's enable flag, so the disabled fast
 /// path is one atomic load even without an attached session.
 extern std::atomic<bool> g_default_enabled;

@@ -39,7 +39,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db,
   // Root span of the run; every driver-side stage scope below lands
   // strictly inside it and the coverage check compares against it.
   FLIPPER_TRACE_SPAN("mine", "run");
-  WallTimer total_timer;
+  run_timer_.Restart();
   {
     StageScope stage(metrics_, "pool_start");
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
@@ -73,6 +73,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db,
       config_.enable_segment_skipping;
   counter_options.trie.flat = config_.enable_flat_trie;
   counter_options.trie.prefilter = config_.enable_txn_prefilter;
+  counter_options.cancel = config_.cancel;
   counter_ = MakeCounter(config_.counter, pool_.get(), counter_options);
   pipelining_ = config_.enable_pipelining;
   row_overlap_ = pipelining_ && config_.enable_row_overlap;
@@ -113,10 +114,14 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db,
   if (height_ < 2 || max_k_ < 2) {
     // No flipping is possible with a single abstraction level, and no
     // correlation is defined for single items.
-    result.stats.total_seconds = total_timer.ElapsedSeconds();
-    RecordRunMetrics(result.stats, total_timer.ElapsedSeconds() * 1e3);
+    result.stats.total_seconds = run_timer_.ElapsedSeconds();
+    RecordRunMetrics(result.stats, run_timer_.ElapsedSeconds() * 1e3);
     return result;
   }
+
+  // Deadline may already have passed (e.g. spent queued in a server's
+  // waiting room) — fail before the first candidate is generated.
+  FLIPPER_RETURN_IF_ERROR(CheckCancel());
 
   // Cross-row speculation handed from one row's last column to the
   // next row's first cell (enable_row_overlap). Declared ahead of both
@@ -128,6 +133,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db,
   Row row2;
   std::optional<CellPlan> spec;
   for (int k = 2; k <= max_k_; ++k) {
+    FLIPPER_RETURN_IF_ERROR(CheckCancel());
     CellWork work1;
     const Cell* prev1 =
         k == 2 ? nullptr : &row1[static_cast<size_t>(k - 3)];
@@ -207,6 +213,7 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db,
       cross.carried.reset();
     }
     for (int k = 2; k <= max_k_; ++k) {
+      FLIPPER_RETURN_IF_ERROR(CheckCancel());
       const Cell* parent =
           static_cast<size_t>(k - 2) < prev_row.size()
               ? &prev_row[static_cast<size_t>(k - 2)]
@@ -294,11 +301,25 @@ Result<MiningResult> CellPipeline::Execute(const TransactionDb& db,
     stats_.segments_skipped += counter_->segments_skipped();
     stats_.txns_prefiltered += counter_->txns_prefiltered();
     stats_.peak_candidate_bytes = tracker_.peak_bytes();
-    stats_.total_seconds = total_timer.ElapsedSeconds();
+    stats_.total_seconds = run_timer_.ElapsedSeconds();
     result.stats = std::move(stats_);
   }
-  RecordRunMetrics(result.stats, total_timer.ElapsedSeconds() * 1e3);
+  RecordRunMetrics(result.stats, run_timer_.ElapsedSeconds() * 1e3);
   return result;
+}
+
+Status CellPipeline::CheckCancel() {
+  const CancelToken* token = config_.cancel;
+  if (token == nullptr || !token->Fired()) return Status::OK();
+  // The cancelled run still reports whatever it counted: stamp the
+  // partial MiningStats into the metrics sink before unwinding.
+  stats_.total_seconds = run_timer_.ElapsedSeconds();
+  RecordRunMetrics(stats_, run_timer_.ElapsedSeconds() * 1e3);
+  Status fired = token->ToStatus();
+  // Fired tokens stay fired (the flag is sticky and deadlines are
+  // monotone); the fallback only guards a misbehaving token.
+  if (fired.ok()) fired = Status::Cancelled("cancelled: query abandoned");
+  return fired;
 }
 
 void CellPipeline::RecordRunMetrics(const MiningStats& stats,
@@ -447,6 +468,10 @@ Result<Cell> CellPipeline::FinishCell(CellWork* work, const Cell* parent) {
 
 Result<Cell> CellPipeline::EvaluateCell(CellWork* work,
                                         const Cell* parent) {
+  // A token that fired mid-count made the shard loops bail early, so
+  // work->supports may be partial — never evaluate them. (An un-fired
+  // token implies complete, exact supports.)
+  FLIPPER_RETURN_IF_ERROR(CheckCancel());
   StageScope stage(metrics_, "evaluate", work->cs.h, work->cs.k);
   Cell cell =
       evaluator_->Evaluate(work->cs.h, work->cs.k, work->candidates,

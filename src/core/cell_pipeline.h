@@ -47,6 +47,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -156,6 +157,15 @@ class CellPipeline {
 
   Status TruncatedError(int h, int k) const;
 
+  /// Cooperative-cancellation poll point. OK while config_.cancel is
+  /// null or un-fired (one relaxed load — the hot case); once the
+  /// token fires this records the partial-run MiningStats into the
+  /// metrics sink and returns the token's DeadlineExceeded/Cancelled
+  /// status, which unwinds Execute through the normal error path
+  /// (CellWork destructors join in-flight counts, counter scratch
+  /// returns to its pool via the count finalizer).
+  Status CheckCancel();
+
   /// Theorem-3 premise over two vertically consecutive cells.
   bool TpgFires(const Cell& upper, const Cell& lower) const {
     return config_.pruning.tpg && upper.AllNonPositive() &&
@@ -186,6 +196,9 @@ class CellPipeline {
   std::unique_ptr<CellEvaluator> evaluator_;
   MemoryTracker tracker_;
   MiningStats stats_;
+  /// Whole-run stopwatch (member so the cancellation unwind can stamp
+  /// partial stats from any stage).
+  WallTimer run_timer_;
   /// Shard buffers of the scan-driven cells, reused across cells (the
   /// scan-cell analogue of the counter's trie-reuse scratch).
   ScanCellScratch scan_scratch_;

@@ -13,6 +13,7 @@
 
 namespace flipper {
 
+class CancelToken;
 class MetricsRegistry;
 
 /// Which support-counting engine evaluates candidates.
@@ -140,6 +141,15 @@ struct MiningConfig {
   /// nothing and costs nothing. Not owned; must outlive the run.
   /// Mining output is byte-identical with or without it.
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional cooperative-cancellation token (common/cancellation.h).
+  /// The pipeline, counters and scan cells poll it at segment/batch
+  /// granularity; when it fires the run unwinds through the error path
+  /// (futures joined, pooled scratch returned) and Run returns the
+  /// token's DeadlineExceeded/Cancelled status. Not owned; must outlive
+  /// the run. An un-fired token never changes mining output — results
+  /// are byte-identical with or without one (fuzz-enforced).
+  const CancelToken* cancel = nullptr;
 
   /// Checks gamma/epsilon ordering, threshold monotonicity and ranges.
   Status Validate() const;

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/cancellation.h"
 #include "common/trace.h"
 #include "core/candidate_trie.h"
 #include "core/cell_planner.h"
@@ -151,15 +152,27 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
     buf.clear();
     buf.reserve(level.db.max_width());
   }
+  const CancelToken* cancel = config.cancel;
   std::atomic<bool> exhausted{false};
   views.ScanShards(h, num_shards, [&](int shard, size_t lo, size_t hi) {
     FLIPPER_TRACE_SPAN_HK("scan_shard", "task", h, k);
     std::vector<ItemId>& buf = s->shard_buf[static_cast<size_t>(shard)];
     Itemset combo_scratch;
+    // Cancellation poll every 512 transactions, same early-out shape
+    // as the `exhausted` flag; partial shard counts are fine because
+    // the fired token fails the cell below before any merge is used.
+    size_t until_cancel_check = 512;
     const auto scan_range_into = [&](auto& counts, size_t range_lo,
                                      size_t range_hi) {
       for (size_t t = range_lo; t < range_hi; ++t) {
         if (exhausted.load(std::memory_order_relaxed)) return;
+        if (cancel != nullptr && --until_cancel_check == 0) {
+          until_cancel_check = 512;
+          if (cancel->Fired()) {
+            exhausted.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
         buf.clear();
         for (ItemId item : level.db.Get(static_cast<TxnId>(t))) {
           if (use_prefilter && !prefilter.MayContain(item)) continue;
@@ -192,6 +205,13 @@ Status FillCellByScan(const LevelViews& views, const Taxonomy& taxonomy,
   ++stats->db_scans;
   ++stats->scan_cell_scans;
 
+  // A fired token also trips `exhausted` (to stop the other shards),
+  // so it must be classified first — cancellation, not overflow.
+  if (cancel != nullptr && cancel->Fired()) {
+    Status st = cancel->ToStatus();
+    if (st.ok()) st = Status::Cancelled("cancelled: query abandoned");
+    return st;
+  }
   const Status overflow = Status::ResourceExhausted(
       "scan-driven cell Q(" + std::to_string(h) + "," +
       std::to_string(k) + ") exceeded the candidate limit");

@@ -19,6 +19,14 @@ constexpr size_t kMinTxnsPerShard = 512;
 /// not worth the task dispatch and per-shard scratch.
 constexpr size_t kMinCandidatesPerShard = 64;
 
+/// Transactions between cancellation polls in the horizontal scan
+/// loops (and candidates between polls in the vertical loops). Coarse
+/// enough that an un-fired token costs one predictable branch per
+/// item, fine enough that a fired token stops a shard within
+/// microseconds.
+constexpr size_t kCancelCheckStride = 512;
+constexpr size_t kCancelCheckStrideVertical = 64;
+
 class HorizontalCounter final : public SupportCounter {
  public:
   HorizontalCounter(ThreadPool* pool, const CounterOptions& options)
@@ -38,6 +46,7 @@ class HorizontalCounter final : public SupportCounter {
     batch_options.trie = options_.trie;
     batch_options.scratch = &scratch_;
     batch_options.txns_prefiltered = &txns_prefiltered_;
+    batch_options.cancel = options_.cancel;
 
     // The trie requires uniform arity. The mining engines always send
     // one arity, so the common path feeds the candidate span straight
@@ -151,19 +160,33 @@ class HorizontalCounter final : public SupportCounter {
     tasks.reserve(static_cast<size_t>(num_shards));
     const size_t num_candidates = candidates.size();
     const int arity = static_cast<int>(candidates.front().size());
+    const CancelToken* cancel = options_.cancel;
     for (int s = 0; s < num_shards; ++s) {
       const auto [lo, hi] = ShardRange(0, db.size(), num_shards, s);
       tasks.push_back([state, &db, s, lo = lo, hi = hi, boundaries,
-                       num_candidates, h, arity] {
+                       num_candidates, h, arity, cancel] {
         FLIPPER_TRACE_SPAN_HK("count_shard", "task", h, arity);
         auto& counts = state->partial[static_cast<size_t>(s)];
         auto& cs = state->per_shard[static_cast<size_t>(s)];
         counts.assign(num_candidates, 0);
         cs.txns_prefiltered = 0;
+        // Cancellation poll every kCancelCheckStride transactions; a
+        // fired token abandons the shard (partial counts — the driver
+        // re-checks the token before ever evaluating supports).
+        size_t until_check = kCancelCheckStride;
+        bool bail = false;
         ForEachScannableRange(
             boundaries, state->scan_flags, lo, hi,
             [&](size_t range_lo, size_t range_hi) {
+              if (bail) return;
               for (size_t t = range_lo; t < range_hi; ++t) {
+                if (cancel != nullptr && --until_check == 0) {
+                  until_check = kCancelCheckStride;
+                  if (cancel->Fired()) {
+                    bail = true;
+                    return;
+                  }
+                }
                 state->trie.CountTransaction(
                     db.Get(static_cast<TxnId>(t)), counts, &cs);
               }
@@ -206,7 +229,8 @@ class HorizontalCounter final : public SupportCounter {
 
 class VerticalCounter final : public SupportCounter {
  public:
-  explicit VerticalCounter(ThreadPool* pool) : pool_(pool) {}
+  VerticalCounter(ThreadPool* pool, const CounterOptions& options)
+      : pool_(pool), cancel_(options.cancel) {}
 
   Status Count(const LevelViews* views, int h,
                std::span<const Itemset> candidates,
@@ -218,10 +242,16 @@ class VerticalCounter final : public SupportCounter {
     // intersection scratch per shard.
     const int num_shards =
         ShardCount(candidates.size(), pool_, kMinCandidatesPerShard);
+    const CancelToken* cancel = cancel_;
     ParallelFor(pool_, 0, candidates.size(), num_shards,
                 [&](int, size_t lo, size_t hi) {
                   TidSet::IntersectScratch scratch;
                   for (size_t i = lo; i < hi; ++i) {
+                    if (cancel != nullptr &&
+                        ((i - lo) & (kCancelCheckStrideVertical - 1)) == 0 &&
+                        cancel->Fired()) {
+                      break;
+                    }
                     (*supports)[i] =
                         index.Support(candidates[i], &scratch);
                   }
@@ -243,14 +273,21 @@ class VerticalCounter final : public SupportCounter {
         ShardCount(candidates.size(), pool_, kMinCandidatesPerShard);
     std::vector<std::function<void()>> tasks;
     tasks.reserve(static_cast<size_t>(num_shards));
+    const CancelToken* cancel = cancel_;
     for (int s = 0; s < num_shards; ++s) {
       const auto [lo, hi] =
           ShardRange(0, candidates.size(), num_shards, s);
       // Each shard writes a disjoint slice of `supports`.
-      tasks.push_back([&index, candidates, supports, lo = lo, hi = hi, h] {
+      tasks.push_back([&index, candidates, supports, lo = lo, hi = hi, h,
+                       cancel] {
         FLIPPER_TRACE_SPAN_HK("count_shard", "task", h, -1);
         TidSet::IntersectScratch scratch;
         for (size_t i = lo; i < hi; ++i) {
+          if (cancel != nullptr &&
+              ((i - lo) & (kCancelCheckStrideVertical - 1)) == 0 &&
+              cancel->Fired()) {
+            break;
+          }
           (*supports)[i] = index.Support(candidates[i], &scratch);
         }
       });
@@ -262,6 +299,7 @@ class VerticalCounter final : public SupportCounter {
 
  private:
   ThreadPool* pool_;
+  const CancelToken* cancel_;
 };
 
 }  // namespace
@@ -366,13 +404,24 @@ void CountBatchWithTrie(const TransactionDb& db,
     cs.txns_prefiltered = 0;
   }
   const CandidateTrie& trie = s->trie;
+  const CancelToken* cancel = options.cancel;
   const auto count_range = [&](std::span<uint32_t> counts,
                                CandidateTrie::CountScratch* cs, size_t lo,
                                size_t hi) {
+    size_t until_check = kCancelCheckStride;
+    bool bail = false;
     ForEachScannableRange(
         boundaries, scan_flags, lo, hi,
         [&](size_t range_lo, size_t range_hi) {
+          if (bail) return;
           for (size_t t = range_lo; t < range_hi; ++t) {
+            if (cancel != nullptr && --until_check == 0) {
+              until_check = kCancelCheckStride;
+              if (cancel->Fired()) {
+                bail = true;
+                return;
+              }
+            }
             trie.CountTransaction(db.Get(static_cast<TxnId>(t)), counts,
                                   cs);
           }
@@ -422,7 +471,7 @@ std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
     case CounterKind::kHorizontal:
       return std::make_unique<HorizontalCounter>(pool, options);
     case CounterKind::kVertical:
-      return std::make_unique<VerticalCounter>(pool);
+      return std::make_unique<VerticalCounter>(pool, options);
   }
   return nullptr;
 }

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/candidate_trie.h"
@@ -114,6 +115,12 @@ struct CounterOptions {
   bool enable_segment_skipping = false;
   /// Trie layout / prefilter selection for the horizontal scans.
   CandidateTrie::Options trie;
+  /// Optional cooperative-cancellation token. Shard tasks poll it
+  /// every few hundred transactions (horizontal) / candidates
+  /// (vertical) and bail early once it fires, leaving the supports
+  /// partial — the driver must discard them (CellPipeline re-checks
+  /// the token before evaluating). An un-fired token changes nothing.
+  const CancelToken* cancel = nullptr;
 };
 
 /// `pool` (optional, not owned, must outlive the counter) parallelizes
@@ -177,6 +184,9 @@ struct CountBatchOptions {
   CountBatchScratch* scratch = nullptr;
   /// Adds the number of prefilter-rejected transactions when non-null.
   uint64_t* txns_prefiltered = nullptr;
+  /// Optional cancellation token; a fired token makes the scan bail
+  /// early with partial counts (see CounterOptions::cancel).
+  const CancelToken* cancel = nullptr;
 };
 
 /// One sharded trie-counting scan of `db` for a uniform-arity batch

@@ -11,10 +11,12 @@
 #include <unistd.h>
 #endif
 
+#include "common/backoff.h"
+
 namespace flipper {
 namespace service {
 
-Result<Client> Client::Connect(const std::string& socket_path) {
+Result<int> Client::ConnectRawFd(const std::string& socket_path) {
 #ifdef _WIN32
   (void)socket_path;
   return Status::FailedPrecondition(
@@ -41,14 +43,25 @@ Result<Client> Client::Connect(const std::string& socket_path) {
     ::close(fd);
     return status;
   }
-  return Client(fd);
+  return fd;
 #endif
+}
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+  FLIPPER_ASSIGN_OR_RETURN(int fd, ConnectRawFd(socket_path));
+  return Client(fd);
 }
 
 Result<Client> Client::ConnectWithRetry(const std::string& socket_path,
                                         int timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
+  // Deterministic seed: retry jitter needs decorrelation across
+  // concurrent clients, not entropy across runs.
+  JitteredBackoff::Options backoff_options;
+  backoff_options.initial_ms = 10;
+  backoff_options.max_ms = 250;
+  JitteredBackoff backoff(0x636f6e6e656374ull, backoff_options);
   Status last = Status::IoError("never attempted");
   while (true) {
     auto client = Connect(socket_path);
@@ -56,7 +69,19 @@ Result<Client> Client::ConnectWithRetry(const std::string& socket_path,
       Request ping;
       ping.verb = "ping";
       auto pong = client->Call(ping);
-      if (pong.ok() && pong->ok) return client;
+      if (pong.ok() && pong->ok) {
+        // A live daemon speaking a different protocol revision is a
+        // deployment error, not a not-ready-yet condition.
+        const std::string schema = pong->Meta("schema");
+        if (schema !=
+            std::to_string(kProtocolSchemaVersion)) {
+          return Status::FailedPrecondition(
+              "daemon at " + socket_path + " speaks protocol schema '" +
+              schema + "', expected " +
+              std::to_string(kProtocolSchemaVersion));
+        }
+        return client;
+      }
       last = pong.ok() ? Status::IoError("ping rejected: " + pong->error)
                        : pong.status();
     } else {
@@ -68,7 +93,8 @@ Result<Client> Client::ConnectWithRetry(const std::string& socket_path,
                              std::to_string(timeout_ms) +
                              " ms (last: " + last.ToString() + ")");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff.NextDelayMs()));
   }
 }
 
@@ -89,12 +115,21 @@ Client::~Client() {
 #endif
 }
 
-Result<Response> Client::Call(const Request& request) {
+Result<Response> Client::Call(const Request& request,
+                              int io_timeout_ms) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client not connected");
   }
-  FLIPPER_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
-  FLIPPER_ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_));
+  FdStream stream(fd_);
+  FrameIo io;
+  // The response may legitimately take as long as the query runs, so
+  // the first-byte wait gets the same bound as the rest (not the
+  // server's infinite idle wait).
+  io.idle_timeout_ms = io_timeout_ms;
+  io.io_timeout_ms = io_timeout_ms;
+  FLIPPER_RETURN_IF_ERROR(
+      WriteFrame(&stream, EncodeRequest(request), io));
+  FLIPPER_ASSIGN_OR_RETURN(std::string payload, ReadFrame(&stream, io));
   return DecodeResponse(payload);
 }
 

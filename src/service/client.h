@@ -2,6 +2,12 @@
 // One Call() is one request/response frame exchange; a connection
 // serves calls serially (the daemon mirrors that), so N-way query
 // concurrency means N clients.
+//
+// ConnectWithRetry polls with jittered exponential backoff (not a
+// fixed-period busy loop) and only trusts a daemon whose ping reports
+// the expected protocol schema version. Calls may carry an I/O
+// deadline so a wedged daemon surfaces as DeadlineExceeded instead of
+// hanging the caller.
 
 #ifndef FLIPPER_SERVICE_CLIENT_H_
 #define FLIPPER_SERVICE_CLIENT_H_
@@ -19,11 +25,17 @@ class Client {
   /// Connects to the daemon at `socket_path`.
   static Result<Client> Connect(const std::string& socket_path);
 
-  /// Connect with retry until the daemon answers a ping or
+  /// Connect with retry (jittered exponential backoff) until the
+  /// daemon answers a ping carrying the expected `schema` meta or
   /// `timeout_ms` elapses — startup synchronization for scripts and
-  /// tests that just launched the daemon.
+  /// tests that just launched the daemon. A daemon reporting a
+  /// different schema version fails immediately.
   static Result<Client> ConnectWithRetry(const std::string& socket_path,
                                          int timeout_ms);
+
+  /// Connects and returns the raw connected fd (caller owns/closes).
+  /// The seam for wrapping a connection in a FaultInjectingStream.
+  static Result<int> ConnectRawFd(const std::string& socket_path);
 
   Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
   Client& operator=(Client&& other) noexcept;
@@ -35,7 +47,9 @@ class Client {
   /// One round trip: sends the request frame, reads the response
   /// frame. An `error ...` response decodes as ok here (the Response
   /// carries it); only transport failures return a non-OK status.
-  Result<Response> Call(const Request& request);
+  /// `io_timeout_ms` > 0 bounds every socket read/write of the
+  /// exchange (DeadlineExceeded past it); 0 blocks indefinitely.
+  Result<Response> Call(const Request& request, int io_timeout_ms = 0);
 
  private:
   explicit Client(int fd) : fd_(fd) {}

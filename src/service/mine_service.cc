@@ -197,6 +197,7 @@ MiningConfig ToMiningConfig(const MineRequest& request) {
   config.enable_segment_skipping = request.enable_segment_skipping;
   config.enable_flat_trie = request.enable_flat_trie;
   config.enable_txn_prefilter = request.enable_txn_prefilter;
+  config.cancel = request.cancel;
   return config;
 }
 

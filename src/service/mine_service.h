@@ -60,6 +60,13 @@ struct MineRequest {
   bool enable_segment_skipping = true;
   bool enable_flat_trie = true;
   bool enable_txn_prefilter = true;
+
+  /// Optional cooperative-cancellation token plumbed into the run
+  /// (common/cancellation.h). Not an option key and — like the other
+  /// execution knobs — never part of CanonicalCacheKey(): an un-fired
+  /// token is proven byte-identity-preserving by the fuzz harness. Not
+  /// owned; must outlive ExecuteMineRequest.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The option keys ApplyMineOption understands, in CLI flag spelling

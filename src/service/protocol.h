@@ -46,13 +46,116 @@ namespace service {
 /// pattern bodies, which stay far below this for any sane store).
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Wire-protocol schema version. Carried as `schema` meta on every
+/// `ping` response; clients (Client::ConnectWithRetry, loadgen, the
+/// smoke script) assert equality before trusting a daemon instead of
+/// accepting any `ok`. Bump on any incompatible framing or verb
+/// change.
+constexpr int kProtocolSchemaVersion = 1;
+
+/// Byte-stream seam under the frame codec. The production
+/// implementation is FdStream (a socket fd with poll()-based
+/// deadlines); FaultInjectingStream wraps an fd to kill or stall the
+/// connection at an exact byte offset in either direction — the
+/// network mirror of storage's FaultInjectingFileSystem.
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Reads up to `len` bytes into `data`; returns the count, 0 on EOF.
+  /// `timeout_ms` > 0 bounds the whole call (DeadlineExceeded on
+  /// lapse); 0 blocks indefinitely.
+  virtual Result<size_t> ReadSome(char* data, size_t len,
+                                  int timeout_ms) = 0;
+
+  /// Writes all `len` bytes. `timeout_ms` > 0 bounds the whole call —
+  /// a reader that stops draining its socket gets DeadlineExceeded
+  /// here instead of pinning the writer forever; 0 blocks.
+  virtual Status WriteAll(const char* data, size_t len,
+                          int timeout_ms) = 0;
+};
+
+/// A connected socket fd. Does not own the fd. Deadlines are
+/// implemented with poll() + non-blocking I/O, so the fd's own
+/// blocking mode is never changed.
+class FdStream final : public Stream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+  Result<size_t> ReadSome(char* data, size_t len, int timeout_ms) override;
+  Status WriteAll(const char* data, size_t len, int timeout_ms) override;
+
+ private:
+  int fd_;
+};
+
+/// Frame-level I/O deadlines.
+struct FrameIo {
+  /// Bound on waiting for a frame to *start* (first byte of the length
+  /// prefix). 0 = wait forever — the server's idle keep-alive between
+  /// requests.
+  int idle_timeout_ms = 0;
+  /// Bound on every subsequent read (a frame, once started, must
+  /// arrive promptly) and on each write call. 0 = no bound.
+  int io_timeout_ms = 0;
+};
+
 /// Writes one length-prefixed frame, handling short writes and EINTR.
+Status WriteFrame(Stream* stream, std::string_view payload,
+                  const FrameIo& io = {});
 Status WriteFrame(int fd, std::string_view payload);
 
 /// Reads one frame. A clean EOF at a frame boundary returns NotFound
 /// ("connection closed") so callers can tell an orderly hangup from a
-/// torn frame (IoError).
+/// torn frame (IoError); a lapsed deadline returns DeadlineExceeded.
+Result<std::string> ReadFrame(Stream* stream, const FrameIo& io = {});
 Result<std::string> ReadFrame(int fd);
+
+/// Where and how a FaultInjectingStream breaks the connection. Offsets
+/// count bytes through that direction of the wrapped stream since
+/// construction; kNever disables the fault.
+struct StreamFaultPlan {
+  static constexpr uint64_t kNever = ~uint64_t{0};
+  /// Hard-kill (shutdown both directions) once this many bytes have
+  /// been written / read — mid-length-prefix, mid-payload, anywhere.
+  uint64_t kill_after_write_bytes = kNever;
+  uint64_t kill_after_read_bytes = kNever;
+  /// One-shot stall (sleep stall_ms) just before this byte offset
+  /// crosses, then continue normally — a slow/wedged peer.
+  uint64_t stall_before_write_byte = kNever;
+  uint64_t stall_before_read_byte = kNever;
+  int stall_ms = 0;
+};
+
+/// Wraps a connected fd and executes the fault plan. Used by the
+/// robustness tests and `loadgen --chaos` on the *client* side of a
+/// connection to torture the daemon with mid-frame disconnects and
+/// stalls over the real socket. Does not own the fd (kill uses
+/// ::shutdown, not ::close).
+class FaultInjectingStream final : public Stream {
+ public:
+  FaultInjectingStream(int fd, const StreamFaultPlan& plan)
+      : inner_(fd), fd_(fd), plan_(plan) {}
+
+  Result<size_t> ReadSome(char* data, size_t len, int timeout_ms) override;
+  Status WriteAll(const char* data, size_t len, int timeout_ms) override;
+
+  bool killed() const { return killed_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  Status Kill(const char* direction, uint64_t offset);
+  void MaybeStall(uint64_t counter, uint64_t offset, bool* armed);
+
+  FdStream inner_;
+  int fd_;
+  StreamFaultPlan plan_;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+  bool killed_ = false;
+  bool write_stall_armed_ = true;
+  bool read_stall_armed_ = true;
+};
 
 struct Request {
   std::string verb;

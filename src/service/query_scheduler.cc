@@ -3,9 +3,19 @@
 namespace flipper {
 namespace service {
 
-Result<QueryScheduler::Ticket> QueryScheduler::Admit() {
+void QueryScheduler::SweepAbandonedLocked() {
+  while (abandoned_.erase(started_) > 0) ++started_;
+}
+
+Result<QueryScheduler::Ticket> QueryScheduler::Admit(
+    std::chrono::steady_clock::time_point deadline) {
   std::unique_lock<std::mutex> lock(mu_);
-  const uint64_t waiting = enqueued_ - started_;
+  if (closed_) {
+    return Status::Cancelled("cancelled: scheduler shutting down");
+  }
+  // abandoned_ turns are all >= started_ (sweep invariant), so they
+  // are contained in enqueued_ - started_ and no longer waiting.
+  const uint64_t waiting = enqueued_ - started_ - abandoned_.size();
   const bool must_wait = waiting > 0 || running_ >= max_concurrent_;
   if (must_wait && waiting >= static_cast<uint64_t>(max_queued_)) {
     ++rejected_total_;
@@ -15,16 +25,48 @@ Result<QueryScheduler::Ticket> QueryScheduler::Admit() {
         std::to_string(max_queued_) + ")");
   }
   const uint64_t turn = enqueued_++;
-  cv_.wait(lock, [&] {
-    return started_ == turn && running_ < max_concurrent_;
-  });
+  const auto my_turn = [&] {
+    return (started_ == turn && running_ < max_concurrent_) || closed_;
+  };
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    cv_.wait(lock, my_turn);
+  } else if (!cv_.wait_until(lock, deadline, my_turn)) {
+    // Deadline lapsed in the waiting room: vacate the FIFO turn so
+    // successors are not blocked behind a ghost ticket, and report
+    // without ever having run.
+    ++timed_out_total_;
+    abandoned_.insert(turn);
+    SweepAbandonedLocked();
+    lock.unlock();
+    cv_.notify_all();
+    return Status::DeadlineExceeded(
+        "deadline_exceeded: deadline lapsed while queued");
+  }
+  if (closed_) {
+    abandoned_.insert(turn);
+    SweepAbandonedLocked();
+    lock.unlock();
+    cv_.notify_all();
+    return Status::Cancelled("cancelled: scheduler shutting down");
+  }
   ++started_;
+  // Immediate successors may themselves have abandoned their turns.
+  SweepAbandonedLocked();
   ++running_;
   ++admitted_total_;
+  lock.unlock();
   // Starting this ticket may unblock the next-in-line waiter (its
   // started_ == turn predicate just became true).
   cv_.notify_all();
   return Ticket(this);
+}
+
+void QueryScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
 }
 
 void QueryScheduler::Release() {
@@ -47,8 +89,10 @@ QueryScheduler::Stats QueryScheduler::stats() const {
   Stats stats;
   stats.admitted = admitted_total_;
   stats.rejected = rejected_total_;
+  stats.timed_out = timed_out_total_;
   stats.running = running_;
-  stats.waiting = static_cast<int>(enqueued_ - started_);
+  stats.waiting =
+      static_cast<int>(enqueued_ - started_ - abandoned_.size());
   return stats;
 }
 

@@ -6,13 +6,23 @@
 // waiting room full is rejected immediately with ResourceExhausted —
 // the daemon turns that into an `error overloaded: ...` response
 // instead of letting connections pile up unboundedly.
+//
+// A waiter may pass a deadline: when it lapses before admission the
+// waiter leaves the waiting room with DeadlineExceeded instead of
+// running doomed work. Leaving is FIFO-safe — the departing waiter
+// marks its turn abandoned and the turn counter sweeps over abandoned
+// turns, so successors are never blocked by a ghost ticket.
+// Shutdown() (daemon drain) fails all waiters, and every later Admit,
+// with Cancelled.
 
 #ifndef FLIPPER_SERVICE_QUERY_SCHEDULER_H_
 #define FLIPPER_SERVICE_QUERY_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <unordered_set>
 
 #include "common/status.h"
 
@@ -57,11 +67,24 @@ class QueryScheduler {
   /// Blocks until this caller's FIFO turn comes and a slot frees, then
   /// returns the held slot. Fails with ResourceExhausted without
   /// blocking when the waiting room is full.
-  Result<Ticket> Admit();
+  Result<Ticket> Admit() {
+    return Admit(std::chrono::steady_clock::time_point::max());
+  }
+
+  /// As Admit(), but gives up with DeadlineExceeded once `deadline`
+  /// lapses (the abandoned turn never blocks later waiters), and with
+  /// Cancelled when the scheduler shuts down while waiting.
+  Result<Ticket> Admit(std::chrono::steady_clock::time_point deadline);
+
+  /// Drain support: fails all current waiters and every later Admit
+  /// with Cancelled. Running queries keep their tickets.
+  void Shutdown();
 
   struct Stats {
     uint64_t admitted = 0;
     uint64_t rejected = 0;
+    /// Waiters whose deadline lapsed in the waiting room.
+    uint64_t timed_out = 0;
     int running = 0;
     int waiting = 0;
   };
@@ -71,6 +94,11 @@ class QueryScheduler {
   friend class Ticket;
   void Release();
 
+  /// Advances started_ over turns whose waiters left. Call with mu_
+  /// held after started_ moves or a turn is abandoned; keeps the
+  /// invariant that every turn in abandoned_ is >= started_.
+  void SweepAbandonedLocked();
+
   const int max_concurrent_;
   const int max_queued_;
   mutable std::mutex mu_;
@@ -79,9 +107,13 @@ class QueryScheduler {
   /// start once every earlier ticket has started and a slot is free.
   uint64_t enqueued_ = 0;
   uint64_t started_ = 0;
+  /// Turns whose waiters gave up (deadline/shutdown) before starting.
+  std::unordered_set<uint64_t> abandoned_;
   int running_ = 0;
+  bool closed_ = false;
   uint64_t admitted_total_ = 0;
   uint64_t rejected_total_ = 0;
+  uint64_t timed_out_total_ = 0;
 };
 
 }  // namespace service

@@ -1,11 +1,13 @@
 #include "service/server.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
 #ifndef _WIN32
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -26,6 +28,82 @@ Response ErrorResponse(const Status& status) {
   response.error = status.ToString();
   return response;
 }
+
+#ifndef _WIN32
+
+/// Watches a connection fd while its query mines: fires the query's
+/// CancelToken the moment the peer hangs up, so an abandoned query
+/// releases its scheduler slot instead of burning it to completion.
+/// Joined (and stopped) by the destructor.
+class FdHangupWatch {
+ public:
+  FdHangupWatch(int fd, CancelToken* token)
+      : fd_(fd), token_(token), thread_([this] { Run(); }) {}
+
+  ~FdHangupWatch() {
+    done_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+  FdHangupWatch(const FdHangupWatch&) = delete;
+  FdHangupWatch& operator=(const FdHangupWatch&) = delete;
+
+  bool disconnected() const {
+    return disconnected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run() {
+    while (!done_.load(std::memory_order_relaxed)) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+#ifdef POLLRDHUP
+      pfd.events |= POLLRDHUP;
+#endif
+      const int n = ::poll(&pfd, 1, 20);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) continue;
+      bool gone = (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+#ifdef POLLRDHUP
+      gone = gone || (pfd.revents & POLLRDHUP) != 0;
+#endif
+      if (!gone && (pfd.revents & POLLIN) != 0) {
+        // Readable could mean EOF or a pipelined next request from a
+        // live client; peek to tell them apart without consuming.
+        char b;
+        const ssize_t r =
+            ::recv(fd_, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (r == 0) {
+          gone = true;
+        } else if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          gone = true;
+        } else if (r > 0) {
+          // Pipelined data keeps the fd readable; back off so the
+          // watcher does not spin until the query finishes.
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+      if (gone) {
+        disconnected_.store(true, std::memory_order_relaxed);
+        token_->Cancel();
+        return;
+      }
+    }
+  }
+
+  const int fd_;
+  CancelToken* const token_;
+  std::atomic<bool> done_{false};
+  std::atomic<bool> disconnected_{false};
+  std::thread thread_;
+};
+
+#endif  // !_WIN32
 
 }  // namespace
 
@@ -86,6 +164,7 @@ Status Server::Start() {
     return status;
   }
   listen_fd_ = fd;
+  uptime_timer_.Restart();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 #endif
@@ -119,17 +198,32 @@ void Server::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_ = -1;
+  // Graceful drain: no new connections can arrive now; give in-flight
+  // queries the grace period to finish on their own before the drain
+  // token cancels the stragglers.
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          options_.drain_grace_ms > 0 ? options_.drain_grace_ms : 0);
+  while (std::chrono::steady_clock::now() < drain_deadline) {
+    const QueryScheduler::Stats sched = scheduler_.stats();
+    if (sched.running == 0 && sched.waiting == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  drain_token_.Cancel();
+  scheduler_.Shutdown();
   {
     // Unblock every connection thread stuck in read().
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  std::vector<std::thread> conns;
+  std::unordered_map<uint64_t, std::thread> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conns.swap(conn_threads_);
+    finished_conn_ids_.clear();
   }
-  for (std::thread& t : conns) {
+  for (auto& [id, t] : conns) {
     if (t.joinable()) t.join();
   }
   if (!options_.socket_path.empty()) {
@@ -139,6 +233,16 @@ void Server::Stop() {
 }
 
 #ifndef _WIN32
+
+void Server::ReapFinishedLocked() {
+  for (uint64_t id : finished_conn_ids_) {
+    auto it = conn_threads_.find(id);
+    if (it == conn_threads_.end()) continue;
+    if (it->second.joinable()) it->second.join();
+    conn_threads_.erase(it);
+  }
+  finished_conn_ids_.clear();
+}
 
 void Server::AcceptLoop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
@@ -152,14 +256,24 @@ void Server::AcceptLoop() {
       ::close(fd);
       break;
     }
+    // Reap finished connection threads here so a long-lived daemon
+    // under connection churn holds threads only for live connections.
+    ReapFinishedLocked();
+    const uint64_t id = next_conn_id_++;
     conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    metrics_.AddCounter("connections.opened", 1);
+    conn_threads_.emplace(
+        id, std::thread([this, id, fd] { ServeConnection(id, fd); }));
   }
 }
 
-void Server::ServeConnection(int fd) {
+void Server::ServeConnection(uint64_t conn_id, int fd) {
+  FdStream stream(fd);
+  FrameIo io;
+  io.idle_timeout_ms = 0;  // keep-alive: idle connections are free
+  io.io_timeout_ms = options_.io_timeout_ms;
   while (true) {
-    auto payload = ReadFrame(fd);
+    auto payload = ReadFrame(&stream, io);
     if (!payload.ok()) break;  // clean EOF, torn frame, or shutdown
     Response response;
     bool is_shutdown = false;
@@ -168,9 +282,10 @@ void Server::ServeConnection(int fd) {
       response = ErrorResponse(request.status());
     } else {
       is_shutdown = request->verb == "shutdown";
-      response = Handle(*request);
+      response = Handle(*request, fd);
     }
-    const bool wrote = WriteFrame(fd, EncodeResponse(response)).ok();
+    const bool wrote =
+        WriteFrame(&stream, EncodeResponse(response), io).ok();
     if (is_shutdown) {
       // The acknowledgment frame is on the wire; only now wake Wait()
       // so teardown can't race the client out of its response.
@@ -183,29 +298,30 @@ void Server::ServeConnection(int fd) {
     }
     if (!wrote) break;
   }
+  ::close(fd);
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.erase(fd);
+    metrics_.AddCounter("connections.closed", 1);
+    // Registering as finished is this thread's last touch of server
+    // state; the accept loop (or Stop) joins the thread object later.
+    finished_conn_ids_.push_back(conn_id);
   }
-  ::close(fd);
 }
 
 #else
 
 void Server::AcceptLoop() {}
-void Server::ServeConnection(int) {}
+void Server::ServeConnection(uint64_t, int) {}
+void Server::ReapFinishedLocked() {}
 
 #endif  // !_WIN32
 
-Response Server::Handle(const Request& request) {
-  if (request.verb == "mine") return HandleMine(request);
+Response Server::Handle(const Request& request, int fd) {
+  if (request.verb == "mine") return HandleMine(request, fd);
   if (request.verb == "stats") return HandleStats();
   if (request.verb == "list") return HandleList();
-  if (request.verb == "ping") {
-    Response response;
-    response.ok = true;
-    return response;
-  }
+  if (request.verb == "ping") return HandlePing();
   if (request.verb == "shutdown") {
     // ServeConnection triggers the actual shutdown after this
     // acknowledgment has been written back to the client.
@@ -218,7 +334,24 @@ Response Server::Handle(const Request& request) {
       "' (expected mine|stats|ping|list|shutdown)"));
 }
 
-Response Server::HandleMine(const Request& request) {
+Response Server::HandlePing() {
+  // Readiness probes assert the schema version instead of trusting any
+  // `ok`; uptime lets operators spot silent restarts.
+  Response response;
+  response.ok = true;
+  response.meta.emplace_back("schema",
+                             std::to_string(kProtocolSchemaVersion));
+  response.meta.emplace_back(
+      "uptime_s", FormatDouble(uptime_timer_.ElapsedSeconds(), 3));
+  return response;
+}
+
+Response Server::HandleMine(const Request& request, int fd) {
+#ifdef _WIN32
+  (void)fd;
+  return ErrorResponse(Status::FailedPrecondition(
+      "the serve daemon requires POSIX unix-domain sockets"));
+#else
   WallTimer timer;
   metrics_.AddCounter("queries.total", 1);
 
@@ -230,7 +363,10 @@ Response Server::HandleMine(const Request& request) {
   }
   MineRequest mine;
   for (const auto& [key, value] : request.params) {
-    if (key == "store" || key == "cache") continue;
+    // Request-level params that are not mine option keys.
+    if (key == "store" || key == "cache" || key == "deadline_ms") {
+      continue;
+    }
     const Status applied = ApplyMineOption(&mine, key, value);
     if (!applied.ok()) {
       metrics_.AddCounter("queries.failed", 1);
@@ -239,11 +375,48 @@ Response Server::HandleMine(const Request& request) {
   }
   const bool use_cache = request.Param("cache", "on") != "off";
 
+  // Deadline: the client's `deadline_ms` (0 = none) over the server
+  // default, clamped from above by the server maximum.
+  int64_t deadline_ms = options_.default_deadline_ms;
+  const std::string deadline_text = request.Param("deadline_ms");
+  if (!deadline_text.empty()) {
+    auto parsed = ParseInt(deadline_text);
+    if (!parsed.ok() || *parsed < 0) {
+      metrics_.AddCounter("queries.failed", 1);
+      return ErrorResponse(Status::InvalidArgument(
+          "deadline_ms must be a non-negative integer, got '" +
+          deadline_text + "'"));
+    }
+    deadline_ms = *parsed;
+  }
+  if (options_.max_deadline_ms > 0 &&
+      (deadline_ms == 0 || deadline_ms > options_.max_deadline_ms)) {
+    deadline_ms = options_.max_deadline_ms;
+  }
+
+  // The query's cancellation token: fires on deadline lapse, client
+  // hangup (the watcher below), or daemon drain.
+  CancelToken token;
+  token.ChainTo(&drain_token_);
+  auto admit_deadline = std::chrono::steady_clock::time_point::max();
+  if (deadline_ms > 0) {
+    token.SetDeadlineAfterMs(deadline_ms);
+    admit_deadline = token.deadline();
+  }
+
   // Admission: FIFO-fair, bounded waiting room. Parse errors above
-  // never consume a slot.
-  auto ticket = scheduler_.Admit();
+  // never consume a slot; a deadline that lapses while queued leaves
+  // the waiting room without ever running.
+  auto ticket = scheduler_.Admit(admit_deadline);
   if (!ticket.ok()) {
-    metrics_.AddCounter("queries.rejected", 1);
+    const StatusCode code = ticket.status().code();
+    if (code == StatusCode::kDeadlineExceeded) {
+      metrics_.AddCounter("queries.deadline_exceeded", 1);
+    } else if (code == StatusCode::kCancelled) {
+      metrics_.AddCounter("queries.cancelled", 1);
+    } else {
+      metrics_.AddCounter("queries.rejected", 1);
+    }
     return ErrorResponse(ticket.status());
   }
 
@@ -279,20 +452,40 @@ Response Server::HandleMine(const Request& request) {
     metrics_.AddCounter("cache.misses", 1);
   }
 
+  mine.cancel = &token;
+
   // The query's own observability context: spans land in a session
   // attached for the duration (concurrent traced queries stay
   // isolated), metrics in a per-query registry folded into the
-  // daemon's aggregate afterwards.
+  // daemon's aggregate afterwards. The hangup watcher cancels the
+  // token — and thereby the run — the moment the client disconnects.
   trace::Session session;
   MetricsRegistry query_metrics;
+  bool disconnected = false;
   Result<MineOutcome> outcome = [&] {
+    FdHangupWatch watch(fd, &token);
     trace::SessionScope scope(&session);
-    return ExecuteMineRequest(e.reader.db(), e.reader.taxonomy(),
-                              &e.reader.dict(), &e.views, mine,
-                              &query_metrics);
+    auto result = ExecuteMineRequest(e.reader.db(), e.reader.taxonomy(),
+                                     &e.reader.dict(), &e.views, mine,
+                                     &query_metrics);
+    disconnected = watch.disconnected();
+    return result;
   }();
   if (!outcome.ok()) {
-    metrics_.AddCounter("queries.failed", 1);
+    // Deadline / abandonment outcomes are expected operation, not
+    // daemon faults: they get their own counters and never count as
+    // `queries.failed` (the smoke script asserts failed == 0).
+    const StatusCode code = outcome.status().code();
+    if (disconnected) {
+      metrics_.AddCounter("queries.disconnected", 1);
+      metrics_.AddCounter("queries.cancelled", 1);
+    } else if (code == StatusCode::kDeadlineExceeded) {
+      metrics_.AddCounter("queries.deadline_exceeded", 1);
+    } else if (code == StatusCode::kCancelled) {
+      metrics_.AddCounter("queries.cancelled", 1);
+    } else {
+      metrics_.AddCounter("queries.failed", 1);
+    }
     return ErrorResponse(outcome.status());
   }
   if (use_cache) {
@@ -313,6 +506,7 @@ Response Server::HandleMine(const Request& request) {
   response.meta.emplace_back("latency_ms", FormatDouble(ms, 3));
   response.body = std::move(outcome->body);
   return response;
+#endif  // _WIN32
 }
 
 Response Server::HandleStats() {
@@ -332,6 +526,14 @@ Response Server::HandleStats() {
                     static_cast<double>(sched.admitted));
   metrics_.SetGauge("scheduler.rejected",
                     static_cast<double>(sched.rejected));
+  metrics_.SetGauge("scheduler.timed_out",
+                    static_cast<double>(sched.timed_out));
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    metrics_.SetGauge(
+        "connections.live",
+        static_cast<double>(conn_fds_.size()));
+  }
   std::ostringstream body;
   metrics_.WriteJson(body);
   Response response;

@@ -14,9 +14,20 @@
 // into one aggregate registry whose JSON — p50/p95 latency histograms
 // included — answers the `stats` verb.
 //
+// Robustness: every mine query runs under a per-query CancelToken.
+// The token fires when the query's deadline (`deadline_ms` request
+// param, clamped by ServerOptions) lapses, when the client hangs up
+// mid-mine (a watcher thread polls the connection fd so abandoned
+// queries release their scheduler slot instead of burning it to
+// completion), or when the daemon drains. Frame I/O carries poll()
+// deadlines so a wedged peer cannot pin a connection thread forever.
+//
 // Shutdown: a `shutdown` request (or Stop()) ends the accept loop,
-// unblocks every connection and joins all threads; Wait() returns once
-// a shutdown has been requested.
+// then drains gracefully — in-flight queries get drain_grace_ms to
+// finish before the drain token cancels them — and joins all threads;
+// Wait() returns once a shutdown has been requested. Finished
+// connection threads are reaped as the accept loop runs, so a
+// long-lived daemon never accumulates dead threads.
 
 #ifndef FLIPPER_SERVICE_SERVER_H_
 #define FLIPPER_SERVICE_SERVER_H_
@@ -27,10 +38,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
+#include "common/timer.h"
 #include "core/pipeline_metrics.h"
 #include "service/protocol.h"
 #include "service/query_scheduler.h"
@@ -50,6 +64,18 @@ struct ServerOptions {
   size_t cache_bytes = 64u << 20;
   /// Payload-validate stores on open/reload.
   bool validate_stores = true;
+  /// Deadline applied to mine queries that do not send their own
+  /// `deadline_ms` param (0 = none).
+  int default_deadline_ms = 0;
+  /// Upper clamp on any query deadline; 0 = unlimited. When set, even
+  /// queries that sent no deadline are bounded by it.
+  int max_deadline_ms = 0;
+  /// How long Stop() lets in-flight queries finish before the drain
+  /// token cancels them.
+  int drain_grace_ms = 5000;
+  /// Per-call bound on socket reads/writes once a frame has started
+  /// (0 = unbounded). Idle waits between requests are never bounded.
+  int io_timeout_ms = 30000;
 };
 
 class Server {
@@ -84,10 +110,15 @@ class Server {
 
  private:
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(uint64_t conn_id, int fd);
+  /// Joins connection threads that have already finished. Requires
+  /// conn_mu_; joins complete immediately because finished threads
+  /// registered themselves only after leaving ServeConnection's body.
+  void ReapFinishedLocked();
 
-  Response Handle(const Request& request);
-  Response HandleMine(const Request& request);
+  Response Handle(const Request& request, int fd);
+  Response HandleMine(const Request& request, int fd);
+  Response HandlePing();
   Response HandleStats();
   Response HandleList();
 
@@ -96,13 +127,18 @@ class Server {
   ResultCache cache_;
   QueryScheduler scheduler_;
   MetricsRegistry metrics_;
+  /// Fires when the daemon drains; every query token chains to it.
+  CancelToken drain_token_;
+  WallTimer uptime_timer_;
 
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
 
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, std::thread> conn_threads_;
+  std::vector<uint64_t> finished_conn_ids_;
   std::unordered_set<int> conn_fds_;
 
   std::mutex shutdown_mu_;

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/env.h"
 #include "common/rng.h"
 #include "core/flipper_miner.h"
@@ -211,6 +212,14 @@ size_t RunRound(uint64_t seed) {
   RoundInputs inputs = MakeRoundInputs(seed, data, segment_txns);
   const MiningConfig config = RandomConfig(&rng);
   const auto num_batches = static_cast<uint32_t>(1 + rng.Below(3));
+  // Cancellation dimension: about half the rounds run every miner with
+  // a live but never-firing CancelToken attached. A present-but-unfired
+  // token must be byte-invisible — any divergence here means the cancel
+  // polling perturbed the answer set.
+  const bool with_token = rng.Bernoulli(0.5);
+  CancelToken unfired_token;
+  unfired_token.SetDeadlineAfterMs(60 * 60 * 1000);
+  const CancelToken* run_token = with_token ? &unfired_token : nullptr;
 
   const std::string repro =
       "seed=" + std::to_string(seed) +
@@ -222,6 +231,7 @@ size_t RunRound(uint64_t seed) {
       " txns=" + std::to_string(num_txns) +
       " segment_txns=" + std::to_string(segment_txns) +
       " append_batches=" + std::to_string(num_batches) +
+      " unfired_token=" + std::to_string(with_token) +
       "\n  config: " + DescribeConfig(config);
   SCOPED_TRACE(repro);
 
@@ -270,6 +280,7 @@ size_t RunRound(uint64_t seed) {
     for (const Source& source : sources) {
       MiningConfig run_config = config;
       run_config.num_threads = threads;
+      run_config.cancel = run_token;
       auto run =
           FlipperMiner::Run(*source.db, *source.taxonomy, run_config);
       EXPECT_TRUE(run.ok())
@@ -309,6 +320,7 @@ size_t RunRound(uint64_t seed) {
       threads.emplace_back([&, i]() {
         MiningConfig run_config = config;
         run_config.num_threads = 1 + i % 3;
+        run_config.cancel = run_token;
         auto run = FlipperMiner::Run(v2->db(), v2->taxonomy(),
                                      run_config, &*shared_views);
         ASSERT_TRUE(run.ok())
@@ -323,6 +335,7 @@ size_t RunRound(uint64_t seed) {
           << " diverged from the naive oracle";
     }
   }
+  EXPECT_FALSE(unfired_token.Fired());
   return oracle->patterns.size();
 }
 

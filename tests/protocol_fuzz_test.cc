@@ -1,0 +1,253 @@
+// Seed-driven fuzz of the serve protocol's decode surface: random
+// byte mutations, truncations, splices and garbage must always come
+// back as a clean Status (or a benign decoded value) — never a crash,
+// a hang, or an over-read. The frame reader gets the same treatment
+// over a real socketpair: torn prefixes, oversized length claims and
+// mid-payload hangups each map to their documented status code.
+//
+// Reproduce a failure with
+//
+//   FLIPPER_FUZZ_SEED=<seed> FLIPPER_FUZZ_ITERS=1 ./protocol_fuzz_test
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "service/protocol.h"
+
+namespace flipper {
+namespace service {
+namespace {
+
+/// A spread of valid payloads covering the grammar: verbs, params,
+/// blank values, meta lines, raw bodies with embedded newlines.
+std::vector<std::string> SeedRequestPayloads() {
+  std::vector<std::string> payloads;
+  {
+    Request request;
+    request.verb = "mine";
+    request.params = {{"store", "g"},
+                      {"gamma", "0.5"},
+                      {"minsup", "0.01,0.001"},
+                      {"deadline_ms", "250"},
+                      {"cache", "off"}};
+    payloads.push_back(EncodeRequest(request));
+  }
+  for (const char* verb : {"ping", "stats", "list", "shutdown"}) {
+    Request request;
+    request.verb = verb;
+    payloads.push_back(EncodeRequest(request));
+  }
+  return payloads;
+}
+
+std::vector<std::string> SeedResponsePayloads() {
+  std::vector<std::string> payloads;
+  {
+    Response response;
+    response.ok = true;
+    response.meta = {{"cache", "hit"},
+                     {"patterns", "12"},
+                     {"latency_ms", "3.125"}};
+    response.body = "csv,header\nrow one\n\nrow after blank\n";
+    payloads.push_back(EncodeResponse(response));
+  }
+  {
+    Response response;
+    response.ok = false;
+    response.error = "deadline_exceeded: query deadline passed";
+    payloads.push_back(EncodeResponse(response));
+  }
+  {
+    Response response;
+    response.ok = true;  // no meta, empty body
+    payloads.push_back(EncodeResponse(response));
+  }
+  return payloads;
+}
+
+/// Applies a random batch of mutations: bit flips, byte overwrites,
+/// truncation, duplication, and splices from a sibling payload.
+std::string Mutate(const std::string& base,
+                   const std::vector<std::string>& siblings, Rng* rng) {
+  std::string mutated = base;
+  const uint64_t edits = 1 + rng->Below(8);
+  for (uint64_t e = 0; e < edits && !mutated.empty(); ++e) {
+    switch (rng->Below(5)) {
+      case 0: {  // bit flip
+        const size_t at = rng->Below(mutated.size());
+        mutated[at] = static_cast<char>(
+            static_cast<uint8_t>(mutated[at]) ^
+            (1u << rng->Below(8)));
+        break;
+      }
+      case 1: {  // byte overwrite, control chars included
+        const size_t at = rng->Below(mutated.size());
+        mutated[at] = static_cast<char>(rng->Below(256));
+        break;
+      }
+      case 2:  // truncate
+        mutated.resize(rng->Below(mutated.size() + 1));
+        break;
+      case 3: {  // duplicate a slice in place
+        const size_t from = rng->Below(mutated.size());
+        const size_t len =
+            rng->Below(std::min<uint64_t>(mutated.size() - from, 32) + 1);
+        mutated.insert(rng->Below(mutated.size() + 1),
+                       mutated.substr(from, len));
+        break;
+      }
+      default: {  // splice a chunk of a sibling payload
+        const std::string& donor =
+            siblings[rng->Below(siblings.size())];
+        if (donor.empty()) break;
+        const size_t from = rng->Below(donor.size());
+        const size_t len =
+            rng->Below(std::min<uint64_t>(donor.size() - from, 48) + 1);
+        mutated.insert(rng->Below(mutated.size() + 1),
+                       donor.substr(from, len));
+        break;
+      }
+    }
+  }
+  return mutated;
+}
+
+TEST(ProtocolFuzz, MutatedPayloadsDecodeToCleanStatusOrValue) {
+  const auto iters = static_cast<uint64_t>(
+      std::max<int64_t>(1, GetEnvInt("FLIPPER_FUZZ_ITERS", 10)));
+  const auto master =
+      static_cast<uint64_t>(GetEnvInt("FLIPPER_FUZZ_SEED", 1));
+  const std::vector<std::string> requests = SeedRequestPayloads();
+  const std::vector<std::string> responses = SeedResponsePayloads();
+  // Each "iter" is a sizeable batch so the default CI setting still
+  // pushes thousands of mutants through both decoders.
+  const uint64_t mutants_per_iter = 400;
+  for (uint64_t round = 0; round < iters; ++round) {
+    Rng rng((master + round) * 0x9e3779b97f4a7c15ull + 17);
+    SCOPED_TRACE("seed=" + std::to_string(master + round) +
+                 " (repro: FLIPPER_FUZZ_SEED=" +
+                 std::to_string(master + round) +
+                 " FLIPPER_FUZZ_ITERS=1 ./protocol_fuzz_test)");
+    for (uint64_t m = 0; m < mutants_per_iter; ++m) {
+      const std::string request_mutant = Mutate(
+          requests[rng.Below(requests.size())], responses, &rng);
+      auto request = DecodeRequest(request_mutant);
+      if (request.ok()) {
+        // Whatever decoded must re-encode and decode to itself: the
+        // codec stays total and idempotent on its own output.
+        auto again = DecodeRequest(EncodeRequest(*request));
+        ASSERT_TRUE(again.ok()) << again.status();
+        EXPECT_EQ(again->verb, request->verb);
+      }
+      const std::string response_mutant = Mutate(
+          responses[rng.Below(responses.size())], requests, &rng);
+      auto response = DecodeResponse(response_mutant);
+      if (response.ok()) {
+        auto again = DecodeResponse(EncodeResponse(*response));
+        ASSERT_TRUE(again.ok()) << again.status();
+        EXPECT_EQ(again->ok, response->ok);
+        EXPECT_EQ(again->body, response->body);
+      }
+    }
+  }
+}
+
+#ifndef _WIN32
+
+/// Writes `bytes` raw onto one end of a socketpair, optionally hangs
+/// up, and returns ReadFrame's outcome at the other end.
+Result<std::string> ReadFramedBytes(const std::string& bytes,
+                                    bool hang_up) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  EXPECT_EQ(::send(fds[0], bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  if (hang_up) ::close(fds[0]);
+  FdStream stream(fds[1]);
+  FrameIo io;
+  io.idle_timeout_ms = 200;
+  io.io_timeout_ms = 200;
+  auto result = ReadFrame(&stream, io);
+  if (!hang_up) ::close(fds[0]);
+  ::close(fds[1]);
+  return result;
+}
+
+TEST(ProtocolFuzz, TornAndOversizedFramesFailCleanly) {
+  // A length prefix beyond the cap is rejected without allocating.
+  std::string oversized(4, '\0');
+  const uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(oversized.data(), &huge, 4);
+  auto rejected = ReadFramedBytes(oversized, /*hang_up=*/false);
+  ASSERT_FALSE(rejected.ok());
+
+  // Truncated payload + hangup: a torn frame, not a clean EOF.
+  const std::string payload = EncodeRequest([] {
+    Request request;
+    request.verb = "mine";
+    request.params = {{"store", "g"}};
+    return request;
+  }());
+  std::string frame(4, '\0');
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(frame.data(), &len, 4);
+  frame += payload;
+  for (size_t cut : {size_t{1}, size_t{3}, size_t{5},
+                     frame.size() - 1}) {
+    auto torn = ReadFramedBytes(frame.substr(0, cut), /*hang_up=*/true);
+    ASSERT_FALSE(torn.ok()) << "cut at " << cut;
+    EXPECT_EQ(torn.status().code(), StatusCode::kIoError)
+        << "cut at " << cut;
+  }
+  // Hangup before any byte is the documented clean EOF.
+  auto eof = ReadFramedBytes("", /*hang_up=*/true);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+  // A stalled (not hung-up) torn frame trips the I/O deadline instead.
+  auto stalled = ReadFramedBytes(frame.substr(0, 5), /*hang_up=*/false);
+  ASSERT_FALSE(stalled.ok());
+  EXPECT_EQ(stalled.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ProtocolFuzz, RandomGarbageFramesNeverWedgeTheReader) {
+  const auto iters = static_cast<uint64_t>(
+      std::max<int64_t>(1, GetEnvInt("FLIPPER_FUZZ_ITERS", 10)));
+  const auto master =
+      static_cast<uint64_t>(GetEnvInt("FLIPPER_FUZZ_SEED", 1));
+  for (uint64_t round = 0; round < iters; ++round) {
+    Rng rng((master + round) * 0x9e3779b97f4a7c15ull + 71);
+    SCOPED_TRACE("seed=" + std::to_string(master + round));
+    for (int g = 0; g < 24; ++g) {
+      std::string garbage(rng.Below(64), '\0');
+      for (char& c : garbage) {
+        c = static_cast<char>(rng.Below(256));
+      }
+      // Either outcome — a decoded tiny frame or a clean error — is
+      // fine; the call just must return promptly.
+      auto result =
+          ReadFramedBytes(garbage, /*hang_up=*/rng.Bernoulli(0.5));
+      if (result.ok()) {
+        (void)DecodeRequest(*result);
+        (void)DecodeResponse(*result);
+      }
+    }
+  }
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace service
+}  // namespace flipper

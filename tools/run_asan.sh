@@ -13,9 +13,15 @@ BUILD_DIR=build-asan
 # torn prefix a crash can leave (each one is a fresh parse of attacker-
 # shaped bytes), tools_test drives validate/repair over corrupt files,
 # and the fuzz harness stirs random datasets through every store
-# format including append sessions.
+# format including append sessions. The service suites push network-
+# shaped bytes instead: protocol_fuzz_test mutates wire payloads and
+# torn frames, service_test runs the daemon end to end, and
+# service_robustness_test adds deadline unwinds, mid-mine hangups and
+# a fault-injected connection storm — all paths where a leak or
+# over-read would hide behind "the query just failed".
 SUITES=(storage_test crash_recovery_test tools_test
-        fuzz_differential_test)
+        fuzz_differential_test protocol_fuzz_test service_test
+        service_robustness_test)
 
 # Instrumented fuzz rounds are slower; a few are enough to cover the
 # decode paths (override by exporting FLIPPER_FUZZ_ITERS).

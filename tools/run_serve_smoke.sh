@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Serve smoke: end-to-end daemon lifecycle check. Generates a store,
-# starts `flipper_cli serve` in the background, waits for readiness
-# via `query --op ping`, drives `loadgen` with byte-verification
-# against solo in-process mines (--expect-from), requires at least one
-# verified cache hit, parses the daemon's `stats` JSON (latency
+# starts `flipper_cli serve` in the background (with a pidfile), waits
+# for readiness via `query --op ping` and asserts the daemon speaks
+# the expected protocol schema, drives `loadgen` with
+# byte-verification against solo in-process mines (--expect-from),
+# requires at least one verified cache hit, storms the socket with
+# fault-injected connections (`loadgen --chaos`) and requires the
+# daemon to stay healthy, parses the daemon's `stats` JSON (latency
 # percentiles included), asks for `shutdown` over the protocol and
-# asserts the daemon exits cleanly with zero failed queries.
+# asserts the daemon exits cleanly with zero failed queries and a
+# removed pidfile. A second short-lived daemon then checks the other
+# shutdown path: SIGTERM must drain gracefully, write the same
+# shutdown summary, and clean up its pidfile.
 #
 # Usage:
 #   tools/run_serve_smoke.sh                # configure+build, then run
@@ -52,12 +58,31 @@ echo "== serve smoke: datagen =="
 "$CLI_BIN" datagen groceries "$WORK_DIR/g.fdb" --txns 3000
 
 echo "== serve smoke: start daemon =="
+PIDFILE="$WORK_DIR/serve.pid"
 "$CLI_BIN" serve --socket "$SOCKET" --stores "g=$WORK_DIR/g.fdb" \
+  --pidfile "$PIDFILE" --max-deadline-ms 600000 \
   >"$WORK_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 
-# Readiness: retry-connect until the daemon answers a ping.
-"$CLI_BIN" query --socket "$SOCKET" --op ping --wait-ms 30000
+# Readiness: retry-connect until the daemon answers a ping, then
+# assert it speaks the protocol schema this client was built against
+# (ping meta lines land on stderr as `# key value`).
+PING_OUT="$("$CLI_BIN" query --socket "$SOCKET" --op ping \
+  --wait-ms 30000 2>&1)"
+grep -q "^# schema 1$" <<<"$PING_OUT" || {
+  echo "FAIL: ping did not advertise protocol schema 1:" >&2
+  echo "$PING_OUT" >&2
+  exit 1
+}
+grep -q "^# uptime_s " <<<"$PING_OUT" || {
+  echo "FAIL: ping carried no uptime" >&2
+  exit 1
+}
+if [[ ! -s "$PIDFILE" ]] || ! kill -0 "$(cat "$PIDFILE")" 2>/dev/null
+then
+  echo "FAIL: pidfile missing or names a dead process" >&2
+  exit 1
+fi
 
 echo "== serve smoke: loadgen (byte-verified against solo mines) =="
 LOADGEN_OUT="$("$CLI_BIN" loadgen --socket "$SOCKET" --store g \
@@ -74,6 +99,23 @@ if [[ -z "$CACHE_HITS" || "$CACHE_HITS" -lt 1 ]]; then
     "'${CACHE_HITS:-none}'" >&2
   exit 1
 fi
+
+echo "== serve smoke: chaos (fault-injected connections) =="
+# Kill and stall connections at random byte offsets in both
+# directions; the daemon must shrug every one off and still answer a
+# byte-verified query afterwards (loadgen's post-storm health check).
+CHAOS_OUT="$("$CLI_BIN" loadgen --socket "$SOCKET" --store g \
+  --requests 16 --connections 4 --deadline-ms 60000 \
+  --chaos 64 --chaos-seed 7 --expect-from "$WORK_DIR/g.fdb")"
+echo "$CHAOS_OUT"
+grep -q " 0 failed, 0 mismatched, " <<<"$CHAOS_OUT" || {
+  echo "FAIL: chaos loadgen reported failures or mismatches" >&2
+  exit 1
+}
+grep -q "daemon healthy$" <<<"$CHAOS_OUT" || {
+  echo "FAIL: daemon unhealthy after the fault-injection storm" >&2
+  exit 1
+}
 
 echo "== serve smoke: stats =="
 STATS_JSON="$WORK_DIR/stats.json"
@@ -110,4 +152,33 @@ grep -q "^shutdown: " "$WORK_DIR/serve.log" || {
   cat "$WORK_DIR/serve.log" >&2
   exit 1
 }
+if [[ -e "$PIDFILE" ]]; then
+  echo "FAIL: pidfile survived a clean shutdown" >&2
+  exit 1
+fi
+
+echo "== serve smoke: SIGTERM drains gracefully =="
+SOCKET2="$WORK_DIR/serve2.sock"
+PIDFILE2="$WORK_DIR/serve2.pid"
+"$CLI_BIN" serve --socket "$SOCKET2" --stores "g=$WORK_DIR/g.fdb" \
+  --pidfile "$PIDFILE2" >"$WORK_DIR/serve2.log" 2>&1 &
+SERVE_PID=$!
+"$CLI_BIN" query --socket "$SOCKET2" --op ping --wait-ms 30000 \
+  >/dev/null 2>&1
+kill -TERM "$(cat "$PIDFILE2")"
+if ! wait "$SERVE_PID"; then
+  echo "FAIL: daemon exited non-zero after SIGTERM" >&2
+  cat "$WORK_DIR/serve2.log" >&2
+  exit 1
+fi
+SERVE_PID=""
+grep -q "^shutdown: " "$WORK_DIR/serve2.log" || {
+  echo "FAIL: SIGTERM left no shutdown summary" >&2
+  cat "$WORK_DIR/serve2.log" >&2
+  exit 1
+}
+if [[ -e "$PIDFILE2" ]]; then
+  echo "FAIL: pidfile survived SIGTERM shutdown" >&2
+  exit 1
+fi
 echo "serve smoke OK"

@@ -22,12 +22,16 @@ BUILD_DIR=build-tsan
 # pool-task observer from many threads — the lock-free per-thread
 # buffers MUST go through TSan; service_test runs the serve daemon's
 # accept/connection threads, FIFO admission and concurrent queries
-# over shared store views end to end); everything else is
-# single-threaded and only slows the instrumented run down.
+# over shared store views end to end; service_robustness_test races
+# cancel tokens against mid-count deadline checks, hangup watchers
+# against connection threads, and graceful drain against in-flight
+# queries — the cancellation plumbing's relaxed atomics MUST go
+# through TSan); everything else is single-threaded and only slows
+# the instrumented run down.
 SUITES=(thread_pool_test parallel_counting_test cell_pipeline_test
         storage_test segment_skipping_test fuzz_differential_test
         trie_invariance_test trace_test pipeline_metrics_test
-        service_test)
+        service_test service_robustness_test)
 
 # Instrumented fuzz rounds are ~20x slower; a few are enough to race-
 # check the catalog paths (override by exporting FLIPPER_FUZZ_ITERS).
